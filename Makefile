@@ -1,0 +1,24 @@
+# Convenience targets for the repro library.
+
+.PHONY: test bench shapes experiments examples probe lint all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+shapes:          ## regenerate + assert all tables/figures (no timing)
+	pytest benchmarks/ --benchmark-disable -s
+
+experiments:     ## rebuild EXPERIMENTS.md from a fresh run
+	REPRO_CACHE_DIR=.repro_cache python scripts/run_experiments.py
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; REPRO_CACHE_DIR=.repro_cache python $$f || exit 1; done
+
+probe:           ## re-run the step-size calibration and bake it
+	REPRO_CACHE_DIR=.repro_cache python scripts/probe_steps.py
+	python scripts/bake_tuned.py
+
+all: test shapes experiments

@@ -1,0 +1,78 @@
+"""Benchmark: the complete Fig. 1 design space (including light circles).
+
+The paper draws eight (strategy x architecture x sparsity) combinations
+and implements the dark subset; this module maps every corner for LR on
+a dense and a sparse dataset and asserts the paper's implicit claim —
+the dark circles are dark because they win.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import run_fig1_space
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def space_sparse(ctx):
+    return run_fig1_space("lr", "real-sim", ctx)
+
+
+@pytest.fixture(scope="module")
+def space_dense(ctx):
+    return run_fig1_space("lr", "covtype", ctx)
+
+
+class TestSparseDatasetCube:
+    def test_publish(self, space_sparse, artifact_dir):
+        publish(artifact_dir, "fig1_space_real-sim.txt", space_sparse.render())
+        assert len(space_sparse.cells) == 8
+
+    def test_dark_circles_win(self, space_sparse):
+        assert space_sparse.dark_circles_beat_light_ones()
+
+    def test_densification_always_slows_iterations(self, space_sparse):
+        """The light 'dense representation of sparse data' corners pay
+        for streaming the zeros on every backend and strategy."""
+        for strategy in ("synchronous", "asynchronous"):
+            for arch in ("cpu-par", "gpu"):
+                auto = space_sparse.cell(strategy, arch, "auto")
+                dense = space_sparse.cell(strategy, arch, "dense")
+                assert dense.time_per_iter > auto.time_per_iter, (strategy, arch)
+
+    def test_sync_prefers_gpu_async_prefers_cpu(self, space_sparse):
+        sync_gpu = space_sparse.cell("synchronous", "gpu", "auto")
+        sync_cpu = space_sparse.cell("synchronous", "cpu-par", "auto")
+        assert sync_gpu.time_per_iter < sync_cpu.time_per_iter
+        async_gpu = space_sparse.cell("asynchronous", "gpu", "auto")
+        async_cpu = space_sparse.cell("asynchronous", "cpu-par", "auto")
+        assert async_cpu.time_to_convergence < async_gpu.time_to_convergence
+
+
+class TestDenseDatasetCube:
+    def test_publish(self, space_dense, artifact_dir):
+        publish(artifact_dir, "fig1_space_covtype.txt", space_dense.render())
+
+    def test_dark_circles_win(self, space_dense):
+        assert space_dense.dark_circles_beat_light_ones()
+
+    def test_csr_view_of_dense_data_never_helps(self, space_dense):
+        for strategy in ("synchronous", "asynchronous"):
+            for arch in ("cpu-par", "gpu"):
+                auto = space_dense.cell(strategy, arch, "auto")
+                sparse = space_dense.cell(strategy, arch, "sparse")
+                assert sparse.time_per_iter >= 0.95 * auto.time_per_iter
+
+    def test_statistical_efficiency_representation_invariant(self, space_dense):
+        """Representation is storage, not mathematics: epoch counts per
+        (strategy, architecture) must agree across representations."""
+        for strategy in ("synchronous", "asynchronous"):
+            for arch in ("cpu-par", "gpu"):
+                a = space_dense.cell(strategy, arch, "auto").epochs
+                b = space_dense.cell(strategy, arch, "sparse").epochs
+                if math.isfinite(a) and math.isfinite(b):
+                    assert a == b, (strategy, arch)

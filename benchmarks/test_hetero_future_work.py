@@ -1,0 +1,79 @@
+"""Benchmark: heterogeneous CPU+GPU execution (the paper's future work).
+
+Maps the synchronous-epoch benefit of pairing the two machines across
+every (task, dataset), answering the question the paper's conclusions
+pose.  Shape assertions encode the model's analytical bounds and the
+qualitative answer: pairing pays where the devices are close, and the
+benefit can never exceed 2x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load, load_mlp
+from repro.hardware import HeteroModel
+from repro.linalg import recording
+from repro.models import make_model
+from repro.sgd.runner import full_scale_factor, working_set_bytes
+from repro.utils import derive_rng
+from repro.utils.tables import render_table
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    hetero = HeteroModel()
+    rows = []
+    values = {}
+    for task in ("lr", "svm", "mlp"):
+        loader = load_mlp if task == "mlp" else load
+        for name in ("covtype", "w8a", "real-sim", "rcv1", "news"):
+            ds = loader(name, "small")
+            model = make_model(task, ds)
+            w = model.init_params(derive_rng(0, "hetero-bench"))
+            with recording() as tr:
+                model.full_grad(ds.X, ds.y, w)
+            trace = tr.scaled(full_scale_factor(ds, task))
+            ws = working_set_bytes(ds, model, task)
+            mb = model.n_params * 8
+            cpu_t = hetero.cpu.sync_epoch_time(trace, 56, ws)
+            gpu_t = hetero.gpu.sync_epoch_time(trace)
+            pair_t = hetero.sync_epoch_time(trace, ws, mb)
+            speedup = hetero.speedup_over_best_single(trace, ws, mb)
+            values[(task, name)] = speedup
+            rows.append(
+                [task, name, cpu_t * 1e3, gpu_t * 1e3, pair_t * 1e3, speedup]
+            )
+    table = render_table(
+        ["task", "dataset", "cpu-par (ms)", "gpu (ms)", "cpu+gpu (ms)", "gain vs best"],
+        rows,
+        title="Future work: heterogeneous CPU+GPU synchronous epochs",
+    )
+    return table, values
+
+
+class TestHeteroSweep:
+    def test_publish(self, sweep, artifact_dir):
+        table, _ = sweep
+        publish(artifact_dir, "hetero_future_work.txt", table)
+
+    def test_all_gains_within_analytical_bounds(self, sweep):
+        _, values = sweep
+        for key, s in values.items():
+            assert 0.9 <= s <= 2.0 + 1e-9, (key, s)
+
+    def test_pairing_pays_somewhere(self, sweep):
+        """At least half the cells gain >20% — the future-work direction
+        is worthwhile on this hardware pair."""
+        _, values = sweep
+        winners = [k for k, s in values.items() if s > 1.2]
+        assert len(winners) >= len(values) // 2
+
+    def test_close_devices_gain_most(self, sweep):
+        """covtype LR (the smallest Table II gap) must be among the
+        larger gains."""
+        _, values = sweep
+        covtype_lr = values[("lr", "covtype")]
+        assert covtype_lr > 1.5

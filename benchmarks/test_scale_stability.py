@@ -1,0 +1,42 @@
+"""Benchmark: shape stability across dataset scales.
+
+The entire reproduction methodology rests on statistical efficiency
+transferring across scales (DESIGN.md section 2).  This module spot
+checks it: epochs-to-tolerance and the key hardware ratios for
+representative configurations must agree within a modest factor between
+the `small` and `medium` scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sgd import train
+
+
+def _epochs(scale, task, dataset, architecture, strategy, step, epochs_cap):
+    run = train(
+        task, dataset, architecture=architecture, strategy=strategy,
+        scale=scale, step_size=step, max_epochs=epochs_cap,
+        early_stop_tolerance=0.05,
+    )
+    return run.epochs_to(0.05), run.time_per_iter
+
+
+@pytest.mark.parametrize(
+    "task,dataset,architecture,strategy,step,cap",
+    [
+        ("lr", "w8a", "cpu-seq", "asynchronous", 1.0, 150),
+        ("lr", "w8a", "gpu", "synchronous", 300.0, 800),
+        ("svm", "real-sim", "cpu-par", "asynchronous", 1.0, 150),
+    ],
+)
+def test_epochs_stable_across_scales(task, dataset, architecture, strategy, step, cap):
+    e_small, tpi_small = _epochs("small", task, dataset, architecture, strategy, step, cap)
+    e_medium, tpi_medium = _epochs("medium", task, dataset, architecture, strategy, step, cap)
+    assert e_small is not None and e_medium is not None
+    ratio = max(e_small, e_medium) / max(1, min(e_small, e_medium))
+    assert ratio < 3.0, (e_small, e_medium)
+    # hardware times are modelled at paper scale: identical inputs give
+    # close outputs regardless of the realised data's size
+    assert tpi_medium == pytest.approx(tpi_small, rel=0.5)

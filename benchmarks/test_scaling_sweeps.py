@@ -1,0 +1,85 @@
+"""Benchmark: thread-scalability sweeps (extended-report material).
+
+The paper prints only the sequential and 56-thread endpoints; its
+extended version and DimmWitted [40] study the full curve.  This module
+publishes speedup-vs-threads for the characteristic regimes and asserts
+their shapes: monotone synchronous scaling (super-linear in the
+cache-resident regime), asynchronous collapse on dense data, and the
+asynchronous saturation plateau on sparse data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load
+from repro.hardware import AsyncWorkload, CpuModel, async_scaling, sync_scaling
+from repro.linalg import recording
+from repro.models import make_model
+from repro.sgd.runner import full_scale_factor, working_set_bytes
+from repro.utils import derive_rng, render_bar_chart
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def curves():
+    cpu = CpuModel()
+    out = {}
+    for name in ("covtype", "w8a", "rcv1", "news"):
+        ds = load(name, "small")
+        model = make_model("lr", ds)
+        w = model.init_params(derive_rng(0, "scaling"))
+        with recording() as tr:
+            model.full_grad(ds.X, ds.y, w)
+        trace = tr.scaled(full_scale_factor(ds, "lr"))
+        ws = working_set_bytes(ds, model, "lr")
+        out[("sync", name)] = sync_scaling(cpu, trace, ws, label=f"sync/{name}")
+        workload = AsyncWorkload.for_linear(ds, model)
+        out[("async", name)] = async_scaling(cpu, workload, label=f"async/{name}")
+    return out
+
+
+class TestScalingShapes:
+    def test_publish(self, curves, artifact_dir):
+        charts = []
+        for curve in curves.values():
+            charts.append(
+                render_bar_chart(
+                    [f"{p.threads:>2} thr" for p in curve.points],
+                    [p.speedup for p in curve.points],
+                    title=f"{curve.label}: speedup vs threads",
+                    unit="x",
+                )
+            )
+        publish(artifact_dir, "scaling_sweeps.txt", "\n\n".join(charts))
+
+    def test_sync_monotone_everywhere(self, curves):
+        for (kind, name), curve in curves.items():
+            if kind != "sync":
+                continue
+            speedups = [p.speedup for p in curve.points]
+            assert speedups == sorted(speedups), name
+
+    def test_cache_resident_superlinear_region(self, curves):
+        assert curves[("sync", "w8a")].superlinear
+
+    def test_dram_bound_not_superlinear(self, curves):
+        assert not curves[("sync", "rcv1")].superlinear
+
+    def test_async_dense_collapses(self, curves):
+        assert curves[("async", "covtype")].scaling_collapses
+
+    def test_async_sparse_saturates_below_linear(self, curves):
+        curve = curves[("async", "news")]
+        assert not curve.scaling_collapses
+        assert 2.0 < curve.peak_speedup < 56.0
+
+    def test_hyperthreads_add_little_compute(self, curves):
+        """Beyond the 28 physical cores, synchronous compute-bound
+        speedup must flatten (SMT shares execution units)."""
+        curve = curves[("sync", "covtype")]
+        by_threads = {p.threads: p.speedup for p in curve.points}
+        gain_smt = by_threads[56] / by_threads[28]
+        gain_phys = by_threads[28] / by_threads[14]
+        assert gain_smt < gain_phys

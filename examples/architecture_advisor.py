@@ -1,0 +1,79 @@
+"""Architecture advisor: which (architecture, strategy) wins for a task?
+
+The paper's practical payoff is a decision guide: synchronous SGD
+belongs on the GPU, asynchronous SGD belongs on the CPU, and choosing
+*between those two* depends on the task and the data (Section IV-C).
+This example shows both halves of `repro.sgd.advisor`:
+
+* the **heuristic** recommendation straight from the data's statistics
+  (no training at all), and
+* the **measured** ranking across all six configurations — including
+  the paper's financial remark, via a dollars-to-convergence column
+  ("From a financial perspective, though, GPUs are likely the more
+  cost-effective alternative").
+
+Run:  python examples/architecture_advisor.py [task] [dataset]
+      e.g. python examples/architecture_advisor.py svm news
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.datasets import load, load_mlp
+from repro.experiments import ExperimentContext
+from repro.sgd.advisor import heuristic_advice, measure_advice
+from repro.utils import render_table
+
+
+def advise(task: str, dataset: str, tolerance: float = 0.01) -> None:
+    ds = load_mlp(dataset, "small") if task == "mlp" else load(dataset, "small")
+    quick = heuristic_advice(ds, task)
+    print(f"Heuristic (no training): {quick.strategy} on {quick.architecture}")
+    print(f"  rationale: {quick.rationale}\n")
+
+    ctx = ExperimentContext(scale="small", tolerance=tolerance)
+    measured = measure_advice(task, dataset, ctx=ctx)
+    rows = [
+        [
+            r.strategy,
+            r.architecture,
+            r.time_to_convergence,
+            r.dollars_to_convergence * 1000.0,
+        ]
+        for r in measured.ranking
+    ]
+    print(
+        render_table(
+            ["strategy", "architecture",
+             f"time to {int(tolerance*100)}% (s)", "cost (m$)"],
+            rows,
+            title=f"Measured ranking for {task} on {dataset}",
+            precision=3,
+        )
+    )
+    fastest = measured.fastest
+    cheapest = measured.cheapest
+    print(f"\nfastest : {fastest.strategy} on {fastest.architecture} "
+          f"({fastest.time_to_convergence:.3f}s)")
+    print(f"cheapest: {cheapest.strategy} on {cheapest.architecture} "
+          f"(${cheapest.dollars_to_convergence:.6f})")
+    if (fastest.strategy, fastest.architecture) == (
+        quick.strategy, quick.architecture,
+    ):
+        print("the heuristic matched the measurement.")
+    else:
+        print("the heuristic and the measurement disagree — the paper's "
+              "point that the sync-vs-async winner is task- and "
+              "dataset-dependent, so measure when it matters.")
+
+
+def main() -> None:
+    task = sys.argv[1] if len(sys.argv) > 1 else "lr"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "real-sim"
+    advise(task, dataset)
+
+
+if __name__ == "__main__":
+    sys.exit(main() or 0)

@@ -1,0 +1,78 @@
+"""Hogwild sparsity study: how data sparsity shapes asynchronous SGD.
+
+Reproduces, through the public API, the paper's third exploratory axis:
+on dense data, concurrent Hogwild updates collide on every model cache
+line — the coherence storm makes parallel execution *slower per
+iteration* than sequential — while on sparse data collisions are rare
+and parallelism pays.  Statistical efficiency simultaneously degrades
+with concurrency (staler reads).
+
+The study sweeps thread counts over one dense (covtype) and one sparse
+(news) dataset and prints both effects side by side.
+
+Run:  python examples/hogwild_sparsity_study.py
+"""
+
+from __future__ import annotations
+
+from repro.asyncsim import AsyncSchedule, run_async_epoch
+from repro.datasets import load
+from repro.hardware import AsyncWorkload, CpuModel
+from repro.models import make_model
+from repro.sgd.convergence import tolerance_threshold
+from repro.sgd.reference import reference_loss
+from repro.utils import derive_rng, render_table
+
+THREADS = (1, 4, 14, 56)
+
+
+def study(dataset_name: str) -> list[list]:
+    ds = load(dataset_name, "small")
+    model = make_model("lr", ds)
+    init = model.init_params(derive_rng(0, f"study/{dataset_name}"))
+    cpu = CpuModel()
+    workload = AsyncWorkload.for_linear(ds, model)
+
+    optimal = reference_loss(model, ds.X, ds.y, init, key=None)
+    initial = model.loss(ds.X, ds.y, init)
+    target = tolerance_threshold(optimal, 0.05, initial)
+
+    rows = []
+    for threads in THREADS:
+        # hardware efficiency from the machine model (paper scale)
+        tpi = cpu.async_epoch_time(workload, threads)
+        # statistical efficiency measured through the simulator
+        w = init.copy()
+        rng = derive_rng(0, f"study/{dataset_name}/{threads}")
+        epochs = None
+        for epoch in range(1, 121):
+            run_async_epoch(
+                model, ds.X, ds.y, w, 1.0, AsyncSchedule(concurrency=threads), rng
+            )
+            if model.loss(ds.X, ds.y, w) <= target:
+                epochs = epoch
+                break
+        ttc = None if epochs is None else epochs * tpi
+        rows.append([threads, tpi * 1e3, epochs, None if ttc is None else ttc])
+    return rows
+
+
+def main() -> None:
+    for name, flavour in (("covtype", "dense"), ("news", "sparse")):
+        rows = study(name)
+        print(
+            render_table(
+                ["threads", "time/iter (ms)", "epochs to 5%", "time to conv (s)"],
+                rows,
+                title=f"{name} ({flavour}) — Hogwild under growing concurrency",
+            )
+        )
+        print()
+    print("Reading guide: on the dense dataset the per-iteration time *rises*")
+    print("with threads (coherence storm; paper Table III, covtype), while on")
+    print("the sparse dataset it falls. Epoch counts creep upward in both")
+    print("cases - stale reads cost statistical efficiency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: train one paper configuration and read all three axes.
+
+The paper measures every configuration along three axes (its Fig. 2):
+hardware efficiency (time per iteration), statistical efficiency
+(epochs to a loss tolerance), and their product — time to convergence.
+One `repro.train` call returns all three.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # Hogwild (asynchronous SGD, B=1) for logistic regression on a
+    # synthetic dataset matched to w8a's Table I statistics, executed
+    # on 56 logical CPU threads (the paper's NUMA machine).
+    result = repro.train(
+        task="lr",
+        dataset="w8a",
+        architecture="cpu-par",
+        strategy="asynchronous",
+        scale="small",
+        step_size=1.0,
+        max_epochs=200,
+    )
+
+    print(f"configuration : {result.task} / {result.dataset} / "
+          f"{result.architecture} / {result.strategy}")
+    print(f"step size     : {result.step_size}")
+    print(f"initial loss  : {result.initial_loss:.4f}")
+    print(f"optimal loss  : {result.optimal_loss:.4f}  (budgeted reference)")
+    print(f"final loss    : {result.curve.final_loss:.4f}")
+    print()
+    print("hardware efficiency (modelled at paper scale):")
+    print(f"  time per iteration = {result.time_per_iter * 1e3:.2f} ms")
+    print()
+    print("statistical efficiency / time to convergence:")
+    for tol in repro.TOLERANCES:
+        epochs = result.epochs_to(tol)
+        time_s = result.time_to(tol)
+        label = f"{int(tol * 100)}%"
+        if epochs is None:
+            print(f"  within {label:>3} of optimum: not reached")
+        else:
+            print(f"  within {label:>3} of optimum: {epochs:4d} epochs "
+                  f"= {time_s:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Re-probe only the asynchronous GPU cells (after schedule changes),
+plus any cells listed as unresolved; merges into scripts/tuned_steps.json.
+"""
+
+import json
+import math
+import time
+
+from repro.sgd import train
+
+OUT = "scripts/tuned_steps.json"
+DATASETS = ["covtype", "w8a", "real-sim", "rcv1", "news"]
+
+results = json.load(open(OUT))
+t_start = time.time()
+
+
+def probe(task, ds, strategy, arch, grid, max_epochs):
+    best = (math.inf, None, None)
+    for step in grid:
+        try:
+            r = train(task, ds, architecture=arch, strategy=strategy, scale="small",
+                      step_size=step, max_epochs=max_epochs, early_stop_tolerance=0.01)
+        except Exception as e:
+            print(f"{task}/{ds}/{arch}/step={step}: ERROR {e}", flush=True)
+            continue
+        t, e = r.time_to(0.01), r.epochs_to(0.01)
+        print(f"{task}/{ds}/{strategy}/{arch}/step={step}: t1%={t:.4f}s epochs={e} "
+              f"final={r.curve.final_loss:.4f} [{time.time()-t_start:.0f}s]", flush=True)
+        if t < best[0]:
+            best = (t, step, e)
+    results[f"{task}/{ds}/{strategy}/{arch}"] = {
+        "step": best[1],
+        "time": None if math.isinf(best[0]) else best[0],
+        "epochs": best[2],
+    }
+    with open(OUT, "w") as fh:
+        json.dump(results, fh, indent=1)
+
+
+for task in ("lr", "svm"):
+    for ds in ("covtype", "w8a", "real-sim", "rcv1"):
+        probe(task, ds, "asynchronous", "gpu", [0.03, 0.1, 0.3, 1.0, 3.0], 400)
+print("DONE", time.time() - t_start, flush=True)

@@ -1,0 +1,84 @@
+"""Calibration probe: best step size per paper configuration.
+
+Runs the paper's grid-search protocol (coarse grid) for every
+(task, dataset, strategy, architecture) cell and writes
+scripts/tuned_steps.json; the winners get baked into
+repro.experiments.tuned.TUNED_STEPS.
+
+Usage: REPRO_CACHE_DIR=.repro_cache python scripts/probe_steps.py
+"""
+
+import json
+import math
+import time
+
+from repro.sgd import train
+
+OUT = "scripts/tuned_steps.json"
+DATASETS = ["covtype", "w8a", "real-sim", "rcv1", "news"]
+
+SYNC_GRIDS = {
+    "lr": [30.0, 100.0, 300.0, 1000.0],
+    "svm": [10.0, 30.0, 100.0, 300.0],
+    "mlp": [1.0, 3.0, 10.0, 30.0, 100.0],
+}
+ASYNC_GRID = [0.03, 0.1, 0.3, 1.0, 3.0]
+ASYNC_GPU_GRID = [0.01, 0.03, 0.1, 0.3, 1.0]
+ASYNC_MLP_GRID = [0.1, 0.3, 1.0, 3.0]
+
+results = {}
+t_start = time.time()
+
+
+def probe(task, ds, strategy, arch, grid, max_epochs):
+    best = (math.inf, None, None)
+    for step in grid:
+        try:
+            r = train(
+                task,
+                ds,
+                architecture=arch,
+                strategy=strategy,
+                scale="small",
+                step_size=step,
+                max_epochs=max_epochs,
+                early_stop_tolerance=0.01,
+            )
+        except Exception as e:  # pragma: no cover - probe robustness
+            print(f"{task}/{ds}/{strategy}/{arch}/step={step}: ERROR {e}", flush=True)
+            continue
+        t = r.time_to(0.01)
+        e = r.epochs_to(0.01)
+        print(
+            f"{task}/{ds}/{strategy}/{arch}/step={step}: t1%={t:.4f}s epochs={e} "
+            f"final={r.curve.final_loss:.4f} [{time.time()-t_start:.0f}s]",
+            flush=True,
+        )
+        if t < best[0]:
+            best = (t, step, e)
+    results[f"{task}/{ds}/{strategy}/{arch}"] = {
+        "step": best[1],
+        "time": None if math.isinf(best[0]) else best[0],
+        "epochs": best[2],
+    }
+    with open(OUT, "w") as fh:
+        json.dump(results, fh, indent=1)
+
+
+for task in ("lr", "svm", "mlp"):
+    for ds in DATASETS:
+        # synchronous: statistical efficiency is arch-independent, so
+        # one probe (costed on gpu) decides the step for all archs.
+        probe(task, ds, "synchronous", "gpu", SYNC_GRIDS[task], 2500)
+for task in ("lr", "svm", "mlp"):
+    for ds in DATASETS:
+        for arch in ("cpu-seq", "cpu-par", "gpu"):
+            if task == "mlp":
+                grid, cap = ASYNC_MLP_GRID, 700
+            elif arch == "gpu":
+                grid, cap = ASYNC_GPU_GRID, 400
+            else:
+                grid, cap = ASYNC_GRID, 300
+            probe(task, ds, "asynchronous", arch, grid, cap)
+
+print("DONE", time.time() - t_start, flush=True)

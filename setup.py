@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building a wheel for editable installs under
+PEP 517; offline environments that lack the `wheel` module can instead
+run ``python setup.py develop`` which this shim enables.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — reproduction of "Stochastic Gradient Descent on Modern
+Hardware: Multi-core CPU or GPU? Synchronous or Asynchronous?"
+(Yujing Ma, Florin Rusu, Martin Torres — IPDPS 2019).
+
+The library implements the paper's full experimental apparatus:
+
+* the three training tasks (logistic regression, linear SVM,
+  fully-connected MLP) over dense and CSR-sparse data
+  (:mod:`repro.models`, :mod:`repro.linalg`);
+* synchronous (batch) and asynchronous (Hogwild / Hogbatch) parallel
+  SGD, with asynchrony simulated by a deterministic stale-read
+  interleaving engine (:mod:`repro.sgd`, :mod:`repro.asyncsim`);
+* analytical performance models of the paper's two machines — a
+  dual-socket NUMA Xeon and an NVIDIA Tesla K80 — that turn recorded
+  kernel traces / per-step workload statistics into per-epoch times
+  (:mod:`repro.hardware`);
+* synthetic datasets matched to Table I's statistics plus a LIBSVM
+  reader for the real files (:mod:`repro.datasets`);
+* TensorFlow- and BIDMach-like baseline executors
+  (:mod:`repro.frameworks`);
+* drivers regenerating every table and figure of the evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    result = repro.train("lr", "w8a", architecture="cpu-par",
+                         strategy="asynchronous", scale="small")
+    print(result.epochs_to(0.01), result.time_to(0.01))
+
+See README.md, DESIGN.md and EXPERIMENTS.md for the full story.
+"""
+
+from . import (
+    asyncsim,
+    datasets,
+    experiments,
+    frameworks,
+    hardware,
+    linalg,
+    models,
+    parallel,
+    sgd,
+    utils,
+)
+from .datasets import DATASET_NAMES, Dataset, load, load_mlp, read_libsvm
+from .hardware import TESLA_K80, XEON_E5_2660V4_DUAL, CpuModel, GpuModel
+from .models import MLP, LinearSVM, LogisticRegression, make_model
+from .sgd import (
+    ARCHITECTURES,
+    STRATEGIES,
+    SGDConfig,
+    TOLERANCES,
+    TrainResult,
+    grid_search,
+    train,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "train",
+    "grid_search",
+    "TrainResult",
+    "SGDConfig",
+    "TOLERANCES",
+    "ARCHITECTURES",
+    "STRATEGIES",
+    "load",
+    "load_mlp",
+    "read_libsvm",
+    "Dataset",
+    "DATASET_NAMES",
+    "make_model",
+    "LogisticRegression",
+    "LinearSVM",
+    "MLP",
+    "CpuModel",
+    "GpuModel",
+    "XEON_E5_2660V4_DUAL",
+    "TESLA_K80",
+    "linalg",
+    "datasets",
+    "models",
+    "hardware",
+    "asyncsim",
+    "parallel",
+    "sgd",
+    "frameworks",
+    "experiments",
+    "utils",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+* ``table1`` / ``table2`` / ``table3`` — regenerate a table;
+* ``fig6`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate a figure;
+* ``train`` — run a single configuration (all three performance axes);
+* ``gridsearch`` — the step-size selection protocol for one cell.
+
+Examples::
+
+    python -m repro table2 --scale small
+    python -m repro train --task svm --dataset news \\
+        --architecture cpu-par --strategy asynchronous --step 0.3
+    python -m repro fig7 --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets import DATASET_NAMES
+from .models import TASK_NAMES
+from .sgd import ARCHITECTURES, STRATEGIES
+
+
+def _add_context_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="small", help="dataset scale (tiny/small/medium)")
+    p.add_argument("--seed", type=int, default=None, help="generation seed")
+    p.add_argument(
+        "--tolerance", type=float, default=0.01, help="convergence tolerance"
+    )
+
+
+def _make_context(args: argparse.Namespace):
+    from .experiments import ExperimentContext
+
+    return ExperimentContext(
+        scale=args.scale,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        sync_max_epochs=3000,
+        async_max_epochs=950,
+    )
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    ctx = _make_context(args)
+    from . import experiments
+
+    runner = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "table3": experiments.run_table3,
+        "fig6": experiments.run_fig6,
+        "fig7": experiments.run_fig7,
+        "fig8": experiments.run_fig8,
+        "fig9": experiments.run_fig9,
+    }[args.command]
+    print(runner(ctx).render())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .sgd import train
+
+    result = train(
+        args.task,
+        args.dataset,
+        architecture=args.architecture,
+        strategy=args.strategy,
+        scale=args.scale,
+        seed=args.seed,
+        step_size=args.step,
+        max_epochs=args.epochs,
+        early_stop_tolerance=args.tolerance,
+    )
+    s = result.summary()
+    width = max(len(k) for k in s)
+    for key, value in s.items():
+        print(f"{key.ljust(width)} : {value}")
+    return 0
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    from .experiments import run_tolerance_ladder
+
+    ctx = _make_context(args)
+    ladder = run_tolerance_ladder(args.task, args.dataset, ctx)
+    print(ladder.render())
+    cross = ladder.crossover()
+    if cross is None:
+        print("\nno crossover: one configuration leads the whole ladder")
+    else:
+        tol, prev, new = cross
+        print(f"\ncrossover at {int(tol * 100)}%: {prev} -> {new}")
+    return 0
+
+
+def _cmd_gridsearch(args: argparse.Namespace) -> int:
+    from .sgd import grid_search
+
+    result = grid_search(
+        args.task,
+        args.dataset,
+        architecture=args.architecture,
+        strategy=args.strategy,
+        tolerance=args.tolerance,
+        scale=args.scale,
+        seed=args.seed,
+        max_epochs=args.epochs,
+    )
+    for point in result.points:
+        status = "diverged" if point.diverged else f"epochs={point.epochs}"
+        print(
+            f"step={point.step_size:<10g} time-to-convergence="
+            f"{point.time_to_convergence:<12.6g} {status}"
+        )
+    if result.any_converged:
+        print(f"\nbest step size: {result.best_step_size}")
+        return 0
+    print("\nno step size converged")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'SGD on Modern Hardware' (IPDPS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        _add_context_args(p)
+        p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("train", help="run one configuration")
+    p.add_argument("--task", choices=TASK_NAMES, default="lr")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="w8a")
+    p.add_argument("--architecture", choices=ARCHITECTURES, default="cpu-par")
+    p.add_argument("--strategy", choices=STRATEGIES, default="asynchronous")
+    p.add_argument("--step", type=float, default=None, help="step size (default: tuned)")
+    p.add_argument("--epochs", type=int, default=None, help="max epochs")
+    _add_context_args(p)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("ladder", help="time-to-convergence at 10/5/2/1%")
+    p.add_argument("--task", choices=TASK_NAMES, default="lr")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="w8a")
+    _add_context_args(p)
+    p.set_defaults(func=_cmd_ladder)
+
+    p = sub.add_parser("gridsearch", help="step-size grid search for one cell")
+    p.add_argument("--task", choices=TASK_NAMES, default="lr")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="w8a")
+    p.add_argument("--architecture", choices=ARCHITECTURES, default="cpu-par")
+    p.add_argument("--strategy", choices=STRATEGIES, default="asynchronous")
+    p.add_argument("--epochs", type=int, default=300)
+    _add_context_args(p)
+    p.set_defaults(func=_cmd_gridsearch)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

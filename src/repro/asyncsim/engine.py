@@ -1,0 +1,195 @@
+"""Deterministic simulation of asynchronous (Hogwild-style) execution.
+
+The statistical effect of Hogwild is that gradients are computed against
+*stale* models: while a thread evaluates its example, other threads'
+updates land.  On x86, 8-byte-aligned stores are atomic, so no update is
+numerically lost — staleness of reads is the whole effect (this is the
+"perturbed iterate" view of Niu et al. [27] and De Sa et al. [9]).
+
+We reproduce it with a round-based schedule: with logical concurrency
+``C``, each round takes the next ``C`` work items (single examples for
+Hogwild, mini-batches for Hogbatch), computes **all** their updates
+against the model as of the start of the round, then applies them in
+program order.  ``C = 1`` degenerates to exact serial incremental SGD
+(Algorithm 3); large ``C`` models a GPU where thousands of lanes read
+the same model generation.  The schedule is deterministic given the
+seed, which the test suite exploits.
+
+Higher concurrency = staler gradients = worse statistical efficiency —
+exactly the paper's observed epoch inflation from cpu-seq to cpu-par to
+gpu in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.base import Matrix, Model
+from ..utils.errors import ConfigurationError, DivergenceError
+
+__all__ = ["AsyncSchedule", "run_async_epoch", "apply_updates"]
+
+
+@dataclass(frozen=True)
+class AsyncSchedule:
+    """Execution schedule of one asynchronous configuration.
+
+    Attributes
+    ----------
+    concurrency:
+        Logical threads whose reads share a model snapshot per round.
+        1 = exact sequential incremental SGD.
+    batch_size:
+        Examples per work item: 1 for Hogwild (LR/SVM), the paper uses
+        512 for Hogbatch (MLP).
+    shuffle:
+        Re-permute the example order each epoch (both the paper's CPU
+        and GPU implementations stream random partitions).
+    pipeline_block:
+        When set (B=1 only), switch from aligned rounds to a
+        *pipelined* delay model: updates are issued in blocks of this
+        size (a GPU warp: 32), and block *j*'s gradients are computed
+        against the model as of block ``j - concurrency/pipeline_block``
+        — the state the warp saw when it was scheduled, with
+        ``concurrency`` updates still in flight.  This removes the
+        round model's implicit mini-batch averaging, which is the
+        correct severity for device-scale concurrency: thousands of
+        lanes never observe each other's current round.  ``None`` keeps
+        the aligned-round model (appropriate for CPU thread counts).
+    """
+
+    concurrency: int
+    batch_size: int = 1
+    shuffle: bool = True
+    pipeline_block: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ConfigurationError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.pipeline_block is not None:
+            if self.batch_size != 1:
+                raise ConfigurationError("pipeline_block requires batch_size == 1")
+            if self.pipeline_block < 1:
+                raise ConfigurationError("pipeline_block must be >= 1")
+
+    @property
+    def pipeline_lag(self) -> int:
+        """Blocks of delay a pipelined schedule imposes (0 = aligned)."""
+        if self.pipeline_block is None:
+            return 0
+        return max(1, -(-self.concurrency // self.pipeline_block))
+
+    def work_items(self, order: np.ndarray) -> list[np.ndarray]:
+        """Split a permuted example order into work items (row arrays)."""
+        n = order.shape[0]
+        return [order[i : i + self.batch_size] for i in range(0, n, self.batch_size)]
+
+
+def apply_updates(params: np.ndarray, updates) -> None:
+    """Apply a round's updates to the shared model, in program order.
+
+    Sparse updates scatter-add into their coordinates (duplicates
+    accumulate — the per-word atomicity of real Hogwild); dense updates
+    add the full delta.
+    """
+    for idx, delta in updates:
+        if idx is None:
+            params += delta
+        else:
+            np.add.at(params, idx, delta)
+
+
+def run_async_epoch(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    params: np.ndarray,
+    step: float,
+    schedule: AsyncSchedule,
+    rng: np.random.Generator,
+) -> None:
+    """Run one asynchronous optimisation epoch in place.
+
+    Raises
+    ------
+    DivergenceError
+        When the parameters become non-finite (the runners translate
+        this into the paper's ``inf`` time-to-convergence entries).
+    """
+    n = X.shape[0]
+    order = rng.permutation(n) if schedule.shuffle else np.arange(n)
+    items = schedule.work_items(order)
+    C = schedule.concurrency
+
+    if schedule.batch_size == 1:
+        serial = getattr(model, "serial_sgd_epoch", None)
+        if C == 1 and serial is not None:
+            serial(X, y, order, params, step)
+            _check_finite(params)
+            return
+        if schedule.pipeline_lag > 1:
+            _run_pipelined(model, X, y, params, step, schedule, order)
+            _check_finite(params)
+            return
+        for start in range(0, len(items), C):
+            rows = np.concatenate(items[start : start + C])
+            updates = model.example_updates(X, y, rows, params, step)
+            apply_updates(params, updates)
+        _check_finite(params)
+        return
+
+    # Batched (Hogbatch) path: each item is one mini-batch.  All of a
+    # round's updates are computed before any is applied, so they all
+    # observe the model as of the round start — no explicit snapshot
+    # copy is needed.
+    for start in range(0, len(items), C):
+        round_items = items[start : start + C]
+        updates = [
+            model.batch_update(X, y, rows, params, step) for rows in round_items
+        ]
+        apply_updates(params, updates)
+    _check_finite(params)
+
+
+def _run_pipelined(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    params: np.ndarray,
+    step: float,
+    schedule: AsyncSchedule,
+    order: np.ndarray,
+) -> None:
+    """Delayed-gradient execution: block j reads the state after block
+    ``j - lag`` (earlier blocks read the epoch-start state).
+
+    A bounded history of post-block snapshots provides the stale views;
+    memory is ``lag * n_params`` floats.
+    """
+    from collections import deque
+
+    block = schedule.pipeline_block
+    assert block is not None
+    lag = schedule.pipeline_lag
+    epoch_start = params.copy()
+    # Post-block states of the last `lag` blocks; at the start of block
+    # j (once the pipe is full) history[0] is the state after block
+    # j - lag — exactly what a warp scheduled `concurrency` updates ago
+    # observed.  Until the pipe fills, the view is the epoch start.
+    history: deque[np.ndarray] = deque(maxlen=lag)
+    n = order.shape[0]
+    for start in range(0, n, block):
+        rows = order[start : start + block]
+        stale = history[0] if len(history) == lag else epoch_start
+        updates = model.example_updates(X, y, rows, stale, step)
+        apply_updates(params, updates)
+        history.append(params.copy())
+
+
+def _check_finite(params: np.ndarray) -> None:
+    if not np.all(np.isfinite(params)):
+        raise DivergenceError("parameters became non-finite during async epoch")

@@ -1,0 +1,203 @@
+"""Dataset profiles: the statistical identity of the paper's Table I.
+
+The paper evaluates on five LIBSVM datasets (covtype, w8a, real-sim,
+rcv1, news20).  We cannot ship those files (and at full scale — rcv1 is
+1.2 GB sparse / 256 GB dense — they exceed a laptop reproduction), so
+each dataset is described by a :class:`DatasetProfile` capturing every
+statistic the paper's phenomena depend on:
+
+* example count ``n_examples`` and dimensionality ``n_features``;
+* the per-example nnz distribution (min / average / max) — its *mean*
+  sets the sparsity axis and its *dispersion* drives the GPU
+  warp-divergence results;
+* the MLP input width and architecture (Table I's last column);
+* the post-feature-grouping MLP sparsity percentage.
+
+:meth:`DatasetProfile.scaled` derives a laptop-sized instance that holds
+density and nnz-dispersion fixed while shrinking row/column counts, so
+every shape-level conclusion transfers (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..utils.errors import ConfigurationError
+from ..utils.units import FLOAT64_BYTES, INT32_BYTES
+
+__all__ = ["DatasetProfile", "PAPER_PROFILES", "DATASET_NAMES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistical description of one experimental dataset.
+
+    ``nnz_min/avg/max`` describe the per-example non-zero counts; for a
+    fully dense dataset all three equal ``n_features``.
+    """
+
+    name: str
+    n_examples: int
+    n_features: int
+    nnz_min: int
+    nnz_avg: float
+    nnz_max: int
+    mlp_arch: tuple[int, ...]
+    mlp_sparsity_pct: float
+    #: True when the canonical representation is dense (covtype).
+    dense: bool = False
+    #: Zipf exponent of the feature-popularity distribution used by the
+    #: synthetic generator (text datasets are heavier-tailed).
+    zipf_exponent: float = 1.1
+    #: Cap on any single feature's document frequency.  A raw Zipf head
+    #: over few features would give absurd frequencies (a feature in
+    #: 70% of examples); real LIBSVM files have flatter heads, and the
+    #: Hogwild coherence behaviour is extremely sensitive to this
+    #: statistic (it sets the hot-line write rate).  ``None`` = no cap.
+    head_freq_cap: float | None = None
+    #: Label noise rate for the generator's ground-truth hyperplane.
+    label_noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_examples <= 0 or self.n_features <= 0:
+            raise ConfigurationError(f"{self.name}: sizes must be positive")
+        if not (0 <= self.nnz_min <= self.nnz_avg <= self.nnz_max <= self.n_features):
+            raise ConfigurationError(
+                f"{self.name}: need 0 <= nnz_min <= nnz_avg <= nnz_max <= d"
+            )
+        if len(self.mlp_arch) < 2:
+            raise ConfigurationError(f"{self.name}: MLP arch needs >= 2 layers")
+
+    # -- Table I derived statistics -----------------------------------------
+
+    @property
+    def sparsity_pct(self) -> float:
+        """nnz_avg / n_features as a percentage (Table I, LR & SVM)."""
+        return 100.0 * self.nnz_avg / self.n_features
+
+    @property
+    def nnz_dispersion(self) -> float:
+        """max/avg row-nnz ratio — the warp-divergence driver."""
+        return self.nnz_max / max(self.nnz_avg, 1e-12)
+
+    @property
+    def total_nnz(self) -> float:
+        """Expected total non-zeros."""
+        return self.n_examples * self.nnz_avg
+
+    @property
+    def sparse_bytes(self) -> float:
+        """Approximate CSR footprint (Table I 'size (s)')."""
+        return self.total_nnz * (FLOAT64_BYTES + INT32_BYTES) + (
+            (self.n_examples + 1) * 8
+        )
+
+    @property
+    def dense_bytes(self) -> float:
+        """Dense float64 footprint (Table I 'size (d)')."""
+        return float(self.n_examples) * self.n_features * FLOAT64_BYTES
+
+    @property
+    def mlp_input_width(self) -> int:
+        """Input-layer width after feature grouping (Table I)."""
+        return self.mlp_arch[0]
+
+    # -- scaling --------------------------------------------------------------
+
+    def scaled(self, max_examples: int, max_features: int) -> "DatasetProfile":
+        """Return a smaller profile preserving density and dispersion.
+
+        Rows are capped at *max_examples*; columns at *max_features*.
+        The nnz triple is rescaled with the column count so the density
+        (sparsity percentage) and the max/avg dispersion ratio are
+        preserved; the MLP input width is capped at the column count.
+        """
+        if max_examples <= 0 or max_features <= 0:
+            raise ConfigurationError("scaled() caps must be positive")
+        n = min(self.n_examples, max_examples)
+        d = min(self.n_features, max_features)
+        if d == self.n_features:
+            nnz_min, nnz_avg, nnz_max = self.nnz_min, self.nnz_avg, self.nnz_max
+        else:
+            ratio = d / self.n_features
+            nnz_avg = max(1.0, self.nnz_avg * ratio)
+            nnz_min = min(int(round(self.nnz_min * ratio)), int(nnz_avg))
+            nnz_max = min(d, max(int(round(nnz_avg * self.nnz_dispersion)), int(nnz_avg) + 1))
+        arch = (min(self.mlp_arch[0], d),) + self.mlp_arch[1:]
+        return replace(
+            self,
+            n_examples=n,
+            n_features=d,
+            nnz_min=int(nnz_min),
+            nnz_avg=float(nnz_avg),
+            nnz_max=int(nnz_max),
+            mlp_arch=arch,
+        )
+
+
+def _p(
+    name: str,
+    n: int,
+    d: int,
+    nnz: tuple[int, float, int],
+    arch: tuple[int, ...],
+    mlp_sparsity: float,
+    dense: bool = False,
+    zipf: float = 1.1,
+    noise: float = 0.05,
+    head_cap: float | None = None,
+) -> DatasetProfile:
+    return DatasetProfile(
+        name=name,
+        n_examples=n,
+        n_features=d,
+        nnz_min=nnz[0],
+        nnz_avg=nnz[1],
+        nnz_max=nnz[2],
+        mlp_arch=arch,
+        mlp_sparsity_pct=mlp_sparsity,
+        dense=dense,
+        zipf_exponent=zipf,
+        head_freq_cap=head_cap,
+        label_noise=noise,
+    )
+
+
+#: The five datasets exactly as described in the paper's Table I.  The
+#: head-frequency caps are calibration constants (DESIGN.md section 6):
+#: they pin the hottest feature's document frequency to values that make
+#: the coherence model land in Table III's measured band.
+PAPER_PROFILES: dict[str, DatasetProfile] = {
+    "covtype": _p(
+        "covtype", 581_012, 54, (54, 54.0, 54), (54, 10, 5, 2), 100.0, dense=True
+    ),
+    "w8a": _p(
+        "w8a", 64_700, 300, (0, 11.64, 114), (300, 10, 5, 2), 3.88,
+        zipf=0.9, head_cap=0.15,
+    ),
+    "real-sim": _p(
+        "real-sim", 72_309, 20_958, (1, 51.0, 3_484), (50, 10, 5, 2), 42.64,
+        head_cap=0.10,
+    ),
+    "rcv1": _p(
+        "rcv1", 677_399, 47_236, (4, 73.0, 1_224), (50, 10, 5, 2), 64.38,
+        head_cap=0.10,
+    ),
+    "news": _p(
+        "news", 19_996, 1_355_191, (1, 455.0, 16_423), (300, 10, 5, 2), 22.50,
+        zipf=1.2, head_cap=0.05,
+    ),
+}
+
+#: Canonical iteration order (matches the row order of Tables I-III).
+DATASET_NAMES: tuple[str, ...] = ("covtype", "w8a", "real-sim", "rcv1", "news")
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a paper dataset profile by name."""
+    try:
+        return PAPER_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(PAPER_PROFILES)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""Fig. 7 — loss vs. time: synchronous GPU vs. asynchronous CPU.
+
+The paper's head-to-head between the two *optimal* configurations: the
+synchronous strategy on its best architecture (GPU) against the
+asynchronous strategy on its best (CPU), same initial model, tuned
+hyper-parameters, loss measured against wall-clock time.  The paper's
+conclusion — and this driver's shape check — is that **neither side
+wins everywhere**: the winner is task- and dataset-dependent, mirroring
+the classic BGD-vs-SGD trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..sgd.runner import TrainResult
+from ..utils.tables import render_line_chart, render_table
+from .common import ExperimentContext
+
+__all__ = ["Fig7Panel", "Fig7Result", "run_fig7"]
+
+
+@dataclass
+class Fig7Panel:
+    """One task/dataset panel of the 15-panel figure."""
+
+    task: str
+    dataset: str
+    sync_gpu: TrainResult
+    async_cpu: TrainResult
+    tolerance: float
+
+    @property
+    def sync_time(self) -> float:
+        """Sync-GPU time to the panel tolerance (sec)."""
+        return self.sync_gpu.time_to(self.tolerance)
+
+    @property
+    def async_time(self) -> float:
+        """Async-CPU time to the panel tolerance (sec)."""
+        return self.async_cpu.time_to(self.tolerance)
+
+    @property
+    def winner(self) -> str:
+        """Which strategy converges first on this panel."""
+        s, a = self.sync_time, self.async_time
+        if math.isinf(s) and math.isinf(a):
+            return "none"
+        return "sync-gpu" if s <= a else "async-cpu"
+
+    def render(self) -> str:
+        """ASCII loss-vs-time chart for the panel."""
+        sx, sy = self.sync_gpu.loss_vs_time()
+        ax, ay = self.async_cpu.loss_vs_time()
+        return render_line_chart(
+            {
+                "sync-gpu": (sx.tolist(), sy.tolist()),
+                f"async-{self.async_cpu.architecture}": (ax.tolist(), ay.tolist()),
+            },
+            title=f"Fig. 7 panel: {self.task} / {self.dataset}",
+            logx=True,
+        )
+
+
+@dataclass
+class Fig7Result:
+    """All panels plus the winners summary."""
+
+    panels: list[Fig7Panel] = field(default_factory=list)
+
+    def panel(self, task: str, dataset: str) -> Fig7Panel:
+        """Look up one panel."""
+        for p in self.panels:
+            if p.task == task and p.dataset == dataset:
+                return p
+        raise KeyError((task, dataset))
+
+    def winners(self) -> dict[tuple[str, str], str]:
+        """(task, dataset) -> winning strategy."""
+        return {(p.task, p.dataset): p.winner for p in self.panels}
+
+    def render(self) -> str:
+        """Winners table (the panel charts are available per panel)."""
+        headers = ["task", "dataset", "sync-gpu t1% (s)", "async-cpu t1% (s)", "winner"]
+        rows = [
+            [p.task, p.dataset, p.sync_time, p.async_time, p.winner]
+            for p in self.panels
+        ]
+        return render_table(
+            headers, rows, title="Fig. 7: synchronous GPU vs asynchronous CPU"
+        )
+
+    # -- paper shape check ---------------------------------------------------
+
+    def winner_is_task_dataset_dependent(self) -> bool:
+        """Paper: 'Synchronous GPU achieves better convergence for
+        certain dataset/task pairs, while asynchronous CPU is better
+        for others' — both strategies must win somewhere."""
+        ws = set(self.winners().values()) - {"none"}
+        return len(ws) >= 2
+
+
+def run_fig7(ctx: ExperimentContext | None = None) -> Fig7Result:
+    """Regenerate the Fig. 7 comparison at the context's scale."""
+    ctx = ctx or ExperimentContext()
+    result = Fig7Result()
+    for task in ctx.tasks:
+        for dataset in ctx.datasets:
+            result.panels.append(
+                Fig7Panel(
+                    task=task,
+                    dataset=dataset,
+                    sync_gpu=ctx.run(task, dataset, "gpu", "synchronous"),
+                    async_cpu=ctx.best_async_cpu(task, dataset),
+                    tolerance=ctx.tolerance,
+                )
+            )
+    return result

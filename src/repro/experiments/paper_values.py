@@ -1,0 +1,104 @@
+"""The paper's published measurements (Tables II and III), as data.
+
+Used by the EXPERIMENTS.md generator and the benchmark reports to put
+our regenerated numbers side by side with the paper's.  Times are in
+the paper's units: seconds for time-to-convergence, milliseconds for
+time-per-iteration; ``inf`` marks the paper's non-convergent entries.
+
+Source: Ma, Rusu, Torres — IPDPS 2019, Tables II and III (1% error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PaperSyncRow", "PaperAsyncRow", "PAPER_TABLE2", "PAPER_TABLE3"]
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class PaperSyncRow:
+    """One Table II row: synchronous SGD at 1% error."""
+
+    task: str
+    dataset: str
+    ttc_gpu_s: float
+    ttc_cpu_seq_s: float
+    ttc_cpu_par_s: float
+    tpi_gpu_ms: float
+    tpi_cpu_seq_ms: float
+    tpi_cpu_par_ms: float
+    epochs: int
+    speedup_seq_over_par: float
+    speedup_par_over_gpu: float
+
+
+@dataclass(frozen=True)
+class PaperAsyncRow:
+    """One Table III row: asynchronous SGD at 1% error."""
+
+    task: str
+    dataset: str
+    ttc_gpu_s: float
+    ttc_cpu_seq_s: float
+    ttc_cpu_par_s: float
+    tpi_gpu_ms: float
+    tpi_cpu_seq_ms: float
+    tpi_cpu_par_ms: float
+    epochs_gpu: float
+    epochs_cpu_seq: float
+    epochs_cpu_par: float
+    speedup_seq_over_par: float
+    ratio_gpu_over_par: float
+
+
+def _t2(task, ds, *v) -> PaperSyncRow:
+    return PaperSyncRow(task, ds, *v)
+
+
+def _t3(task, ds, *v) -> PaperAsyncRow:
+    return PaperAsyncRow(task, ds, *v)
+
+
+#: Table II — synchronous SGD performance to 1% convergence error.
+PAPER_TABLE2: tuple[PaperSyncRow, ...] = (
+    _t2("lr", "covtype", 1.05, 145.11, 1.29, 15.0, 2073.0, 18.42, 70, 112.54, 1.23),
+    _t2("lr", "w8a", 0.37, 148.88, 0.46, 4.87, 1959.0, 6.05, 76, 323.80, 1.24),
+    _t2("lr", "real-sim", 3.10, 1537.90, 7.67, 4.43, 2197.0, 10.96, 700, 200.46, 2.47),
+    _t2("lr", "rcv1", 31.69, 2227.05, 48.06, 44.82, 3150.0, 67.98, 707, 46.34, 1.52),
+    _t2("lr", "news", 0.65, 240.21, 3.68, 6.37, 2355.0, 36.08, 102, 65.27, 5.66),
+    _t2("svm", "covtype", 10.22, 1344.65, 13.50, 14.27, 1878.0, 18.85, 716, 99.63, 1.32),
+    _t2("svm", "w8a", 0.78, 342.85, 0.80, 4.13, 1814.0, 4.23, 189, 428.84, 1.02),
+    _t2("svm", "real-sim", 0.23, 75.59, 0.46, 6.22, 2043.0, 12.43, 37, 164.36, 2.00),
+    _t2("svm", "rcv1", 1.13, 111.61, 2.61, 29.74, 2937.0, 68.69, 38, 42.76, 2.31),
+    _t2("svm", "news", 0.30, 98.42, 1.69, 6.67, 2187.0, 37.56, 45, 58.23, 5.63),
+    _t2("mlp", "covtype", 1498.0, 19398.0, 10009.0, 919.0, 11908.0, 6145.0, 1629, 1.94, 6.68),
+    _t2("mlp", "w8a", 83.57, 909.0, 388.0, 107.0, 1161.0, 495.0, 783, 2.34, 4.64),
+    _t2("mlp", "real-sim", 21.99, 229.0, 93.98, 130.0, 1365.0, 556.0, 168, 2.46, 4.26),
+    _t2("mlp", "rcv1", 48.91, 1146.0, 241.0, 1193.0, 16960.0, 5880.0, 41, 2.89, 4.93),
+    _t2("mlp", "news", 4.03, 35.04, 16.08, 40.23, 357.0, 164.0, 98, 2.17, 4.08),
+)
+
+#: Table III — asynchronous SGD performance to 1% convergence error.
+PAPER_TABLE3: tuple[PaperAsyncRow, ...] = (
+    _t3("lr", "covtype", 1.97, 0.60, 1.51, 15.0, 150.0, 251.0, 135, 4, 6, 0.60, 0.06),
+    _t3("lr", "w8a", 0.22, 0.27, 0.18, 2.8, 15.0, 5.9, 80, 18, 27, 2.54, 0.47),
+    _t3("lr", "real-sim", 2.48, 1.35, 0.52, 27.0, 25.0, 8.1, 92, 54, 61, 3.09, 3.33),
+    _t3("lr", "rcv1", 18.29, 20.37, 4.64, 226.0, 345.0, 71.0, 81, 59, 65, 4.86, 3.18),
+    _t3("lr", "news", INF, 5.47, INF, 65.0, 53.0, 8.7, INF, 103, INF, 6.09, 7.47),
+    _t3("svm", "covtype", 0.96, 0.16, 0.35, 15.0, 53.0, 77.0, 63, 3, 4, 0.69, 0.19),
+    # Table III prints svm/w8a's GPU time-per-iteration as 2.6 ms, which
+    # contradicts the same row's gpu/cpu-par ratio column (1.18 = 6.6/5.6);
+    # we store the value consistent with the ratio.
+    _t3("svm", "w8a", INF, 0.54, 1.89, 6.6, 2.2, 5.6, INF, 239, 333, 0.39, 1.18),
+    _t3("svm", "real-sim", 3.46, 1.82, 1.28, 14.0, 11.0, 7.6, 247, 164, 166, 1.45, 1.84),
+    _t3("svm", "rcv1", 10.25, 22.71, 7.57, 94.0, 216.0, 68.0, 109, 105, 111, 3.18, 1.38),
+    _t3("svm", "news", INF, 20.01, 1.79, 50.0, 47.0, 8.4, INF, 425, 211, 5.60, 5.95),
+    _t3("mlp", "covtype", 2106.0, 6365.0, 288.0, 6056.0, 19058.0, 814.0, 344, 334, 354, 23.42, 7.44),
+    _t3("mlp", "w8a", 495.0, 1284.0, 986.0, 635.0, 1668.0, 92.61, 776, 770, 10635, 18.01, 6.85),
+    _t3("mlp", "real-sim", 140.0, 317.0, 11.14, 715.0, 1925.0, 107.0, 196, 165, 108, 18.04, 6.70),
+    _t3("mlp", "rcv1", 352.0, 724.0, 34.47, 8326.0, 17234.0, 858.0, 42, 42, 40, 20.08, 9.70),
+    _t3("mlp", "news", 18.25, 47.35, 1.12, 234.0, 512.0, 34.04, 78, 91, 32, 15.06, 6.87),
+)

@@ -1,0 +1,185 @@
+"""One-call reproduction: every table/figure plus paper-vs-ours verdicts.
+
+:func:`reproduce_all` runs all the drivers over a shared
+:class:`~repro.experiments.common.ExperimentContext` (so training runs
+are reused across artifacts) and returns a structured
+:class:`ReproductionReport` with the rendered artifacts, the
+side-by-side ratio comparisons against the paper's published values,
+and a named verdict for every shape claim.  The EXPERIMENTS.md
+generator (`scripts/run_experiments.py`) is a thin wrapper around this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.tables import render_table
+from .common import ExperimentContext
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig89 import Fig89Result, run_fig8, run_fig9
+from .paper_values import PAPER_TABLE2, PAPER_TABLE3
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+
+__all__ = ["Verdict", "ReproductionReport", "reproduce_all"]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One named shape claim and whether the regeneration satisfied it."""
+
+    name: str
+    reproduced: bool
+    detail: str = ""
+
+
+@dataclass
+class ReproductionReport:
+    """Everything a full reproduction run produces."""
+
+    table1: Table1Result
+    table2: Table2Result
+    table3: Table3Result
+    fig6: Fig6Result
+    fig7: Fig7Result
+    fig8: Fig89Result
+    fig9: Fig89Result
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    @property
+    def all_reproduced(self) -> bool:
+        """Whether every shape claim held."""
+        return all(v.reproduced for v in self.verdicts)
+
+    def verdict(self, name: str) -> Verdict:
+        """Look up one claim by name."""
+        for v in self.verdicts:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    def comparison_table2(self) -> str:
+        """Paper-vs-ours ratio table for Table II."""
+        rows = []
+        for p in PAPER_TABLE2:
+            try:
+                r = self.table2.row(p.task, p.dataset)
+            except KeyError:
+                continue  # cell outside the regenerated grid
+            rows.append(
+                [
+                    p.task, p.dataset,
+                    p.epochs, r.epochs,
+                    p.speedup_seq_over_par, r.speedup_seq_over_par,
+                    p.speedup_par_over_gpu, r.speedup_par_over_gpu,
+                ]
+            )
+        return render_table(
+            ["task", "dataset", "ep (paper)", "ep (ours)",
+             "seq/par (paper)", "seq/par (ours)",
+             "par/gpu (paper)", "par/gpu (ours)"],
+            rows,
+            title="Table II: paper vs ours",
+        )
+
+    def comparison_table3(self) -> str:
+        """Paper-vs-ours ratio table for Table III."""
+        rows = []
+        for p in PAPER_TABLE3:
+            try:
+                r = self.table3.row(p.task, p.dataset)
+            except KeyError:
+                continue  # cell outside the regenerated grid
+            rows.append(
+                [
+                    p.task, p.dataset,
+                    p.speedup_seq_over_par, r.speedup_seq_over_par,
+                    p.ratio_gpu_over_par, r.ratio_gpu_over_par,
+                ]
+            )
+        return render_table(
+            ["task", "dataset", "seq/par (paper)", "seq/par (ours)",
+             "gpu/par (paper)", "gpu/par (ours)"],
+            rows,
+            title="Table III: paper vs ours",
+        )
+
+    def render_verdicts(self) -> str:
+        """Monospace verdict summary."""
+        rows = [
+            [v.name, "reproduced" if v.reproduced else "NOT reproduced", v.detail]
+            for v in self.verdicts
+        ]
+        return render_table(["claim", "verdict", "detail"], rows, title="Shape claims")
+
+
+def _collect_verdicts(report: ReproductionReport) -> list[Verdict]:
+    t2, t3, f6, f7 = report.table2, report.table3, report.fig6, report.fig7
+    gpu_wins = t3.gpu_wins_only_on_small_dense()
+    out = [
+        Verdict("table1/statistics-in-band", report.table1.all_ok()),
+        Verdict("table2/gpu-always-fastest", t2.gpu_always_fastest()),
+        Verdict("table2/parallel-always-helps", t2.parallel_always_helps()),
+        Verdict(
+            "table2/mlp-speedup-capped-near-2x",
+            t2.mlp_speedup_band(),
+            "ViennaCL GEMM threshold",
+        ),
+        Verdict(
+            "table3/cpu-wins-on-large-sparse",
+            all(ds in ("covtype", "w8a") for _t, ds in gpu_wins),
+            f"GPU wins at {sorted(gpu_wins)} (small-dataset scale artifact)"
+            if gpu_wins
+            else "CPU wins everywhere",
+        ),
+        Verdict(
+            "table3/dense-coherence-storm",
+            t3.dense_parallel_slower_per_iter(),
+            "covtype parallel Hogwild slower per iteration",
+        ),
+        Verdict("table3/hogbatch-parallel-speedup", t3.mlp_parallel_speedup_band()),
+        Verdict(
+            "fig6/speedup-grows-with-width",
+            f6.speedup_grows_with_width() and f6.small_net_speedup_near_two(),
+            f"{f6.points[0].speedup_par_over_seq:.1f}x -> "
+            f"{f6.points[-1].speedup_par_over_seq:.1f}x",
+        ),
+        Verdict(
+            "fig7/no-single-winner",
+            f7.winner_is_task_dataset_dependent(),
+            str(
+                {
+                    w: sum(1 for x in f7.winners().values() if x == w)
+                    for w in ("sync-gpu", "async-cpu")
+                }
+            ),
+        ),
+        Verdict("fig8/ours-not-dominated-by-bidmach", report.fig8.ours_not_dominated()),
+        Verdict(
+            "fig9/superior-to-tensorflow",
+            all(
+                report.fig9.get("mlp", d, "ours-sync")
+                > report.fig9.get("mlp", d, "tensorflow")
+                for d in {e.dataset for e in report.fig9.entries}
+            ),
+        ),
+    ]
+    return out
+
+
+def reproduce_all(ctx: ExperimentContext | None = None) -> ReproductionReport:
+    """Run every table/figure driver and collect the verdicts."""
+    ctx = ctx or ExperimentContext()
+    report = ReproductionReport(
+        table1=run_table1(ctx),
+        table2=run_table2(ctx),
+        table3=run_table3(ctx),
+        fig6=run_fig6(ctx),
+        fig7=run_fig7(ctx),
+        fig8=run_fig8(ctx),
+        fig9=run_fig9(ctx),
+    )
+    report.verdicts = _collect_verdicts(report)
+    return report

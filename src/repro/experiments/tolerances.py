@@ -1,0 +1,137 @@
+"""The tolerance ladder: time to 10% / 5% / 2% / 1% per configuration.
+
+The paper measures every configuration at four tolerances
+(Section IV-A) but prints only the 1% tables; the ladder is where the
+classic batch-vs-incremental structure lives (Bertsekas [3], cited in
+Section III): incremental SGD sprints through the loose tolerances —
+"convergence rate as much as N times faster ... when far from the
+minimum" — while batch gradient descent grinds steadily and can
+overtake near the optimum.  This driver regenerates the full ladder
+and locates the crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..sgd.config import TOLERANCES
+from ..utils.tables import render_table
+from .common import ExperimentContext
+
+__all__ = ["LadderEntry", "ToleranceLadder", "run_tolerance_ladder"]
+
+
+@dataclass(frozen=True)
+class LadderEntry:
+    """One configuration's times across the tolerance ladder."""
+
+    strategy: str
+    architecture: str
+    #: tolerance -> time to convergence (sec; inf when unreached).
+    times: tuple[tuple[float, float], ...]
+
+    def time_at(self, tolerance: float) -> float:
+        """Time to the given tolerance."""
+        for tol, t in self.times:
+            if tol == tolerance:
+                return t
+        raise KeyError(tolerance)
+
+    @property
+    def label(self) -> str:
+        short = {"synchronous": "sync", "asynchronous": "async"}[self.strategy]
+        return f"{short}/{self.architecture}"
+
+
+@dataclass
+class ToleranceLadder:
+    """All configurations' ladders for one (task, dataset)."""
+
+    task: str
+    dataset: str
+    entries: list[LadderEntry] = field(default_factory=list)
+
+    def entry(self, strategy: str, architecture: str) -> LadderEntry:
+        """Look up one configuration."""
+        for e in self.entries:
+            if (e.strategy, e.architecture) == (strategy, architecture):
+                return e
+        raise KeyError((strategy, architecture))
+
+    def winner_at(self, tolerance: float) -> LadderEntry:
+        """The fastest configuration at one tolerance."""
+        finite = [
+            e for e in self.entries if math.isfinite(e.time_at(tolerance))
+        ]
+        if not finite:
+            raise ValueError(f"no configuration reached tolerance {tolerance}")
+        return min(finite, key=lambda e: e.time_at(tolerance))
+
+    def crossover(self) -> tuple[float, str, str] | None:
+        """First ladder step where the winner changes, if any.
+
+        Returns ``(tolerance, previous_winner, new_winner)`` for the
+        loosest tolerance at which the leader differs from the leader
+        at the next-looser tolerance; ``None`` when one configuration
+        leads the whole ladder.
+        """
+        ladder = sorted({tol for e in self.entries for tol, _ in e.times}, reverse=True)
+        prev = None
+        for tol in ladder:
+            try:
+                win = self.winner_at(tol).label
+            except ValueError:
+                continue
+            if prev is not None and win != prev:
+                return (tol, prev, win)
+            prev = win
+        return None
+
+    def render(self) -> str:
+        """Monospace table: configurations x tolerances."""
+        ladder = sorted({tol for e in self.entries for tol, _ in e.times}, reverse=True)
+        headers = ["config"] + [f"t({int(t * 100)}%) s" for t in ladder]
+        rows = [
+            [e.label] + [e.time_at(t) for t in ladder]
+            for e in sorted(self.entries, key=lambda e: e.time_at(ladder[-1]))
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=f"Tolerance ladder: {self.task} on {self.dataset}",
+            precision=3,
+        )
+
+    # -- shape checks -----------------------------------------------------
+
+    def times_monotone_in_tolerance(self) -> bool:
+        """Tighter tolerances can never be reached sooner."""
+        for e in self.entries:
+            ordered = sorted(e.times, key=lambda p: -p[0])  # loose -> tight
+            last = 0.0
+            for _tol, t in ordered:
+                if math.isfinite(t):
+                    if t + 1e-12 < last:
+                        return False
+                    last = t
+        return True
+
+
+def run_tolerance_ladder(
+    task: str,
+    dataset: str,
+    ctx: ExperimentContext | None = None,
+    tolerances: tuple[float, ...] = TOLERANCES,
+) -> ToleranceLadder:
+    """Measure the full ladder for every (strategy, architecture)."""
+    ctx = ctx or ExperimentContext()
+    out = ToleranceLadder(task=task, dataset=dataset)
+    for strategy in ("synchronous", "asynchronous"):
+        for architecture in ("cpu-seq", "cpu-par", "gpu"):
+            run = ctx.run(task, dataset, architecture, strategy)
+            times = tuple((tol, run.time_to(tol)) for tol in tolerances)
+            out.entries.append(
+                LadderEntry(strategy=strategy, architecture=architecture, times=times)
+            )
+    return out

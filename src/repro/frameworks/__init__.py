@@ -1,0 +1,13 @@
+"""Framework baselines: TensorFlow- and BIDMach-like reference executors."""
+
+from .executor import FrameworkExecutor, FrameworkTiming
+from .profiles import BIDMACH_LIKE, OURS, TENSORFLOW_LIKE, FrameworkProfile
+
+__all__ = [
+    "FrameworkProfile",
+    "FrameworkExecutor",
+    "FrameworkTiming",
+    "OURS",
+    "TENSORFLOW_LIKE",
+    "BIDMACH_LIKE",
+]

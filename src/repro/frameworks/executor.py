@@ -1,0 +1,61 @@
+"""Framework executors: cost a synchronous epoch under a framework profile.
+
+The paper's Figs. 8 and 9 plot, per dataset, the *speedup in hardware
+efficiency of GPU over parallel CPU* for each system.  The executor
+reproduces that measurement: it takes the epoch trace of a task (the
+same trace for every system — all of them compute the same gradients)
+and prices it with the framework's CPU and GPU dispositions.
+
+TensorFlow receives **densified** inputs for the MLP comparison ("We
+use a dense format to represent all the transformed sparse datasets
+when executing MLP in TensorFlow", Section IV-A) — the MLP traces are
+already dense post-grouping, so this is the natural trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..linalg.trace import Trace
+from .profiles import FrameworkProfile
+
+__all__ = ["FrameworkExecutor", "FrameworkTiming"]
+
+
+@dataclass(frozen=True)
+class FrameworkTiming:
+    """Per-epoch times of one framework on one workload."""
+
+    framework: str
+    cpu_parallel: float
+    cpu_sequential: float
+    gpu: float
+
+    @property
+    def gpu_speedup_over_cpu(self) -> float:
+        """The quantity Figs. 8/9 plot: parallel-CPU time / GPU time."""
+        return self.cpu_parallel / self.gpu
+
+    @property
+    def cpu_parallel_speedup(self) -> float:
+        """Sequential / parallel CPU time."""
+        return self.cpu_sequential / self.cpu_parallel
+
+
+class FrameworkExecutor:
+    """Costs epoch traces under one framework's kernel disposition."""
+
+    def __init__(self, profile: FrameworkProfile, threads: int | None = None) -> None:
+        self.profile = profile
+        self._cpu = profile.cpu_model()
+        self._gpu = profile.gpu_model()
+        self.threads = threads or self._cpu.spec.max_threads
+
+    def timing(self, trace: Trace, working_set_bytes: float) -> FrameworkTiming:
+        """Price one synchronous epoch on all three backends."""
+        return FrameworkTiming(
+            framework=self.profile.name,
+            cpu_parallel=self._cpu.sync_epoch_time(trace, self.threads, working_set_bytes),
+            cpu_sequential=self._cpu.sync_epoch_time(trace, 1, working_set_bytes),
+            gpu=self._gpu.sync_epoch_time(trace),
+        )

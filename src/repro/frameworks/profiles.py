@@ -1,0 +1,110 @@
+"""Framework kernel-disposition profiles (TensorFlow / BIDMach stand-ins).
+
+The paper compares its GPU-over-parallel-CPU hardware-efficiency
+speedups against TensorFlow 0.12 (MLP, Fig. 9) and BIDMach 2.0.1
+(LR/SVM, Fig. 8) "to validate that our parallel implementations are
+efficient".  The frameworks are used purely as reference points for the
+*speedup ratio*; what differentiates them is how their kernels are
+dispatched:
+
+* **TensorFlow**: Eigen-based CPU kernels parallelise every matrix
+  product (no ViennaCL-style result-size threshold), and graph
+  execution adds per-op dispatch overhead on both devices.  A faster
+  parallel CPU means a *smaller* GPU/CPU speedup — which is exactly
+  why the paper's implementation shows a superior GPU speedup ratio
+  (Fig. 9) while both systems run the same mathematics.
+* **BIDMach**: kernels "optimized for dense data" (Section IV-B); on
+  sparse inputs its GPU kernels pay a much larger non-coalescing
+  penalty than ViennaCL's sparse-specialised ones, deflating the GPU
+  side of the ratio on the sparse datasets — the paper's Fig. 8
+  finding that "the ViennaCL GPU kernels for sparse data are superior
+  to those in BIDMach".
+
+Each profile materialises CPU/GPU models with those dispositions; the
+executors in :mod:`repro.frameworks.executor` cost the *same* epoch
+traces the main implementation produces, so the comparison isolates
+kernel quality exactly as the paper's does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..hardware.gpu import GpuModel
+from ..hardware.cpu import CpuModel
+from ..hardware.spec import TESLA_K80, XEON_E5_2660V4_DUAL, CpuSpec, GpuSpec
+from ..linalg.policy import FULLY_PARALLEL_POLICY, VIENNACL_POLICY, KernelPolicy
+
+__all__ = ["FrameworkProfile", "TENSORFLOW_LIKE", "BIDMACH_LIKE", "OURS"]
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """Kernel disposition of one framework."""
+
+    name: str
+    #: CPU kernel parallelisation policy.
+    cpu_policy: KernelPolicy
+    #: Irregular-access (sparse) bandwidth penalty on the CPU backend.
+    cpu_irregular_penalty: float
+    #: Irregular-access penalty on the GPU backend (coalescing quality).
+    gpu_irregular_penalty: float
+    #: Multiplier on the GPU kernel-launch overhead (graph/session
+    #: dispatch cost on top of the raw CUDA launch).
+    gpu_launch_multiplier: float = 1.0
+    #: Multiplier on the CPU per-kernel fork/join overhead.
+    cpu_overhead_multiplier: float = 1.0
+
+    def cpu_model(self, spec: CpuSpec = XEON_E5_2660V4_DUAL) -> CpuModel:
+        """Instantiate the CPU cost model with this disposition."""
+        if self.cpu_overhead_multiplier != 1.0:
+            spec = replace(
+                spec,
+                parallel_overhead=spec.parallel_overhead
+                * self.cpu_overhead_multiplier,
+            )
+        return CpuModel(
+            spec=spec,
+            policy=self.cpu_policy,
+            irregular_penalty=self.cpu_irregular_penalty,
+        )
+
+    def gpu_model(self, spec: GpuSpec = TESLA_K80) -> GpuModel:
+        """Instantiate the GPU cost model with this disposition."""
+        if self.gpu_launch_multiplier != 1.0:
+            spec = replace(
+                spec,
+                kernel_launch_overhead=spec.kernel_launch_overhead
+                * self.gpu_launch_multiplier,
+            )
+        return GpuModel(spec=spec, irregular_penalty=self.gpu_irregular_penalty)
+
+
+#: The paper's own implementation (ViennaCL dispositions) — the
+#: reference the frameworks are compared against.
+OURS = FrameworkProfile(
+    name="ours",
+    cpu_policy=VIENNACL_POLICY,
+    cpu_irregular_penalty=3.0,
+    gpu_irregular_penalty=1.4,
+)
+
+#: TensorFlow 0.12-like: fully-parallel Eigen CPU kernels, dense-only
+#: data handling, graph-dispatch overhead on every kernel.
+TENSORFLOW_LIKE = FrameworkProfile(
+    name="tensorflow",
+    cpu_policy=FULLY_PARALLEL_POLICY,
+    cpu_irregular_penalty=3.0,
+    gpu_irregular_penalty=1.6,
+    gpu_launch_multiplier=3.0,
+    cpu_overhead_multiplier=3.0,
+)
+
+#: BIDMach 2.0.1-like: excellent dense kernels on both devices, but the
+#: GPU sparse kernels are dense-oriented and coalesce poorly.
+BIDMACH_LIKE = FrameworkProfile(
+    name="bidmach",
+    cpu_policy=VIENNACL_POLICY,
+    cpu_irregular_penalty=2.5,
+    gpu_irregular_penalty=4.5,
+)

@@ -1,0 +1,51 @@
+"""Hardware models: the analytical substitute for the paper's machines.
+
+See DESIGN.md section 2 for the substitution argument.  Public surface:
+
+* :class:`CpuSpec` / :class:`GpuSpec` and the paper's machines
+  (:data:`XEON_E5_2660V4_DUAL`, :data:`TESLA_K80`);
+* :class:`CpuModel` / :class:`GpuModel` — epoch-time estimators for
+  synchronous traces and asynchronous workloads;
+* cache residency and coherence-conflict statistics.
+"""
+
+from .cache import MemLevel, Residency, effective_bandwidth, residency
+from .coherence import (
+    LineStats,
+    dense_line_frequencies,
+    line_frequencies_from_csr,
+    zipf_line_frequencies,
+)
+from .cpu import CpuCostBreakdown, CpuModel
+from .gpu import GpuCostBreakdown, GpuModel
+from .hetero import HeteroModel, HeteroSplit
+from .sweep import ScalingCurve, ScalingPoint, async_scaling, sync_scaling
+from .spec import TESLA_K80, XEON_E5_2660V4_DUAL, CpuSpec, GpuSpec
+from .workload import AsyncWorkload, warp_divergence_factor
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "XEON_E5_2660V4_DUAL",
+    "TESLA_K80",
+    "MemLevel",
+    "Residency",
+    "residency",
+    "effective_bandwidth",
+    "LineStats",
+    "line_frequencies_from_csr",
+    "dense_line_frequencies",
+    "zipf_line_frequencies",
+    "CpuModel",
+    "CpuCostBreakdown",
+    "GpuModel",
+    "HeteroModel",
+    "HeteroSplit",
+    "GpuCostBreakdown",
+    "AsyncWorkload",
+    "ScalingCurve",
+    "ScalingPoint",
+    "sync_scaling",
+    "async_scaling",
+    "warp_divergence_factor",
+]

@@ -1,0 +1,110 @@
+"""Cache-residency model for the NUMA CPU.
+
+The paper's most striking synchronous-CPU result is *super-linear*
+parallel speedup (>400x on w8a, Section IV-B), explained by aggregate
+cache capacity: 56 threads bring 56 private L1/L2 slices, so a dataset
+that spills to L3/DRAM on one core becomes cache-resident when the work
+is partitioned.  This module decides, for a given working-set size and
+thread count, which level of the hierarchy the data effectively streams
+from, and what aggregate bandwidth that level sustains.
+
+The decision uses *aggregate inclusive* capacities: level L holds the
+working set when the sum of all engaged private slices of L plus the
+faster levels reaches the working-set size.  Bandwidth is the per-core
+figure for that level times the effective core count, clipped by the
+shared-resource ceiling (per-socket L3/DRAM bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .spec import CpuSpec
+
+__all__ = ["MemLevel", "Residency", "residency", "effective_bandwidth"]
+
+
+class MemLevel(str, Enum):
+    """Memory-hierarchy levels (CPU side)."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+    DRAM = "DRAM"
+
+
+@dataclass(frozen=True)
+class Residency:
+    """Where a working set effectively lives for a given thread count."""
+
+    level: MemLevel
+    #: Aggregate capacity of the chosen level (bytes).
+    capacity: float
+    #: Aggregate sustainable bandwidth at that level (bytes/sec).
+    bandwidth: float
+
+
+def residency(
+    spec: CpuSpec,
+    working_set_bytes: float,
+    threads: int,
+    streaming: bool = True,
+    hot: bool = False,
+) -> Residency:
+    """Determine the residency level and bandwidth for a working set.
+
+    Parameters
+    ----------
+    spec:
+        CPU description.
+    working_set_bytes:
+        Bytes touched repeatedly across an epoch (dataset + model +
+        intermediates).
+    threads:
+        Worker threads; each engaged core contributes its private
+        slices.
+    streaming:
+        Whether the access pattern is prefetch-friendly.  Affects only
+        the DRAM level: a lone pointer-chasing thread achieves far less
+        than the channel bandwidth.
+    hot:
+        A *hot* working set (the shared model: touched on every step)
+        keeps its L3 residency even for one thread; a cold epoch-long
+        scan from a single core only exploits ``seq_l3_fraction`` of L3
+        (LRU thrash — the paper's "cannot be cached on a single core").
+    """
+    if working_set_bytes < 0:
+        raise ValueError("working_set_bytes must be non-negative")
+    threads = max(1, min(threads, spec.max_threads))
+    cores = min(threads, spec.physical_cores)
+    eff = spec.effective_cores(threads)
+    sockets = spec.sockets_engaged(threads)
+
+    l1_cap = cores * spec.l1_bytes_per_core
+    l2_cap = l1_cap + cores * spec.l2_bytes_per_core
+    l3_share = 1.0 if (threads > 1 or hot) else spec.seq_l3_fraction
+    l3_cap = l2_cap + sockets * spec.l3_bytes_per_socket * l3_share
+
+    if working_set_bytes <= l1_cap:
+        bw = eff * spec.l1_bw_core
+        return Residency(MemLevel.L1, l1_cap, bw)
+    if working_set_bytes <= l2_cap:
+        bw = eff * spec.l2_bw_core
+        return Residency(MemLevel.L2, l2_cap, bw)
+    if working_set_bytes <= l3_cap:
+        bw = min(eff * spec.l3_bw_core, sockets * spec.l3_bw_socket)
+        return Residency(MemLevel.L3, l3_cap, bw)
+    per_core = spec.dram_bw_core_stream if streaming else spec.dram_bw_core_latency
+    bw = min(eff * per_core, sockets * spec.dram_bw_socket)
+    return Residency(MemLevel.DRAM, float(spec.dram_bytes), bw)
+
+
+def effective_bandwidth(
+    spec: CpuSpec,
+    working_set_bytes: float,
+    threads: int,
+    streaming: bool = True,
+) -> float:
+    """Shorthand for ``residency(...).bandwidth``."""
+    return residency(spec, working_set_bytes, threads, streaming).bandwidth

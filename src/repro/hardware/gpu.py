@@ -1,0 +1,235 @@
+"""Analytical GPU performance model.
+
+Costs the same operation traces / async workloads as the CPU model, but
+with GPU mechanics (Section II of the paper):
+
+* **kernel-launch overhead** per primitive — synchronous SGD issues one
+  kernel per blocking linear-algebra call;
+* **throughput roofline** — device flops vs. global-memory bandwidth;
+  skinny GEMMs (tiny inner/record dimensions, the MLP case) cannot fill
+  the SIMD lanes and get a shape-derated efficiency;
+* **memory coalescing** — regular kernels move whole 32-byte
+  transactions; data-dependent gathers pay one transaction per touched
+  line, bounded by the device's random-transaction rate;
+* **warp divergence** — a warp retires with its slowest lane, so sparse
+  Hogwild pays the workload's measured max/mean row-length factor
+  ("This forces threads to stall while longer examples finish",
+  Section IV-B);
+* **atomic contention** — concurrent updates to the same model line
+  serialise; warp-shuffle pre-aggregation removes intra-warp conflicts
+  (the optimisation the paper adopts) but inter-warp contention
+  remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..linalg.trace import OpKind, OpRecord, Trace
+from .spec import TESLA_K80, GpuSpec
+from .workload import AsyncWorkload
+
+__all__ = ["GpuModel", "GpuCostBreakdown"]
+
+#: Fraction of peak device flops per op kind.
+_KIND_EFFICIENCY: dict[OpKind, float] = {
+    OpKind.GEMM: 0.70,
+    OpKind.GEMV: 0.50,
+    OpKind.ELEMENTWISE: 0.60,
+    OpKind.REDUCTION: 0.45,
+    OpKind.SPMV: 0.40,
+    OpKind.GATHER_SCATTER: 0.15,
+    OpKind.DATA_LOAD: 0.60,
+}
+
+#: Bandwidth deflation for ViennaCL's (well-optimised) sparse GPU
+#: kernels — far milder than the CPU's irregular penalty, which is why
+#: the synchronous GPU/CPU gap *grows* with sparsity (Table II, news).
+_GPU_IRREGULAR_PENALTY = 1.4
+
+#: Efficiency of the per-example Hogwild kernel's scalar lane code.
+_ASYNC_LANE_EFFICIENCY = 0.12
+
+#: Service time of one serialised atomic line update (sec); with
+#: warp-shuffle the per-warp aggregate is one such update per line.
+_ATOMIC_SERVICE = 200e-9
+
+
+@dataclass(frozen=True)
+class GpuCostBreakdown:
+    """Per-epoch GPU cost decomposition."""
+
+    total: float
+    compute: float
+    memory: float
+    launch: float
+    atomics: float = 0.0
+
+
+class GpuModel:
+    """Cost model for one GPU device."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_K80,
+        irregular_penalty: float = _GPU_IRREGULAR_PENALTY,
+        warp_shuffle: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.irregular_penalty = float(irregular_penalty)
+        #: The paper's intra-warp conflict-reduction optimisation; the
+        #: ablation benchmark flips this off.
+        self.warp_shuffle = bool(warp_shuffle)
+
+    # -- synchronous (trace-driven) ------------------------------------------
+
+    def _gemm_shape_efficiency(self, op: OpRecord) -> float:
+        """Derate skinny matrix products (tiny inner or output columns).
+
+        From the recorded quantities: rows = parallel_tasks, columns =
+        result_size / rows, inner = flops / (2 * result_size).  A GEMM
+        with cols*inner below ~1k elements cannot keep the SIMD units
+        busy — exactly the paper's MLP layers (at most 10 output
+        columns).
+        """
+        rows = max(1, op.parallel_tasks)
+        cols = max(1.0, op.result_size / rows)
+        inner = max(1.0, op.flops / max(2.0 * op.result_size, 1.0))
+        fill = min(1.0, cols / 24.0) * min(1.0, inner / 64.0)
+        return max(0.03, fill)
+
+    def op_time(self, op: OpRecord) -> float:
+        """Launch + roofline time of one kernel."""
+        spec = self.spec
+        eff = _KIND_EFFICIENCY[op.kind]
+        if op.kind is OpKind.GEMM:
+            eff *= self._gemm_shape_efficiency(op)
+        elif op.kind in (OpKind.ELEMENTWISE, OpKind.REDUCTION, OpKind.GATHER_SCATTER):
+            # 1-D kernels with few work items cannot occupy the lanes.
+            # Matrix kernels (GEMM/GEMV/SPMV) expose 2-D / split-K
+            # parallelism and are handled by the shape derate instead.
+            occupancy = min(1.0, op.parallel_tasks / (2.0 * spec.total_cores))
+            eff *= max(occupancy, 0.05)
+        compute = op.flops / (spec.dp_flops * eff) if op.flops else 0.0
+        penalty = self.irregular_penalty if op.irregular else 1.0
+        memory = (
+            op.bytes_total * penalty / (spec.global_bw * spec.stream_efficiency)
+            if op.bytes_total
+            else 0.0
+        )
+        return spec.kernel_launch_overhead + max(compute, memory)
+
+    def sync_epoch_time(self, trace: Trace) -> float:
+        """Time of one synchronous epoch on the GPU."""
+        return sum(self.op_time(op) for op in trace)
+
+    def sync_breakdown(self, trace: Trace) -> GpuCostBreakdown:
+        """Compute/memory/launch decomposition of a synchronous epoch."""
+        compute = memory = launch = 0.0
+        for op in trace:
+            spec = self.spec
+            eff = _KIND_EFFICIENCY[op.kind]
+            if op.kind is OpKind.GEMM:
+                eff *= self._gemm_shape_efficiency(op)
+            elif op.kind in (
+                OpKind.ELEMENTWISE,
+                OpKind.REDUCTION,
+                OpKind.GATHER_SCATTER,
+            ):
+                occupancy = min(1.0, op.parallel_tasks / (2.0 * spec.total_cores))
+                eff *= max(occupancy, 0.05)
+            compute += op.flops / (spec.dp_flops * eff) if op.flops else 0.0
+            pen = self.irregular_penalty if op.irregular else 1.0
+            memory += (
+                op.bytes_total * pen / (spec.global_bw * spec.stream_efficiency)
+                if op.bytes_total
+                else 0.0
+            )
+            launch += spec.kernel_launch_overhead
+        return GpuCostBreakdown(
+            total=self.sync_epoch_time(trace),
+            compute=compute,
+            memory=memory,
+            launch=launch,
+        )
+
+    # -- asynchronous (workload-driven) ----------------------------------------
+
+    @property
+    def async_concurrency(self) -> int:
+        """Logical threads updating the model concurrently.
+
+        For per-example Hogwild this is every resident thread; for
+        Hogbatch the device runs one batch-kernel at a time (the
+        paper: "there is only one kernel performing on the GPU at any
+        given time instant"), so concurrency degenerates to ~1 batch.
+        """
+        return self.spec.concurrent_threads
+
+    def async_epoch_time(self, w: AsyncWorkload) -> float:
+        """Time of one asynchronous epoch on the GPU."""
+        return self.async_breakdown(w).total
+
+    def async_breakdown(self, w: AsyncWorkload) -> GpuCostBreakdown:
+        spec = self.spec
+        if w.examples_per_step > 1:
+            # Hogbatch: a stream of small synchronous-style kernels, one
+            # batch at a time.  ~10 primitive launches per batch step
+            # (forward GEMMs, activations, backward GEMMs, update).
+            launches_per_step = 10.0
+            occupancy = min(1.0, w.examples_per_step / (2.0 * spec.total_cores))
+            eff = 0.5 * max(occupancy, 0.05)
+            compute = w.flops_per_step / (spec.dp_flops * eff)
+            mem_bytes = w.data_bytes_per_step + 3.0 * w.model_bytes
+            memory = mem_bytes / (spec.global_bw * spec.stream_efficiency)
+            per_step = launches_per_step * spec.kernel_launch_overhead + max(
+                compute, memory
+            )
+            n = w.steps_per_epoch
+            return GpuCostBreakdown(
+                total=n * per_step,
+                compute=n * compute,
+                memory=n * memory,
+                launch=n * launches_per_step * spec.kernel_launch_overhead,
+            )
+
+        # Per-example Hogwild kernel: one thread per example.
+        n = w.steps_per_epoch
+        divergence = w.warp_divergence
+        compute = (
+            n
+            * w.flops_per_step
+            * divergence
+            / (spec.dp_flops * _ASYNC_LANE_EFFICIENCY)
+        )
+        if w.dense_update:
+            # Contiguous per-thread rows and model lines coalesce well.
+            data_tx = w.data_bytes_per_step / spec.transaction_bytes
+            model_tx = 2.0 * w.model_lines_per_step
+            tx_per_step = data_tx + model_tx
+        else:
+            # Each touched line is its own transaction; the warp stalls
+            # until the slowest lane's gather list is resolved.
+            data_tx = w.data_bytes_per_step / spec.transaction_bytes
+            model_tx = 2.0 * w.model_lines_per_step * divergence
+            tx_per_step = data_tx + model_tx
+        memory = n * tx_per_step / spec.random_transaction_rate
+
+        # Hot-line atomic floor: the most popular model line receives
+        # ``n * f_max`` atomic updates per epoch; with warp-shuffle the
+        # 32 lanes of a warp pre-aggregate in registers, cutting the
+        # serialised update count by the warp width (the optimisation
+        # the paper adopts; ablated in benchmarks).
+        f_max = w.line_stats.max_frequency
+        updates_to_hot_line = n * f_max
+        if self.warp_shuffle:
+            updates_to_hot_line /= spec.warp_size
+        atomics_floor = updates_to_hot_line * _ATOMIC_SERVICE
+        total = max(compute, memory, atomics_floor) + spec.kernel_launch_overhead
+        return GpuCostBreakdown(
+            total=total,
+            compute=compute,
+            memory=memory,
+            launch=spec.kernel_launch_overhead,
+            atomics=atomics_floor,
+        )

@@ -1,0 +1,138 @@
+"""Heterogeneous CPU+GPU execution — the paper's future-work question.
+
+The conclusions propose to "study heterogeneous solutions that integrate
+concurrent processing across CPU and GPU" (Section VI).  This module
+answers the synchronous half of that question with the same analytical
+machinery as the single-device models: each data-parallel kernel is
+split between the CPU and the GPU, both work concurrently on their
+share, and the partial results are merged over PCIe.
+
+For one kernel with CPU time ``Tc`` (all work on CPU) and GPU time
+``Tg`` (all on GPU, launch included), giving the CPU a fraction ``f``
+costs ``max(f*Tc, (1-f)*Tg)``; the optimum ``f* = Tg / (Tc + Tg)``
+balances the devices at the harmonic combination
+``Tc*Tg / (Tc + Tg)`` — strictly better than either device alone,
+by at most 2x (when the devices are evenly matched) and by almost
+nothing when one dominates.  On top of the per-kernel time the epoch
+pays a merge: the model/partial-gradient transfer over PCIe plus a
+fixed synchronisation cost per kernel.
+
+The headline the model produces (and the benchmark asserts): CPU+GPU
+helps exactly where the paper found the devices closest — dense
+low-dimensional LR/SVM (Table II gaps of 1.2-1.6x) — and is pointless
+for the MLP, where the serial ViennaCL weight-gradient products leave
+the CPU far behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..linalg.trace import OpRecord, Trace
+from .cpu import CpuModel
+from .gpu import GpuModel
+
+__all__ = ["HeteroModel", "HeteroSplit"]
+
+#: PCIe 3.0 x16 effective bandwidth (the K80's link), bytes/sec.
+_PCIE_BANDWIDTH = 12e9
+
+#: Fixed host/device synchronisation cost per jointly executed kernel.
+_SYNC_OVERHEAD = 15e-6
+
+
+@dataclass(frozen=True)
+class HeteroSplit:
+    """The optimal split of one kernel across the two devices."""
+
+    cpu_fraction: float
+    time: float
+    cpu_alone: float
+    gpu_alone: float
+
+    @property
+    def beneficial(self) -> bool:
+        """Whether splitting beat running on the better single device."""
+        return self.time < min(self.cpu_alone, self.gpu_alone)
+
+
+class HeteroModel:
+    """Cost model for concurrent CPU+GPU synchronous execution."""
+
+    def __init__(
+        self,
+        cpu: CpuModel | None = None,
+        gpu: GpuModel | None = None,
+        threads: int | None = None,
+        pcie_bandwidth: float = _PCIE_BANDWIDTH,
+        sync_overhead: float = _SYNC_OVERHEAD,
+    ) -> None:
+        self.cpu = cpu or CpuModel()
+        self.gpu = gpu or GpuModel()
+        self.threads = threads or self.cpu.spec.max_threads
+        self.pcie_bandwidth = float(pcie_bandwidth)
+        self.sync_overhead = float(sync_overhead)
+
+    # -- per-kernel splitting ---------------------------------------------
+
+    def split_op(self, op: OpRecord, working_set_bytes: float) -> HeteroSplit:
+        """Optimal CPU share of one kernel and the resulting time.
+
+        Kernels without example-level parallelism (``parallel_tasks``
+        of 1, e.g. the serial ViennaCL GEMMs) cannot be split; they run
+        wholly on the faster device.
+        """
+        cpu_alone = self.cpu.op_time(op, self.threads, working_set_bytes)
+        gpu_alone = self.gpu.op_time(op)
+        if op.parallel_tasks < 2:
+            best = min(cpu_alone, gpu_alone)
+            return HeteroSplit(
+                cpu_fraction=1.0 if cpu_alone <= gpu_alone else 0.0,
+                time=best,
+                cpu_alone=cpu_alone,
+                gpu_alone=gpu_alone,
+            )
+        f_star = gpu_alone / (cpu_alone + gpu_alone)
+        combined = (cpu_alone * gpu_alone) / (cpu_alone + gpu_alone)
+        combined += self.sync_overhead
+        if combined >= min(cpu_alone, gpu_alone):
+            # Splitting overhead ate the benefit: stay on one device.
+            best = min(cpu_alone, gpu_alone)
+            return HeteroSplit(
+                cpu_fraction=1.0 if cpu_alone <= gpu_alone else 0.0,
+                time=best,
+                cpu_alone=cpu_alone,
+                gpu_alone=gpu_alone,
+            )
+        return HeteroSplit(
+            cpu_fraction=f_star,
+            time=combined,
+            cpu_alone=cpu_alone,
+            gpu_alone=gpu_alone,
+        )
+
+    # -- epoch costing --------------------------------------------------------
+
+    def merge_cost(self, model_bytes: float) -> float:
+        """Per-epoch cost of merging the devices' partial gradients.
+
+        The smaller device's partial gradient crosses PCIe once in each
+        direction (gather + broadcast of the updated model).
+        """
+        return 2.0 * model_bytes / self.pcie_bandwidth
+
+    def sync_epoch_time(
+        self, trace: Trace, working_set_bytes: float, model_bytes: float
+    ) -> float:
+        """Time of one synchronous epoch with both devices cooperating."""
+        total = sum(self.split_op(op, working_set_bytes).time for op in trace)
+        return total + self.merge_cost(model_bytes)
+
+    def speedup_over_best_single(
+        self, trace: Trace, working_set_bytes: float, model_bytes: float
+    ) -> float:
+        """How much the pairing beats the better single device (>= ~1)."""
+        hetero = self.sync_epoch_time(trace, working_set_bytes, model_bytes)
+        cpu_time = self.cpu.sync_epoch_time(trace, self.threads, working_set_bytes)
+        gpu_time = self.gpu.sync_epoch_time(trace)
+        return min(cpu_time, gpu_time) / hetero

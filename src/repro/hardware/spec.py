@@ -1,0 +1,200 @@
+"""Hardware specifications for the paper's two machines (Fig. 5).
+
+The analytical performance models are parameterised by these dataclasses
+so alternative machines can be described; the shipped constants are the
+paper's dual-socket Xeon E5-2660 v4 NUMA box and one card of an NVIDIA
+Tesla K80.  Throughput/latency numbers not listed in the paper's Fig. 5
+are taken from the vendors' public specifications for those parts:
+
+* E5-2660 v4: 14 cores/socket, 2.0 GHz base, AVX2 (4-wide FMA -> 16
+  DP flop/cycle/core peak), 32+32 KB L1, 256 KB L2 per core, 35 MB L3
+  per socket, 4-channel DDR4-2400 -> 76.8 GB/s per socket.
+* Tesla K80 (per card): 13 SMX, 192 cores each (2496), 875 MHz boost,
+  1/3 DP ratio -> ~1.45 TFLOP/s DP, 1.5 MB L2, 12 GB GDDR5 at 240 GB/s,
+  32-wide warps.
+
+Only *ratios* of model outputs are compared to the paper (who wins and
+by what factor); absolute times are indicative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.units import GiB, KiB, MiB
+
+__all__ = ["CpuSpec", "GpuSpec", "XEON_E5_2660V4_DUAL", "TESLA_K80"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A NUMA multi-core CPU (Section II, Fig. 3).
+
+    Bandwidths are per-core sustained figures for data resident at each
+    level; `dram_bw_core_stream` vs `dram_bw_core_latency` distinguish
+    prefetch-friendly streaming from pointer-chasing access, which is
+    what makes a single core unable to saturate the memory channels.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    clock_ghz: float
+    #: Peak double-precision flops per cycle per core (SIMD FMA width).
+    dp_flops_per_cycle: float
+    #: Fraction of peak achievable when code is not SIMD-vectorisable.
+    scalar_efficiency: float
+    l1_bytes_per_core: int
+    l2_bytes_per_core: int
+    l3_bytes_per_socket: int
+    dram_bytes: int
+    #: Sustained per-core bandwidth by residency level (bytes/sec).
+    l1_bw_core: float
+    l2_bw_core: float
+    l3_bw_core: float
+    dram_bw_core_stream: float
+    dram_bw_core_latency: float
+    #: Per-socket DRAM bandwidth ceiling (bytes/sec).
+    dram_bw_socket: float
+    #: L3 bandwidth ceiling per socket (shared resource).
+    l3_bw_socket: float
+    #: Latency of a coherence miss (line owned by another core), sec.
+    coherence_latency: float
+    #: Latency of an L1 hit, sec (baseline for model-access costing).
+    l1_latency: float
+    #: Fork/join overhead per parallel kernel launch, sec.
+    parallel_overhead: float
+    #: Round-trip time of one cache-line ownership transfer under
+    #: write contention (request + invalidate + data), sec.  Writes to
+    #: a hot line serialise at this rate — the Hogwild throughput floor.
+    line_transfer_time: float = 500e-9
+    #: Fixed per-update-step instruction overhead of the incremental
+    #: SGD loop (indexing, branches, loop control), sec.
+    async_step_overhead: float = 150e-9
+    #: Throughput efficiency of hyper-threads beyond physical cores.
+    smt_efficiency: float = 0.45
+    #: Effective fraction of the shared L3 a *single* sequential scan
+    #: can exploit.  One core streaming the whole dataset thrashes the
+    #: LRU sets and gets little epoch-to-epoch reuse — the paper's
+    #: "none of these datasets can be cached on a single core for
+    #: sequential execution" (Section IV-B).  Partitioned parallel
+    #: scans use the full capacity.
+    seq_l3_fraction: float = 0.10
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        """Total hardware threads (the paper uses all 56)."""
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def core_flops(self) -> float:
+        """Peak DP flops/sec of one core."""
+        return self.clock_ghz * 1e9 * self.dp_flops_per_cycle
+
+    def effective_cores(self, threads: int) -> float:
+        """Throughput-equivalent cores for a given thread count.
+
+        Hyper-threads share execution units, so threads beyond the
+        physical core count contribute only ``smt_efficiency`` each.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        threads = min(threads, self.max_threads)
+        phys = min(threads, self.physical_cores)
+        extra = threads - phys
+        return phys + self.smt_efficiency * extra
+
+    def sockets_engaged(self, threads: int) -> int:
+        """Sockets hosting at least one thread (scatter placement)."""
+        if threads <= 1:
+            return 1
+        return min(self.sockets, max(1, -(-threads // self.cores_per_socket)))
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA GPU (Section II, Fig. 4)."""
+
+    name: str
+    multiprocessors: int
+    cores_per_mp: int
+    warp_size: int
+    clock_ghz: float
+    #: Peak DP flops/sec of the whole device.
+    dp_flops: float
+    l2_bytes: int
+    global_bytes: int
+    #: Global-memory bandwidth, bytes/sec.
+    global_bw: float
+    #: Time to issue one kernel launch from the host, sec.
+    kernel_launch_overhead: float
+    #: Size of one memory transaction (coalesced segment), bytes.
+    transaction_bytes: int
+    #: Sustained random-transaction rate (memory-level parallelism
+    #: limited), transactions/sec — governs sparse gathers.
+    random_transaction_rate: float
+    #: Resident warps the scheduler keeps in flight device-wide.
+    warps_in_flight: int
+    #: Throughput efficiency for batched dense kernels (GEMM-like).
+    gemm_efficiency: float = 0.70
+    #: Throughput efficiency for bandwidth-bound elementwise kernels.
+    stream_efficiency: float = 0.80
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores."""
+        return self.multiprocessors * self.cores_per_mp
+
+    @property
+    def concurrent_threads(self) -> int:
+        """Threads resident simultaneously (warps x warp size)."""
+        return self.warps_in_flight * self.warp_size
+
+
+#: The paper's CPU: 2x Intel Xeon E5-2660 v4 (56 hardware threads).
+XEON_E5_2660V4_DUAL = CpuSpec(
+    name="2x Xeon E5-2660 v4",
+    sockets=2,
+    cores_per_socket=14,
+    threads_per_core=2,
+    clock_ghz=2.0,
+    dp_flops_per_cycle=16.0,
+    scalar_efficiency=0.12,
+    l1_bytes_per_core=32 * KiB,
+    l2_bytes_per_core=256 * KiB,
+    l3_bytes_per_socket=35 * MiB,
+    dram_bytes=256 * GiB,
+    l1_bw_core=120e9,
+    l2_bw_core=55e9,
+    l3_bw_core=25e9,
+    dram_bw_core_stream=12e9,
+    dram_bw_core_latency=4e9,
+    dram_bw_socket=76.8e9,
+    l3_bw_socket=110e9,
+    coherence_latency=120e-9,
+    l1_latency=1.5e-9,
+    parallel_overhead=4e-6,
+)
+
+#: One card of the paper's NVIDIA Tesla K80.
+TESLA_K80 = GpuSpec(
+    name="Tesla K80 (one card)",
+    multiprocessors=13,
+    cores_per_mp=192,
+    warp_size=32,
+    clock_ghz=0.875,
+    dp_flops=1.45e12,
+    l2_bytes=1536 * KiB,
+    global_bytes=12 * GiB,
+    global_bw=240e9,
+    kernel_launch_overhead=8e-6,
+    transaction_bytes=32,
+    random_transaction_rate=1.6e9,
+    warps_in_flight=13 * 16,
+)

@@ -1,0 +1,117 @@
+"""Thread-count scalability sweeps over the CPU model.
+
+The paper reports two CPU points per configuration (sequential and all
+56 threads); its extended report and the DimmWitted study it builds on
+[40] examine the full scaling curve.  These helpers produce that curve
+from the same traces/workloads: time per epoch and speedup at every
+thread count, with the interesting structure annotated — where the
+cache-residency regime shifts, where the coherence floor bites, where
+hyper-threading stops paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..linalg.trace import Trace
+from .cpu import CpuModel
+from .workload import AsyncWorkload
+
+__all__ = ["ScalingPoint", "ScalingCurve", "sync_scaling", "async_scaling"]
+
+#: Default sweep: powers of two up to the machine plus the exact limits.
+_DEFAULT_THREADS = (1, 2, 4, 8, 14, 28, 42, 56)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One thread count's epoch time and derived efficiencies."""
+
+    threads: int
+    time: float
+    speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per thread (1.0 = perfect linear scaling)."""
+        return self.speedup / self.threads
+
+
+@dataclass
+class ScalingCurve:
+    """A full thread sweep for one configuration."""
+
+    label: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> ScalingPoint:
+        """The fastest point of the sweep."""
+        return min(self.points, key=lambda p: p.time)
+
+    @property
+    def peak_speedup(self) -> float:
+        """Largest speedup over sequential reached anywhere."""
+        return max(p.speedup for p in self.points)
+
+    @property
+    def superlinear(self) -> bool:
+        """Whether any point beats perfect linear scaling."""
+        return any(p.speedup > p.threads for p in self.points)
+
+    @property
+    def scaling_collapses(self) -> bool:
+        """Whether adding threads ever made things *slower* than serial
+        (the dense-Hogwild coherence signature)."""
+        return any(p.speedup < 1.0 for p in self.points[1:])
+
+    def monotone_through(self) -> int:
+        """Largest thread count up to which speedup is non-decreasing."""
+        last = 0.0
+        best_t = self.points[0].threads if self.points else 0
+        for p in self.points:
+            if p.speedup + 1e-12 < last:
+                break
+            last = p.speedup
+            best_t = p.threads
+        return best_t
+
+
+def sync_scaling(
+    cpu: CpuModel,
+    trace: Trace,
+    working_set_bytes: float,
+    threads: tuple[int, ...] = _DEFAULT_THREADS,
+    label: str = "sync",
+) -> ScalingCurve:
+    """Sweep a synchronous epoch trace over thread counts."""
+    if not threads or threads[0] != 1:
+        raise ValueError("the sweep must start at 1 thread (the baseline)")
+    base = cpu.sync_epoch_time(trace, 1, working_set_bytes)
+    curve = ScalingCurve(label=label)
+    for t in threads:
+        time = cpu.sync_epoch_time(trace, t, working_set_bytes)
+        curve.points.append(ScalingPoint(threads=t, time=time, speedup=base / time))
+    return curve
+
+
+def async_scaling(
+    cpu: CpuModel,
+    workload: AsyncWorkload,
+    threads: tuple[int, ...] = _DEFAULT_THREADS,
+    label: str = "async",
+) -> ScalingCurve:
+    """Sweep an asynchronous workload over thread counts.
+
+    Only the hardware axis is swept; the statistical effect of the
+    growing concurrency is the asynchrony simulator's job (the two are
+    composed by the experiment drivers).
+    """
+    if not threads or threads[0] != 1:
+        raise ValueError("the sweep must start at 1 thread (the baseline)")
+    base = cpu.async_epoch_time(workload, 1)
+    curve = ScalingCurve(label=label)
+    for t in threads:
+        time = cpu.async_epoch_time(workload, t)
+        curve.points.append(ScalingPoint(threads=t, time=time, speedup=base / time))
+    return curve

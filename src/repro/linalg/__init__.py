@@ -1,0 +1,52 @@
+"""Linear-algebra substrate: CSR matrices, instrumented primitives, traces.
+
+This package plays the role ViennaCL plays in the paper: a single
+primitive API covering dense and sparse operands, with the backend
+(sequential CPU / parallel CPU / GPU) chosen when a recorded operation
+trace is *costed* by :mod:`repro.hardware`, not when it is executed.
+"""
+
+from .csr import CSRMatrix
+from .dense_ops import (
+    axpy,
+    elementwise,
+    gemm,
+    gemv,
+    outer_update,
+    reduce_mean,
+    reduce_sum,
+    rgemv,
+    scale,
+    sigmoid,
+)
+from .policy import FULLY_PARALLEL_POLICY, VIENNACL_POLICY, KernelPolicy
+from .sparse_ops import csr_matmat, csr_matvec, csr_rmatvec, gather, scatter_add
+from .trace import OpKind, OpRecord, Trace, record_op, recording, trace_paused
+
+__all__ = [
+    "CSRMatrix",
+    "gemm",
+    "gemv",
+    "rgemv",
+    "axpy",
+    "scale",
+    "elementwise",
+    "sigmoid",
+    "reduce_sum",
+    "reduce_mean",
+    "outer_update",
+    "csr_matvec",
+    "csr_rmatvec",
+    "csr_matmat",
+    "gather",
+    "scatter_add",
+    "OpKind",
+    "OpRecord",
+    "Trace",
+    "record_op",
+    "recording",
+    "trace_paused",
+    "KernelPolicy",
+    "VIENNACL_POLICY",
+    "FULLY_PARALLEL_POLICY",
+]

@@ -1,0 +1,205 @@
+"""Low-rank matrix factorisation — the paper's future-work model.
+
+The paper's conclusions name matrix factorisation as the next model to
+study (Section VI), and its related work highlights cuMF SGD [38] as
+the *only* GPU Hogwild kernel in the literature — MF is the natural
+Hogwild workload: each observed rating ``(u, i, r)`` updates only the
+2k coordinates of user factor ``U_u`` and item factor ``V_i``, so
+conflicts are governed by user/item popularity exactly like feature
+popularity governs the linear tasks.
+
+Encoding: an example is a CSR row with two non-zeros — column ``u``
+(user id) and column ``n_users + i`` (item id) — and label ``r`` (the
+rating).  The parameter vector flattens ``U`` (n_users x k) followed by
+``V`` (n_items x k).  This reuses the whole asynchronous machinery:
+``example_updates`` returns the 2k touched coordinates (the Hogwild
+conflict footprint), ``serial_sgd_epoch`` provides the exact B=1 fast
+path, and the coherence model consumes the realised user/item
+popularities.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..linalg.csr import CSRMatrix
+from ..utils.errors import ConfigurationError
+from .base import ExampleUpdate, Matrix, Model
+
+__all__ = ["MatrixFactorization"]
+
+
+class MatrixFactorization(Model):
+    """Biased-free low-rank MF trained on squared error.
+
+    Parameters
+    ----------
+    n_users, n_items:
+        Dimensions of the rating matrix.
+    rank:
+        Latent dimensionality k.
+    l2:
+        Optional per-factor ridge coefficient.
+    """
+
+    task = "mf"
+
+    def __init__(self, n_users: int, n_items: int, rank: int = 8, l2: float = 0.0) -> None:
+        if n_users < 1 or n_items < 1:
+            raise ConfigurationError("n_users and n_items must be positive")
+        if rank < 1:
+            raise ConfigurationError(f"rank must be >= 1, got {rank}")
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be non-negative, got {l2}")
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.rank = int(rank)
+        self.l2 = float(l2)
+
+    # -- parameter layout -----------------------------------------------------
+
+    @property
+    def n_params(self) -> int:
+        return (self.n_users + self.n_items) * self.rank
+
+    def factors(self, params: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(U, V)`` views into the flat vector."""
+        self._check_params(params)
+        split = self.n_users * self.rank
+        U = params[:split].reshape(self.n_users, self.rank)
+        V = params[split:].reshape(self.n_items, self.rank)
+        return U, V
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        """Scaled Gaussian factors (predictions start near zero)."""
+        return rng.standard_normal(self.n_params) / np.sqrt(self.rank)
+
+    # -- example decoding -------------------------------------------------------
+
+    def _decode(self, X: Matrix, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(users, items) of the given example rows."""
+        if not isinstance(X, CSRMatrix):
+            raise ConfigurationError("MatrixFactorization expects the CSR encoding")
+        if X.n_cols != self.n_users + self.n_items:
+            raise ConfigurationError(
+                f"encoding width {X.n_cols} != n_users+n_items "
+                f"({self.n_users + self.n_items})"
+            )
+        users = np.empty(rows.size, dtype=np.int64)
+        items = np.empty(rows.size, dtype=np.int64)
+        for k, r in enumerate(rows):
+            idx, _ = X.row(int(r))
+            if idx.size != 2 or idx[0] >= self.n_users or idx[1] < self.n_users:
+                raise ConfigurationError(
+                    f"example {int(r)} is not a (user, item) pair"
+                )
+            users[k] = idx[0]
+            items[k] = idx[1] - self.n_users
+        return users, items
+
+    # -- Model interface ----------------------------------------------------------
+
+    def predict_margin(self, X: Matrix, params: np.ndarray) -> np.ndarray:
+        """Predicted ratings (the 'margin' here is the prediction)."""
+        rows = np.arange(X.shape[0])
+        users, items = self._decode(X, rows)
+        U, V = self.factors(params)
+        return np.einsum("ij,ij->i", U[users], V[items])
+
+    def loss(self, X: Matrix, y: np.ndarray, params: np.ndarray) -> float:
+        """Mean squared error over the observed ratings."""
+        pred = self.predict_margin(X, params)
+        value = float(np.mean((pred - y) ** 2))
+        if self.l2:
+            value += self.l2 * float(params @ params) / X.shape[0]
+        return value
+
+    def full_grad(self, X: Matrix, y: np.ndarray, params: np.ndarray) -> np.ndarray:
+        return self.minibatch_grad(X, y, np.arange(X.shape[0]), params)
+
+    def minibatch_grad(
+        self, X: Matrix, y: np.ndarray, rows: np.ndarray, params: np.ndarray
+    ) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        users, items = self._decode(X, rows)
+        U, V = self.factors(params)
+        Uu, Vi = U[users], V[items]
+        err = np.einsum("ij,ij->i", Uu, Vi) - np.asarray(y)[rows]
+        scale = 2.0 / max(1, rows.size)
+        grad = np.zeros(self.n_params)
+        Ug, Vg = self.factors(grad)
+        np.add.at(Ug, users, scale * err[:, None] * Vi)
+        np.add.at(Vg, items, scale * err[:, None] * Uu)
+        if self.l2:
+            grad += (2.0 * self.l2 / max(1, rows.size)) * params
+        return grad
+
+    def example_updates(
+        self,
+        X: Matrix,
+        y: np.ndarray,
+        rows: np.ndarray,
+        params: np.ndarray,
+        step: float,
+    ) -> Sequence[ExampleUpdate]:
+        """Per-rating deltas touching the 2k coordinates of (U_u, V_i)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        users, items = self._decode(X, rows)
+        U, V = self.factors(params)
+        Uu, Vi = U[users], V[items]
+        err = np.einsum("ij,ij->i", Uu, Vi) - np.asarray(y)[rows]
+        k = self.rank
+        split = self.n_users * k
+        out: list[ExampleUpdate] = []
+        for t in range(rows.size):
+            u, i = users[t], items[t]
+            du = -step * 2.0 * err[t] * Vi[t]
+            dv = -step * 2.0 * err[t] * Uu[t]
+            if self.l2:
+                du = du - step * 2.0 * self.l2 * Uu[t]
+                dv = dv - step * 2.0 * self.l2 * Vi[t]
+            idx = np.concatenate(
+                [np.arange(u * k, (u + 1) * k), split + np.arange(i * k, (i + 1) * k)]
+            )
+            out.append((idx, np.concatenate([du, dv])))
+        return out
+
+    def serial_sgd_epoch(
+        self,
+        X: Matrix,
+        y: np.ndarray,
+        order: np.ndarray,
+        params: np.ndarray,
+        step: float,
+    ) -> None:
+        """Exact sequential SGD pass over the ratings, in place."""
+        users, items = self._decode(X, np.asarray(order, dtype=np.int64))
+        U, V = self.factors(params)
+        l2 = self.l2
+        yy = np.asarray(y)
+        for t, r in enumerate(order):
+            u, i = users[t], items[t]
+            uu = U[u].copy()
+            vv = V[i]
+            err = float(uu @ vv) - yy[r]
+            U[u] -= step * 2.0 * (err * vv + l2 * uu)
+            V[i] -= step * 2.0 * (err * uu + l2 * vv)
+
+    def flops_per_example(self, avg_nnz: float) -> float:
+        """Dot + two axpys over the rank: ~6k flops per rating."""
+        del avg_nnz
+        return 6.0 * self.rank + 10.0
+
+    def rmse(self, X: Matrix, y: np.ndarray, params: np.ndarray) -> float:
+        """Root-mean-squared rating error (the MF literature's metric)."""
+        return float(np.sqrt(self.loss(X, y, params) if not self.l2 else np.mean(
+            (self.predict_margin(X, params) - y) ** 2
+        )))
+
+    def _check_params(self, params: np.ndarray) -> None:
+        if params.shape != (self.n_params,):
+            raise ConfigurationError(
+                f"params shape {params.shape} != ({self.n_params},)"
+            )

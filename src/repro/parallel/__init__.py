@@ -1,0 +1,5 @@
+"""Real (non-simulated) parallel execution backends."""
+
+from .hogwild import HogwildReport, hogwild_train
+
+__all__ = ["HogwildReport", "hogwild_train"]

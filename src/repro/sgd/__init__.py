@@ -1,0 +1,67 @@
+"""SGD core: synchronous/asynchronous runners, convergence, grid search."""
+
+from .asynchronous import AsyncResult, train_asynchronous
+from .averaging import AveragingResult, AveragingSchedule, train_model_averaging
+from .config import STEP_GRID, TOLERANCES, SGDConfig
+from .convergence import LossCurve, tolerance_threshold
+from .gridsearch import GridPoint, GridSearchResult, grid_search
+from .lowprec import (
+    BFloat16Quantizer,
+    FixedPointQuantizer,
+    Float32Quantizer,
+    Quantizer,
+    make_quantizer,
+    run_quantized_epoch,
+)
+from .reference import clear_reference_cache, reference_loss
+from .serialize import load_results, result_from_dict, result_to_dict, save_results
+from .runner import (
+    ARCHITECTURES,
+    DEFAULT_STEP_SIZES,
+    STRATEGIES,
+    TrainResult,
+    default_step_size,
+    full_scale_factor,
+    train,
+    working_set_bytes,
+)
+from .synchronous import SyncResult, train_minibatch_synchronous, train_synchronous
+
+__all__ = [
+    "SGDConfig",
+    "TOLERANCES",
+    "STEP_GRID",
+    "LossCurve",
+    "tolerance_threshold",
+    "SyncResult",
+    "train_synchronous",
+    "train_minibatch_synchronous",
+    "AsyncResult",
+    "train_asynchronous",
+    "AveragingSchedule",
+    "AveragingResult",
+    "train_model_averaging",
+    "reference_loss",
+    "clear_reference_cache",
+    "TrainResult",
+    "train",
+    "default_step_size",
+    "DEFAULT_STEP_SIZES",
+    "ARCHITECTURES",
+    "STRATEGIES",
+    "full_scale_factor",
+    "working_set_bytes",
+    "grid_search",
+    "GridPoint",
+    "GridSearchResult",
+    "Quantizer",
+    "Float32Quantizer",
+    "BFloat16Quantizer",
+    "FixedPointQuantizer",
+    "make_quantizer",
+    "run_quantized_epoch",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+]

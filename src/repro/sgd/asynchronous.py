@@ -1,0 +1,88 @@
+"""Asynchronous SGD runners: Hogwild (B=1) and Hogbatch (B=512).
+
+The numerical optimisation runs through the deterministic asynchrony
+simulator (:mod:`repro.asyncsim`), so the recorded loss curve *is* the
+statistical efficiency of the configuration — including the degradation
+caused by stale reads at high concurrency and the outright divergence
+the paper marks as infinity in Table III.
+
+Configuration-to-concurrency mapping (see :mod:`repro.sgd.runner`):
+
+* ``cpu-seq``  — concurrency 1 (exact Algorithm 3 / serial mini-batch);
+* ``cpu-par``  — concurrency = the machine's hardware threads (56);
+* ``gpu``      — Hogwild: the device's resident thread count (thousands;
+  capped at the dataset size); Hogbatch: ~1 concurrent batch kernel
+  ("there is only one kernel performing on the GPU at any given time
+  instant", Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..asyncsim import AsyncSchedule, run_async_epoch
+from ..linalg import trace_paused
+from ..models.base import Matrix, Model
+from ..utils.errors import DivergenceError
+from ..utils.rng import derive_rng
+from .config import SGDConfig
+from .convergence import LossCurve
+
+__all__ = ["AsyncResult", "train_asynchronous"]
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of an asynchronous training run."""
+
+    curve: LossCurve
+    params: np.ndarray
+    schedule: AsyncSchedule
+    #: True when the optimisation blew up (non-finite iterates/loss).
+    diverged: bool
+
+
+def train_asynchronous(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    config: SGDConfig,
+    schedule: AsyncSchedule,
+) -> AsyncResult:
+    """Run asynchronous SGD under the given interleaving schedule.
+
+    A :class:`~repro.utils.errors.DivergenceError` from the engine and
+    runaway losses are both recorded as divergence (infinite final
+    loss) rather than raised, matching how the paper reports
+    non-convergent configurations.
+    """
+    params = np.array(init_params, dtype=np.float64, copy=True)
+    rng = derive_rng(config.seed, f"async/c{schedule.concurrency}/b{schedule.batch_size}")
+    curve = LossCurve()
+    with trace_paused():
+        initial = model.loss(X, y, params)
+    curve.record(0, initial)
+    limit = config.divergence_factor * max(initial, 1e-12)
+
+    diverged = False
+    for epoch in range(1, config.max_epochs + 1):
+        try:
+            run_async_epoch(model, X, y, params, config.step_size, schedule, rng)
+        except DivergenceError:
+            curve.record(epoch, float("inf"))
+            diverged = True
+            break
+        if epoch % config.eval_every == 0 or epoch == config.max_epochs:
+            with trace_paused():
+                loss = model.loss(X, y, params)
+            if not np.isfinite(loss) or loss > limit:
+                curve.record(epoch, float("inf"))
+                diverged = True
+                break
+            curve.record(epoch, loss)
+            if config.target_loss is not None and loss <= config.target_loss:
+                break
+    return AsyncResult(curve=curve, params=params, schedule=schedule, diverged=diverged)

@@ -1,0 +1,76 @@
+"""Configuration objects for the SGD runners.
+
+The names follow the paper's hyper-parameter inventory (Algorithm 1):
+step size alpha, batch size B, number of epochs t, plus the convergence
+tolerances of the evaluation protocol (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.errors import ConfigurationError
+from ..utils.rng import DEFAULT_SEED
+
+__all__ = ["SGDConfig", "TOLERANCES", "STEP_GRID"]
+
+#: Convergence tolerances of the paper's protocol: within 10%, 5%, 2%
+#: and 1% of the optimal loss.
+TOLERANCES: tuple[float, ...] = (0.10, 0.05, 0.02, 0.01)
+
+#: The paper's step-size grid: "griding its range in powers of 10,
+#: e.g., {1e-6, 1e-5, ..., 1e2}" (Section IV-A).  We extend the top of
+#: the range by one decade: our synthetic rows are L2-normalised, which
+#: shrinks full-batch mean gradients relative to the paper's raw
+#: features, so the batch-GD family's best steps land around 1e2-1e3.
+STEP_GRID: tuple[float, ...] = tuple(10.0**e for e in range(-6, 4))
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyper-parameters of one training run.
+
+    Attributes
+    ----------
+    step_size:
+        Constant learning rate alpha.
+    max_epochs:
+        Upper bound on optimisation epochs (the paper runs "at least 10
+        iterations" and to convergence; we bound the loop).
+    batch_size:
+        Mini-batch size for batched runners; ignored by the pure
+        incremental/batch variants.
+    seed:
+        Seed for shuffles (model initialisation is supplied externally
+        so all configurations share it, per the paper's methodology).
+    target_loss:
+        Early-stop threshold: stop once the epoch loss reaches it.
+        ``None`` runs all epochs.
+    eval_every:
+        Record the loss every this many epochs (1 = the paper's
+        protocol; loss evaluation is never counted in iteration time).
+    divergence_factor:
+        Abort when the loss exceeds ``divergence_factor * initial_loss``
+        (runaway step sizes are reported as non-convergent rather than
+        looping to max_epochs).
+    """
+
+    step_size: float
+    max_epochs: int = 200
+    batch_size: int = 512
+    seed: int = DEFAULT_SEED
+    target_loss: float | None = None
+    eval_every: int = 1
+    divergence_factor: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.step_size > 0:
+            raise ConfigurationError(f"step_size must be > 0, got {self.step_size}")
+        if self.max_epochs < 1:
+            raise ConfigurationError(f"max_epochs must be >= 1, got {self.max_epochs}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.eval_every < 1:
+            raise ConfigurationError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.divergence_factor <= 1:
+            raise ConfigurationError("divergence_factor must exceed 1")

@@ -1,0 +1,122 @@
+"""Loss curves and the paper's convergence-measurement protocol.
+
+Statistical efficiency is "the number of passes over the data until a
+certain value of the loss function is achieved, e.g., within 1% of the
+minimum" (Section I); the evaluation measures the thresholds 10%, 5%,
+2% and 1% against the optimal loss (Section IV-A).  :class:`LossCurve`
+stores the per-epoch losses of a run and answers the threshold queries;
+:func:`tolerance_threshold` converts a tolerance into an absolute loss
+target given the reference optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["LossCurve", "tolerance_threshold"]
+
+
+def tolerance_threshold(
+    optimal_loss: float, tolerance: float, initial_loss: float | None = None
+) -> float:
+    """Absolute loss target for "within *tolerance* of the optimum".
+
+    Defined on the optimality **gap**: a run converged to tolerance t
+    when it closed all but a t-fraction of the distance from the shared
+    initial loss to the optimum,
+
+        threshold = optimal + t * (initial - optimal).
+
+    For the paper's real datasets (noisy, optimum well above zero) this
+    is practically indistinguishable from the relative band
+    ``optimal * (1 + t)``; for near-separable synthetic data (optimum
+    ~ 0, where a relative band degenerates to "reach exactly 0") it
+    stays well-defined.  When the initial loss is unknown the relative
+    definition is used.
+    """
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be > 0, got {tolerance}")
+    if optimal_loss < -1e-9:
+        raise ConfigurationError(
+            f"optimal_loss must be non-negative for the paper's losses, got {optimal_loss}"
+        )
+    if initial_loss is not None and initial_loss > optimal_loss:
+        return optimal_loss + tolerance * (initial_loss - optimal_loss)
+    return optimal_loss * (1.0 + tolerance)
+
+
+@dataclass
+class LossCurve:
+    """Losses of one run: ``losses[k]`` is the loss after ``epochs[k]`` passes.
+
+    Index 0 always holds the initial loss (epoch 0).  A run that
+    diverged stores ``math.inf`` as its final entry.
+    """
+
+    epochs: list[int] = field(default_factory=lambda: [])
+    losses: list[float] = field(default_factory=lambda: [])
+
+    def record(self, epoch: int, loss: float) -> None:
+        """Append one measurement (epochs must be strictly increasing)."""
+        if self.epochs and epoch <= self.epochs[-1]:
+            raise ConfigurationError(
+                f"epochs must increase: got {epoch} after {self.epochs[-1]}"
+            )
+        self.epochs.append(int(epoch))
+        self.losses.append(float(loss))
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss before any update."""
+        if not self.losses:
+            raise ConfigurationError("empty curve")
+        return self.losses[0]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss after the last recorded epoch."""
+        if not self.losses:
+            raise ConfigurationError("empty curve")
+        return self.losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        """Minimum loss observed along the run."""
+        finite = [v for v in self.losses if math.isfinite(v)]
+        return min(finite) if finite else math.inf
+
+    @property
+    def diverged(self) -> bool:
+        """True when the run ended in a non-finite loss."""
+        return not math.isfinite(self.final_loss)
+
+    def epochs_to(self, threshold: float) -> int | None:
+        """First epoch count at which the loss reached *threshold*.
+
+        Returns ``None`` when the run never got there — the paper's
+        infinity entries in Table III.
+        """
+        for e, v in zip(self.epochs, self.losses):
+            if math.isfinite(v) and v <= threshold:
+                return e
+        return None
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(epochs, losses) as NumPy arrays for plotting/analysis."""
+        return np.asarray(self.epochs, dtype=np.int64), np.asarray(
+            self.losses, dtype=np.float64
+        )
+
+    def time_axis(self, time_per_iter: float) -> np.ndarray:
+        """Wall-clock axis: epoch counts times the modelled epoch time."""
+        if time_per_iter < 0:
+            raise ConfigurationError("time_per_iter must be non-negative")
+        return np.asarray(self.epochs, dtype=np.float64) * time_per_iter
+
+    def __len__(self) -> int:
+        return len(self.epochs)

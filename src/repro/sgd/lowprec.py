@@ -1,0 +1,160 @@
+"""Low-precision model representations for asynchronous SGD (Buckwild).
+
+The paper's future work ("we plan to consider low-precision formats in
+data representation", Section VI) points at Buckwild [9] — Hogwild with
+the model and updates held at reduced precision.  This module provides
+the quantisation substrate and a quantised wrapper around the
+asynchronous engine:
+
+* :class:`Quantizer` implementations for float32, bfloat16 and
+  fixed-point with stochastic rounding (the variant De Sa et al. show
+  preserves convergence in expectation);
+* :func:`run_quantized_epoch` — one asynchronous epoch in which the
+  shared model is re-quantised after every round, emulating a model
+  stored at the reduced width.
+
+The statistical cost of precision is then measurable with the same
+convergence protocol as every other configuration; the ablation
+benchmark sweeps the width.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..asyncsim import AsyncSchedule
+from ..asyncsim.engine import apply_updates
+from ..models.base import Matrix, Model
+from ..utils.errors import ConfigurationError, DivergenceError
+
+__all__ = [
+    "Quantizer",
+    "Float32Quantizer",
+    "BFloat16Quantizer",
+    "FixedPointQuantizer",
+    "make_quantizer",
+    "run_quantized_epoch",
+]
+
+
+class Quantizer(abc.ABC):
+    """Maps a float64 model vector onto a reduced representation."""
+
+    #: Bits of the stored representation (reporting only).
+    bits: int = 64
+
+    @abc.abstractmethod
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Return *values* rounded to the representable grid (float64)."""
+
+    def name(self) -> str:
+        """Human-readable identifier."""
+        return type(self).__name__
+
+
+class Float32Quantizer(Quantizer):
+    """IEEE float32 storage (the common GPU single-precision mode)."""
+
+    bits = 32
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return values.astype(np.float32).astype(np.float64)
+
+
+class BFloat16Quantizer(Quantizer):
+    """bfloat16 storage: float32 with the bottom 16 mantissa bits cut.
+
+    Implemented by masking the float32 bit pattern (round-to-nearest by
+    adding half an ulp first), which is exactly the hardware behaviour.
+    """
+
+    bits = 16
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        as32 = values.astype(np.float32)
+        bits = as32.view(np.uint32)
+        # round to nearest even on the truncated mantissa
+        rounded = (bits + 0x7FFF + ((bits >> 16) & 1)).astype(np.uint32)
+        out = (rounded & np.uint32(0xFFFF0000)).view(np.float32)
+        return out.astype(np.float64)
+
+
+class FixedPointQuantizer(Quantizer):
+    """Fixed-point grid with stochastic rounding (Buckwild's format).
+
+    Values are clipped to ``[-clip, clip]`` and rounded to the nearest
+    grid points with probability proportional to proximity, making the
+    quantisation unbiased: ``E[Q(x)] = x`` inside the range — the
+    property Buckwild's convergence analysis rests on.
+    """
+
+    def __init__(self, bits: int = 8, clip: float = 8.0, seed: int = 0) -> None:
+        if bits < 2 or bits > 32:
+            raise ConfigurationError(f"bits must be in [2, 32], got {bits}")
+        if clip <= 0:
+            raise ConfigurationError(f"clip must be positive, got {clip}")
+        self.bits = int(bits)
+        self.clip = float(clip)
+        self._scale = (2 ** (bits - 1) - 1) / clip
+        self._rng = np.random.default_rng(seed)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        scaled = np.clip(values, -self.clip, self.clip) * self._scale
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        up = self._rng.random(values.shape) < frac
+        return (floor + up) / self._scale
+
+    def name(self) -> str:
+        return f"fixed{self.bits}"
+
+
+def make_quantizer(kind: str, **kwargs) -> Quantizer:
+    """Factory: ``"float32"`` | ``"bfloat16"`` | ``"fixed8"`` | ``"fixed4"``..."""
+    if kind == "float32":
+        return Float32Quantizer()
+    if kind == "bfloat16":
+        return BFloat16Quantizer()
+    if kind.startswith("fixed"):
+        try:
+            bits = int(kind.removeprefix("fixed"))
+        except ValueError:
+            raise ConfigurationError(f"bad fixed-point spec {kind!r}") from None
+        return FixedPointQuantizer(bits=bits, **kwargs)
+    raise ConfigurationError(
+        f"unknown quantizer {kind!r}; use float32 | bfloat16 | fixedN"
+    )
+
+
+def run_quantized_epoch(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    params: np.ndarray,
+    step: float,
+    schedule: AsyncSchedule,
+    rng: np.random.Generator,
+    quantizer: Quantizer,
+) -> None:
+    """One asynchronous epoch with the shared model stored quantised.
+
+    Gradients are computed against the quantised model; after each
+    round's updates land, the model is re-quantised — so *params*
+    always holds representable values, exactly as a reduced-width
+    shared array would.
+    """
+    if schedule.batch_size != 1:
+        raise ConfigurationError("quantized epochs support batch_size == 1 only")
+    n = X.shape[0]
+    order = rng.permutation(n) if schedule.shuffle else np.arange(n)
+    C = schedule.concurrency
+    params[:] = quantizer.quantize(params)
+    for start in range(0, n, C):
+        rows = order[start : start + C]
+        updates = model.example_updates(X, y, rows, params, step)
+        apply_updates(params, updates)
+        params[:] = quantizer.quantize(params)
+    if not np.all(np.isfinite(params)):
+        raise DivergenceError("parameters became non-finite during quantized epoch")

@@ -1,0 +1,174 @@
+"""Reference (optimal) losses for the convergence protocol.
+
+The paper obtains the optimal loss "by running all configurations for a
+full day and choosing the lowest" (Section IV-A) — i.e. the reference
+is the best loss its own SGD family can reach with a generous budget,
+*not* the mathematical infimum.  That distinction matters: on
+high-dimensional near-separable data the infimum can be (near) zero and
+no constant-step configuration would ever get "within 1%" of it.
+
+We reproduce the protocol with a bounded budget: the reference for a
+(model, dataset) pair is the best loss observed across
+
+1. serial incremental SGD (Algorithm 3) at several constant steps —
+   the asynchronous family's sequential anchor;
+2. full-batch gradient descent (Algorithm 2) at several constant
+   steps — the synchronous family's anchor;
+3. a decaying-step (1/sqrt t) serial polish continued from the best
+   constant-step iterate — standing in for the long tail of a full-day
+   run.
+
+Results are cached in-process and optionally on disk (set
+``REPRO_CACHE_DIR``); the experiment harness reruns the same keys
+constantly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..asyncsim import AsyncSchedule
+from ..asyncsim.engine import run_async_epoch
+from ..models.base import Matrix, Model
+from ..models.mlp import MLP
+from ..utils.errors import DivergenceError
+from ..utils.rng import derive_rng
+
+__all__ = ["reference_loss", "clear_reference_cache"]
+
+_CACHE: dict[str, float] = {}
+
+#: Constant steps probed by the incremental-SGD family.
+_SGD_STEPS = (0.3, 1.0, 3.0)
+#: Constant steps probed by the batch-GD family (its mean gradients are
+#: ~N times smaller per update, hence the larger values).
+_BGD_STEPS = (10.0, 100.0, 1000.0)
+_SGD_EPOCHS = 150
+_BGD_EPOCHS = 800
+_POLISH_EPOCHS = 80
+
+
+def _disk_cache_path() -> Path | None:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        return None
+    return Path(root) / "reference_losses.json"
+
+
+def _load_disk_cache() -> dict[str, float]:
+    path = _disk_cache_path()
+    if path is None or not path.exists():
+        return {}
+    try:
+        return {str(k): float(v) for k, v in json.loads(path.read_text()).items()}
+    except (ValueError, OSError):
+        return {}
+
+
+def _store_disk_cache(cache: dict[str, float]) -> None:
+    path = _disk_cache_path()
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(cache, indent=1, sort_keys=True))
+
+
+def clear_reference_cache() -> None:
+    """Drop the in-process reference-loss cache (tests)."""
+    _CACHE.clear()
+
+
+def reference_loss(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    key: str | None = None,
+) -> float:
+    """Best loss achieved by the budgeted configuration sweep.
+
+    Parameters
+    ----------
+    key:
+        Cache key (e.g. ``"lr/w8a/3000x300/seed0"``); ``None`` bypasses
+        caching.
+    """
+    if key is not None:
+        if key in _CACHE:
+            return _CACHE[key]
+        disk = _load_disk_cache()
+        if key in disk:
+            _CACHE[key] = disk[key]
+            return disk[key]
+
+    value = _protocol_reference(model, X, y, init_params)
+    if key is not None:
+        _CACHE[key] = value
+        disk = _load_disk_cache()
+        disk[key] = value
+        _store_disk_cache(disk)
+    return value
+
+
+def _protocol_reference(
+    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray
+) -> float:
+    best = model.loss(X, y, w0)
+    best_w = np.array(w0, copy=True)
+    batch = 1 if not isinstance(model, MLP) else 256
+    schedule = AsyncSchedule(concurrency=1, batch_size=batch)
+
+    # Family 1: constant-step serial incremental / mini-batch SGD.
+    for step in _SGD_STEPS:
+        w = np.array(w0, copy=True)
+        rng = derive_rng(0, f"reference/sgd/{step}")
+        for _epoch in range(_SGD_EPOCHS):
+            try:
+                run_async_epoch(model, X, y, w, step, schedule, rng)
+            except DivergenceError:
+                break
+            loss = model.loss(X, y, w)
+            if not math.isfinite(loss):
+                break
+            if loss < best:
+                best, best_w = loss, w.copy()
+
+    # Family 2: constant-step full-batch gradient descent.
+    for step in _BGD_STEPS:
+        w = np.array(w0, copy=True)
+        stale = 0
+        prev = math.inf
+        for _epoch in range(_BGD_EPOCHS):
+            grad = model.full_grad(X, y, w)
+            w -= step * grad
+            if not np.all(np.isfinite(w)):
+                break
+            loss = model.loss(X, y, w)
+            if not math.isfinite(loss):
+                break
+            if loss < best:
+                best, best_w = loss, w.copy()
+            # Early exit when the run has plateaued well above the best.
+            stale = stale + 1 if loss >= prev - 1e-12 else 0
+            if stale > 50 and loss > best * 1.5 + 1e-9:
+                break
+            prev = loss
+
+    # Family 3: decaying-step polish from the best iterate found.
+    w = best_w
+    rng = derive_rng(0, "reference/polish")
+    for t in range(1, _POLISH_EPOCHS + 1):
+        try:
+            run_async_epoch(model, X, y, w, 1.0 / math.sqrt(t + 3), schedule, rng)
+        except DivergenceError:
+            break
+        loss = model.loss(X, y, w)
+        if not math.isfinite(loss):
+            break
+        best = min(best, loss)
+    return float(best)

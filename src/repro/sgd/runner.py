@@ -1,0 +1,430 @@
+"""The top-level training facade: one call per paper configuration.
+
+:func:`train` reproduces one cell of the paper's exploratory space
+(Fig. 1 x Fig. 2): pick a task (lr / svm / mlp), a dataset, a computing
+architecture (cpu-seq / cpu-par / gpu) and an update strategy
+(synchronous / asynchronous), and receive a :class:`TrainResult` whose
+
+* **statistical efficiency** (loss curve, epochs to tolerance) was
+  *measured* by running the real numerical optimisation — through the
+  asynchrony simulator for Hogwild/Hogbatch configurations;
+* **hardware efficiency** (time per iteration) was produced by the
+  analytical machine models at the paper's full dataset scale;
+* **time to convergence** is their product, the paper's third axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..asyncsim import AsyncSchedule
+from ..datasets import PAPER_PROFILES, load, load_mlp
+from ..datasets.synthetic import Dataset
+from ..hardware import AsyncWorkload, CpuModel, GpuModel
+from ..linalg.trace import Trace
+from ..models import Model, make_model
+from ..utils.errors import ConfigurationError
+from ..utils.rng import DEFAULT_SEED, derive_rng
+from ..utils.units import FLOAT64_BYTES, INT32_BYTES
+from .config import TOLERANCES, SGDConfig
+from .convergence import LossCurve, tolerance_threshold
+from .asynchronous import train_asynchronous
+from .reference import reference_loss
+from .synchronous import train_synchronous
+
+__all__ = [
+    "ARCHITECTURES",
+    "STRATEGIES",
+    "TrainResult",
+    "train",
+    "default_step_size",
+    "DEFAULT_STEP_SIZES",
+]
+
+ARCHITECTURES: tuple[str, ...] = ("cpu-seq", "cpu-par", "gpu")
+STRATEGIES: tuple[str, ...] = ("synchronous", "asynchronous")
+
+#: Step sizes selected by the grid-search protocol (Section IV-A) at the
+#: default benchmark scale; :func:`repro.sgd.gridsearch.grid_search`
+#: regenerates them.  Keys: (task, strategy).  Values may be refined per
+#: dataset via the nested dict.
+DEFAULT_STEP_SIZES: dict[tuple[str, str], float] = {
+    ("lr", "synchronous"): 10.0,
+    ("svm", "synchronous"): 1.0,
+    ("mlp", "synchronous"): 1.0,
+    ("lr", "asynchronous"): 0.1,
+    ("svm", "asynchronous"): 0.01,
+    ("mlp", "asynchronous"): 0.1,
+}
+
+
+def default_step_size(task: str, strategy: str) -> float:
+    """The tuned default step size for a (task, strategy) pair."""
+    try:
+        return DEFAULT_STEP_SIZES[(task, strategy)]
+    except KeyError:
+        raise ConfigurationError(
+            f"no default step size for task={task!r}, strategy={strategy!r}"
+        ) from None
+
+
+@dataclass
+class TrainResult:
+    """Everything the paper reports about one configuration."""
+
+    task: str
+    dataset: str
+    architecture: str
+    strategy: str
+    step_size: float
+    curve: LossCurve
+    #: Modelled seconds per optimisation epoch at paper scale.
+    time_per_iter: float
+    optimal_loss: float
+    diverged: bool
+    #: The epoch trace (synchronous runs only) for further analysis.
+    epoch_trace: Trace | None = field(default=None, repr=False)
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss of the shared initial model."""
+        return self.curve.initial_loss
+
+    def threshold(self, tolerance: float) -> float:
+        """Absolute loss target for the given tolerance."""
+        return tolerance_threshold(self.optimal_loss, tolerance, self.initial_loss)
+
+    def epochs_to(self, tolerance: float) -> int | None:
+        """Statistical efficiency: passes to reach the tolerance."""
+        return self.curve.epochs_to(self.threshold(tolerance))
+
+    def time_to(self, tolerance: float) -> float:
+        """Time to convergence (sec); ``inf`` when never reached."""
+        epochs = self.epochs_to(tolerance)
+        if epochs is None:
+            return math.inf
+        return epochs * self.time_per_iter
+
+    def loss_vs_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """(seconds, loss) arrays — the axes of the paper's Fig. 7."""
+        return self.curve.time_axis(self.time_per_iter), np.asarray(
+            self.curve.losses, dtype=np.float64
+        )
+
+    def summary(self) -> dict[str, float | str | None]:
+        """Flat record used by the experiment tables."""
+        out: dict[str, float | str | None] = {
+            "task": self.task,
+            "dataset": self.dataset,
+            "architecture": self.architecture,
+            "strategy": self.strategy,
+            "step_size": self.step_size,
+            "time_per_iter_ms": self.time_per_iter * 1e3,
+            "optimal_loss": self.optimal_loss,
+            "final_loss": self.curve.final_loss,
+        }
+        for tol in TOLERANCES:
+            pct = int(round(tol * 100))
+            out[f"epochs_to_{pct}pct"] = self.epochs_to(tol)
+            out[f"time_to_{pct}pct_s"] = self.time_to(tol)
+        return out
+
+
+# ---------------------------------------------------------------------------
+
+
+def _full_profile(dataset: Dataset):
+    name = dataset.profile.name.removesuffix("-mlp")
+    return PAPER_PROFILES.get(name, dataset.profile)
+
+
+def _apply_representation(dataset: Dataset, representation: str) -> Dataset:
+    """Convert the feature matrix to the requested storage format."""
+    if representation == "auto":
+        return dataset
+    from dataclasses import replace as dc_replace
+
+    if representation == "dense" and dataset.is_sparse:
+        return Dataset(
+            name=dataset.name,
+            X=dataset.to_dense(),
+            y=dataset.y,
+            profile=dc_replace(dataset.profile, dense=True),
+        )
+    if representation == "sparse" and not dataset.is_sparse:
+        return Dataset(
+            name=dataset.name,
+            X=dataset.as_csr(),
+            y=dataset.y,
+            profile=dc_replace(dataset.profile, dense=False),
+        )
+    return dataset
+
+
+def _effective_full_profile(dataset: Dataset, representation: str = "auto"):
+    """Paper-scale profile with the representation override applied."""
+    from dataclasses import replace as dc_replace
+
+    full = _full_profile(dataset)
+    if representation == "dense" and not full.dense:
+        return dc_replace(full, dense=True)
+    if representation == "sparse" and full.dense:
+        return dc_replace(full, dense=False)
+    return full
+
+
+def full_scale_factor(
+    dataset: Dataset, task: str, representation: str = "auto"
+) -> float:
+    """Trace extrapolation factor from the realised data to paper scale.
+
+    Example-driven kernel costs scale with the stored cells actually
+    touched: dense representations by the cell-count ratio, sparse ones
+    by the nnz ratio; the MLP pipeline keeps its grouped width, so only
+    the row count scales.
+    """
+    full = _effective_full_profile(dataset, representation)
+    if task == "mlp":
+        return full.n_examples / dataset.n_examples
+    if not dataset.is_sparse:
+        cells = dataset.n_examples * dataset.n_features
+        return (full.n_examples * full.n_features) / max(1, cells)
+    realised_nnz = max(1, dataset.nnz)
+    return (full.n_examples * full.nnz_avg) / realised_nnz
+
+
+def working_set_bytes(
+    dataset: Dataset, model: Model, task: str, representation: str = "auto"
+) -> float:
+    """Epoch working set at paper scale (dataset + model)."""
+    full = _effective_full_profile(dataset, representation)
+    model_bytes = model.n_params * FLOAT64_BYTES
+    if task == "mlp":
+        # MLP data is feature-grouped and dense at the grouped width.
+        return full.n_examples * dataset.n_features * FLOAT64_BYTES + model_bytes
+    if full.dense:
+        return full.dense_bytes + model_bytes
+    return (
+        full.n_examples * full.nnz_avg * (FLOAT64_BYTES + INT32_BYTES)
+        + (full.n_examples + 1) * 8
+        + model_bytes
+    )
+
+
+def _async_schedule(
+    task: str,
+    architecture: str,
+    n_examples: int,
+    n_examples_full: int,
+    cpu: CpuModel,
+    gpu: GpuModel,
+    batch_size: int,
+) -> AsyncSchedule:
+    if task in ("lr", "svm"):
+        if architecture == "cpu-seq":
+            return AsyncSchedule(concurrency=1, batch_size=1)
+        if architecture == "cpu-par":
+            return AsyncSchedule(
+                concurrency=min(cpu.spec.max_threads, max(2, n_examples)), batch_size=1
+            )
+        # GPU Hogwild: every resident thread reads the same model
+        # generation, and warps retire in a pipeline — a warp's
+        # gradients are computed against the state from when it was
+        # scheduled, with the resident-thread window still in flight.
+        # The pipelined schedule (32-lane blocks, lag = window/32)
+        # models that delay *without* the aligned-round model's
+        # implicit averaging.  Two quantities both matter for
+        # statistical efficiency: the in-flight *fraction* of an epoch
+        # (preserved by scaling the 6656-thread window with the dataset
+        # ratio) and the *absolute* number of in-flight updates (which
+        # sets the conflict pressure a stale read faces).  On scaled
+        # data the two cannot both equal the paper's values; we scale
+        # by the ratio but floor the window at 512 updates — within an
+        # order of magnitude of the device's — capped at half an epoch
+        # so the schedule never degenerates to batch GD.
+        resident = gpu.spec.concurrent_threads
+        window = int(round(resident * n_examples / max(n_examples_full, 1)))
+        window = min(max(512, window), resident, max(2, n_examples // 2))
+        return AsyncSchedule(
+            concurrency=window, batch_size=1, pipeline_block=gpu.spec.warp_size
+        )
+    # MLP: asynchronous SGD is mini-batch (cpu-seq) / Hogbatch (Section
+    # IV-B; B = 512 in the paper).
+    if architecture == "cpu-seq":
+        return AsyncSchedule(concurrency=1, batch_size=batch_size)
+    if architecture == "cpu-par":
+        # 56 threads each own a batch; the in-flight fraction of an
+        # epoch is 56 / (N/B).  Scaled-down data has far fewer batches
+        # per epoch, so the concurrency is scaled by the same ratio to
+        # preserve that fraction (floor 2 keeps it genuinely async).
+        batches_full = max(1, n_examples_full // batch_size)
+        batches_here = max(1, n_examples // batch_size)
+        frac = min(1.0, cpu.spec.max_threads / batches_full)
+        return AsyncSchedule(
+            concurrency=max(2, int(round(frac * batches_here))),
+            batch_size=batch_size,
+        )
+    # "the GPU implementation can be regarded as Hogbatch with very low
+    # concurrency" — one kernel in flight, the next batch's host-side
+    # setup overlaps: concurrency 2.
+    return AsyncSchedule(concurrency=2, batch_size=batch_size)
+
+
+def train(
+    task: str,
+    dataset: str | Dataset,
+    architecture: str = "cpu-par",
+    strategy: str = "asynchronous",
+    scale: str = "small",
+    step_size: float | None = None,
+    max_epochs: int | None = None,
+    batch_size: int = 512,
+    seed: int | None = None,
+    cpu_model: CpuModel | None = None,
+    gpu_model: GpuModel | None = None,
+    early_stop_tolerance: float | None = 0.01,
+    representation: str = "auto",
+) -> TrainResult:
+    """Train one paper configuration and report all three performance axes.
+
+    Parameters
+    ----------
+    task:
+        ``"lr"``, ``"svm"`` or ``"mlp"``.
+    dataset:
+        A paper dataset name (generated at *scale*) or a prebuilt
+        :class:`~repro.datasets.synthetic.Dataset` (MLP callers must
+        pass the feature-grouped variant).
+    architecture:
+        ``"cpu-seq"``, ``"cpu-par"`` or ``"gpu"``.
+    strategy:
+        ``"synchronous"`` (blocking batch gradient descent) or
+        ``"asynchronous"`` (Hogwild for lr/svm, mini-batch/Hogbatch for
+        mlp).
+    step_size:
+        Learning rate; defaults to the tuned value for (task, strategy).
+    max_epochs:
+        Epoch budget; defaults to 400 synchronous / 150 asynchronous.
+    batch_size:
+        Hogbatch batch size (paper: 512).
+    early_stop_tolerance:
+        Stop once the loss is within this tolerance of the optimum
+        (``None`` disables; the curve then runs to max_epochs).
+    representation:
+        The paper's third exploratory axis, exposed as a free choice:
+        ``"auto"`` keeps the dataset's natural format (CSR for the
+        sparse profiles, dense for covtype); ``"dense"`` densifies a
+        sparse dataset; ``"sparse"`` compresses a dense one.  This
+        opens the light circles of the paper's Fig. 1 — e.g. Hogwild
+        over a *dense* representation of rcv1, where every update
+        writes all d coordinates and the coherence storm appears on an
+        otherwise sparse problem.  lr/svm only (the MLP pipeline is
+        dense by construction).
+    """
+    if task not in ("lr", "svm", "mlp"):
+        raise ConfigurationError(f"unknown task {task!r}")
+    if architecture not in ARCHITECTURES:
+        raise ConfigurationError(
+            f"unknown architecture {architecture!r}; available: {ARCHITECTURES}"
+        )
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; available: {STRATEGIES}"
+        )
+    if representation not in ("auto", "dense", "sparse"):
+        raise ConfigurationError(
+            f"unknown representation {representation!r}; "
+            "use 'auto', 'dense' or 'sparse'"
+        )
+    if representation != "auto" and task == "mlp":
+        raise ConfigurationError(
+            "representation overrides apply to lr/svm; the MLP pipeline is "
+            "dense by construction (feature grouping densifies the data)"
+        )
+    cpu = cpu_model or CpuModel()
+    gpu = gpu_model or GpuModel()
+
+    if isinstance(dataset, Dataset):
+        ds = dataset
+        ds_name = ds.profile.name.removesuffix("-mlp")
+    else:
+        ds_name = dataset
+        ds = load_mlp(dataset, scale, seed) if task == "mlp" else load(dataset, scale, seed)
+    ds = _apply_representation(ds, representation)
+
+    model = make_model(task, ds)
+    init = model.init_params(derive_rng(seed, f"init/{task}/{ds_name}"))
+    ref_key = f"{task}/{ds_name}/{ds.n_examples}x{ds.n_features}/seed{seed or DEFAULT_SEED}"
+    optimal = reference_loss(model, ds.X, ds.y, init, key=ref_key)
+
+    if step_size is None:
+        step_size = default_step_size(task, strategy)
+    if max_epochs is None:
+        max_epochs = 400 if strategy == "synchronous" else 150
+
+    target = None
+    if early_stop_tolerance is not None:
+        initial = model.loss(ds.X, ds.y, init)
+        target = tolerance_threshold(optimal, early_stop_tolerance, initial)
+
+    config = SGDConfig(
+        step_size=step_size,
+        max_epochs=max_epochs,
+        batch_size=batch_size,
+        seed=seed if seed is not None else DEFAULT_SEED,
+        target_loss=target,
+    )
+
+    if strategy == "synchronous":
+        res = train_synchronous(model, ds.X, ds.y, init, config)
+        factor = full_scale_factor(ds, task, representation)
+        trace = res.epoch_trace.scaled(factor)
+        ws = working_set_bytes(ds, model, task, representation)
+        if architecture == "cpu-seq":
+            tpi = cpu.sync_epoch_time(trace, 1, ws)
+        elif architecture == "cpu-par":
+            tpi = cpu.sync_epoch_time(trace, cpu.spec.max_threads, ws)
+        else:
+            tpi = gpu.sync_epoch_time(trace)
+        return TrainResult(
+            task=task,
+            dataset=ds_name,
+            architecture=architecture,
+            strategy=strategy,
+            step_size=step_size,
+            curve=res.curve,
+            time_per_iter=tpi,
+            optimal_loss=optimal,
+            diverged=res.curve.diverged,
+            epoch_trace=trace,
+        )
+
+    full = _effective_full_profile(ds, representation)
+    schedule = _async_schedule(
+        task, architecture, ds.n_examples, full.n_examples, cpu, gpu, batch_size
+    )
+    res = train_asynchronous(model, ds.X, ds.y, init, config, schedule)
+    if task == "mlp":
+        workload = AsyncWorkload.for_batched(ds, model, batch_size, profile=full)
+    else:
+        workload = AsyncWorkload.for_linear(ds, model, profile=full)
+    if architecture == "cpu-seq":
+        tpi = cpu.async_epoch_time(workload, 1)
+    elif architecture == "cpu-par":
+        tpi = cpu.async_epoch_time(workload, cpu.spec.max_threads)
+    else:
+        tpi = gpu.async_epoch_time(workload)
+    return TrainResult(
+        task=task,
+        dataset=ds_name,
+        architecture=architecture,
+        strategy=strategy,
+        step_size=step_size,
+        curve=res.curve,
+        time_per_iter=tpi,
+        optimal_loss=optimal,
+        diverged=res.diverged,
+    )

@@ -1,0 +1,112 @@
+"""Serialization of training results to/from JSON.
+
+Experiment pipelines want to run configurations once and analyse the
+curves later (the paper's own methodology averages over >= 10 runs and
+post-processes loss-vs-time series).  This module round-trips
+:class:`~repro.sgd.runner.TrainResult` — including the loss curve and
+the per-tolerance convergence summary — through plain JSON, with
+infinities and the optional epoch trace handled explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TextIO
+
+from ..utils.errors import ConfigurationError
+from .convergence import LossCurve
+from .runner import TrainResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_float(v: float):
+    if math.isinf(v):
+        return "inf" if v > 0 else "-inf"
+    if math.isnan(v):
+        return "nan"
+    return v
+
+
+def _decode_float(v) -> float:
+    if isinstance(v, str):
+        return float(v)
+    return float(v)
+
+
+def result_to_dict(result: TrainResult) -> dict:
+    """Flatten a result into JSON-safe primitives.
+
+    The epoch trace is not serialised (it is an analysis intermediate;
+    re-run the configuration to regenerate it).
+    """
+    return {
+        "version": _FORMAT_VERSION,
+        "task": result.task,
+        "dataset": result.dataset,
+        "architecture": result.architecture,
+        "strategy": result.strategy,
+        "step_size": result.step_size,
+        "time_per_iter": result.time_per_iter,
+        "optimal_loss": result.optimal_loss,
+        "diverged": result.diverged,
+        "curve": {
+            "epochs": list(result.curve.epochs),
+            "losses": [_encode_float(v) for v in result.curve.losses],
+        },
+    }
+
+
+def result_from_dict(payload: dict) -> TrainResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if not isinstance(payload, dict) or "curve" not in payload:
+        raise ConfigurationError("not a serialized TrainResult")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    curve = LossCurve()
+    for epoch, loss in zip(payload["curve"]["epochs"], payload["curve"]["losses"]):
+        curve.record(int(epoch), _decode_float(loss))
+    return TrainResult(
+        task=str(payload["task"]),
+        dataset=str(payload["dataset"]),
+        architecture=str(payload["architecture"]),
+        strategy=str(payload["strategy"]),
+        step_size=float(payload["step_size"]),
+        curve=curve,
+        time_per_iter=float(payload["time_per_iter"]),
+        optimal_loss=float(payload["optimal_loss"]),
+        diverged=bool(payload["diverged"]),
+    )
+
+
+def save_results(results, path: str | Path | TextIO) -> None:
+    """Write one or many results as a JSON document."""
+    if isinstance(results, TrainResult):
+        results = [results]
+    doc = {
+        "version": _FORMAT_VERSION,
+        "results": [result_to_dict(r) for r in results],
+    }
+    if hasattr(path, "write"):
+        json.dump(doc, path, indent=1)  # type: ignore[arg-type]
+        return
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+
+
+def load_results(path: str | Path | TextIO) -> list[TrainResult]:
+    """Read results written by :func:`save_results`."""
+    if hasattr(path, "read"):
+        doc = json.load(path)  # type: ignore[arg-type]
+    else:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ConfigurationError("not a repro results document")
+    return [result_from_dict(p) for p in doc["results"]]

@@ -1,0 +1,167 @@
+"""Synchronous SGD (Algorithm 2: Batch SGD Optimization Epoch).
+
+One synchronous epoch is a fixed sequence of *blocking* linear-algebra
+primitives — gradient computation followed by a model update — with
+parallelism confined inside each primitive (Section III-A).  Because
+the kernel sequence is identical whichever backend executes it, the
+statistical efficiency of synchronous SGD is architecture-independent
+(the paper's Table II reports a single epoch count per dataset/task);
+we therefore run the numerical optimisation once and cost the recorded
+epoch trace separately per backend.
+
+A mini-batch variant (1 < B < N) is provided for library completeness;
+the paper's synchronous configurations are full batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg import axpy, recording, trace_paused
+from ..linalg.trace import Trace
+from ..models.base import Matrix, Model
+from ..utils.rng import derive_rng
+from .config import SGDConfig
+from .convergence import LossCurve
+
+__all__ = ["SyncResult", "train_synchronous", "train_minibatch_synchronous"]
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a synchronous training run.
+
+    Attributes
+    ----------
+    curve:
+        Per-epoch loss curve (epoch 0 = initial loss).
+    params:
+        Final parameter vector (the last finite iterate).
+    epoch_trace:
+        Operation trace of one optimisation epoch, ready for the
+        hardware models (loss evaluations excluded per the paper's
+        methodology).
+    """
+
+    curve: LossCurve
+    params: np.ndarray
+    epoch_trace: Trace
+
+
+def train_synchronous(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    config: SGDConfig,
+) -> SyncResult:
+    """Full-batch gradient descent to the configured stop condition.
+
+    The epoch trace is recorded on the first epoch only — every epoch
+    executes the identical kernel sequence, so one recording suffices
+    and later epochs skip the bookkeeping.
+    """
+    params = np.array(init_params, dtype=np.float64, copy=True)
+    curve = LossCurve()
+    with trace_paused():
+        initial = model.loss(X, y, params)
+    curve.record(0, initial)
+    limit = config.divergence_factor * max(initial, 1e-12)
+
+    epoch_trace = Trace()
+    for epoch in range(1, config.max_epochs + 1):
+        if epoch == 1:
+            with recording() as epoch_trace:
+                _sync_step(model, X, y, params, config.step_size)
+        else:
+            _sync_step(model, X, y, params, config.step_size)
+        if not np.all(np.isfinite(params)):
+            curve.record(epoch, float("inf"))
+            break
+        if epoch % config.eval_every == 0 or epoch == config.max_epochs:
+            with trace_paused():
+                loss = model.loss(X, y, params)
+            curve.record(epoch, loss)
+            if not np.isfinite(loss) or loss > limit:
+                curve.losses[-1] = float("inf")
+                break
+            if config.target_loss is not None and loss <= config.target_loss:
+                break
+    return SyncResult(curve=curve, params=params, epoch_trace=epoch_trace)
+
+
+def _sync_step(model: Model, X: Matrix, y: np.ndarray, params: np.ndarray, step: float) -> None:
+    grad = model.full_grad(X, y, params)
+    # In-place model update through the primitive API so the trace
+    # carries it; the update is model-sized, not example-sized.
+    params[:] = axpy(
+        -step,
+        grad,
+        params,
+        name="model_update",
+        cost_scales=False,
+        parallelism_scales=False,
+    )
+
+
+def train_minibatch_synchronous(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    config: SGDConfig,
+) -> SyncResult:
+    """Synchronous mini-batch SGD (1 < B < N).
+
+    Each epoch shuffles the examples and performs ``ceil(N/B)`` blocking
+    gradient+update rounds.  The epoch trace is recorded on the first
+    epoch; it contains every round's kernels.
+    """
+    params = np.array(init_params, dtype=np.float64, copy=True)
+    n = X.shape[0]
+    rng = derive_rng(config.seed, "sync_minibatch")
+    curve = LossCurve()
+    with trace_paused():
+        initial = model.loss(X, y, params)
+    curve.record(0, initial)
+    limit = config.divergence_factor * max(initial, 1e-12)
+
+    epoch_trace = Trace()
+    for epoch in range(1, config.max_epochs + 1):
+        order = rng.permutation(n)
+        batches = [
+            order[i : i + config.batch_size] for i in range(0, n, config.batch_size)
+        ]
+
+        def run_epoch() -> None:
+            for rows in batches:
+                grad = model.minibatch_grad(X, y, rows, params)
+                params[:] = axpy(
+                    -config.step_size,
+                    grad,
+                    params,
+                    name="model_update",
+                    cost_scales=False,
+                    parallelism_scales=False,
+                )
+
+        if epoch == 1:
+            with recording() as epoch_trace:
+                run_epoch()
+        else:
+            run_epoch()
+        if not np.all(np.isfinite(params)):
+            curve.record(epoch, float("inf"))
+            break
+        if epoch % config.eval_every == 0 or epoch == config.max_epochs:
+            with trace_paused():
+                loss = model.loss(X, y, params)
+            curve.record(epoch, loss)
+            if not np.isfinite(loss) or loss > limit:
+                curve.losses[-1] = float("inf")
+                break
+            if config.target_loss is not None and loss <= config.target_loss:
+                break
+    return SyncResult(curve=curve, params=params, epoch_trace=epoch_trace)

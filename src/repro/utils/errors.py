@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from numerical failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataFormatError",
+    "DivergenceError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid combination of options or an out-of-range parameter."""
+
+
+class DataFormatError(ReproError, ValueError):
+    """Malformed input data (bad CSR structure, unparsable LIBSVM line, ...)."""
+
+
+class DivergenceError(ReproError, ArithmeticError):
+    """The optimisation produced non-finite losses and cannot continue.
+
+    The paper reports such configurations as ``inf`` time-to-convergence
+    (Table III); the SGD runners catch this error and record the run as
+    non-convergent instead of crashing.
+    """
+
+
+class TraceError(ReproError, RuntimeError):
+    """Operation-trace recording was used outside an active recorder."""

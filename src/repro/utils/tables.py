@@ -1,0 +1,167 @@
+"""Plain-text table and figure rendering for the experiment harness.
+
+The benchmark drivers print their results in the same row/column layout
+as the paper's Tables I-III, and render its Figures 6-9 as ASCII charts
+so a terminal-only run still produces a visual shape comparison.  No
+plotting dependency is required (the environment is offline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_table", "render_bar_chart", "render_line_chart", "format_cell"]
+
+
+def format_cell(value, precision: int = 2) -> str:
+    """Format one table cell the way the paper does.
+
+    Floats become fixed-point with *precision* digits; infinities render
+    as ``inf`` (the paper's Table III uses the infinity symbol for
+    non-convergent configurations); integers pass through; strings pass
+    through unchanged.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    v = float(value)
+    if math.isnan(v):
+        return "nan"
+    if math.isinf(v):
+        return "inf"
+    if v != 0 and abs(v) < 10 ** (-precision):
+        return f"{v:.2e}"
+    return f"{v:,.{precision}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Sequence of rows; each row must have ``len(headers)`` entries.
+    title:
+        Optional caption printed above the table.
+    precision:
+        Decimal digits for float cells.
+    """
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for Figs. 8 and 9)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    finite = [v for v in values if math.isfinite(v)]
+    vmax = max(finite) if finite else 1.0
+    vmax = max(vmax, 1e-12)
+    lw = max((len(s) for s in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, v in zip(labels, values):
+        if not math.isfinite(v):
+            bar, shown = "", "inf"
+        else:
+            n = int(round(width * max(v, 0.0) / vmax))
+            bar, shown = "#" * n, f"{v:.2f}{unit}"
+        lines.append(f"{label.ljust(lw)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def render_line_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    title: str | None = None,
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Render multiple (x, y) series on one ASCII grid (Fig. 7 panels).
+
+    Each series gets a distinct marker character; overlapping points show
+    the marker of the later series.  ``logx`` plots a log10 time axis,
+    matching how convergence curves are usually inspected.
+    """
+    markers = "o*x+#@%&"
+    xs_all: list[float] = []
+    ys_all: list[float] = []
+    for xs, ys in series.values():
+        for x, y in zip(xs, ys):
+            if math.isfinite(x) and math.isfinite(y) and (not logx or x > 0):
+                xs_all.append(math.log10(x) if logx else x)
+                ys_all.append(y)
+    if not xs_all:
+        return (title or "") + "\n(no finite points)"
+    xmin, xmax = min(xs_all), max(xs_all)
+    ymin, ymax = min(ys_all), max(ys_all)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, (xs, ys)) in enumerate(series.items()):
+        mk = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if logx:
+                if x <= 0:
+                    continue
+                x = math.log10(x)
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = mk
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{ymin:.4g}, {ymax:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    xlabel = "log10(x)" if logx else "x"
+    lines.append(f"{xlabel}: [{xmin:.4g}, {xmax:.4g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

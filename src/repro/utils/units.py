@@ -1,0 +1,63 @@
+"""Unit helpers: byte/size constants and human-readable formatting.
+
+Hardware capacities throughout :mod:`repro.hardware` are expressed in
+bytes and seconds; these helpers keep the specification tables readable
+(``35 * MiB`` instead of ``36700160``) and render quantities back into
+the units the paper's tables use (msec per iteration, MB/GB dataset
+sizes).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "CACHE_LINE_BYTES",
+    "FLOAT64_BYTES",
+    "FLOAT32_BYTES",
+    "INT32_BYTES",
+    "format_bytes",
+    "format_seconds",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+#: x86 and NVIDIA GPUs both use 64-byte lines / 32-byte sectors; the
+#: coherence and coalescing models quantise addresses to this grain.
+CACHE_LINE_BYTES = 64
+
+FLOAT64_BYTES = 8
+FLOAT32_BYTES = 4
+INT32_BYTES = 4
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count like the paper's Table I ('4.4MB', '1.2GB')."""
+    n = float(n)
+    for unit, div in (("GB", GiB), ("MB", MiB), ("KB", KiB)):
+        if n >= div:
+            return f"{n / div:.1f}{unit}"
+    return f"{n:.0f}B"
+
+
+def format_seconds(t: float) -> str:
+    """Render seconds adaptively (the tables mix sec and msec columns)."""
+    if t != t:  # NaN
+        return "nan"
+    if t == float("inf"):
+        return "inf"
+    if t >= 1.0:
+        return f"{t:.2f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.2f}ms"
+    return f"{t * 1e6:.1f}us"

@@ -1,0 +1,85 @@
+"""Argument-validation helpers.
+
+Centralised so every public entry point raises the same
+:class:`~repro.utils.errors.ConfigurationError` with a consistent
+message format, which the test suite asserts on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+    "check_probability",
+    "check_array_2d",
+    "check_labels",
+]
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Iterable[T]) -> T:
+    """Require *value* to be one of *allowed*; return it."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_array_2d(name: str, arr: np.ndarray) -> np.ndarray:
+    """Require a 2-D float ndarray; return it as float64 C-contiguous.
+
+    The dense kernels assume C order (row-major example layout); the
+    hpc guide's cache-effects advice applies directly: row scans must be
+    stride-1.
+    """
+    arr = np.asarray(arr, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    return np.ascontiguousarray(arr)
+
+
+def check_labels(name: str, y: np.ndarray, n: int) -> np.ndarray:
+    """Require +/-1 labels of length *n*; return them as float64.
+
+    All three tasks in the paper (LR, SVM, MLP heads) are trained on
+    binary labels; the generators emit them in {-1, +1} convention.
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.shape[0] != n:
+        raise ConfigurationError(f"{name} must have length {n}, got {y.shape[0]}")
+    bad = ~np.isin(y, (-1.0, 1.0))
+    if bad.any():
+        raise ConfigurationError(
+            f"{name} must contain only -1/+1 labels; "
+            f"found {np.unique(y[bad])[:5]!r}"
+        )
+    return y

@@ -1,0 +1,152 @@
+"""Tests for the Cyclades conflict-free scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.asyncsim.cyclades import (
+    CycladesBatch,
+    CycladesSchedule,
+    conflict_graph,
+    run_cyclades_epoch,
+    schedule_batch,
+)
+from repro.linalg import CSRMatrix
+from repro.models import make_model
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError
+
+
+def _csr(rows, d):
+    return CSRMatrix.from_rows(
+        [(np.asarray(r, dtype=np.int64), np.ones(len(r))) for r in rows], d
+    )
+
+
+class TestScheduleBatch:
+    def test_disjoint_examples_all_separate(self):
+        X = _csr([[0], [1], [2]], 4)
+        batch = schedule_batch(X, np.arange(3))
+        assert len(batch.groups) == 3
+        assert batch.max_group == 1
+
+    def test_shared_feature_merges(self):
+        X = _csr([[0, 1], [1, 2], [3]], 4)
+        batch = schedule_batch(X, np.arange(3))
+        sizes = sorted(g.size for g in batch.groups)
+        assert sizes == [1, 2]
+
+    def test_transitive_conflicts(self):
+        # 0-1 share f1, 1-2 share f2 -> all one component
+        X = _csr([[0, 1], [1, 2], [2, 3]], 5)
+        batch = schedule_batch(X, np.arange(3))
+        assert len(batch.groups) == 1
+
+    def test_groups_cover_rows_exactly(self, tiny_sparse):
+        rows = np.arange(64)
+        batch = schedule_batch(tiny_sparse.X, rows)
+        got = np.sort(np.concatenate([g for g in batch.groups]))
+        np.testing.assert_array_equal(got, rows)
+
+    def test_groups_are_coordinate_disjoint(self, tiny_sparse):
+        rows = np.arange(80)
+        batch = schedule_batch(tiny_sparse.X, rows)
+        supports = []
+        for g in batch.groups:
+            s = set()
+            for r in g:
+                idx, _ = tiny_sparse.X.row(int(r))
+                s.update(int(j) for j in idx)
+            supports.append(s)
+        for i in range(len(supports)):
+            for j in range(i + 1, len(supports)):
+                assert not (supports[i] & supports[j])
+
+    def test_matches_networkx_components(self, tiny_sparse):
+        import networkx as nx
+
+        rows = np.arange(48)
+        batch = schedule_batch(tiny_sparse.X, rows)
+        g = conflict_graph(tiny_sparse.X, rows)
+        nx_sizes = sorted(len(c) for c in nx.connected_components(g))
+        uf_sizes = sorted(grp.size for grp in batch.groups)
+        assert nx_sizes == uf_sizes
+
+
+class TestBatchAccounting:
+    def test_parallel_efficiency_bounds(self):
+        batch = CycladesBatch(groups=(np.arange(6), np.arange(2)))
+        for w in (1, 2, 8):
+            assert 0.0 < batch.parallel_efficiency(w) <= 1.0
+
+    def test_single_giant_group_kills_efficiency(self):
+        batch = CycladesBatch(groups=(np.arange(100),))
+        assert batch.parallel_efficiency(10) == pytest.approx(0.1)
+
+    def test_balanced_groups_efficient(self):
+        batch = CycladesBatch(groups=tuple(np.arange(5) for _ in range(10)))
+        assert batch.parallel_efficiency(10) == pytest.approx(1.0)
+
+
+class TestRunEpoch:
+    def test_serial_equivalence(self, tiny_sparse):
+        """The defining invariant: a Cyclades epoch is numerically
+        identical to a serial pass in the scheduled order."""
+        model = make_model("lr", tiny_sparse)
+        w0 = model.init_params(derive_rng(0, "cy"))
+        a = w0.copy()
+        run_cyclades_epoch(
+            model, tiny_sparse.X, tiny_sparse.y, a, 0.5,
+            CycladesSchedule(batch_size=64), derive_rng(1, "cy"),
+        )
+        # replay the exact serial order implied by the scheduler
+        b = w0.copy()
+        order = derive_rng(1, "cy").permutation(tiny_sparse.n_examples)
+        for start in range(0, tiny_sparse.n_examples, 64):
+            batch = schedule_batch(tiny_sparse.X, order[start : start + 64])
+            for group in batch.groups:
+                model.serial_sgd_epoch(tiny_sparse.X, tiny_sparse.y, group, b, 0.5)
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_learns(self, tiny_sparse):
+        model = make_model("svm", tiny_sparse)
+        w = model.init_params(derive_rng(0, "cy2"))
+        before = model.loss(tiny_sparse.X, tiny_sparse.y, w)
+        eff = run_cyclades_epoch(
+            model, tiny_sparse.X, tiny_sparse.y, w, 0.5,
+            CycladesSchedule(batch_size=32), derive_rng(0, "cy2"),
+        )
+        assert model.loss(tiny_sparse.X, tiny_sparse.y, w) < before
+        assert 0.0 < eff <= 1.0
+
+    def test_rejects_dense(self, tiny_dense):
+        model = make_model("lr", tiny_dense)
+        w = model.init_params(derive_rng(0, "cy3"))
+        with pytest.raises(ConfigurationError, match="sparse"):
+            run_cyclades_epoch(
+                model, tiny_dense.X, tiny_dense.y, w, 0.5,
+                CycladesSchedule(), derive_rng(0, "cy3"),
+            )
+
+    def test_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            CycladesSchedule(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            CycladesSchedule(workers=0)
+
+    def test_sparser_data_schedules_better(self):
+        """Hot features merge components: the sparse low-overlap dataset
+        must schedule with higher parallel efficiency than a heavily
+        overlapping one."""
+        from repro.datasets import load
+
+        model_eff = {}
+        for name in ("news", "w8a"):
+            ds = load(name, "tiny")
+            model = make_model("lr", ds)
+            w = model.init_params(derive_rng(0, "cy4"))
+            model_eff[name] = run_cyclades_epoch(
+                model, ds.X, ds.y, w, 0.1,
+                CycladesSchedule(batch_size=64, workers=8),
+                derive_rng(0, "cy4"),
+            )
+        assert model_eff["news"] > model_eff["w8a"]

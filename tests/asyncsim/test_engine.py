@@ -1,0 +1,230 @@
+"""Tests for the deterministic asynchrony simulator."""
+
+import numpy as np
+import pytest
+
+from repro.asyncsim import AsyncSchedule, apply_updates, run_async_epoch
+from repro.models import make_model
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError, DivergenceError
+
+
+class TestAsyncSchedule:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsyncSchedule(concurrency=0)
+        with pytest.raises(ConfigurationError):
+            AsyncSchedule(concurrency=1, batch_size=0)
+
+    def test_work_items_cover_order_exactly(self):
+        sched = AsyncSchedule(concurrency=4, batch_size=3)
+        order = np.arange(10)
+        items = sched.work_items(order)
+        assert [len(i) for i in items] == [3, 3, 3, 1]
+        np.testing.assert_array_equal(np.concatenate(items), order)
+
+
+class TestApplyUpdates:
+    def test_sparse_and_dense_mix(self):
+        params = np.zeros(5)
+        apply_updates(
+            params,
+            [
+                (np.array([0, 0, 2]), np.array([1.0, 1.0, 2.0])),
+                (None, np.full(5, 0.5)),
+            ],
+        )
+        np.testing.assert_allclose(params, [2.5, 0.5, 2.5, 0.5, 0.5])
+
+
+class TestRunEpoch:
+    def test_concurrency_one_equals_serial(self, lr_tiny):
+        """C=1 must be bit-identical to exact incremental SGD."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        a = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, a, 0.5, AsyncSchedule(concurrency=1), derive_rng(7, "s")
+        )
+        order = derive_rng(7, "s").permutation(ds.n_examples)
+        b = w0.copy()
+        model.serial_sgd_epoch(ds.X, ds.y, order, b, 0.5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_given_seed(self, lr_tiny):
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        runs = []
+        for _ in range(2):
+            w = w0.copy()
+            run_async_epoch(
+                model, ds.X, ds.y, w, 0.5,
+                AsyncSchedule(concurrency=8), derive_rng(3, "s"),
+            )
+            runs.append(w)
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_staleness_changes_trajectory(self, lr_tiny):
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        results = {}
+        for c in (1, 16, 128):
+            w = w0.copy()
+            run_async_epoch(
+                model, ds.X, ds.y, w, 0.5,
+                AsyncSchedule(concurrency=c, shuffle=False), derive_rng(3, "s"),
+            )
+            results[c] = w
+        assert not np.allclose(results[1], results[16])
+        assert not np.allclose(results[16], results[128])
+
+    def test_staleness_degrades_statistical_efficiency(self, lr_tiny):
+        """The central asynchronous phenomenon: with the same step, more
+        concurrency means equal-or-worse loss after equal epochs."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        losses = {}
+        for c in (1, ds.n_examples):
+            w = w0.copy()
+            rng = derive_rng(3, "s")
+            for _ in range(8):
+                run_async_epoch(
+                    model, ds.X, ds.y, w, 1.0, AsyncSchedule(concurrency=c), rng
+                )
+            losses[c] = model.loss(ds.X, ds.y, w)
+        assert losses[1] < losses[ds.n_examples]
+
+    def test_full_concurrency_is_batch_like(self, lr_tiny):
+        """C >= N with B=1: one round per epoch, every update computed
+        from the epoch-start snapshot — i.e. a (sum-scaled) batch-GD
+        step.  Verify against the analytic equivalent."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        w = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, w, 0.1,
+            AsyncSchedule(concurrency=ds.n_examples, shuffle=False),
+            derive_rng(0, "s"),
+        )
+        expected = w0 - 0.1 * ds.n_examples * model.full_grad(ds.X, ds.y, w0)
+        np.testing.assert_allclose(w, expected, atol=1e-9)
+
+    def test_hogbatch_round_snapshot_semantics(self, tiny_mlp_data):
+        """With C=2, batches 1 and 2 must both be evaluated at the
+        round-start model; sequential mini-batch (C=1) differs."""
+        ds = tiny_mlp_data
+        model = make_model("mlp", ds)
+        w0 = model.init_params(derive_rng(0, "w"))
+        out = {}
+        for c in (1, 2):
+            w = w0.copy()
+            run_async_epoch(
+                model, ds.X, ds.y, w, 1.0,
+                AsyncSchedule(concurrency=c, batch_size=64, shuffle=False),
+                derive_rng(0, "s"),
+            )
+            out[c] = w
+        assert not np.allclose(out[1], out[2])
+
+    def test_divergence_raises(self, lr_tiny):
+        model, ds = lr_tiny
+        w = model.init_params(derive_rng(0, "w"))
+        with pytest.raises(DivergenceError):
+            for _ in range(300):
+                run_async_epoch(
+                    model, ds.X, ds.y, w, 1e308,
+                    AsyncSchedule(concurrency=64), derive_rng(0, "s"),
+                )
+
+    def test_shuffle_off_is_sequential_order(self, lr_tiny):
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        a = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, a, 0.5,
+            AsyncSchedule(concurrency=1, shuffle=False), derive_rng(0, "s"),
+        )
+        b = w0.copy()
+        model.serial_sgd_epoch(ds.X, ds.y, np.arange(ds.n_examples), b, 0.5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPipelinedSchedule:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsyncSchedule(concurrency=64, batch_size=2, pipeline_block=32)
+        with pytest.raises(ConfigurationError):
+            AsyncSchedule(concurrency=64, pipeline_block=0)
+
+    def test_lag_computation(self):
+        s = AsyncSchedule(concurrency=6656, pipeline_block=32)
+        assert s.pipeline_lag == 208
+        assert AsyncSchedule(concurrency=8).pipeline_lag == 0
+
+    def test_deterministic(self, lr_tiny):
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        outs = []
+        for _ in range(2):
+            w = w0.copy()
+            run_async_epoch(
+                model, ds.X, ds.y, w, 0.3,
+                AsyncSchedule(concurrency=128, pipeline_block=16),
+                derive_rng(5, "p"),
+            )
+            outs.append(w)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_harsher_than_aligned_rounds(self, lr_tiny):
+        """At equal concurrency, the pipelined delay model must lose
+        statistical efficiency relative to aligned rounds (it forgoes
+        the round's implicit averaging)."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        losses = {}
+        for label, sched in (
+            ("aligned", AsyncSchedule(concurrency=128)),
+            ("pipelined", AsyncSchedule(concurrency=128, pipeline_block=8)),
+        ):
+            w = w0.copy()
+            rng = derive_rng(3, "cmp")
+            for _ in range(6):
+                run_async_epoch(model, ds.X, ds.y, w, 1.0, sched, rng)
+            losses[label] = model.loss(ds.X, ds.y, w)
+        assert losses["pipelined"] >= losses["aligned"] - 1e-9
+
+    def test_lag_one_matches_aligned(self, lr_tiny):
+        """pipeline_block == concurrency means lag 1 — identical
+        semantics to one aligned round per block."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        a = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, a, 0.5,
+            AsyncSchedule(concurrency=16, pipeline_block=16, shuffle=False),
+            derive_rng(0, "x"),
+        )
+        b = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, b, 0.5,
+            AsyncSchedule(concurrency=16, shuffle=False),
+            derive_rng(0, "x"),
+        )
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_first_blocks_read_epoch_start(self, lr_tiny):
+        """With lag >= number of blocks, every gradient is computed at
+        the epoch-start model: one effective (chunk-applied) batch
+        step."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        w = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, w, 0.1,
+            AsyncSchedule(
+                concurrency=ds.n_examples * 2, pipeline_block=8, shuffle=False
+            ),
+            derive_rng(0, "x"),
+        )
+        expected = w0 - 0.1 * ds.n_examples * model.full_grad(ds.X, ds.y, w0)
+        np.testing.assert_allclose(w, expected, atol=1e-9)

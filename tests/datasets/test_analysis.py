@@ -1,0 +1,67 @@
+"""Tests for the dataset structural analysis."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.datasets.analysis import analyze, gini
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini(v) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_scale_invariant(self, rng):
+        v = rng.random(200)
+        assert gini(v) == pytest.approx(gini(10 * v), abs=1e-12)
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {name: analyze(load(name, "tiny")) for name in ("covtype", "w8a", "news")}
+
+    def test_basic_fields(self, reports):
+        r = reports["w8a"]
+        assert r.n_examples == 256
+        assert 0 < r.density < 0.1
+        assert r.csr_bytes > 0 and r.dense_bytes > r.csr_bytes
+
+    def test_covtype_fully_dense(self, reports):
+        r = reports["covtype"]
+        assert r.density == pytest.approx(1.0)
+        assert r.nnz_dispersion == pytest.approx(1.0)
+        assert r.mean_pairwise_overlap == pytest.approx(1.0)
+
+    def test_risk_flags_track_the_paper(self, reports):
+        # covtype: the coherence-storm dataset, no divergence risk
+        assert reports["covtype"].hogwild_conflict_risk
+        assert not reports["covtype"].gpu_async_divergence_risk
+        # news: heavy-tailed rows -> divergence risk
+        assert reports["news"].gpu_async_divergence_risk
+
+    def test_popularity_skew_ordering(self, reports):
+        """Zipf features: sparse text is far more popularity-skewed than
+        the dense indicators."""
+        assert reports["news"].popularity_gini > reports["covtype"].popularity_gini
+
+    def test_cyclades_schedulability_flag(self, reports):
+        assert not reports["covtype"].cyclades_schedulable
+
+    def test_render(self, reports):
+        out = reports["w8a"].render()
+        assert "Gini" in out and "CSR footprint" in out
+
+    def test_deterministic(self):
+        a = analyze(load("w8a", "tiny"), seed=3)
+        b = analyze(load("w8a", "tiny"), seed=3)
+        assert a.mean_pairwise_overlap == b.mean_pairwise_overlap

@@ -1,0 +1,58 @@
+"""Tests for the dataset registry (scales, caching, Table I rendering)."""
+
+import pytest
+
+from repro.datasets import SCALES, clear_cache, load, load_mlp, scaled_profile, table1
+from repro.utils.errors import ConfigurationError
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"tiny", "small", "medium", "paper"} <= set(SCALES)
+
+    def test_scaled_profile_applies_caps(self):
+        p = scaled_profile("news", "tiny")
+        spec = SCALES["tiny"]
+        assert p.n_examples <= spec.max_examples
+        assert p.n_features <= spec.max_features
+
+    def test_paper_scale_is_full_size(self):
+        p = scaled_profile("covtype", "paper")
+        assert p.n_examples == 581_012
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="unknown scale"):
+            scaled_profile("w8a", "huge")
+
+
+class TestCaching:
+    def test_same_key_same_object(self):
+        a = load("w8a", "tiny", seed=11)
+        b = load("w8a", "tiny", seed=11)
+        assert a is b
+
+    def test_different_seed_different_object(self):
+        a = load("w8a", "tiny", seed=11)
+        b = load("w8a", "tiny", seed=12)
+        assert a is not b
+
+    def test_mlp_cache_separate(self):
+        base = load("w8a", "tiny", seed=11)
+        mlp = load_mlp("w8a", "tiny", seed=11)
+        assert mlp is not base
+        assert mlp is load_mlp("w8a", "tiny", seed=11)
+
+    def test_clear_cache(self):
+        a = load("w8a", "tiny", seed=13)
+        clear_cache()
+        b = load("w8a", "tiny", seed=13)
+        assert a is not b
+
+
+class TestTable1:
+    def test_renders_all_datasets(self):
+        out = table1("tiny")
+        for name in ("covtype", "w8a", "real-sim", "rcv1", "news"):
+            assert name in out
+        assert "MLP architecture" in out
+        assert "54-10-5-2" in out

@@ -1,0 +1,99 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate, get_profile
+from repro.datasets.registry import scaled_profile
+from repro.linalg import CSRMatrix
+
+
+class TestSparseGeneration:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate(scaled_profile("w8a", "tiny"), seed=0)
+
+    def test_shape_matches_profile(self, ds):
+        p = scaled_profile("w8a", "tiny")
+        assert ds.X.shape == (p.n_examples, p.n_features)
+
+    def test_is_csr(self, ds):
+        assert ds.is_sparse
+        assert isinstance(ds.X, CSRMatrix)
+
+    def test_density_within_band(self, ds):
+        p = scaled_profile("w8a", "tiny")
+        assert 0.4 * p.sparsity_pct <= 100 * ds.density <= 2.5 * p.sparsity_pct
+
+    def test_nnz_extremes_realised(self, ds):
+        p = scaled_profile("w8a", "tiny")
+        row_nnz = ds.X.row_nnz
+        assert row_nnz.max() <= p.nnz_max
+        assert row_nnz.min() >= p.nnz_min
+        assert row_nnz.max() >= 0.5 * p.nnz_max  # extreme injected by design
+
+    def test_rows_unit_normalised(self, ds):
+        sq = np.zeros(ds.n_examples)
+        for i in range(ds.n_examples):
+            _, val = ds.X.row(i)
+            sq[i] = float(val @ val)
+        nonempty = ds.X.row_nnz > 0
+        np.testing.assert_allclose(sq[nonempty], 1.0, atol=1e-9)
+
+    def test_labels_balanced_pm1(self, ds):
+        assert set(np.unique(ds.y)) == {-1.0, 1.0}
+        assert abs(float(np.mean(ds.y > 0)) - 0.5) < 0.02
+
+    def test_deterministic(self):
+        a = generate(scaled_profile("w8a", "tiny"), seed=3)
+        b = generate(scaled_profile("w8a", "tiny"), seed=3)
+        np.testing.assert_array_equal(a.X.data, b.X.data)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        a = generate(scaled_profile("w8a", "tiny"), seed=3)
+        b = generate(scaled_profile("w8a", "tiny"), seed=4)
+        assert a.X.nnz != b.X.nnz or not np.array_equal(a.X.data, b.X.data)
+
+    def test_labels_learnable(self, ds):
+        """A few serial SGD epochs must beat chance comfortably."""
+        from repro.models import LogisticRegression
+        from repro.utils import make_rng
+
+        model = LogisticRegression(ds.n_features)
+        w = model.init_params(make_rng(0))
+        order = np.arange(ds.n_examples)
+        for _ in range(15):
+            model.serial_sgd_epoch(ds.X, ds.y, order, w, 1.0)
+        assert model.accuracy(ds.X, ds.y, w) > 0.75
+
+
+class TestDenseGeneration:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return generate(scaled_profile("covtype", "tiny"), seed=0)
+
+    def test_fully_dense(self, ds):
+        assert not ds.is_sparse
+        assert ds.density == 1.0  # Table I: covtype sparsity 100%
+
+    def test_c_contiguous_float64(self, ds):
+        assert ds.X.flags["C_CONTIGUOUS"]
+        assert ds.X.dtype == np.float64
+
+    def test_balanced_labels(self, ds):
+        assert abs(float(np.mean(ds.y > 0)) - 0.5) < 0.02
+
+
+class TestDatasetContainer:
+    def test_to_dense_and_as_csr_roundtrip(self):
+        ds = generate(scaled_profile("w8a", "tiny"), seed=0)
+        np.testing.assert_array_equal(ds.to_dense(), ds.X.to_dense())
+        ds2 = generate(scaled_profile("covtype", "tiny"), seed=0)
+        np.testing.assert_array_equal(ds2.as_csr().to_dense(), ds2.X)
+
+    def test_summary_keys(self):
+        ds = generate(scaled_profile("w8a", "tiny"), seed=0)
+        s = ds.summary()
+        for key in ("n_examples", "nnz_avg", "sparsity_pct", "positive_fraction"):
+            assert key in s

@@ -1,0 +1,90 @@
+"""Tests for the MLP feature-grouping transform."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import group_features, load, load_mlp, mlp_dataset
+from repro.linalg import CSRMatrix
+from repro.utils.errors import ConfigurationError
+
+
+class TestGroupFeatures:
+    def test_dense_exact_average(self):
+        X = np.arange(12, dtype=float).reshape(2, 6)
+        out = group_features(X, 3)  # buckets of width 2
+        expected = np.array([[0.5, 2.5, 4.5], [6.5, 8.5, 10.5]])
+        np.testing.assert_allclose(out, expected)
+
+    def test_zeros_count_in_denominator(self):
+        """The paper averages over the full bucket width: zeros dilute."""
+        X = np.array([[4.0, 0.0, 0.0, 0.0]])
+        out = group_features(X, 2)
+        np.testing.assert_allclose(out, [[2.0, 0.0]])
+
+    def test_sparse_matches_dense_path(self, small_csr):
+        dense = small_csr.to_dense()
+        np.testing.assert_allclose(
+            group_features(small_csr, 3), group_features(dense, 3), atol=1e-12
+        )
+
+    def test_uneven_bucket_widths(self):
+        X = np.ones((1, 5))
+        out = group_features(X, 2)  # widths 2 and 3
+        np.testing.assert_allclose(out, [[1.0, 1.0]])
+
+    def test_identity_when_n_groups_equals_d(self, small_csr):
+        out = group_features(small_csr, small_csr.n_cols)
+        np.testing.assert_array_equal(out, small_csr.to_dense())
+
+    def test_rejects_bad_n_groups(self):
+        with pytest.raises(ConfigurationError):
+            group_features(np.ones((2, 4)), 0)
+        with pytest.raises(ConfigurationError):
+            group_features(np.ones((2, 4)), 5)
+
+
+class TestMlpDataset:
+    def test_width_matches_architecture(self):
+        base = load("real-sim", "tiny")
+        mlp = mlp_dataset(base)
+        assert mlp.n_features == base.profile.mlp_input_width
+        assert mlp.profile.mlp_arch[0] == mlp.n_features
+
+    def test_grouping_increases_density(self):
+        """Table I: 'most of the data sparsities increase on the
+        transformed datasets' (real-sim 0.25% -> 42.64%)."""
+        base = load("real-sim", "tiny")
+        mlp = mlp_dataset(base)
+        assert mlp.density > base.density
+
+    def test_output_dense_float(self):
+        mlp = load_mlp("rcv1", "tiny")
+        assert isinstance(mlp.X, np.ndarray)
+        assert mlp.X.dtype == np.float64
+
+    def test_labels_preserved(self):
+        base = load("w8a", "tiny")
+        mlp = mlp_dataset(base)
+        np.testing.assert_array_equal(mlp.y, base.y)
+
+    def test_covtype_untouched_width(self):
+        """covtype's MLP input equals its native 54 features."""
+        mlp = load_mlp("covtype", "tiny")
+        assert mlp.n_features == 54
+
+
+class TestAliasing:
+    def test_mlp_transform_never_mutates_source(self):
+        """Regression: the identity-width path (covtype, w8a) used to
+        return the source array, and the in-place row normalisation
+        then corrupted the cached base dataset."""
+        import numpy as np
+
+        from repro.datasets import clear_cache, load, load_mlp
+
+        clear_cache()
+        base = load("covtype", "tiny")
+        snapshot = np.array(base.X, copy=True)
+        load_mlp("covtype", "tiny")
+        np.testing.assert_array_equal(base.X, snapshot)
+        clear_cache()

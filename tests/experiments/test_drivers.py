@@ -1,0 +1,253 @@
+"""Smoke + structure tests for the experiment drivers (tiny scale).
+
+Full-scale shape assertions against the paper live in the benchmark
+suite; here we verify the drivers produce complete, well-formed results
+on a reduced grid quickly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        scale="tiny",
+        tasks=("lr",),
+        datasets=("covtype", "w8a"),
+        sync_max_epochs=250,
+        async_max_epochs=80,
+        tolerance=0.05,
+    )
+
+
+class TestContext:
+    def test_step_resolution_order(self, ctx):
+        ctx.step_overrides[("lr", "w8a", "asynchronous", "cpu-par")] = 0.123
+        try:
+            assert ctx.step_for("lr", "w8a", "asynchronous", "cpu-par") == 0.123
+            # other architectures unaffected by the arch-specific override
+            assert ctx.step_for("lr", "w8a", "asynchronous", "gpu") != 0.123
+        finally:
+            ctx.step_overrides.clear()
+
+    def test_run_cached(self, ctx):
+        a = ctx.run("lr", "w8a", "cpu-seq", "asynchronous")
+        b = ctx.run("lr", "w8a", "cpu-seq", "asynchronous")
+        assert a is b
+
+    def test_sync_shares_optimisation_across_archs(self, ctx):
+        seq = ctx.run("lr", "w8a", "cpu-seq", "synchronous")
+        gpu = ctx.run("lr", "w8a", "gpu", "synchronous")
+        assert seq.curve is gpu.curve  # same optimisation run
+        assert seq.time_per_iter != gpu.time_per_iter
+
+
+class TestTable1:
+    def test_checks_pass(self, ctx):
+        res = run_table1(ctx)
+        assert res.all_ok()
+        assert "covtype" in res.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table2(ctx)
+
+    def test_rows_complete(self, result, ctx):
+        assert len(result.rows) == len(ctx.tasks) * len(ctx.datasets)
+
+    def test_gpu_fastest_per_iteration(self, result):
+        assert result.gpu_always_fastest()
+
+    def test_parallel_helps(self, result):
+        assert result.parallel_always_helps()
+
+    def test_render_contains_columns(self, result):
+        out = result.render()
+        assert "seq/par" in out and "par/gpu" in out
+
+    def test_row_lookup(self, result):
+        row = result.row("lr", "w8a")
+        assert row.dataset == "w8a"
+        with pytest.raises(KeyError):
+            result.row("lr", "mnist")
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table3(ctx)
+
+    def test_rows_complete(self, result, ctx):
+        assert len(result.rows) == len(ctx.tasks) * len(ctx.datasets)
+
+    def test_epoch_counts_or_infinity(self, result):
+        for r in result.rows:
+            for e in (r.epochs_gpu, r.epochs_cpu_seq, r.epochs_cpu_par):
+                assert e > 0  # positive count or +inf
+
+    def test_dense_coherence_shape(self, result):
+        row = result.row("lr", "covtype")
+        assert row.speedup_seq_over_par < 1.0  # par slower per iteration
+
+    def test_render(self, result):
+        assert "gpu/par" in result.render()
+
+
+class TestFig6:
+    def test_structure_and_shape(self, ctx):
+        res = run_fig6(ctx, architectures=((50, 10, 5, 2), (50, 512, 256, 2)))
+        assert len(res.points) == 2
+        assert res.points[1].speedup_par_over_seq > res.points[0].speedup_par_over_seq
+        assert "par/seq" in res.render()
+
+
+class TestFig7:
+    def test_panels_and_winners(self, ctx):
+        res = run_fig7(ctx)
+        assert len(res.panels) == len(ctx.tasks) * len(ctx.datasets)
+        winners = res.winners()
+        assert all(w in ("sync-gpu", "async-cpu", "none") for w in winners.values())
+        chart = res.panel("lr", "w8a").render()
+        assert "sync-gpu" in chart
+
+
+class TestFig8:
+    def test_entries(self, ctx):
+        res = run_fig8(
+            ExperimentContext(
+                scale="tiny",
+                tasks=("lr",),
+                datasets=("w8a",),
+                sync_max_epochs=120,
+                async_max_epochs=40,
+                tolerance=0.10,
+            )
+        )
+        systems = set(res.systems())
+        assert {"ours-sync", "ours-async", "bidmach"} <= systems
+        assert res.get("lr", "w8a", "ours-sync") > 0
+        assert "Fig. 8" in res.render()
+
+
+class TestFig1Space:
+    def test_cube_structure(self):
+        from repro.experiments import ExperimentContext, run_fig1_space
+
+        ctx = ExperimentContext(
+            scale="tiny", tolerance=0.10, sync_max_epochs=150, async_max_epochs=60
+        )
+        res = run_fig1_space("lr", "w8a", ctx)
+        assert len(res.cells) == 8
+        labels = {c.label for c in res.cells}
+        assert "sync/gpu/auto" in labels and "async/cpu-par/dense" in labels
+        assert res.best().label in labels
+        assert "corner" in res.render()
+
+    def test_mlp_rejected(self):
+        import pytest as _pytest
+
+        from repro.experiments import run_fig1_space
+
+        with _pytest.raises(ValueError, match="lr/svm"):
+            run_fig1_space("mlp", "w8a")
+
+    def test_cell_lookup(self):
+        from repro.experiments import ExperimentContext, run_fig1_space
+
+        ctx = ExperimentContext(
+            scale="tiny", tolerance=0.10, sync_max_epochs=100, async_max_epochs=40
+        )
+        res = run_fig1_space("svm", "covtype", ctx)
+        cell = res.cell("synchronous", "gpu", "auto")
+        assert cell.time_per_iter > 0
+        import pytest as _pytest
+
+        with _pytest.raises(KeyError):
+            res.cell("synchronous", "tpu", "auto")
+
+
+class TestToleranceLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        from repro.experiments import ExperimentContext, run_tolerance_ladder
+
+        lctx = ExperimentContext(
+            scale="tiny", tolerance=0.01, sync_max_epochs=400, async_max_epochs=120
+        )
+        return run_tolerance_ladder("lr", "w8a", lctx)
+
+    def test_six_configurations(self, ladder):
+        assert len(ladder.entries) == 6
+
+    def test_times_monotone_in_tolerance(self, ladder):
+        assert ladder.times_monotone_in_tolerance()
+
+    def test_winner_lookup_and_render(self, ladder):
+        win = ladder.winner_at(0.10)
+        assert win.label in ladder.render()
+        assert "t(10%)" in ladder.render()
+
+    def test_entry_lookup(self, ladder):
+        e = ladder.entry("synchronous", "gpu")
+        assert e.time_at(0.10) <= e.time_at(0.01) or not math.isfinite(e.time_at(0.01))
+        with pytest.raises(KeyError):
+            ladder.entry("synchronous", "tpu")
+        with pytest.raises(KeyError):
+            e.time_at(0.5)
+
+
+class TestReproduceAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments import ExperimentContext, reproduce_all
+
+        rctx = ExperimentContext(
+            scale="tiny",
+            tasks=("lr", "mlp"),
+            datasets=("covtype", "w8a"),
+            sync_max_epochs=300,
+            async_max_epochs=100,
+            tolerance=0.05,
+        )
+        return reproduce_all(rctx)
+
+    def test_all_artifacts_present(self, report):
+        assert len(report.table2.rows) == 4
+        assert len(report.table3.rows) == 4
+        assert len(report.fig7.panels) == 4
+        assert report.fig6.points
+
+    def test_verdicts_named_and_retrievable(self, report):
+        names = {v.name for v in report.verdicts}
+        assert "table2/gpu-always-fastest" in names
+        assert "fig7/no-single-winner" in names
+        v = report.verdict("table2/gpu-always-fastest")
+        assert isinstance(v.reproduced, bool)
+        with pytest.raises(KeyError):
+            report.verdict("nope")
+
+    def test_comparison_tables_render(self, report):
+        # tiny grid lacks some paper cells; the comparisons silently
+        # restrict themselves to the regenerated subset.
+        out2 = report.comparison_table2()
+        out3 = report.comparison_table3()
+        assert "paper vs ours" in out2 and "paper vs ours" in out3
+        assert "covtype" in out2 and "real-sim" not in out2
+
+    def test_verdict_rendering(self, report):
+        out = report.render_verdicts()
+        assert "claim" in out and "verdict" in out

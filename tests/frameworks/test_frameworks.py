@@ -1,0 +1,119 @@
+"""Tests for the framework baseline executors."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    BIDMACH_LIKE,
+    OURS,
+    TENSORFLOW_LIKE,
+    FrameworkExecutor,
+)
+from repro.linalg import recording
+from repro.models import make_model
+from repro.sgd.runner import full_scale_factor, working_set_bytes
+from repro.utils import derive_rng
+
+
+@pytest.fixture(scope="module")
+def sparse_trace():
+    """A traced LR epoch on sparse data (w8a), at paper scale."""
+    from repro.datasets import load
+
+    ds = load("w8a", "tiny")
+    model = make_model("lr", ds)
+    w = model.init_params(derive_rng(0, "w"))
+    with recording() as tr:
+        model.full_grad(ds.X, ds.y, w)
+    return tr.scaled(full_scale_factor(ds, "lr")), working_set_bytes(ds, model, "lr")
+
+
+@pytest.fixture(scope="module")
+def mlp_trace():
+    from repro.datasets import load_mlp
+
+    ds = load_mlp("w8a", "tiny")
+    model = make_model("mlp", ds)
+    w = model.init_params(derive_rng(0, "w"))
+    with recording() as tr:
+        model.full_grad(ds.X, ds.y, w)
+    return tr.scaled(full_scale_factor(ds, "mlp")), working_set_bytes(ds, model, "mlp")
+
+
+class TestProfiles:
+    def test_profile_dispositions(self):
+        assert TENSORFLOW_LIKE.cpu_policy.gemm_min_result_size == 0
+        assert BIDMACH_LIKE.gpu_irregular_penalty > OURS.gpu_irregular_penalty
+
+    def test_models_reflect_overheads(self):
+        tf_gpu = TENSORFLOW_LIKE.gpu_model()
+        ours_gpu = OURS.gpu_model()
+        assert (
+            tf_gpu.spec.kernel_launch_overhead > ours_gpu.spec.kernel_launch_overhead
+        )
+
+
+class TestExecutor:
+    def test_timing_fields_positive(self, sparse_trace):
+        trace, ws = sparse_trace
+        t = FrameworkExecutor(OURS).timing(trace, ws)
+        assert t.gpu > 0 and t.cpu_parallel > 0 and t.cpu_sequential > t.cpu_parallel
+
+    def test_bidmach_gpu_slower_on_sparse(self, sparse_trace):
+        """The paper's Fig. 8 finding: BIDMach's dense-optimised GPU
+        kernels lose to ViennaCL's sparse-specialised ones."""
+        trace, ws = sparse_trace
+        ours = FrameworkExecutor(OURS).timing(trace, ws)
+        bid = FrameworkExecutor(BIDMACH_LIKE).timing(trace, ws)
+        assert bid.gpu > ours.gpu
+        assert ours.gpu_speedup_over_cpu >= 0.9 * bid.gpu_speedup_over_cpu
+
+    def test_tensorflow_cpu_parallelises_mlp_gemms(self, mlp_trace):
+        """TF's Eigen kernels have no ViennaCL threshold: its parallel
+        CPU epoch is faster, hence its GPU speedup ratio is smaller
+        (the paper's Fig. 9 shape)."""
+        trace, ws = mlp_trace
+        ours = FrameworkExecutor(OURS).timing(trace, ws)
+        tf = FrameworkExecutor(TENSORFLOW_LIKE).timing(trace, ws)
+        assert tf.cpu_parallel < ours.cpu_parallel
+        assert ours.gpu_speedup_over_cpu > tf.gpu_speedup_over_cpu
+
+    def test_cpu_parallel_speedup_property(self, sparse_trace):
+        trace, ws = sparse_trace
+        t = FrameworkExecutor(OURS).timing(trace, ws)
+        assert t.cpu_parallel_speedup == pytest.approx(
+            t.cpu_sequential / t.cpu_parallel
+        )
+
+    def test_thread_override(self, sparse_trace):
+        trace, ws = sparse_trace
+        few = FrameworkExecutor(OURS, threads=4).timing(trace, ws)
+        many = FrameworkExecutor(OURS, threads=56).timing(trace, ws)
+        assert many.cpu_parallel < few.cpu_parallel
+
+
+class TestProfileOverheads:
+    def test_cpu_overhead_multiplier_slows_parallel(self, sparse_trace):
+        from dataclasses import replace
+
+        from repro.frameworks.profiles import OURS
+
+        trace, ws = sparse_trace
+        heavy = replace(OURS, name="heavy", cpu_overhead_multiplier=20.0)
+        base = FrameworkExecutor(OURS).timing(trace, ws)
+        slow = FrameworkExecutor(heavy).timing(trace, ws)
+        assert slow.cpu_parallel > base.cpu_parallel
+        # sequential kernels pay no fork/join overhead: unaffected
+        assert slow.cpu_sequential == pytest.approx(base.cpu_sequential)
+
+    def test_gpu_launch_multiplier_slows_gpu(self, mlp_trace):
+        from dataclasses import replace
+
+        from repro.frameworks.profiles import OURS
+
+        trace, ws = mlp_trace
+        heavy = replace(OURS, name="chatty", gpu_launch_multiplier=50.0)
+        base = FrameworkExecutor(OURS).timing(trace, ws)
+        slow = FrameworkExecutor(heavy).timing(trace, ws)
+        assert slow.gpu > base.gpu
+        assert slow.cpu_parallel == pytest.approx(base.cpu_parallel)

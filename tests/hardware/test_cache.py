@@ -1,0 +1,67 @@
+"""Tests for the cache-residency model."""
+
+import pytest
+
+from repro.hardware import XEON_E5_2660V4_DUAL, residency
+from repro.hardware.cache import MemLevel
+from repro.utils.units import KiB, MiB
+
+SPEC = XEON_E5_2660V4_DUAL
+
+
+class TestLevelSelection:
+    def test_tiny_set_in_l1(self):
+        assert residency(SPEC, 16 * KiB, 1).level is MemLevel.L1
+
+    def test_aggregate_l1_grows_with_threads(self):
+        ws = 20 * 32 * KiB  # fits 20+ cores' L1, not one
+        assert residency(SPEC, ws, 1).level is not MemLevel.L1
+        assert residency(SPEC, ws, 28).level is MemLevel.L1
+
+    def test_w8a_aggregate_residency(self):
+        """~9 MB CSR: beyond one core's private caches, inside the
+        aggregate hierarchy with all threads — the super-linear regime."""
+        ws = 9 * MiB
+        seq = residency(SPEC, ws, 1)
+        par = residency(SPEC, ws, 56)
+        assert seq.level in (MemLevel.L3, MemLevel.DRAM)
+        assert par.level in (MemLevel.L2, MemLevel.L3)
+        assert par.bandwidth > 10 * seq.bandwidth
+
+    def test_huge_set_in_dram(self):
+        assert residency(SPEC, 10 * 1024 * MiB, 56).level is MemLevel.DRAM
+
+
+class TestSequentialL3Thrash:
+    def test_cold_scan_gets_fraction(self):
+        """A 20 MB cold scan fits L3 for parallel but thrashes for a
+        single thread (the paper's 'cannot be cached on a single
+        core')."""
+        ws = 20 * MiB
+        assert residency(SPEC, ws, 1).level is MemLevel.DRAM
+        assert residency(SPEC, ws, 56).level is MemLevel.L3
+
+    def test_hot_set_keeps_l3(self):
+        ws = 20 * MiB
+        assert residency(SPEC, ws, 1, hot=True).level is MemLevel.L3
+
+
+class TestBandwidth:
+    def test_monotone_in_threads(self):
+        ws = 100 * MiB
+        bws = [residency(SPEC, ws, t).bandwidth for t in (1, 8, 28, 56)]
+        assert bws == sorted(bws)
+
+    def test_dram_capped_by_socket_channels(self):
+        bw = residency(SPEC, 10 * 1024 * MiB, 56).bandwidth
+        assert bw <= SPEC.sockets * SPEC.dram_bw_socket
+
+    def test_latency_vs_stream_single_thread(self):
+        ws = 10 * 1024 * MiB
+        stream = residency(SPEC, ws, 1, streaming=True).bandwidth
+        pointer_chase = residency(SPEC, ws, 1, streaming=False).bandwidth
+        assert pointer_chase < stream
+
+    def test_rejects_negative_ws(self):
+        with pytest.raises(ValueError):
+            residency(SPEC, -1.0, 1)

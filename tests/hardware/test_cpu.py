@@ -1,0 +1,151 @@
+"""Tests for the CPU performance model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.hardware import AsyncWorkload, CpuModel
+from repro.linalg import FULLY_PARALLEL_POLICY
+from repro.linalg.trace import OpKind, OpRecord, Trace
+from repro.models import make_model
+from repro.utils.units import MiB
+
+
+def _gemm_op(flops=1e9, result=10_000, tasks=100_000):
+    return OpRecord(
+        name="g", kind=OpKind.GEMM, flops=flops, bytes_read=flops / 100,
+        bytes_written=1e3, parallel_tasks=tasks, result_size=result,
+    )
+
+
+def _small_gemm_op(flops=1e9):
+    """Below the ViennaCL threshold: result 540 like a dW product."""
+    return OpRecord(
+        name="dw", kind=OpKind.GEMM, flops=flops, bytes_read=flops / 100,
+        bytes_written=1e3, parallel_tasks=54, result_size=540,
+        parallelism_scales=False,
+    )
+
+
+class TestSyncModel:
+    def test_parallel_faster_than_sequential(self):
+        cpu = CpuModel()
+        tr = Trace([_gemm_op()])
+        t1 = cpu.sync_epoch_time(tr, 1, 100 * MiB)
+        t56 = cpu.sync_epoch_time(tr, 56, 100 * MiB)
+        assert t56 < t1
+
+    def test_viennacl_threshold_blocks_small_gemm(self):
+        cpu = CpuModel()
+        tr = Trace([_small_gemm_op()])
+        t1 = cpu.sync_epoch_time(tr, 1, 100 * MiB)
+        t56 = cpu.sync_epoch_time(tr, 56, 100 * MiB)
+        # near-identical: the kernel never parallelises
+        assert t56 == pytest.approx(t1, rel=0.05)
+
+    def test_fully_parallel_policy_unblocks(self):
+        cpu = CpuModel(policy=FULLY_PARALLEL_POLICY)
+        tr = Trace([_small_gemm_op()])
+        t1 = cpu.sync_epoch_time(tr, 1, 100 * MiB)
+        t56 = cpu.sync_epoch_time(tr, 56, 100 * MiB)
+        assert t56 < 0.1 * t1
+
+    def test_monotone_in_threads(self):
+        cpu = CpuModel()
+        tr = Trace([_gemm_op()])
+        times = [cpu.sync_epoch_time(tr, t, 100 * MiB) for t in (1, 4, 16, 56)]
+        assert times == sorted(times, reverse=True)
+
+    def test_irregular_penalty_slows_spmv(self):
+        cpu = CpuModel()
+        base = dict(flops=1e6, bytes_read=64 * MiB, bytes_written=1e3, parallel_tasks=1000)
+        regular = OpRecord(name="r", kind=OpKind.GEMV, **base)
+        irregular = OpRecord(name="i", kind=OpKind.SPMV, irregular=True, **base)
+        t_reg = cpu.sync_epoch_time(Trace([regular]), 56, 500 * MiB)
+        t_irr = cpu.sync_epoch_time(Trace([irregular]), 56, 500 * MiB)
+        assert t_irr > 1.5 * t_reg
+
+    def test_breakdown_consistent(self):
+        cpu = CpuModel()
+        tr = Trace([_gemm_op(), _small_gemm_op()])
+        br = cpu.sync_breakdown(tr, 56, 100 * MiB)
+        assert br.total > 0
+        assert br.total <= br.compute + br.memory + br.overhead + 1e-12
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            CpuModel().sync_epoch_time(Trace([]), 0, 1.0)
+
+
+class TestSuperLinearSpeedup:
+    def test_cache_residency_superlinear(self):
+        """A memory-bound kernel whose working set fits the aggregate
+        private caches but not one core's: parallel speedup must exceed
+        the thread count (the paper's w8a/real-sim finding)."""
+        cpu = CpuModel()
+        ws = 6 * MiB  # > L1+L2+L3-share of one core, < aggregate L2
+        op = OpRecord(
+            name="scan", kind=OpKind.SPMV, flops=1e6, bytes_read=40 * MiB,
+            bytes_written=1e3, parallel_tasks=100_000, result_size=100_000,
+            irregular=True,
+        )
+        t1 = cpu.sync_epoch_time(Trace([op]), 1, ws)
+        t56 = cpu.sync_epoch_time(Trace([op]), 56, ws)
+        assert t1 / t56 > 56
+
+    def test_dram_bound_sublinear(self):
+        """Out-of-cache working sets saturate the channels: speedup
+        stays below the thread count (the paper's rcv1 finding)."""
+        cpu = CpuModel()
+        ws = 1200 * MiB
+        op = OpRecord(
+            name="scan", kind=OpKind.SPMV, flops=1e6, bytes_read=1200 * MiB,
+            bytes_written=1e3, parallel_tasks=700_000, result_size=700_000,
+            irregular=True,
+        )
+        t1 = cpu.sync_epoch_time(Trace([op]), 1, ws)
+        t56 = cpu.sync_epoch_time(Trace([op]), 56, ws)
+        assert 5 < t1 / t56 < 56
+
+
+class TestAsyncModel:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        out = {}
+        for name in ("covtype", "news", "w8a"):
+            ds = load(name, "tiny")
+            out[name] = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        return out
+
+    def test_dense_parallel_slower_than_sequential(self, workloads):
+        """covtype: every update touches every model line -> the
+        hot-line floor makes 56 threads slower than 1 (Table III)."""
+        cpu = CpuModel()
+        w = workloads["covtype"]
+        assert cpu.async_epoch_time(w, 56) > cpu.async_epoch_time(w, 1)
+
+    def test_sparse_parallel_faster(self, workloads):
+        cpu = CpuModel()
+        w = workloads["news"]
+        t1, t56 = cpu.async_epoch_time(w, 1), cpu.async_epoch_time(w, 56)
+        assert 2.0 < t1 / t56 < 20.0  # paper: ~6x best case
+
+    def test_coherence_ablation_switch(self, workloads):
+        """Without the coherence model, dense parallel Hogwild would
+        (wrongly) look fast — the ablation the design doc calls out."""
+        w = workloads["covtype"]
+        with_coh = CpuModel().async_epoch_time(w, 56)
+        without = CpuModel(model_coherence=False).async_epoch_time(w, 56)
+        assert without < 0.25 * with_coh
+
+    def test_sequential_unaffected_by_coherence(self, workloads):
+        w = workloads["w8a"]
+        a = CpuModel().async_epoch_time(w, 1)
+        b = CpuModel(model_coherence=False).async_epoch_time(w, 1)
+        assert a == pytest.approx(b)
+
+    def test_breakdown_total_ge_parts(self, workloads):
+        br = CpuModel().async_breakdown(workloads["news"], 56)
+        assert br.total >= br.compute
+        assert br.total >= br.memory
+        assert br.coherence >= 0

@@ -1,0 +1,144 @@
+"""Hypothesis property tests for the hardware cost models.
+
+The analytical models must satisfy basic physical sanity regardless of
+parameters: non-negative times, monotonicity in work, monotone benefit
+of threads for conflict-free work, and cost decompositions that never
+exceed the whole.  These invariants guard the calibration constants —
+a miscalibration that breaks physics is caught here even if the paper
+comparisons still look plausible.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import AsyncWorkload, CpuModel, GpuModel
+from repro.hardware.coherence import LineStats
+from repro.linalg.trace import OpKind, OpRecord, Trace
+
+KINDS = st.sampled_from(list(OpKind))
+
+
+@st.composite
+def op_records(draw):
+    kind = draw(KINDS)
+    flops = draw(st.floats(0.0, 1e12))
+    br = draw(st.floats(0.0, 1e10))
+    bw = draw(st.floats(0.0, 1e10))
+    tasks = draw(st.integers(1, 10**7))
+    result = draw(st.integers(0, 10**7))
+    return OpRecord(
+        name="p",
+        kind=kind,
+        flops=flops,
+        bytes_read=br,
+        bytes_written=bw,
+        parallel_tasks=tasks,
+        result_size=result,
+        irregular=draw(st.booleans()),
+        dispersion=draw(st.floats(1.0, 50.0)),
+    )
+
+
+@st.composite
+def workloads(draw):
+    n_lines = draw(st.integers(1, 40))
+    freqs = draw(
+        st.lists(st.floats(1e-4, 1.0), min_size=n_lines, max_size=n_lines)
+    )
+    return AsyncWorkload(
+        name="prop",
+        steps_per_epoch=draw(st.integers(1, 10**6)),
+        examples_per_step=draw(st.sampled_from([1, 1, 1, 256])),
+        flops_per_step=draw(st.floats(1.0, 1e7)),
+        data_bytes_per_step=draw(st.floats(1.0, 1e6)),
+        model_lines_per_step=draw(st.floats(1.0, 1e4)),
+        model_bytes=draw(st.floats(8.0, 1e9)),
+        line_stats=LineStats(np.asarray(freqs)),
+        warp_divergence=draw(st.floats(1.0, 40.0)),
+        dense_update=draw(st.booleans()),
+    )
+
+
+class TestCpuSyncProperties:
+    @given(op_records(), st.integers(1, 56), st.floats(1.0, 1e12))
+    @settings(max_examples=80, deadline=None)
+    def test_time_positive_finite(self, op, threads, ws):
+        t = CpuModel().op_time(op, threads, ws)
+        assert t > 0 and np.isfinite(t)
+
+    @given(op_records(), st.floats(1.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_more_work_never_cheaper(self, op, ws):
+        cpu = CpuModel()
+        doubled = Trace([op, op])
+        assert cpu.sync_epoch_time(doubled, 28, ws) >= cpu.sync_epoch_time(
+            Trace([op]), 28, ws
+        ) - 1e-15
+
+    @given(op_records(), st.floats(1.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_threads_never_hurt_sync(self, op, ws):
+        """Synchronous kernels: more threads never slow an op (the
+        policy may ignore them, but never adds cost beyond overhead)."""
+        cpu = CpuModel()
+        t1 = cpu.op_time(op, 1, ws)
+        t56 = cpu.op_time(op, 56, ws)
+        # allow the fork/join overhead delta
+        assert t56 <= t1 + cpu.spec.parallel_overhead
+
+    @given(op_records(), st.integers(1, 56), st.floats(1.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_bounds_total(self, op, threads, ws):
+        cpu = CpuModel()
+        br = cpu.sync_breakdown(Trace([op]), threads, ws)
+        assert br.total <= br.compute + br.memory + br.overhead + 1e-12
+
+
+class TestCpuAsyncProperties:
+    @given(workloads(), st.integers(1, 56))
+    @settings(max_examples=80, deadline=None)
+    def test_time_positive_finite(self, w, threads):
+        t = CpuModel().async_epoch_time(w, threads)
+        assert t > 0 and np.isfinite(t)
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_coherence_never_negative(self, w):
+        br = CpuModel().async_breakdown(w, 56)
+        assert br.coherence >= -1e-12
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_disabling_coherence_never_slower(self, w):
+        on = CpuModel().async_epoch_time(w, 56)
+        off = CpuModel(model_coherence=False).async_epoch_time(w, 56)
+        assert off <= on + 1e-15
+
+
+class TestGpuProperties:
+    @given(op_records())
+    @settings(max_examples=80, deadline=None)
+    def test_op_time_at_least_launch(self, op):
+        gpu = GpuModel()
+        assert gpu.op_time(op) >= gpu.spec.kernel_launch_overhead
+
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_async_time_positive_finite(self, w):
+        t = GpuModel().async_epoch_time(w)
+        assert t > 0 and np.isfinite(t)
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_warp_shuffle_never_hurts(self, w):
+        with_shuffle = GpuModel(warp_shuffle=True).async_epoch_time(w)
+        without = GpuModel(warp_shuffle=False).async_epoch_time(w)
+        assert with_shuffle <= without + 1e-15
+
+    @given(op_records(), st.floats(1.0, 8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_irregular_penalty_monotone(self, op, penalty):
+        mild = GpuModel(irregular_penalty=1.0).op_time(op)
+        harsh = GpuModel(irregular_penalty=penalty).op_time(op)
+        assert harsh >= mild - 1e-15

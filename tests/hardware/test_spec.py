@@ -1,0 +1,64 @@
+"""Tests for the hardware specifications (the paper's Fig. 5)."""
+
+import pytest
+
+from repro.hardware import TESLA_K80, XEON_E5_2660V4_DUAL
+from repro.utils.units import GiB, KiB, MiB
+
+
+class TestXeonSpec:
+    def test_figure5_numbers(self):
+        s = XEON_E5_2660V4_DUAL
+        assert s.sockets == 2
+        assert s.cores_per_socket == 14
+        assert s.max_threads == 56  # the paper's thread count
+        assert s.l1_bytes_per_core == 32 * KiB
+        assert s.l2_bytes_per_core == 256 * KiB
+        assert s.l3_bytes_per_socket == 35 * MiB
+        assert s.dram_bytes == 256 * GiB
+
+    def test_effective_cores_monotone(self):
+        s = XEON_E5_2660V4_DUAL
+        values = [s.effective_cores(t) for t in (1, 14, 28, 42, 56)]
+        assert values == sorted(values)
+        assert values[0] == 1.0
+
+    def test_smt_discount(self):
+        s = XEON_E5_2660V4_DUAL
+        assert s.effective_cores(28) == 28
+        assert 28 < s.effective_cores(56) < 56
+
+    def test_effective_cores_caps_at_max(self):
+        s = XEON_E5_2660V4_DUAL
+        assert s.effective_cores(1000) == s.effective_cores(56)
+
+    def test_effective_cores_rejects_zero(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2660V4_DUAL.effective_cores(0)
+
+    def test_sockets_engaged(self):
+        s = XEON_E5_2660V4_DUAL
+        assert s.sockets_engaged(1) == 1
+        assert s.sockets_engaged(14) == 1
+        assert s.sockets_engaged(15) == 2
+        assert s.sockets_engaged(56) == 2
+
+    def test_core_flops(self):
+        # 2.0 GHz x 16 DP flops/cycle
+        assert XEON_E5_2660V4_DUAL.core_flops == pytest.approx(32e9)
+
+
+class TestK80Spec:
+    def test_figure5_numbers(self):
+        g = TESLA_K80
+        assert g.multiprocessors == 13
+        assert g.cores_per_mp == 192
+        assert g.total_cores == 2496  # the paper's headline core count
+        assert g.warp_size == 32
+        assert g.global_bytes == 12 * GiB
+        assert g.l2_bytes == 1536 * KiB
+
+    def test_concurrent_threads(self):
+        g = TESLA_K80
+        assert g.concurrent_threads == g.warps_in_flight * 32
+        assert g.concurrent_threads > XEON_E5_2660V4_DUAL.max_threads * 10

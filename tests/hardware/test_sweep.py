@@ -1,0 +1,77 @@
+"""Tests for the thread-scalability sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.hardware import AsyncWorkload, CpuModel
+from repro.hardware.sweep import async_scaling, sync_scaling
+from repro.linalg import recording
+from repro.models import make_model
+from repro.sgd.runner import full_scale_factor, working_set_bytes
+from repro.utils import derive_rng
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CpuModel()
+
+
+def _sync_inputs(name):
+    ds = load(name, "small")
+    model = make_model("lr", ds)
+    w = model.init_params(derive_rng(0, "sweep"))
+    with recording() as tr:
+        model.full_grad(ds.X, ds.y, w)
+    return tr.scaled(full_scale_factor(ds, "lr")), working_set_bytes(ds, model, "lr")
+
+
+class TestSyncScaling:
+    def test_speedup_monotone_for_sync_kernels(self, cpu):
+        trace, ws = _sync_inputs("rcv1")
+        curve = sync_scaling(cpu, trace, ws)
+        speedups = [p.speedup for p in curve.points]
+        assert speedups == sorted(speedups)
+        assert curve.points[0].speedup == pytest.approx(1.0)
+
+    def test_w8a_goes_superlinear(self, cpu):
+        """The aggregate-cache regime shift appears as super-linear
+        points in the sweep (the paper's Section IV-B)."""
+        trace, ws = _sync_inputs("w8a")
+        curve = sync_scaling(cpu, trace, ws)
+        assert curve.superlinear
+
+    def test_efficiency_definition(self, cpu):
+        trace, ws = _sync_inputs("covtype")
+        curve = sync_scaling(cpu, trace, ws)
+        for p in curve.points:
+            assert p.efficiency == pytest.approx(p.speedup / p.threads)
+
+    def test_requires_baseline_first(self, cpu):
+        trace, ws = _sync_inputs("covtype")
+        with pytest.raises(ValueError, match="1 thread"):
+            sync_scaling(cpu, trace, ws, threads=(2, 4))
+
+
+class TestAsyncScaling:
+    def test_dense_collapse(self, cpu):
+        """covtype Hogwild: the sweep must show scaling collapsing below
+        1.0 — the coherence floor."""
+        ds = load("covtype", "small")
+        w = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        curve = async_scaling(cpu, w)
+        assert curve.scaling_collapses
+
+    def test_sparse_scales_then_saturates(self, cpu):
+        ds = load("news", "small")
+        w = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        curve = async_scaling(cpu, w)
+        assert not curve.scaling_collapses
+        assert 2.0 < curve.peak_speedup < 56.0
+        assert curve.monotone_through() >= 8
+
+    def test_best_point_is_min_time(self, cpu):
+        ds = load("real-sim", "small")
+        w = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        curve = async_scaling(cpu, w)
+        assert curve.best.time == min(p.time for p in curve.points)

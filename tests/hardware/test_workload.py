@@ -1,0 +1,84 @@
+"""Tests for the AsyncWorkload descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PAPER_PROFILES, load, load_mlp
+from repro.hardware import AsyncWorkload, warp_divergence_factor
+from repro.models import make_model
+
+
+class TestWarpDivergence:
+    def test_constant_rows_no_divergence(self):
+        assert warp_divergence_factor(np.full(100, 54.0)) == 1.0
+
+    def test_heavy_tail_diverges(self, rng):
+        lengths = rng.lognormal(3.0, 1.5, size=2000)
+        assert warp_divergence_factor(lengths) > 2.0
+
+    def test_empty(self):
+        assert warp_divergence_factor(np.array([])) == 1.0
+
+    def test_deterministic(self, rng):
+        lengths = rng.lognormal(3.0, 1.0, size=500)
+        assert warp_divergence_factor(lengths) == warp_divergence_factor(lengths)
+
+
+class TestForLinear:
+    def test_full_scale_hogwild(self):
+        ds = load("news", "tiny")
+        model = make_model("lr", ds)
+        w = AsyncWorkload.for_linear(ds, model)
+        full = PAPER_PROFILES["news"]
+        assert w.steps_per_epoch == full.n_examples  # paper scale, not tiny
+        assert w.examples_per_step == 1
+        assert not w.dense_update
+        assert w.model_lines_per_step == pytest.approx(full.nnz_avg)
+
+    def test_dense_dataset(self):
+        ds = load("covtype", "tiny")
+        w = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        assert w.dense_update
+        assert w.warp_divergence == 1.0
+        assert w.line_stats.max_frequency == 1.0
+
+    def test_sparse_divergence_exceeds_dense(self):
+        news = load("news", "tiny")
+        cov = load("covtype", "tiny")
+        w_news = AsyncWorkload.for_linear(news, make_model("lr", news))
+        w_cov = AsyncWorkload.for_linear(cov, make_model("lr", cov))
+        assert w_news.warp_divergence > w_cov.warp_divergence
+
+
+class TestForBatched:
+    def test_hogbatch_shape(self):
+        ds = load_mlp("w8a", "tiny")
+        model = make_model("mlp", ds)
+        w = AsyncWorkload.for_batched(ds, model, batch_size=512)
+        full = PAPER_PROFILES["w8a"]
+        assert w.examples_per_step == 512
+        assert w.steps_per_epoch == -(-full.n_examples // 512)
+        assert w.dense_update
+        assert w.model_bytes == model.n_params * 8
+
+    def test_rejects_bad_batch(self):
+        ds = load_mlp("w8a", "tiny")
+        with pytest.raises(ValueError):
+            AsyncWorkload.for_batched(ds, make_model("mlp", ds), batch_size=0)
+
+    def test_validation(self):
+        ds = load("w8a", "tiny")
+        w = AsyncWorkload.for_linear(ds, make_model("lr", ds))
+        with pytest.raises(ValueError):
+            AsyncWorkload(
+                name="bad",
+                steps_per_epoch=0,
+                examples_per_step=1,
+                flops_per_step=1.0,
+                data_bytes_per_step=1.0,
+                model_lines_per_step=1.0,
+                model_bytes=8.0,
+                line_stats=w.line_stats,
+                warp_divergence=1.0,
+                dense_update=False,
+            )

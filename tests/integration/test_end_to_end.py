@@ -1,0 +1,138 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete pipeline — generator -> model -> SGD
+variant -> asynchrony simulator -> hardware model -> convergence
+protocol — the way a library user would drive it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("train", "grid_search", "load", "make_model", "CpuModel"):
+            assert hasattr(repro, name)
+
+    def test_quickstart_docstring_flow(self):
+        result = repro.train(
+            "lr", "w8a", architecture="cpu-par", strategy="asynchronous",
+            scale="tiny", step_size=1.0, max_epochs=60,
+        )
+        assert isinstance(result, repro.TrainResult)
+        assert result.time_per_iter > 0
+        assert result.curve.final_loss < result.curve.initial_loss
+
+
+class TestCrossStrategyComparison:
+    """The paper's central decision problem, end to end on one dataset."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        common = dict(scale="tiny", max_epochs=150, seed=0)
+        return {
+            "sync-gpu": repro.train(
+                "lr", "w8a", architecture="gpu", strategy="synchronous",
+                step_size=100.0, **common,
+            ),
+            "async-seq": repro.train(
+                "lr", "w8a", architecture="cpu-seq", strategy="asynchronous",
+                step_size=1.0, **common,
+            ),
+            "async-par": repro.train(
+                "lr", "w8a", architecture="cpu-par", strategy="asynchronous",
+                step_size=1.0, **common,
+            ),
+        }
+
+    def test_all_converge_to_10pct(self, runs):
+        for name, r in runs.items():
+            assert r.epochs_to(0.10) is not None, name
+
+    def test_shared_initial_loss(self, runs):
+        """The paper's methodology: same init across configurations."""
+        inits = {round(r.curve.initial_loss, 12) for r in runs.values()}
+        assert len(inits) == 1
+
+    def test_shared_optimum(self, runs):
+        opts = {r.optimal_loss for r in runs.values()}
+        assert len(opts) == 1
+
+    def test_incremental_beats_batch_statistically(self, runs):
+        """Bertsekas: incremental SGD converges in far fewer epochs than
+        batch GD when far from the optimum (Section III)."""
+        e_async = runs["async-seq"].epochs_to(0.10)
+        e_sync = runs["sync-gpu"].epochs_to(0.10)
+        assert e_async < e_sync
+
+    def test_time_to_convergence_composition(self, runs):
+        for r in runs.values():
+            e = r.epochs_to(0.10)
+            if e is not None:
+                assert r.time_to(0.10) == pytest.approx(e * r.time_per_iter)
+
+
+class TestLibsvmRoundtripTraining:
+    def test_user_supplied_file_flow(self, tmp_path):
+        """Write a dataset as LIBSVM, read it back, train on it."""
+        ds = repro.load("w8a", "tiny")
+        path = tmp_path / "data.libsvm"
+        repro.datasets.write_libsvm(ds, path)
+        loaded = repro.read_libsvm(path, n_features=ds.n_features)
+        result = repro.train(
+            "svm", loaded, architecture="cpu-seq", strategy="asynchronous",
+            step_size=0.3, max_epochs=40,
+        )
+        assert result.curve.final_loss < result.curve.initial_loss
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        a = repro.train(
+            "svm", "real-sim", architecture="gpu", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=15, seed=5,
+        )
+        b = repro.train(
+            "svm", "real-sim", architecture="gpu", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=15, seed=5,
+        )
+        assert a.curve.losses == b.curve.losses
+        assert a.time_per_iter == b.time_per_iter
+
+    def test_seed_isolation(self):
+        a = repro.train(
+            "svm", "real-sim", architecture="gpu", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=15, seed=5,
+        )
+        c = repro.train(
+            "svm", "real-sim", architecture="gpu", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=15, seed=6,
+        )
+        assert a.curve.losses != c.curve.losses
+
+
+class TestHardwareStatisticalDecomposition:
+    def test_async_tpi_independent_of_losses(self):
+        """Hardware efficiency comes from the machine model, so two runs
+        with different steps share the same time-per-iteration."""
+        kwargs = dict(
+            architecture="cpu-par", strategy="asynchronous", scale="tiny",
+            max_epochs=10,
+        )
+        a = repro.train("lr", "news", step_size=0.1, **kwargs)
+        b = repro.train("lr", "news", step_size=1.0, **kwargs)
+        assert a.time_per_iter == b.time_per_iter
+        assert a.curve.losses != b.curve.losses
+
+    def test_paper_machines_are_default(self):
+        r = repro.train(
+            "lr", "covtype", architecture="gpu", strategy="synchronous",
+            scale="tiny", step_size=100.0, max_epochs=5,
+        )
+        # K80-priced epochs are sub-second for LR at paper scale
+        assert 1e-5 < r.time_per_iter < 1.0

@@ -1,0 +1,108 @@
+"""Tests for the instrumented dense primitives."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    axpy,
+    elementwise,
+    gemm,
+    gemv,
+    outer_update,
+    recording,
+    reduce_mean,
+    reduce_sum,
+    rgemv,
+    scale,
+    sigmoid,
+)
+from repro.linalg.trace import OpKind
+
+
+@pytest.fixture()
+def mats(rng):
+    A = rng.standard_normal((6, 4))
+    B = rng.standard_normal((4, 3))
+    x = rng.standard_normal(4)
+    v = rng.standard_normal(6)
+    return A, B, x, v
+
+
+class TestNumericalCorrectness:
+    def test_gemm(self, mats):
+        A, B, _, _ = mats
+        np.testing.assert_allclose(gemm(A, B), A @ B)
+
+    def test_gemm_shape_mismatch(self, mats):
+        A, _, _, _ = mats
+        with pytest.raises(ValueError, match="gemm shape"):
+            gemm(A, A)
+
+    def test_gemv_and_rgemv(self, mats):
+        A, _, x, v = mats
+        np.testing.assert_allclose(gemv(A, x), A @ x)
+        np.testing.assert_allclose(rgemv(A, v), A.T @ v)
+
+    def test_axpy_scale(self, mats):
+        _, _, x, _ = mats
+        np.testing.assert_allclose(axpy(2.0, x, x), 3.0 * x)
+        np.testing.assert_allclose(scale(-1.5, x), -1.5 * x)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_reductions(self, mats):
+        A, _, _, _ = mats
+        np.testing.assert_allclose(reduce_sum(A, axis=0), A.sum(axis=0))
+        np.testing.assert_allclose(reduce_mean(A), A.mean())
+
+    def test_elementwise(self, mats):
+        _, _, x, _ = mats
+        np.testing.assert_allclose(elementwise(np.tanh, x), np.tanh(x))
+
+    def test_outer_update_in_place(self, rng):
+        W = np.zeros((3, 2))
+        u, v = rng.standard_normal(3), rng.standard_normal(2)
+        ret = outer_update(W, 0.5, u, v)
+        assert ret is W
+        np.testing.assert_allclose(W, 0.5 * np.outer(u, v))
+
+
+class TestInstrumentation:
+    def test_gemm_record(self, mats):
+        A, B, _, _ = mats
+        with recording() as tr:
+            gemm(A, B, name="fwd")
+        (op,) = tr.ops
+        assert op.name == "fwd"
+        assert op.kind is OpKind.GEMM
+        assert op.flops == 2 * 6 * 3 * 4
+        assert op.result_size == 18
+        assert op.parallel_tasks == 6
+
+    def test_gemv_vs_rgemv_parallelism(self, mats):
+        A, _, x, v = mats
+        with recording() as tr:
+            gemv(A, x)
+            rgemv(A, v)
+        assert tr.ops[0].parallel_tasks == 6  # output rows
+        assert tr.ops[1].parallel_tasks == 4  # output coords
+
+    def test_flags_recorded(self, mats):
+        _, _, x, _ = mats
+        with recording() as tr:
+            axpy(1.0, x, x, cost_scales=False, parallelism_scales=False)
+        assert tr.ops[0].cost_scales is False
+        assert tr.ops[0].parallelism_scales is False
+
+    def test_sigmoid_transcendental_cost(self, mats):
+        _, _, x, _ = mats
+        with recording() as tr:
+            sigmoid(x)
+        assert tr.ops[0].flops == 6.0 * x.size
+
+    def test_no_recorder_is_silent(self, mats):
+        A, B, _, _ = mats
+        gemm(A, B)  # must not raise outside a recording scope

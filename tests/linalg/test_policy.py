@@ -1,0 +1,60 @@
+"""Tests for the ViennaCL kernel-parallelisation policy."""
+
+from repro.linalg.policy import FULLY_PARALLEL_POLICY, VIENNACL_POLICY, KernelPolicy
+from repro.linalg.trace import OpKind, OpRecord
+
+
+def _gemm(result_size: int, parallel_tasks: int = 1000) -> OpRecord:
+    return OpRecord(
+        name="g",
+        kind=OpKind.GEMM,
+        flops=1.0,
+        bytes_read=1.0,
+        bytes_written=1.0,
+        parallel_tasks=parallel_tasks,
+        result_size=result_size,
+    )
+
+
+def _load() -> OpRecord:
+    return OpRecord(
+        name="load",
+        kind=OpKind.DATA_LOAD,
+        flops=0.0,
+        bytes_read=100.0,
+        bytes_written=0.0,
+        parallel_tasks=1000,
+    )
+
+
+class TestViennaclPolicy:
+    def test_small_gemm_stays_serial(self):
+        """The paper's 300x10 weight-gradient products (result 3000 <=
+        5000) must not parallelise — the source of the ~2x MLP cap."""
+        assert VIENNACL_POLICY.max_threads(_gemm(result_size=3000), 56) == 1
+
+    def test_threshold_is_strict(self):
+        assert VIENNACL_POLICY.max_threads(_gemm(result_size=5000), 56) == 1
+        assert VIENNACL_POLICY.max_threads(_gemm(result_size=5001), 56) == 56
+
+    def test_data_load_serial(self):
+        assert VIENNACL_POLICY.max_threads(_load(), 56) == 1
+
+    def test_never_exceeds_available_parallelism(self):
+        op = _gemm(result_size=10_000, parallel_tasks=4)
+        assert VIENNACL_POLICY.max_threads(op, 56) == 4
+
+    def test_single_thread_request(self):
+        assert VIENNACL_POLICY.max_threads(_gemm(10_000), 1) == 1
+
+
+class TestFullyParallelPolicy:
+    def test_parallelises_everything(self):
+        assert FULLY_PARALLEL_POLICY.max_threads(_gemm(10), 56) == 56
+        assert FULLY_PARALLEL_POLICY.max_threads(_load(), 56) == 56
+
+
+class TestCustomPolicy:
+    def test_zero_threshold(self):
+        p = KernelPolicy(name="always", gemm_min_result_size=0)
+        assert p.max_threads(_gemm(1, parallel_tasks=8), 56) == 8

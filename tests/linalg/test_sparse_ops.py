@@ -1,0 +1,81 @@
+"""Tests for the instrumented sparse primitives."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    CSRMatrix,
+    csr_matmat,
+    csr_matvec,
+    csr_rmatvec,
+    gather,
+    recording,
+    scatter_add,
+)
+from repro.linalg.trace import OpKind
+
+
+class TestNumerical:
+    def test_csr_matvec(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.n_cols)
+        np.testing.assert_allclose(csr_matvec(small_csr, x), small_csr.to_dense() @ x)
+
+    def test_csr_rmatvec(self, small_csr, rng):
+        v = rng.standard_normal(small_csr.n_rows)
+        np.testing.assert_allclose(
+            csr_rmatvec(small_csr, v), small_csr.to_dense().T @ v
+        )
+
+    def test_csr_matmat(self, small_csr, rng):
+        B = rng.standard_normal((small_csr.n_cols, 3))
+        np.testing.assert_allclose(csr_matmat(small_csr, B), small_csr.to_dense() @ B)
+
+    def test_gather(self, rng):
+        x = rng.standard_normal(10)
+        idx = np.array([3, 3, 7])
+        np.testing.assert_array_equal(gather(x, idx), x[idx])
+
+    def test_scatter_add_accumulates_duplicates(self):
+        x = np.zeros(5)
+        scatter_add(x, np.array([1, 1, 4]), np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x, [0.0, 3.0, 0.0, 0.0, 3.0])
+
+
+class TestInstrumentation:
+    def test_spmv_marks_irregular_and_dispersion(self, small_csr, rng):
+        x = rng.standard_normal(small_csr.n_cols)
+        with recording() as tr:
+            csr_matvec(small_csr, x)
+        (op,) = tr.ops
+        assert op.kind is OpKind.SPMV
+        assert op.irregular
+        assert op.dispersion >= 1.0
+        assert op.flops == 2.0 * small_csr.nnz
+
+    def test_dispersion_reflects_row_imbalance(self):
+        balanced = CSRMatrix.from_rows(
+            [(np.array([0]), np.array([1.0])), (np.array([1]), np.array([1.0]))], 4
+        )
+        skewed = CSRMatrix.from_rows(
+            [(np.array([0]), np.array([1.0])), (np.arange(4), np.ones(4))], 4
+        )
+        with recording() as tr:
+            csr_matvec(balanced, np.zeros(4))
+            csr_matvec(skewed, np.zeros(4))
+        assert tr.ops[0].dispersion == pytest.approx(1.0)
+        assert tr.ops[1].dispersion > 1.4
+
+    def test_rmatvec_result_is_model_sized(self, small_csr, rng):
+        v = rng.standard_normal(small_csr.n_rows)
+        with recording() as tr:
+            csr_rmatvec(small_csr, v)
+        assert tr.ops[0].result_size == small_csr.n_cols
+        assert tr.ops[0].parallel_tasks == small_csr.n_rows
+
+    def test_gather_scatter_cost(self, rng):
+        x = rng.standard_normal(16)
+        with recording() as tr:
+            gather(x, np.array([0, 8]))
+            scatter_add(x, np.array([0, 8]), np.ones(2))
+        assert all(op.kind is OpKind.GATHER_SCATTER for op in tr.ops)
+        assert all(op.irregular for op in tr.ops)

@@ -1,0 +1,126 @@
+"""Tests for the operation-trace recorder."""
+
+import pytest
+
+from repro.linalg.trace import OpKind, OpRecord, Trace, record_op, recording, trace_paused
+
+
+def _op(name="op", flops=10.0, br=8.0, bw=8.0, **kw):
+    return OpRecord(
+        name=name, kind=OpKind.ELEMENTWISE, flops=flops, bytes_read=br, bytes_written=bw, **kw
+    )
+
+
+class TestOpRecord:
+    def test_bytes_total(self):
+        assert _op(br=3.0, bw=4.0).bytes_total == 7.0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            _op(flops=-1.0)
+
+    def test_rejects_zero_parallel_tasks(self):
+        with pytest.raises(ValueError):
+            _op(parallel_tasks=0)
+
+    def test_rejects_dispersion_below_one(self):
+        with pytest.raises(ValueError):
+            _op(dispersion=0.5)
+
+
+class TestRecording:
+    def test_capture_inside_scope_only(self):
+        record_op(_op("outside"))  # no active recorder: silently dropped
+        with recording() as tr:
+            record_op(_op("inside"))
+        record_op(_op("after"))
+        assert [op.name for op in tr] == ["inside"]
+
+    def test_nested_scopes_capture_innermost(self):
+        with recording() as outer:
+            record_op(_op("a"))
+            with recording() as inner:
+                record_op(_op("b"))
+            record_op(_op("c"))
+        assert [op.name for op in outer] == ["a", "c"]
+        assert [op.name for op in inner] == ["b"]
+
+    def test_trace_paused_suppresses(self):
+        with recording() as tr:
+            record_op(_op("kept"))
+            with trace_paused():
+                record_op(_op("hidden"))
+            record_op(_op("kept2"))
+        assert [op.name for op in tr] == ["kept", "kept2"]
+
+    def test_totals(self):
+        with recording() as tr:
+            record_op(_op(flops=3.0, br=1.0, bw=2.0))
+            record_op(_op(flops=4.0, br=5.0, bw=6.0))
+        assert tr.total_flops == 7.0
+        assert tr.total_bytes == 14.0
+        assert len(tr) == 2
+
+    def test_by_kind(self):
+        with recording() as tr:
+            record_op(_op(flops=3.0))
+        assert tr.by_kind() == {OpKind.ELEMENTWISE: 3.0}
+
+
+class TestScaled:
+    def test_scales_example_driven_ops(self):
+        tr = Trace([_op(flops=2.0, br=4.0, bw=4.0, parallel_tasks=10, result_size=10)])
+        out = tr.scaled(3.0)
+        op = out.ops[0]
+        assert op.flops == 6.0
+        assert op.bytes_total == 24.0
+        assert op.parallel_tasks == 30
+        assert op.result_size == 30
+
+    def test_model_sized_ops_pass_through(self):
+        tr = Trace(
+            [
+                _op(
+                    flops=2.0,
+                    br=4.0,
+                    bw=4.0,
+                    parallel_tasks=10,
+                    result_size=10,
+                    cost_scales=False,
+                    parallelism_scales=False,
+                )
+            ]
+        )
+        op = tr.scaled(5.0).ops[0]
+        assert op.flops == 2.0
+        assert op.parallel_tasks == 10
+        assert op.result_size == 10
+
+    def test_weight_gradient_shape(self):
+        """dW GEMMs: cost scales with N, result shape does not."""
+        tr = Trace(
+            [
+                _op(
+                    flops=100.0,
+                    br=100.0,
+                    bw=8.0,
+                    parallel_tasks=54,
+                    result_size=540,
+                    cost_scales=True,
+                    parallelism_scales=False,
+                )
+            ]
+        )
+        op = tr.scaled(7.0).ops[0]
+        assert op.flops == 700.0
+        assert op.result_size == 540
+        assert op.parallel_tasks == 54
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            Trace([_op()]).scaled(-1.0)
+
+    def test_extend(self):
+        a, b = Trace([_op("x")]), Trace([_op("y")])
+        a.extend(b)
+        assert [op.name for op in a] == ["x", "y"]

@@ -1,0 +1,58 @@
+"""Tests for the model factory and gradcheck utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load, load_mlp
+from repro.models import (
+    MLP,
+    LinearSVM,
+    LogisticRegression,
+    finite_difference_grad,
+    make_model,
+)
+from repro.utils import make_rng
+from repro.utils.errors import ConfigurationError
+
+
+class TestMakeModel:
+    def test_lr_svm_sized_to_dataset(self, tiny_sparse):
+        lr = make_model("lr", tiny_sparse)
+        svm = make_model("svm", tiny_sparse)
+        assert isinstance(lr, LogisticRegression)
+        assert isinstance(svm, LinearSVM)
+        assert lr.n_params == svm.n_params == tiny_sparse.n_features
+
+    def test_mlp_uses_profile_architecture(self, tiny_mlp_data):
+        m = make_model("mlp", tiny_mlp_data)
+        assert isinstance(m, MLP)
+        assert m.arch == tiny_mlp_data.profile.mlp_arch
+
+    def test_mlp_rejects_untransformed_dataset(self):
+        base = load("real-sim", "tiny")
+        with pytest.raises(ConfigurationError, match="MLP-transformed"):
+            make_model("mlp", base)
+
+    def test_unknown_task(self, tiny_sparse):
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            make_model("cnn", tiny_sparse)
+
+
+class TestGradcheckUtilities:
+    def test_finite_difference_selected_coords(self, tiny_dense):
+        m = make_model("lr", tiny_dense)
+        w = m.init_params(make_rng(0))
+        coords = np.array([0, 5, 10])
+        got_coords, approx = finite_difference_grad(
+            m, tiny_dense.X, tiny_dense.y, w, coords=coords
+        )
+        np.testing.assert_array_equal(got_coords, coords)
+        analytic = m.full_grad(tiny_dense.X, tiny_dense.y, w)[coords]
+        np.testing.assert_allclose(approx, analytic, atol=1e-6)
+
+    def test_does_not_mutate_params(self, tiny_dense):
+        m = make_model("lr", tiny_dense)
+        w = m.init_params(make_rng(0))
+        w_copy = w.copy()
+        finite_difference_grad(m, tiny_dense.X, tiny_dense.y, w, coords=np.array([0]))
+        np.testing.assert_array_equal(w, w_copy)

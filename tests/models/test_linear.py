@@ -1,0 +1,163 @@
+"""Tests for the linear models (LR, SVM)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import recording
+from repro.models import LinearSVM, LogisticRegression, max_grad_error
+from repro.utils import make_rng
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(params=[LogisticRegression, LinearSVM], ids=["lr", "svm"])
+def model_cls(request):
+    return request.param
+
+
+class TestBasics:
+    def test_param_count(self, model_cls):
+        assert model_cls(17).n_params == 17
+
+    def test_rejects_bad_dims(self, model_cls):
+        with pytest.raises(ConfigurationError):
+            model_cls(0)
+        with pytest.raises(ConfigurationError):
+            model_cls(5, l2=-1.0)
+
+    def test_init_nonzero_deterministic(self, model_cls):
+        m = model_cls(8)
+        a = m.init_params(make_rng(3))
+        b = m.init_params(make_rng(3))
+        np.testing.assert_array_equal(a, b)
+        assert np.any(a != 0)
+
+    def test_params_shape_checked(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        with pytest.raises(ConfigurationError, match="params shape"):
+            m.loss(tiny_sparse.X, tiny_sparse.y, np.zeros(3))
+
+
+class TestGradients:
+    def test_full_grad_matches_fd_sparse(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        coords = make_rng(1).choice(m.n_params, 25, replace=False)
+        assert max_grad_error(m, tiny_sparse.X, tiny_sparse.y, w, coords=coords) < 1e-6
+
+    def test_full_grad_matches_fd_dense(self, model_cls, tiny_dense):
+        m = model_cls(tiny_dense.n_features)
+        w = m.init_params(make_rng(0))
+        assert max_grad_error(m, tiny_dense.X, tiny_dense.y, w) < 1e-6
+
+    def test_full_grad_with_l2(self, tiny_dense):
+        m = LogisticRegression(tiny_dense.n_features, l2=0.1)
+        w = m.init_params(make_rng(0))
+        assert max_grad_error(m, tiny_dense.X, tiny_dense.y, w) < 1e-6
+
+    def test_minibatch_grad_equals_subset_full_grad(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        rows = np.arange(10, 30)
+        sub = tiny_sparse.X.take_rows(rows)
+        expected = m.full_grad(sub, tiny_sparse.y[rows], w)
+        got = m.minibatch_grad(tiny_sparse.X, tiny_sparse.y, rows, w)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_sparse_dense_gradient_agreement(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        g_sparse = m.full_grad(tiny_sparse.X, tiny_sparse.y, w)
+        g_dense = m.full_grad(tiny_sparse.to_dense(), tiny_sparse.y, w)
+        np.testing.assert_allclose(g_sparse, g_dense, atol=1e-10)
+
+
+class TestExampleUpdates:
+    def test_mean_of_updates_equals_minibatch_grad(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        rows = np.arange(24)
+        step = 0.2
+        acc = np.zeros(m.n_params)
+        for idx, delta in m.example_updates(tiny_sparse.X, tiny_sparse.y, rows, w, step):
+            if idx is None:
+                acc += delta
+            else:
+                np.add.at(acc, idx, delta)
+        expected = -step * m.minibatch_grad(tiny_sparse.X, tiny_sparse.y, rows, w) * rows.size
+        np.testing.assert_allclose(acc, expected, atol=1e-10)
+
+    def test_sparse_updates_touch_row_support_only(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        rows = np.arange(6)
+        for k, (idx, _val) in enumerate(
+            m.example_updates(tiny_sparse.X, tiny_sparse.y, rows, w, 0.1)
+        ):
+            expected_idx, _ = tiny_sparse.X.row(rows[k])
+            np.testing.assert_array_equal(idx, expected_idx)
+
+    def test_dense_updates_full_width(self, model_cls, tiny_dense):
+        m = model_cls(tiny_dense.n_features)
+        w = m.init_params(make_rng(0))
+        ups = m.example_updates(tiny_dense.X, tiny_dense.y, np.arange(3), w, 0.1)
+        assert all(idx is None and delta.shape == (m.n_params,) for idx, delta in ups)
+
+
+class TestSerialEpoch:
+    def test_matches_one_by_one_generic_path(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w0 = m.init_params(make_rng(0))
+        order = make_rng(1).permutation(tiny_sparse.n_examples)
+        fast = w0.copy()
+        m.serial_sgd_epoch(tiny_sparse.X, tiny_sparse.y, order, fast, 0.5)
+        slow = w0.copy()
+        for i in order:
+            for idx, delta in m.example_updates(
+                tiny_sparse.X, tiny_sparse.y, np.asarray([i]), slow, 0.5
+            ):
+                if idx is None:
+                    slow += delta
+                else:
+                    np.add.at(slow, idx, delta)
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+    def test_dense_path_matches(self, model_cls, tiny_dense):
+        m = model_cls(tiny_dense.n_features)
+        w0 = m.init_params(make_rng(0))
+        order = np.arange(tiny_dense.n_examples)
+        fast = w0.copy()
+        m.serial_sgd_epoch(tiny_dense.X, tiny_dense.y, order, fast, 0.2)
+        slow = w0.copy()
+        for i in order:
+            for idx, delta in m.example_updates(
+                tiny_dense.X, tiny_dense.y, np.asarray([i]), slow, 0.2
+            ):
+                slow += delta
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+    def test_reduces_loss(self, model_cls, tiny_sparse):
+        m = model_cls(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        before = m.loss(tiny_sparse.X, tiny_sparse.y, w)
+        m.serial_sgd_epoch(
+            tiny_sparse.X, tiny_sparse.y, np.arange(tiny_sparse.n_examples), w, 0.5
+        )
+        assert m.loss(tiny_sparse.X, tiny_sparse.y, w) < before
+
+
+class TestTraceShape:
+    def test_sparse_grad_records_spmv_pipeline(self, tiny_sparse):
+        m = LogisticRegression(tiny_sparse.n_features)
+        w = m.init_params(make_rng(0))
+        with recording() as tr:
+            m.full_grad(tiny_sparse.X, tiny_sparse.y, w)
+        names = [op.name for op in tr]
+        assert names == ["margins", "label_margin", "link_derivative", "grad_accum"]
+
+    def test_dense_rgemv_parallelism_not_example_scaled(self, tiny_dense):
+        m = LogisticRegression(tiny_dense.n_features)
+        w = m.init_params(make_rng(0))
+        with recording() as tr:
+            m.full_grad(tiny_dense.X, tiny_dense.y, w)
+        grad_op = [op for op in tr if op.name == "grad_accum"][0]
+        assert grad_op.parallelism_scales is False

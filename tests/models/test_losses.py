@@ -1,0 +1,103 @@
+"""Tests for the loss functions and derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.losses import (
+    hinge_dmargin,
+    hinge_loss,
+    logistic_dmargin,
+    logistic_loss,
+    softmax_cross_entropy,
+    softmax_probs,
+    stable_sigmoid,
+)
+
+finite_floats = st.floats(-50.0, 50.0)
+
+
+class TestStableSigmoid:
+    def test_values(self):
+        np.testing.assert_allclose(stable_sigmoid(np.array([0.0])), [0.5])
+
+    def test_extremes_finite(self):
+        out = stable_sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, zs):
+        z = np.asarray(zs)
+        np.testing.assert_allclose(
+            stable_sigmoid(z) + stable_sigmoid(-z), 1.0, atol=1e-12
+        )
+
+
+class TestLogistic:
+    def test_loss_at_zero_margin(self):
+        np.testing.assert_allclose(logistic_loss(np.array([0.0])), [np.log(2.0)])
+
+    def test_loss_overflow_safe(self):
+        out = logistic_loss(np.array([-1e4]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(1e4)
+
+    @given(finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_matches_finite_difference(self, m):
+        eps = 1e-6
+        num = (logistic_loss(np.array([m + eps])) - logistic_loss(np.array([m - eps]))) / (
+            2 * eps
+        )
+        np.testing.assert_allclose(logistic_dmargin(np.array([m])), num, atol=1e-5)
+
+    def test_derivative_bounded(self):
+        d = logistic_dmargin(np.linspace(-30, 30, 101))
+        assert np.all(d <= 0) and np.all(d >= -1)
+
+
+class TestHinge:
+    def test_loss_values(self):
+        np.testing.assert_allclose(
+            hinge_loss(np.array([-1.0, 0.0, 1.0, 2.0])), [2.0, 1.0, 0.0, 0.0]
+        )
+
+    def test_subgradient_regions(self):
+        np.testing.assert_array_equal(
+            hinge_dmargin(np.array([0.5, 1.0, 1.5])), [-1.0, 0.0, 0.0]
+        )
+
+    @given(finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_subgradient_valid(self, m):
+        """Subgradient inequality: f(x) >= f(m) + g*(x - m) for all x."""
+        g = float(hinge_dmargin(np.array([m]))[0])
+        f_m = float(hinge_loss(np.array([m]))[0])
+        for x in (m - 1.0, m + 1.0, 0.0, 1.0):
+            f_x = float(hinge_loss(np.array([x]))[0])
+            assert f_x >= f_m + g * (x - m) - 1e-9
+
+
+class TestSoftmax:
+    def test_probs_sum_to_one(self, rng):
+        p = softmax_probs(rng.standard_normal((5, 3)) * 20)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_probs_overflow_safe(self):
+        p = softmax_probs(np.array([[1e4, -1e4]]))
+        assert np.isfinite(p).all()
+
+    def test_cross_entropy_matches_direct(self, rng):
+        logits = rng.standard_normal((6, 2))
+        classes = rng.integers(0, 2, size=6)
+        direct = -np.log(softmax_probs(logits)[np.arange(6), classes])
+        np.testing.assert_allclose(
+            softmax_cross_entropy(logits, classes), direct, atol=1e-12
+        )
+
+    def test_cross_entropy_of_certain_prediction(self):
+        out = softmax_cross_entropy(np.array([[100.0, 0.0]]), np.array([0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,143 @@
+"""Tests for the matrix-factorisation extension."""
+
+import numpy as np
+import pytest
+
+from repro.asyncsim import AsyncSchedule, run_async_epoch
+from repro.datasets.ratings import generate_ratings
+from repro.models.gradcheck import max_grad_error
+from repro.models.matfac import MatrixFactorization
+from repro.utils import derive_rng, make_rng
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return generate_ratings(
+        n_users=40, n_items=30, n_ratings=600, rank=4, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def mf(ratings):
+    return MatrixFactorization(ratings.n_users, ratings.n_items, rank=4)
+
+
+class TestConstruction:
+    def test_param_count(self):
+        m = MatrixFactorization(10, 7, rank=3)
+        assert m.n_params == (10 + 7) * 3
+
+    def test_factor_views(self, mf):
+        params = mf.init_params(make_rng(0))
+        U, V = mf.factors(params)
+        assert U.shape == (mf.n_users, mf.rank)
+        assert V.shape == (mf.n_items, mf.rank)
+        U[0, 0] = 42.0
+        assert params[0] == 42.0  # view, not copy
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(0, 5)
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(5, 5, rank=0)
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(5, 5, l2=-1.0)
+
+
+class TestRatingsData:
+    def test_encoding_shape(self, ratings):
+        assert ratings.X.n_cols == ratings.n_users + ratings.n_items
+        assert ratings.X.row_nnz.max() == ratings.X.row_nnz.min() == 2
+
+    def test_no_duplicate_pairs(self, ratings):
+        seen = set()
+        for r in range(ratings.n_ratings):
+            idx, _ = ratings.X.row(r)
+            pair = (int(idx[0]), int(idx[1]))
+            assert pair not in seen
+            seen.add(pair)
+
+    def test_popularity_skew(self):
+        ds = generate_ratings(n_users=100, n_items=200, n_ratings=4000, seed=1)
+        counts = ds.item_popularity()
+        assert counts.sum() == ds.n_ratings
+        assert counts.max() > 4 * max(1.0, np.median(counts))
+
+    def test_deterministic(self):
+        a = generate_ratings(seed=5, n_ratings=500)
+        b = generate_ratings(seed=5, n_ratings=500)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestGradients:
+    def test_full_grad_matches_fd(self, ratings, mf):
+        params = mf.init_params(make_rng(0))
+        coords = make_rng(1).choice(mf.n_params, 30, replace=False)
+        err = max_grad_error(mf, ratings.X, ratings.y, params, coords=coords)
+        assert err < 1e-5
+
+    def test_grad_with_l2(self, ratings):
+        m = MatrixFactorization(ratings.n_users, ratings.n_items, rank=4, l2=0.05)
+        params = m.init_params(make_rng(0))
+        coords = make_rng(2).choice(m.n_params, 25, replace=False)
+        assert max_grad_error(m, ratings.X, ratings.y, params, coords=coords) < 1e-5
+
+    def test_example_updates_touch_2k_coords(self, ratings, mf):
+        params = mf.init_params(make_rng(0))
+        ups = mf.example_updates(ratings.X, ratings.y, np.arange(5), params, 0.1)
+        for idx, val in ups:
+            assert idx.size == 2 * mf.rank
+            assert val.shape == idx.shape
+
+    def test_serial_epoch_matches_one_by_one(self, ratings, mf):
+        params = mf.init_params(make_rng(0))
+        order = make_rng(3).permutation(ratings.n_ratings)[:100]
+        fast = params.copy()
+        mf.serial_sgd_epoch(ratings.X, ratings.y, order, fast, 0.05)
+        slow = params.copy()
+        for r in order:
+            for idx, delta in mf.example_updates(
+                ratings.X, ratings.y, np.asarray([r]), slow, 0.05
+            ):
+                np.add.at(slow, idx, delta)
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+
+class TestTraining:
+    def test_hogwild_recovers_low_rank_structure(self, ratings, mf):
+        params = mf.init_params(make_rng(0))
+        initial = mf.loss(ratings.X, ratings.y, params)
+        rng = derive_rng(0, "mf_train")
+        for _ in range(30):
+            run_async_epoch(
+                mf, ratings.X, ratings.y, params, 0.05,
+                AsyncSchedule(concurrency=8), rng,
+            )
+        final = mf.loss(ratings.X, ratings.y, params)
+        assert final < 0.25 * initial
+        assert mf.rmse(ratings.X, ratings.y, params) < 0.5
+
+    def test_staleness_degrades_mf_too(self, ratings, mf):
+        """The paper's asynchronous trade-off carries to its future-work
+        model: massive concurrency converges slower."""
+        params0 = mf.init_params(make_rng(0))
+        losses = {}
+        for c in (1, ratings.n_ratings):
+            w = params0.copy()
+            rng = derive_rng(1, "mf_stale")
+            for _ in range(10):
+                run_async_epoch(
+                    mf, ratings.X, ratings.y, w, 0.05, AsyncSchedule(concurrency=c), rng
+                )
+            losses[c] = mf.loss(ratings.X, ratings.y, w)
+        assert losses[1] < losses[ratings.n_ratings]
+
+    def test_rejects_bad_encoding(self, mf):
+        from repro.linalg import CSRMatrix
+
+        bad = CSRMatrix.from_rows(
+            [(np.asarray([0, 1, 2]), np.ones(3))], mf.n_users + mf.n_items
+        )
+        with pytest.raises(ConfigurationError):
+            mf.loss(bad, np.zeros(1), mf.init_params(make_rng(0)))

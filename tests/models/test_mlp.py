@@ -1,0 +1,162 @@
+"""Tests for the fully-connected MLP."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import recording
+from repro.models import MLP, max_grad_error
+from repro.utils import make_rng
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture()
+def net():
+    return MLP((20, 10, 5, 2))
+
+
+class TestConstruction:
+    def test_param_count(self):
+        m = MLP((3, 4, 2))
+        # W1 3x4 + b1 4 + W2 4x2 + b2 2
+        assert m.n_params == 12 + 4 + 8 + 2
+
+    def test_table1_architectures(self):
+        for arch in ((54, 10, 5, 2), (300, 10, 5, 2), (50, 10, 5, 2)):
+            m = MLP(arch)
+            assert m.arch == arch
+            assert m.n_layers == 3
+
+    def test_rejects_non_binary_head(self):
+        with pytest.raises(ConfigurationError, match="2 units"):
+            MLP((5, 3))
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            MLP((5, 0, 2))
+
+    def test_views_are_views(self, net):
+        params = net.init_params(make_rng(0))
+        W0, b0 = net.views(params)[0]
+        W0[0, 0] = 123.0
+        b0[0] = -7.0
+        W0b, b0b = net.views(params)[0]
+        assert W0b[0, 0] == 123.0 and b0b[0] == -7.0
+
+    def test_init_xavier_scale(self):
+        m = MLP((100, 50, 2))
+        params = m.init_params(make_rng(0))
+        W0, b0 = m.views(params)[0]
+        assert abs(W0.std() - np.sqrt(2.0 / 150)) < 0.02
+        assert np.all(b0 == 0.0)
+
+
+class TestForwardLoss:
+    def test_loss_positive_finite(self, net, rng):
+        X = rng.standard_normal((30, 20))
+        y = np.where(rng.random(30) > 0.5, 1.0, -1.0)
+        params = net.init_params(make_rng(0))
+        loss = net.loss(X, y, params)
+        assert np.isfinite(loss) and loss > 0
+
+    def test_initial_loss_near_log2(self, net, rng):
+        """A symmetric random init predicts ~uniformly -> CE near log 2
+        (Xavier-scale logits leave some spread, hence the loose band)."""
+        X = rng.standard_normal((200, 20))
+        y = np.where(rng.random(200) > 0.5, 1.0, -1.0)
+        loss = net.loss(X, y, net.init_params(make_rng(0)))
+        assert abs(loss - np.log(2.0)) < 0.25
+
+    def test_predict_margin_sign_tracks_logits(self, net, rng):
+        X = rng.standard_normal((10, 20))
+        params = net.init_params(make_rng(0))
+        margins = net.predict_margin(X, params)
+        assert margins.shape == (10,)
+
+    def test_accuracy_bounds(self, net, rng):
+        X = rng.standard_normal((40, 20))
+        y = np.where(rng.random(40) > 0.5, 1.0, -1.0)
+        acc = net.accuracy(X, y, net.init_params(make_rng(0)))
+        assert 0.0 <= acc <= 1.0
+
+
+class TestGradients:
+    def test_full_grad_matches_fd(self, net, rng):
+        X = rng.standard_normal((25, 20))
+        y = np.where(rng.random(25) > 0.5, 1.0, -1.0)
+        params = net.init_params(make_rng(0))
+        coords = make_rng(1).choice(net.n_params, 40, replace=False)
+        assert max_grad_error(net, X, y, params, coords=coords) < 1e-6
+
+    def test_grad_with_sparse_input(self, tiny_sparse):
+        m = MLP((tiny_sparse.n_features, 6, 2))
+        params = m.init_params(make_rng(0))
+        coords = make_rng(1).choice(m.n_params, 30, replace=False)
+        assert (
+            max_grad_error(m, tiny_sparse.X, tiny_sparse.y, params, coords=coords)
+            < 1e-6
+        )
+
+    def test_grad_with_l2(self, rng):
+        m = MLP((8, 4, 2), l2=0.05)
+        X = rng.standard_normal((15, 8))
+        y = np.where(rng.random(15) > 0.5, 1.0, -1.0)
+        params = m.init_params(make_rng(0))
+        assert max_grad_error(m, X, y, params) < 1e-6
+
+    def test_minibatch_grad_subset(self, net, rng):
+        X = rng.standard_normal((30, 20))
+        y = np.where(rng.random(30) > 0.5, 1.0, -1.0)
+        params = net.init_params(make_rng(0))
+        rows = np.array([2, 5, 9])
+        got = net.minibatch_grad(X, y, rows, params)
+        expected = net.full_grad(X[rows], y[rows], params)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_batch_update_is_scaled_negative_grad(self, net, rng):
+        X = rng.standard_normal((16, 20))
+        y = np.where(rng.random(16) > 0.5, 1.0, -1.0)
+        params = net.init_params(make_rng(0))
+        rows = np.arange(16)
+        idx, delta = net.batch_update(X, y, rows, params, step=0.7)
+        assert idx is None
+        np.testing.assert_allclose(
+            delta, -0.7 * net.minibatch_grad(X, y, rows, params), atol=1e-12
+        )
+
+
+class TestTraining:
+    def test_minibatch_sgd_learns(self, tiny_mlp_data):
+        """Mini-batch SGD escapes the symmetric plateau and fits the
+        (linearly generated) labels well within a couple hundred epochs."""
+        from repro.asyncsim import AsyncSchedule, run_async_epoch
+        from repro.utils import derive_rng
+
+        ds = tiny_mlp_data
+        m = MLP(ds.profile.mlp_arch)
+        params = m.init_params(make_rng(0))
+        first = m.loss(ds.X, ds.y, params)
+        schedule = AsyncSchedule(concurrency=1, batch_size=32)
+        rng = derive_rng(0, "mlp_train_test")
+        for _ in range(150):
+            run_async_epoch(m, ds.X, ds.y, params, 1.0, schedule, rng)
+        assert m.loss(ds.X, ds.y, params) < 0.5 * first
+        assert m.accuracy(ds.X, ds.y, params) > 0.85
+
+
+class TestTraceShape:
+    def test_weight_gradient_gemms_flagged_serial_shape(self, net, rng):
+        """The dW products carry result sizes below the ViennaCL
+        threshold and model-dimension parallelism — the combination the
+        paper's ~2x MLP finding hinges on."""
+        X = rng.standard_normal((40, 20))
+        y = np.where(rng.random(40) > 0.5, 1.0, -1.0)
+        params = net.init_params(make_rng(0))
+        with recording() as tr:
+            net.full_grad(X, y, params)
+        dw_ops = [op for op in tr if op.name.startswith("bwd_dw")]
+        assert len(dw_ops) == 3
+        for op in dw_ops:
+            assert op.parallelism_scales is False
+            assert op.result_size <= 5000
+        fwd = [op for op in tr if op.name.startswith("fwd_gemm")]
+        assert all(op.parallelism_scales for op in fwd)

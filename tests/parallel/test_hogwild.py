@@ -1,0 +1,84 @@
+"""Functional tests for the real shared-memory Hogwild backend.
+
+True Hogwild is racy by construction, so these tests assert functional
+outcomes (convergence, partitioning, error handling) rather than exact
+values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.parallel import hogwild_train
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.datasets import load
+
+    ds = load("w8a", "tiny")
+    model = make_model("lr", ds)
+    init = model.init_params(derive_rng(0, "realhw"))
+    return model, ds, init
+
+
+class TestHogwildTrain:
+    def test_single_worker_learns(self, setup):
+        model, ds, init = setup
+        report = hogwild_train(model, ds.X, ds.y, init, step=1.0, epochs=10, workers=1)
+        assert report.improved
+        assert report.final_loss < 0.6 * report.initial_loss
+
+    def test_multi_worker_learns_lock_free(self, setup):
+        model, ds, init = setup
+        report = hogwild_train(model, ds.X, ds.y, init, step=1.0, epochs=10, workers=3)
+        assert report.workers == 3
+        assert report.improved
+        assert np.all(np.isfinite(report.params))
+
+    def test_multi_worker_near_serial_quality(self, setup):
+        """Hogwild's promise: the lock-free result is statistically
+        close to the serial one (sparse data, few conflicts)."""
+        model, ds, init = setup
+        serial = hogwild_train(model, ds.X, ds.y, init, step=1.0, epochs=8, workers=1)
+        racy = hogwild_train(model, ds.X, ds.y, init, step=1.0, epochs=8, workers=4)
+        assert racy.final_loss < serial.final_loss * 2.0 + 0.05
+
+    def test_init_not_mutated(self, setup):
+        model, ds, init = setup
+        before = init.copy()
+        hogwild_train(model, ds.X, ds.y, init, step=0.5, epochs=2, workers=2)
+        np.testing.assert_array_equal(init, before)
+
+    def test_dense_data(self):
+        from repro.datasets import load
+
+        ds = load("covtype", "tiny")
+        model = make_model("lr", ds)
+        init = model.init_params(derive_rng(0, "realhw2"))
+        report = hogwild_train(model, ds.X, ds.y, init, step=0.5, epochs=8, workers=2)
+        assert report.improved
+
+    def test_workers_capped_by_examples(self, setup):
+        model, ds, init = setup
+        report = hogwild_train(
+            model, ds.X, ds.y, init, step=0.5, epochs=1, workers=10_000
+        )
+        assert report.workers <= ds.n_examples
+
+    def test_validation(self, setup):
+        model, ds, init = setup
+        with pytest.raises(ConfigurationError):
+            hogwild_train(model, ds.X, ds.y, init, step=0.5, epochs=0, workers=1)
+        with pytest.raises(ConfigurationError):
+            hogwild_train(model, ds.X, ds.y, init, step=0.5, epochs=1, workers=0)
+
+    def test_mlp_rejected(self, tiny_mlp_data):
+        model = make_model("mlp", tiny_mlp_data)
+        init = model.init_params(derive_rng(0, "realhw3"))
+        with pytest.raises(ConfigurationError, match="serial_sgd_epoch"):
+            hogwild_train(
+                model, tiny_mlp_data.X, tiny_mlp_data.y, init, step=0.5, epochs=1
+            )

@@ -1,0 +1,103 @@
+"""Tests for the configuration advisor."""
+
+import math
+
+import pytest
+
+from repro.datasets import load, load_mlp
+from repro.experiments.common import ExperimentContext
+from repro.sgd.advisor import (
+    Advice,
+    HourlyCost,
+    heuristic_advice,
+    measure_advice,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestHeuristicAdvice:
+    def test_mlp_gets_sync_gpu(self, tiny_mlp_data):
+        advice = heuristic_advice(tiny_mlp_data, task="mlp")
+        assert advice == Advice(
+            strategy="synchronous", architecture="gpu", rationale=advice.rationale
+        )
+        assert "4x" in advice.rationale or "4X" in advice.rationale
+
+    def test_dense_low_dim_gets_sequential_cpu(self, tiny_dense):
+        advice = heuristic_advice(tiny_dense, task="lr")
+        assert advice.strategy == "asynchronous"
+        assert advice.architecture == "cpu-seq"
+        assert "covtype" in advice.rationale
+
+    def test_sparse_gets_parallel_cpu(self):
+        ds = load("news", "tiny")
+        advice = heuristic_advice(ds, task="svm")
+        assert advice.strategy == "asynchronous"
+        assert advice.architecture == "cpu-par"
+        assert "sparse" in advice.rationale.lower()
+
+    def test_rationales_cite_evidence(self, tiny_dense):
+        for ds, task in ((tiny_dense, "lr"), (load("rcv1", "tiny"), "lr")):
+            advice = heuristic_advice(ds, task)
+            assert "Table" in advice.rationale
+
+
+class TestHourlyCost:
+    def test_gpu_includes_host_share(self):
+        cost = HourlyCost(cpu_machine=2.0, gpu_card=1.0)
+        assert cost.rate("gpu") == pytest.approx(1.2)
+        assert cost.rate("cpu-par") == 2.0
+        assert cost.rate("cpu-seq") == 2.0
+
+
+class TestMeasuredAdvice:
+    @pytest.fixture(scope="class")
+    def advice(self):
+        ctx = ExperimentContext(
+            scale="tiny",
+            tolerance=0.10,
+            sync_max_epochs=250,
+            async_max_epochs=80,
+        )
+        return measure_advice("lr", "w8a", ctx=ctx)
+
+    def test_covers_all_six_configurations(self, advice):
+        assert len(advice.ranking) == 6
+        combos = {(r.strategy, r.architecture) for r in advice.ranking}
+        assert len(combos) == 6
+
+    def test_ranking_sorted(self, advice):
+        times = [r.time_to_convergence for r in advice.ranking]
+        assert times == sorted(times)
+
+    def test_fastest_is_finite(self, advice):
+        assert math.isfinite(advice.fastest.time_to_convergence)
+
+    def test_cheapest_consistent_with_costs(self, advice):
+        cheapest = advice.cheapest
+        for r in advice.ranking:
+            if math.isfinite(r.dollars_to_convergence):
+                assert cheapest.dollars_to_convergence <= r.dollars_to_convergence
+
+    def test_no_convergence_raises(self):
+        from repro.sgd.advisor import MeasuredAdvice, RankedConfig
+
+        empty = MeasuredAdvice(task="lr", dataset="x", tolerance=0.01)
+        empty.ranking = [
+            RankedConfig("synchronous", "gpu", math.inf, math.inf)
+        ]
+        with pytest.raises(ConfigurationError):
+            _ = empty.fastest
+
+
+class TestCostOverride:
+    def test_expensive_gpu_changes_cheapest(self):
+        """With an absurd GPU price the cheapest configuration must be
+        a CPU one, even if the GPU stays fastest."""
+        ctx = ExperimentContext(
+            scale="tiny", tolerance=0.10, sync_max_epochs=250, async_max_epochs=80
+        )
+        pricy = measure_advice(
+            "lr", "w8a", ctx=ctx, cost=HourlyCost(cpu_machine=0.01, gpu_card=10_000.0)
+        )
+        assert pricy.cheapest.architecture != "gpu"

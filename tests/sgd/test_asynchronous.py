@@ -1,0 +1,92 @@
+"""Tests for the asynchronous SGD runner."""
+
+import numpy as np
+import pytest
+
+from repro.asyncsim import AsyncSchedule
+from repro.models import make_model
+from repro.sgd import SGDConfig, train_asynchronous
+from repro.utils import derive_rng
+
+
+@pytest.fixture()
+def setup(tiny_sparse):
+    model = make_model("lr", tiny_sparse)
+    init = model.init_params(derive_rng(0, "init"))
+    return model, tiny_sparse, init
+
+
+class TestTrainAsynchronous:
+    def test_serial_schedule_learns(self, setup):
+        model, ds, init = setup
+        res = train_asynchronous(
+            model, ds.X, ds.y, init, SGDConfig(step_size=1.0, max_epochs=20),
+            AsyncSchedule(concurrency=1),
+        )
+        assert not res.diverged
+        assert res.curve.final_loss < 0.5 * res.curve.initial_loss
+
+    def test_curve_starts_at_initial_loss(self, setup):
+        model, ds, init = setup
+        res = train_asynchronous(
+            model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=3),
+            AsyncSchedule(concurrency=4),
+        )
+        assert res.curve.epochs[0] == 0
+        assert res.curve.initial_loss == pytest.approx(model.loss(ds.X, ds.y, init))
+
+    def test_divergence_recorded_not_raised(self, setup):
+        model, ds, init = setup
+        res = train_asynchronous(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=1e308, max_epochs=50),
+            AsyncSchedule(concurrency=32),
+        )
+        assert res.diverged
+        assert res.curve.diverged  # the paper's "inf" notation
+
+    def test_runaway_loss_detected(self, setup):
+        """Loss exceeding divergence_factor x initial counts as
+        divergence even while values remain finite."""
+        model, ds, init = setup
+        res = train_asynchronous(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=5e4, max_epochs=80, divergence_factor=10.0),
+            AsyncSchedule(concurrency=64),
+        )
+        assert res.diverged
+
+    def test_early_stop(self, setup):
+        model, ds, init = setup
+        cfg = SGDConfig(step_size=1.0, max_epochs=100, target_loss=0.35)
+        res = train_asynchronous(model, ds.X, ds.y, init, cfg, AsyncSchedule(concurrency=1))
+        assert res.curve.final_loss <= 0.35
+        assert len(res.curve) < 100
+
+    def test_deterministic_per_schedule(self, setup):
+        model, ds, init = setup
+        cfg = SGDConfig(step_size=0.5, max_epochs=4)
+        a = train_asynchronous(model, ds.X, ds.y, init, cfg, AsyncSchedule(concurrency=8))
+        b = train_asynchronous(model, ds.X, ds.y, init, cfg, AsyncSchedule(concurrency=8))
+        np.testing.assert_array_equal(a.params, b.params)
+
+    def test_schedule_seed_isolation(self, setup):
+        """Different concurrency -> different shuffle stream -> properly
+        isolated trajectories (no accidental sharing)."""
+        model, ds, init = setup
+        cfg = SGDConfig(step_size=0.5, max_epochs=4)
+        a = train_asynchronous(model, ds.X, ds.y, init, cfg, AsyncSchedule(concurrency=8))
+        b = train_asynchronous(model, ds.X, ds.y, init, cfg, AsyncSchedule(concurrency=9))
+        assert not np.allclose(a.params, b.params)
+
+    def test_hogbatch_on_mlp(self, tiny_mlp_data):
+        ds = tiny_mlp_data
+        model = make_model("mlp", ds)
+        init = model.init_params(derive_rng(0, "init"))
+        res = train_asynchronous(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=0.3, max_epochs=60, batch_size=32),
+            AsyncSchedule(concurrency=4, batch_size=32),
+        )
+        assert not res.diverged
+        assert res.curve.final_loss < res.curve.initial_loss

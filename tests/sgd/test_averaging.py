@@ -1,0 +1,110 @@
+"""Tests for parallel SGD by model averaging."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sgd import SGDConfig
+from repro.sgd.averaging import (
+    AveragingSchedule,
+    train_model_averaging,
+)
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture()
+def setup(tiny_sparse):
+    model = make_model("lr", tiny_sparse)
+    init = model.init_params(derive_rng(0, "avg"))
+    return model, tiny_sparse, init
+
+
+class TestValidation:
+    def test_schedule(self):
+        with pytest.raises(ConfigurationError):
+            AveragingSchedule(workers=0)
+        with pytest.raises(ConfigurationError):
+            AveragingSchedule(workers=2, sync_every=0)
+
+    def test_requires_serial_path(self, tiny_mlp_data):
+        model = make_model("mlp", tiny_mlp_data)
+        init = model.init_params(derive_rng(0, "avg"))
+        with pytest.raises(ConfigurationError, match="serial_sgd_epoch"):
+            train_model_averaging(
+                model, tiny_mlp_data.X, tiny_mlp_data.y, init,
+                SGDConfig(step_size=0.1, max_epochs=1), AveragingSchedule(workers=2),
+            )
+
+
+class TestTraining:
+    def test_single_worker_equals_serial_sgd(self, setup):
+        """workers=1 with any sync cadence is plain incremental SGD."""
+        model, ds, init = setup
+        res = train_model_averaging(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=0.5, max_epochs=3, seed=9),
+            AveragingSchedule(workers=1),
+        )
+        w = init.copy()
+        rng = derive_rng(9, "averaging/1/0")
+        for _ in range(3):
+            order = np.arange(ds.n_examples)[rng.permutation(ds.n_examples)]
+            model.serial_sgd_epoch(ds.X, ds.y, order, w, 0.5)
+        np.testing.assert_allclose(res.params, w, atol=1e-12)
+
+    def test_learns_with_many_workers(self, setup):
+        model, ds, init = setup
+        res = train_model_averaging(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=1.0, max_epochs=25),
+            AveragingSchedule(workers=8),
+        )
+        assert not res.diverged
+        assert res.curve.final_loss < 0.5 * res.curve.initial_loss
+
+    def test_deterministic(self, setup):
+        model, ds, init = setup
+        cfg = SGDConfig(step_size=0.5, max_epochs=4)
+        a = train_model_averaging(
+            model, ds.X, ds.y, init, cfg, AveragingSchedule(workers=4)
+        )
+        b = train_model_averaging(
+            model, ds.X, ds.y, init, cfg, AveragingSchedule(workers=4)
+        )
+        np.testing.assert_array_equal(a.params, b.params)
+
+    def test_more_workers_slower_statistically(self, setup):
+        """The classic averaging trade-off: after equal epochs, many
+        replicas over small partitions lag a single serial pass."""
+        model, ds, init = setup
+        losses = {}
+        for workers in (1, 32):
+            res = train_model_averaging(
+                model, ds.X, ds.y, init,
+                SGDConfig(step_size=1.0, max_epochs=6),
+                AveragingSchedule(workers=workers),
+            )
+            losses[workers] = res.curve.final_loss
+        assert losses[1] <= losses[32] + 1e-9
+
+    def test_sync_cadence_matters(self, setup):
+        model, ds, init = setup
+        outs = {}
+        for cadence in (1, 5):
+            res = train_model_averaging(
+                model, ds.X, ds.y, init,
+                SGDConfig(step_size=1.0, max_epochs=5),
+                AveragingSchedule(workers=8, sync_every=cadence),
+            )
+            outs[cadence] = res.params
+        assert not np.allclose(outs[1], outs[5])
+
+    def test_divergence_reported(self, setup):
+        model, ds, init = setup
+        res = train_model_averaging(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=1e308, max_epochs=10, divergence_factor=5.0),
+            AveragingSchedule(workers=4),
+        )
+        assert res.diverged

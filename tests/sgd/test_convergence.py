@@ -1,0 +1,85 @@
+"""Tests for loss curves and the convergence thresholds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgd.convergence import LossCurve, tolerance_threshold
+from repro.utils.errors import ConfigurationError
+
+
+class TestToleranceThreshold:
+    def test_gap_definition(self):
+        # optimal 0.5, initial 0.7: 1% of the 0.2 gap above optimum
+        assert tolerance_threshold(0.5, 0.01, 0.7) == pytest.approx(0.502)
+
+    def test_near_zero_optimum_stays_reachable(self):
+        thr = tolerance_threshold(1e-12, 0.01, 0.7)
+        assert thr > 1e-4  # not an impossible "exactly zero" target
+
+    def test_relative_fallback_without_initial(self):
+        assert tolerance_threshold(0.5, 0.10) == pytest.approx(0.55)
+
+    def test_tighter_tolerance_lower_threshold(self):
+        thresholds = [tolerance_threshold(0.3, t, 1.0) for t in (0.10, 0.05, 0.02, 0.01)]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            tolerance_threshold(0.5, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            tolerance_threshold(-0.5, 0.01, 1.0)
+
+    @given(
+        st.floats(0.0, 10.0),
+        st.floats(0.001, 0.5),
+        st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_between_optimum_and_initial(self, opt, tol, init):
+        thr = tolerance_threshold(opt, tol, init)
+        assert thr >= opt
+        if init > opt:
+            assert thr <= init
+
+
+class TestLossCurve:
+    def _curve(self, losses):
+        c = LossCurve()
+        for i, v in enumerate(losses):
+            c.record(i, v)
+        return c
+
+    def test_record_and_properties(self):
+        c = self._curve([1.0, 0.5, 0.25])
+        assert c.initial_loss == 1.0
+        assert c.final_loss == 0.25
+        assert c.best_loss == 0.25
+        assert len(c) == 3
+
+    def test_requires_increasing_epochs(self):
+        c = self._curve([1.0])
+        with pytest.raises(ConfigurationError, match="increase"):
+            c.record(0, 0.9)
+
+    def test_epochs_to_first_crossing(self):
+        c = self._curve([1.0, 0.6, 0.4, 0.45, 0.3])
+        assert c.epochs_to(0.45) == 2  # first time at-or-below
+        assert c.epochs_to(0.1) is None
+
+    def test_divergence(self):
+        c = self._curve([1.0, 2.0, math.inf])
+        assert c.diverged
+        assert c.best_loss == 1.0
+        assert c.epochs_to(0.5) is None
+
+    def test_time_axis(self):
+        c = self._curve([1.0, 0.5])
+        np.testing.assert_allclose(c.time_axis(0.25), [0.0, 0.25])
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ConfigurationError):
+            LossCurve().initial_loss

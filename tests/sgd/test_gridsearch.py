@@ -1,0 +1,67 @@
+"""Tests for the step-size grid search."""
+
+import math
+
+import pytest
+
+from repro.sgd import GridSearchResult, grid_search
+from repro.sgd.gridsearch import GridPoint
+from repro.utils.errors import ConfigurationError
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return grid_search(
+            "lr",
+            "w8a",
+            architecture="cpu-seq",
+            strategy="asynchronous",
+            tolerance=0.10,
+            grid=(1e-3, 0.3, 1.0, 1e7),
+            scale="tiny",
+            max_epochs=60,
+            seed=0,
+        )
+
+    def test_all_points_evaluated(self, result):
+        assert [p.step_size for p in result.points] == [1e-3, 0.3, 1.0, 1e7]
+
+    def test_best_is_finite_minimum(self, result):
+        finite = [p for p in result.points if math.isfinite(p.time_to_convergence)]
+        assert result.best.time_to_convergence == min(
+            p.time_to_convergence for p in finite
+        )
+
+    def test_absurd_steps_rank_infinite(self, result):
+        by_step = {p.step_size: p for p in result.points}
+        assert math.isinf(by_step[1e-3].time_to_convergence)  # far too small
+        assert math.isinf(by_step[1e7].time_to_convergence)  # diverges
+
+    def test_any_converged(self, result):
+        assert result.any_converged
+
+    def test_tie_break_prefers_smaller_step(self):
+        r = GridSearchResult(
+            task="lr", dataset="d", architecture="a", strategy="s", tolerance=0.01
+        )
+        r.points = [
+            GridPoint(step_size=1.0, time_to_convergence=5.0, epochs=5, diverged=False),
+            GridPoint(step_size=0.1, time_to_convergence=5.0, epochs=5, diverged=False),
+        ]
+        assert r.best_step_size == 0.1
+
+    def test_no_convergence_raises(self):
+        r = GridSearchResult(
+            task="lr", dataset="d", architecture="a", strategy="s", tolerance=0.01
+        )
+        r.points = [
+            GridPoint(step_size=1.0, time_to_convergence=math.inf, epochs=None, diverged=True)
+        ]
+        assert not r.any_converged
+        with pytest.raises(ConfigurationError, match="no step size converged"):
+            _ = r.best
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid"):
+            grid_search("lr", "w8a", grid=(), scale="tiny")

@@ -1,0 +1,135 @@
+"""Tests for the Buckwild-style low-precision extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asyncsim import AsyncSchedule
+from repro.models import make_model
+from repro.sgd.lowprec import (
+    BFloat16Quantizer,
+    FixedPointQuantizer,
+    Float32Quantizer,
+    make_quantizer,
+    run_quantized_epoch,
+)
+from repro.utils import derive_rng
+from repro.utils.errors import ConfigurationError
+
+
+class TestQuantizers:
+    def test_float32_idempotent(self, rng):
+        q = Float32Quantizer()
+        x = rng.standard_normal(100)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(once, q.quantize(once))
+
+    def test_float32_error_bound(self, rng):
+        q = Float32Quantizer()
+        x = rng.standard_normal(1000)
+        err = np.abs(q.quantize(x) - x)
+        assert err.max() < 1e-6
+
+    def test_bfloat16_idempotent(self, rng):
+        q = BFloat16Quantizer()
+        x = rng.standard_normal(100)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(once, q.quantize(once))
+
+    def test_bfloat16_relative_error(self, rng):
+        q = BFloat16Quantizer()
+        x = rng.standard_normal(1000) * 100
+        rel = np.abs(q.quantize(x) - x) / np.abs(x)
+        assert rel.max() < 2 ** -8  # 8-bit mantissa
+
+    def test_bfloat16_preserves_specials(self):
+        q = BFloat16Quantizer()
+        out = q.quantize(np.array([0.0, 1.0, -1.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 1.0, -1.0, 2.0])
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_point_grid(self, bits):
+        q = FixedPointQuantizer(bits=bits, clip=4.0, seed=1)
+        x = np.linspace(-3, 3, 101)
+        out = q.quantize(x)
+        grid = (2 ** (bits - 1) - 1) / 4.0
+        np.testing.assert_allclose(out * grid, np.round(out * grid), atol=1e-9)
+
+    def test_fixed_point_unbiased(self):
+        """Stochastic rounding: E[Q(x)] = x (Buckwild's key property)."""
+        q = FixedPointQuantizer(bits=4, clip=4.0, seed=0)
+        x = np.full(200_000, 0.7)
+        mean = q.quantize(x).mean()
+        assert abs(mean - 0.7) < 0.01
+
+    def test_fixed_point_clips(self):
+        q = FixedPointQuantizer(bits=8, clip=1.0, seed=0)
+        out = q.quantize(np.array([5.0, -5.0]))
+        assert out.max() <= 1.0 + 1e-9 and out.min() >= -1.0 - 1e-9
+
+    def test_factory(self):
+        assert make_quantizer("float32").bits == 32
+        assert make_quantizer("bfloat16").bits == 16
+        assert make_quantizer("fixed8").bits == 8
+        with pytest.raises(ConfigurationError):
+            make_quantizer("int3.5")
+        with pytest.raises(ConfigurationError):
+            make_quantizer("fixedx")
+
+
+class TestQuantizedEpoch:
+    def test_float32_tracks_full_precision(self, lr_tiny):
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        from repro.asyncsim import run_async_epoch
+
+        full = w0.copy()
+        run_async_epoch(
+            model, ds.X, ds.y, full, 0.5, AsyncSchedule(concurrency=8),
+            derive_rng(1, "q"),
+        )
+        quant = w0.copy()
+        run_quantized_epoch(
+            model, ds.X, ds.y, quant, 0.5, AsyncSchedule(concurrency=8),
+            derive_rng(1, "q"), Float32Quantizer(),
+        )
+        assert np.abs(full - quant).max() < 1e-4
+
+    def test_precision_degrades_final_loss_monotonically(self, lr_tiny):
+        """Fewer bits -> equal-or-worse loss after the same epochs."""
+        model, ds = lr_tiny
+        w0 = model.init_params(derive_rng(0, "w"))
+        losses = {}
+        for kind in ("float32", "bfloat16", "fixed6"):
+            w = w0.copy()
+            q = make_quantizer(kind)
+            rng = derive_rng(2, "prec")
+            for _ in range(12):
+                run_quantized_epoch(
+                    model, ds.X, ds.y, w, 0.5, AsyncSchedule(concurrency=4), rng, q
+                )
+            losses[kind] = model.loss(ds.X, ds.y, w)
+        assert losses["float32"] <= losses["fixed6"] + 0.05
+        assert losses["float32"] < losses["bfloat16"] + 0.05
+
+    def test_model_stays_on_grid(self, lr_tiny):
+        model, ds = lr_tiny
+        w = model.init_params(derive_rng(0, "w"))
+        q = FixedPointQuantizer(bits=8, clip=8.0, seed=3)
+        run_quantized_epoch(
+            model, ds.X, ds.y, w, 0.3, AsyncSchedule(concurrency=16),
+            derive_rng(0, "g"), q,
+        )
+        np.testing.assert_array_equal(w, q.quantize(w))
+
+    def test_rejects_batched_schedule(self, lr_tiny):
+        model, ds = lr_tiny
+        w = model.init_params(derive_rng(0, "w"))
+        with pytest.raises(ConfigurationError):
+            run_quantized_epoch(
+                model, ds.X, ds.y, w, 0.3,
+                AsyncSchedule(concurrency=4, batch_size=8),
+                derive_rng(0, "g"), Float32Quantizer(),
+            )

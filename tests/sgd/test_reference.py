@@ -1,0 +1,69 @@
+"""Tests for the budgeted reference-loss protocol."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sgd import reference_loss
+from repro.sgd.reference import clear_reference_cache
+from repro.utils import derive_rng
+
+
+@pytest.fixture()
+def lr_setup(tiny_sparse):
+    model = make_model("lr", tiny_sparse)
+    init = model.init_params(derive_rng(0, "init"))
+    return model, tiny_sparse, init
+
+
+class TestReferenceLoss:
+    def test_below_initial(self, lr_setup):
+        model, ds, init = lr_setup
+        ref = reference_loss(model, ds.X, ds.y, init)
+        assert ref < model.loss(ds.X, ds.y, init)
+
+    def test_substantially_optimises(self, lr_setup):
+        model, ds, init = lr_setup
+        ref = reference_loss(model, ds.X, ds.y, init)
+        assert ref < 0.25 * model.loss(ds.X, ds.y, init)
+
+    def test_non_negative(self, lr_setup):
+        model, ds, init = lr_setup
+        assert reference_loss(model, ds.X, ds.y, init) >= 0.0
+
+    def test_in_process_cache(self, lr_setup):
+        model, ds, init = lr_setup
+        clear_reference_cache()
+        a = reference_loss(model, ds.X, ds.y, init, key="t/one")
+        b = reference_loss(model, ds.X, ds.y, init, key="t/one")
+        assert a == b
+
+    def test_disk_cache_roundtrip(self, lr_setup, tmp_path, monkeypatch):
+        model, ds, init = lr_setup
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_reference_cache()
+        a = reference_loss(model, ds.X, ds.y, init, key="t/disk")
+        clear_reference_cache()  # force re-read from disk
+        b = reference_loss(model, ds.X, ds.y, init, key="t/disk")
+        assert a == b
+        assert (tmp_path / "reference_losses.json").exists()
+
+    def test_corrupt_disk_cache_tolerated(self, lr_setup, tmp_path, monkeypatch):
+        model, ds, init = lr_setup
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "reference_losses.json").write_text("{not json")
+        clear_reference_cache()
+        ref = reference_loss(model, ds.X, ds.y, init, key="t/corrupt")
+        assert np.isfinite(ref)
+
+    def test_svm_reference(self, tiny_sparse):
+        model = make_model("svm", tiny_sparse)
+        init = model.init_params(derive_rng(0, "init"))
+        ref = reference_loss(model, tiny_sparse.X, tiny_sparse.y, init)
+        assert 0.0 <= ref < model.loss(tiny_sparse.X, tiny_sparse.y, init)
+
+    def test_mlp_reference(self, tiny_mlp_data):
+        model = make_model("mlp", tiny_mlp_data)
+        init = model.init_params(derive_rng(0, "init"))
+        ref = reference_loss(model, tiny_mlp_data.X, tiny_mlp_data.y, init)
+        assert 0.0 <= ref < model.loss(tiny_mlp_data.X, tiny_mlp_data.y, init)

@@ -1,0 +1,134 @@
+"""Tests for the top-level train() facade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sgd import train
+from repro.sgd.runner import full_scale_factor, working_set_bytes
+from repro.datasets import PAPER_PROFILES, load, load_mlp
+from repro.models import make_model
+from repro.utils.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_unknown_task(self):
+        with pytest.raises(ConfigurationError, match="unknown task"):
+            train("cnn", "w8a", scale="tiny")
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ConfigurationError, match="unknown architecture"):
+            train("lr", "w8a", architecture="tpu", scale="tiny")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            train("lr", "w8a", strategy="semi", scale="tiny")
+
+
+class TestScaleFactors:
+    def test_sparse_factor_uses_nnz(self):
+        ds = load("news", "tiny")
+        factor = full_scale_factor(ds, "lr")
+        full = PAPER_PROFILES["news"]
+        assert factor == pytest.approx(full.n_examples * full.nnz_avg / ds.nnz)
+
+    def test_dense_factor_uses_rows(self):
+        ds = load("covtype", "tiny")
+        assert full_scale_factor(ds, "lr") == pytest.approx(
+            PAPER_PROFILES["covtype"].n_examples / ds.n_examples
+        )
+
+    def test_working_set_scales_to_paper(self):
+        ds = load("rcv1", "tiny")
+        ws = working_set_bytes(ds, make_model("lr", ds), "lr")
+        # rcv1 sparse is ~1.2 GB in the paper (Table I); our float64 CSR
+        # representation is within a factor ~2.
+        assert 0.3e9 < ws < 1.6e9
+
+
+class TestTrainSync:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return train(
+            "lr", "w8a", architecture="gpu", strategy="synchronous",
+            scale="tiny", step_size=30.0, max_epochs=120,
+        )
+
+    def test_result_fields(self, result):
+        assert result.task == "lr"
+        assert result.architecture == "gpu"
+        assert result.time_per_iter > 0
+        assert result.epoch_trace is not None
+
+    def test_loss_decreases(self, result):
+        assert result.curve.final_loss < result.curve.initial_loss
+
+    def test_time_to_is_product(self, result):
+        e = result.epochs_to(0.10)
+        if e is not None:
+            assert result.time_to(0.10) == pytest.approx(e * result.time_per_iter)
+
+    def test_unreached_tolerance_is_inf(self, result):
+        # manufactured impossible tolerance
+        assert result.time_to(1e-9) == math.inf or result.epochs_to(1e-9) is not None
+
+    def test_sync_statistical_efficiency_arch_independent(self):
+        runs = {
+            arch: train(
+                "lr", "w8a", architecture=arch, strategy="synchronous",
+                scale="tiny", step_size=30.0, max_epochs=40,
+            )
+            for arch in ("cpu-seq", "cpu-par", "gpu")
+        }
+        curves = [tuple(r.curve.losses) for r in runs.values()]
+        assert curves[0] == curves[1] == curves[2]
+        tpis = {a: r.time_per_iter for a, r in runs.items()}
+        assert tpis["gpu"] < tpis["cpu-par"] < tpis["cpu-seq"]
+
+    def test_summary_keys(self, result):
+        s = result.summary()
+        assert s["task"] == "lr"
+        assert "time_to_1pct_s" in s and "epochs_to_10pct" in s
+
+
+class TestTrainAsync:
+    def test_concurrency_mapping_affects_epochs(self):
+        """cpu-seq (C=1) must reach a 10% band no later than the heavily
+        stale gpu schedule at the same step."""
+        runs = {
+            arch: train(
+                "lr", "covtype", architecture=arch, strategy="asynchronous",
+                scale="tiny", step_size=1.0, max_epochs=100,
+                early_stop_tolerance=None,
+            )
+            for arch in ("cpu-seq", "gpu")
+        }
+        e_seq = runs["cpu-seq"].epochs_to(0.10)
+        e_gpu = runs["gpu"].epochs_to(0.10)
+        assert e_seq is not None
+        assert e_gpu is None or e_gpu >= e_seq
+
+    def test_mlp_uses_transformed_dataset(self):
+        r = train(
+            "mlp", "w8a", architecture="cpu-par", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=10,
+        )
+        assert r.dataset == "w8a"
+        assert not math.isnan(r.curve.final_loss)
+
+    def test_accepts_prebuilt_dataset(self):
+        ds = load("w8a", "tiny")
+        r = train(
+            "svm", ds, architecture="cpu-seq", strategy="asynchronous",
+            scale="tiny", step_size=0.1, max_epochs=5,
+        )
+        assert r.dataset == "w8a"
+
+    def test_accepts_prebuilt_mlp_dataset(self):
+        ds = load_mlp("w8a", "tiny")
+        r = train(
+            "mlp", ds, architecture="gpu", strategy="asynchronous",
+            scale="tiny", step_size=0.3, max_epochs=5,
+        )
+        assert r.dataset == "w8a"

@@ -1,0 +1,73 @@
+"""Tests for the architecture -> asynchrony-schedule mapping."""
+
+import pytest
+
+from repro.hardware import CpuModel, GpuModel
+from repro.sgd.runner import _async_schedule
+
+
+@pytest.fixture(scope="module")
+def models():
+    return CpuModel(), GpuModel()
+
+
+class TestLinearTasks:
+    def test_cpu_seq_is_exact_serial(self, models):
+        cpu, gpu = models
+        s = _async_schedule("lr", "cpu-seq", 3000, 64_700, cpu, gpu, 512)
+        assert s.concurrency == 1
+        assert s.batch_size == 1
+        assert s.pipeline_lag == 0
+
+    def test_cpu_par_uses_hardware_threads(self, models):
+        cpu, gpu = models
+        s = _async_schedule("lr", "cpu-par", 3000, 64_700, cpu, gpu, 512)
+        assert s.concurrency == 56
+
+    def test_gpu_is_pipelined(self, models):
+        cpu, gpu = models
+        s = _async_schedule("svm", "gpu", 3000, 64_700, cpu, gpu, 512)
+        assert s.pipeline_block == 32
+        assert s.pipeline_lag >= 2
+
+    def test_gpu_window_scaling_rules(self, models):
+        cpu, gpu = models
+        # paper scale: full 6656-thread window
+        full = _async_schedule("lr", "gpu", 677_399, 677_399, cpu, gpu, 512)
+        assert full.concurrency == gpu.spec.concurrent_threads
+        # scaled data: ratio-scaled window with the 512-update floor
+        small = _async_schedule("lr", "gpu", 3000, 677_399, cpu, gpu, 512)
+        assert small.concurrency == 512
+        # moderately scaled data keeps the ratio above the floor
+        mid = _async_schedule("lr", "gpu", 8000, 19_996, cpu, gpu, 512)
+        assert mid.concurrency == pytest.approx(6656 * 8000 / 19_996, rel=0.01)
+
+    def test_gpu_window_capped_by_examples(self, models):
+        cpu, gpu = models
+        s = _async_schedule("lr", "gpu", 50, 100, cpu, gpu, 512)
+        assert s.concurrency <= 50
+
+
+class TestMlpTask:
+    def test_cpu_seq_is_serial_minibatch(self, models):
+        cpu, gpu = models
+        s = _async_schedule("mlp", "cpu-seq", 3000, 64_700, cpu, gpu, 512)
+        assert s.concurrency == 1
+        assert s.batch_size == 512
+
+    def test_cpu_par_preserves_batch_fraction(self, models):
+        cpu, gpu = models
+        # paper scale: 56 of 126 batches in flight
+        full = _async_schedule("mlp", "cpu-par", 64_700, 64_700, cpu, gpu, 512)
+        assert full.concurrency == 56
+        # scaled: same fraction of the (fewer) batches
+        small = _async_schedule("mlp", "cpu-par", 3000, 64_700, cpu, gpu, 512)
+        assert 2 <= small.concurrency < 6
+
+    def test_gpu_hogbatch_near_sequential(self, models):
+        """'the GPU implementation can be regarded as Hogbatch with very
+        low concurrency' (Section IV-B)."""
+        cpu, gpu = models
+        s = _async_schedule("mlp", "gpu", 3000, 64_700, cpu, gpu, 512)
+        assert s.concurrency == 2
+        assert s.batch_size == 512

@@ -1,0 +1,74 @@
+"""Tests for result serialization."""
+
+import io
+import math
+
+import pytest
+
+from repro.sgd import train
+from repro.sgd.serialize import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return train(
+        "lr", "w8a", architecture="gpu", strategy="synchronous",
+        scale="tiny", step_size=30.0, max_epochs=40,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back.task == result.task
+        assert back.architecture == result.architecture
+        assert back.step_size == result.step_size
+        assert back.time_per_iter == result.time_per_iter
+        assert back.curve.losses == result.curve.losses
+        assert back.epochs_to(0.05) == result.epochs_to(0.05)
+        assert back.time_to(0.05) == result.time_to(0.05)
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(result, path)
+        (loaded,) = load_results(path)
+        assert loaded.curve.losses == result.curve.losses
+
+    def test_filelike_roundtrip_many(self, result):
+        buf = io.StringIO()
+        save_results([result, result], buf)
+        buf.seek(0)
+        loaded = load_results(buf)
+        assert len(loaded) == 2
+
+    def test_infinite_losses_survive(self, result):
+        d = result_to_dict(result)
+        d["curve"]["epochs"].append(d["curve"]["epochs"][-1] + 1)
+        d["curve"]["losses"].append("inf")
+        back = result_from_dict(d)
+        assert math.isinf(back.curve.final_loss)
+        assert back.curve.diverged
+
+
+class TestValidation:
+    def test_rejects_non_result(self):
+        with pytest.raises(ConfigurationError):
+            result_from_dict({"foo": 1})
+
+    def test_rejects_future_version(self, result):
+        d = result_to_dict(result)
+        d["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            result_from_dict(d)
+
+    def test_rejects_non_document(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_results(path)

@@ -1,0 +1,96 @@
+"""Tests for the synchronous SGD runners."""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.sgd import SGDConfig, train_minibatch_synchronous, train_synchronous
+from repro.utils import derive_rng
+
+
+@pytest.fixture()
+def setup(tiny_dense):
+    model = make_model("lr", tiny_dense)
+    init = model.init_params(derive_rng(0, "init"))
+    return model, tiny_dense, init
+
+
+class TestFullBatch:
+    def test_loss_monotone_for_small_step(self, setup):
+        model, ds, init = setup
+        res = train_synchronous(model, ds.X, ds.y, init, SGDConfig(step_size=1.0, max_epochs=20))
+        losses = res.curve.losses
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_matches_manual_gradient_descent(self, setup):
+        model, ds, init = setup
+        res = train_synchronous(model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=3))
+        w = init.copy()
+        for _ in range(3):
+            w -= 0.5 * model.full_grad(ds.X, ds.y, w)
+        np.testing.assert_allclose(res.params, w, atol=1e-12)
+
+    def test_initial_params_not_mutated(self, setup):
+        model, ds, init = setup
+        before = init.copy()
+        train_synchronous(model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=2))
+        np.testing.assert_array_equal(init, before)
+
+    def test_epoch_trace_captured_once(self, setup):
+        model, ds, init = setup
+        res = train_synchronous(model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=5))
+        names = [op.name for op in res.epoch_trace]
+        # one gradient pipeline + one model update — not five
+        assert names.count("model_update") == 1
+        assert names[-1] == "model_update"
+
+    def test_early_stop_at_target(self, setup):
+        model, ds, init = setup
+        free = train_synchronous(model, ds.X, ds.y, init, SGDConfig(step_size=1.0, max_epochs=50))
+        target = free.curve.losses[10]
+        res = train_synchronous(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=1.0, max_epochs=50, target_loss=target),
+        )
+        assert len(res.curve) <= 12  # stopped around epoch 10
+
+    def test_divergent_step_reported_infinite(self, setup):
+        model, ds, init = setup
+        res = train_synchronous(
+            model, ds.X, ds.y, init, SGDConfig(step_size=1e9, max_epochs=30)
+        )
+        assert res.curve.diverged
+
+    def test_deterministic(self, setup):
+        model, ds, init = setup
+        cfg = SGDConfig(step_size=1.0, max_epochs=5)
+        a = train_synchronous(model, ds.X, ds.y, init, cfg)
+        b = train_synchronous(model, ds.X, ds.y, init, cfg)
+        np.testing.assert_array_equal(a.params, b.params)
+        assert a.curve.losses == b.curve.losses
+
+
+class TestMiniBatch:
+    def test_reduces_loss(self, setup):
+        model, ds, init = setup
+        res = train_minibatch_synchronous(
+            model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=5, batch_size=32)
+        )
+        assert res.curve.final_loss < res.curve.initial_loss
+
+    def test_trace_contains_all_rounds(self, setup):
+        model, ds, init = setup
+        res = train_minibatch_synchronous(
+            model, ds.X, ds.y, init, SGDConfig(step_size=0.5, max_epochs=2, batch_size=64)
+        )
+        n_batches = -(-ds.n_examples // 64)
+        names = [op.name for op in res.epoch_trace]
+        assert names.count("model_update") == n_batches
+
+    def test_batch_size_n_equals_full_batch_per_epoch_updates(self, setup):
+        model, ds, init = setup
+        res = train_minibatch_synchronous(
+            model, ds.X, ds.y, init,
+            SGDConfig(step_size=0.5, max_epochs=1, batch_size=ds.n_examples),
+        )
+        assert [op.name for op in res.epoch_trace].count("model_update") == 1

@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_table_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"):
+            args = parser.parse_args([cmd, "--scale", "tiny"])
+            assert args.command == cmd
+            assert args.scale == "tiny"
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.task == "lr"
+        assert args.architecture == "cpu-par"
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--task", "cnn"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "covtype" in out and "MLP architecture" in out
+
+    def test_train(self, capsys):
+        rc = main(
+            [
+                "train", "--task", "lr", "--dataset", "w8a", "--scale", "tiny",
+                "--step", "1.0", "--epochs", "40",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "time_per_iter_ms" in out
+        assert "epochs_to_1pct" in out
+
+    def test_gridsearch(self, capsys):
+        rc = main(
+            [
+                "gridsearch", "--task", "lr", "--dataset", "w8a", "--scale", "tiny",
+                "--architecture", "cpu-seq", "--epochs", "60",
+                "--tolerance", "0.10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "step=" in out
+        if rc == 0:
+            assert "best step size" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--scale", "tiny"]) == 0
+        assert "par/seq" in capsys.readouterr().out
+
+
+class TestLadderCommand:
+    def test_ladder(self, capsys):
+        rc = main(["ladder", "--task", "lr", "--dataset", "w8a", "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Tolerance ladder" in out
+        assert "crossover" in out

@@ -1,0 +1,85 @@
+"""Tests for text table / chart rendering."""
+
+import math
+
+import pytest
+
+from repro.utils.tables import (
+    format_cell,
+    render_bar_chart,
+    render_line_chart,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_infinity_matches_paper_notation(self):
+        assert format_cell(math.inf) == "inf"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_int_thousands_separator(self):
+        assert format_cell(581012) == "581,012"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+
+    def test_string_passthrough(self):
+        assert format_cell("covtype") == "covtype"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "30" in out and "4.25" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table T")
+        assert out.startswith("Table T")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderBarChart:
+    def test_bars_scale_with_value(self):
+        out = render_bar_chart(["lo", "hi"], [1.0, 10.0], width=20)
+        lo_line, hi_line = out.splitlines()
+        assert hi_line.count("#") == 20
+        assert 0 < lo_line.count("#") < hi_line.count("#")
+
+    def test_infinity_shown_textually(self):
+        out = render_bar_chart(["x"], [math.inf])
+        assert "inf" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestRenderLineChart:
+    def test_contains_markers_and_legend(self):
+        out = render_line_chart(
+            {"s1": ([1, 2, 3], [3.0, 2.0, 1.0]), "s2": ([1, 2, 3], [1.0, 2.0, 3.0])}
+        )
+        assert "legend" in out
+        assert "o" in out and "*" in out
+
+    def test_log_axis_skips_nonpositive(self):
+        out = render_line_chart({"s": ([0.0, 10.0, 100.0], [1.0, 2.0, 3.0])}, logx=True)
+        assert "log10(x)" in out
+
+    def test_no_finite_points(self):
+        out = render_line_chart({"s": ([math.inf], [1.0])}, title="T")
+        assert "no finite points" in out

@@ -1,0 +1,43 @@
+"""Tests for unit constants and human-readable formatting."""
+
+import math
+
+from repro.utils.units import (
+    CACHE_LINE_BYTES,
+    FLOAT64_BYTES,
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_seconds,
+)
+
+
+class TestConstants:
+    def test_byte_multiples(self):
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_cache_line_holds_eight_doubles(self):
+        assert CACHE_LINE_BYTES // FLOAT64_BYTES == 8
+
+
+class TestFormatBytes:
+    def test_table1_style(self):
+        assert format_bytes(4.4 * MiB) == "4.4MB"
+        assert format_bytes(1.2 * GiB) == "1.2GB"
+
+    def test_small_values(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2 * KiB) == "2.0KB"
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0123) == "12.30ms"
+        assert format_seconds(45e-6) == "45.0us"
+
+    def test_special_values(self):
+        assert format_seconds(math.inf) == "inf"
+        assert format_seconds(float("nan")) == "nan"

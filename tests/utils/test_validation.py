@@ -1,0 +1,63 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import (
+    check_array_2d,
+    check_in,
+    check_labels,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1e-9)
+
+    def test_probability_bounds(self):
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.0001)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ConfigurationError, match="mode must be one of"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestArrayChecks:
+    def test_array_2d_contiguous_float64(self):
+        arr = check_array_2d("X", np.asfortranarray(np.ones((3, 2), dtype=np.float32)))
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_array_2d_rejects_1d(self):
+        with pytest.raises(ConfigurationError, match="must be 2-D"):
+            check_array_2d("X", np.ones(3))
+
+    def test_labels_accept_pm1(self):
+        y = check_labels("y", np.array([1, -1, 1]), 3)
+        assert y.dtype == np.float64
+
+    def test_labels_reject_other_values(self):
+        with pytest.raises(ConfigurationError, match="-1/\\+1"):
+            check_labels("y", np.array([0.0, 1.0]), 2)
+
+    def test_labels_reject_wrong_length(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            check_labels("y", np.array([1.0, -1.0]), 3)
