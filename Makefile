@@ -1,12 +1,15 @@
 # Convenience targets for the repro library.
 
-.PHONY: test bench shapes experiments examples probe lint all
+.PHONY: test bench bench-snapshot shapes experiments examples probe lint all
 
 test:
 	pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-snapshot:  ## telemetry-backed grid snapshot -> BENCH_<n>.json
+	REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py
 
 shapes:          ## regenerate + assert all tables/figures (no timing)
 	pytest benchmarks/ --benchmark-disable -s

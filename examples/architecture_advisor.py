@@ -18,6 +18,15 @@ Run:  python examples/architecture_advisor.py [task] [dataset]
 
 from __future__ import annotations
 
+# Allow running straight from a source checkout: put the repo's src/
+# tree on sys.path when the package is not installed.
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 import math
 import sys
 

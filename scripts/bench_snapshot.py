@@ -1,0 +1,114 @@
+"""Write a telemetry-backed benchmark snapshot to BENCH_<n>.json.
+
+Runs a small paper grid — LR and SVM, one dense and one sparse dataset,
+all six (architecture x strategy) cells — with telemetry enabled, and
+records per cell the two efficiency axes (modelled time/iteration,
+epochs to the 2% tolerance) together with the counter totals (gradient
+evaluations, stale reads, coherence conflicts, bytes moved, ...).
+
+The output lands at the repo root as BENCH_1.json, BENCH_2.json, ...
+(next free index picked automatically) so successive snapshots form a
+performance paper-trail; diff two files to see what a change did.
+
+Usage: REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import repro
+from repro.sgd import ARCHITECTURES, STRATEGIES
+from repro.telemetry import Telemetry, build_manifest
+from repro.telemetry.gitinfo import current_git_sha
+
+BENCH_SCHEMA = "repro.telemetry/bench/v1"
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Kept intentionally small: the snapshot is a regression tripwire, not
+#: a paper regeneration (that is scripts/run_experiments.py).
+SCALE = "tiny"
+MAX_EPOCHS = 60
+TOLERANCE = 0.02
+GRID = [
+    ("lr", "covtype"),   # fully dense
+    ("svm", "w8a"),      # sparse
+]
+
+
+def next_bench_path() -> Path:
+    n = 1
+    while (ROOT / f"BENCH_{n}.json").exists():
+        n += 1
+    return ROOT / f"BENCH_{n}.json"
+
+
+def run_cell(task: str, dataset: str, architecture: str, strategy: str) -> dict:
+    tel = Telemetry()
+    result = repro.train(
+        task,
+        dataset,
+        architecture=architecture,
+        strategy=strategy,
+        scale=SCALE,
+        max_epochs=MAX_EPOCHS,
+        telemetry=tel,
+    )
+    manifest = build_manifest(
+        result, tel, scale=SCALE, max_epochs=MAX_EPOCHS
+    )
+    return {
+        "task": task,
+        "dataset": dataset,
+        "architecture": architecture,
+        "strategy": strategy,
+        "time_per_iter_s": result.time_per_iter,
+        "epochs_to_2pct": result.epochs_to(TOLERANCE),
+        "time_to_2pct_s": (
+            None if result.time_to(TOLERANCE) == float("inf")
+            else result.time_to(TOLERANCE)
+        ),
+        "final_loss": result.curve.final_loss,
+        "counters": manifest.counters,
+        "gauges": manifest.gauges,
+    }
+
+
+def main() -> None:
+    t0 = time.time()
+    cells = []
+    for task, dataset in GRID:
+        for architecture in ARCHITECTURES:
+            for strategy in STRATEGIES:
+                print(f"  {task}/{dataset} {architecture} {strategy} ...",
+                      flush=True)
+                cells.append(run_cell(task, dataset, architecture, strategy))
+
+    snapshot = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "git_sha": current_git_sha(),
+        "repro_version": repro.__version__,
+        "settings": {
+            "scale": SCALE,
+            "max_epochs": MAX_EPOCHS,
+            "tolerance": TOLERANCE,
+            "grid": [f"{t}/{d}" for t, d in GRID],
+        },
+        "cells": cells,
+    }
+    path = next_bench_path()
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path.name}: {len(cells)} cells in {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

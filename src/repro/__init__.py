@@ -19,7 +19,9 @@ The library implements the paper's full experimental apparatus:
 * TensorFlow- and BIDMach-like baseline executors
   (:mod:`repro.frameworks`);
 * drivers regenerating every table and figure of the evaluation
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* an observability layer — nested spans, counters, Chrome-trace export
+  and reproducible run manifests (:mod:`repro.telemetry`).
 
 Quickstart::
 
@@ -42,6 +44,7 @@ from . import (
     models,
     parallel,
     sgd,
+    telemetry,
     utils,
 )
 from .datasets import DATASET_NAMES, Dataset, load, load_mlp, read_libsvm
@@ -55,6 +58,14 @@ from .sgd import (
     TrainResult,
     grid_search,
     train,
+)
+from .telemetry import (
+    NullTelemetry,
+    RunManifest,
+    Telemetry,
+    build_manifest,
+    load_manifest,
+    write_chrome_trace,
 )
 
 __version__ = "1.0.0"
@@ -81,6 +92,12 @@ __all__ = [
     "GpuModel",
     "XEON_E5_2660V4_DUAL",
     "TESLA_K80",
+    "Telemetry",
+    "NullTelemetry",
+    "RunManifest",
+    "build_manifest",
+    "load_manifest",
+    "write_chrome_trace",
     "linalg",
     "datasets",
     "models",
@@ -88,6 +105,7 @@ __all__ = [
     "asyncsim",
     "parallel",
     "sgd",
+    "telemetry",
     "frameworks",
     "experiments",
     "utils",

@@ -33,6 +33,24 @@ def _add_context_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """A live Telemetry when any observability output was requested."""
+    if getattr(args, "trace_out", None) or getattr(args, "manifest_out", None):
+        from .telemetry import Telemetry
+
+        return Telemetry()
+    return None
+
+
+def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Write the Chrome trace requested on the command line, if any."""
+    if telemetry is not None and getattr(args, "trace_out", None):
+        from .telemetry import write_chrome_trace
+
+        path = write_chrome_trace(telemetry, args.trace_out)
+        print(f"trace written to {path}", file=sys.stderr)
+
+
 def _make_context(args: argparse.Namespace):
     from .experiments import ExperimentContext
 
@@ -42,6 +60,7 @@ def _make_context(args: argparse.Namespace):
         tolerance=args.tolerance,
         sync_max_epochs=3000,
         async_max_epochs=950,
+        telemetry=_make_telemetry(args),
     )
 
 
@@ -59,12 +78,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "fig9": experiments.run_fig9,
     }[args.command]
     print(runner(ctx).render())
+    _export_telemetry(args, ctx.telemetry)
     return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from .sgd import train
 
+    telemetry = _make_telemetry(args)
     result = train(
         args.task,
         args.dataset,
@@ -75,11 +96,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
         step_size=args.step,
         max_epochs=args.epochs,
         early_stop_tolerance=args.tolerance,
+        telemetry=telemetry,
     )
     s = result.summary()
     width = max(len(k) for k in s)
     for key, value in s.items():
         print(f"{key.ljust(width)} : {value}")
+    _export_telemetry(args, telemetry)
+    if args.manifest_out:
+        from .telemetry import build_manifest
+
+        manifest = build_manifest(
+            result,
+            telemetry,
+            scale=args.scale,
+            seed=args.seed,
+            max_epochs=args.epochs,
+        )
+        path = manifest.write(args.manifest_out)
+        print(f"manifest written to {path}", file=sys.stderr)
     return 0
 
 
@@ -135,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         _add_context_args(p)
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write a Chrome-trace JSON of all runs to PATH",
+        )
         p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("train", help="run one configuration")
@@ -144,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", choices=STRATEGIES, default="asynchronous")
     p.add_argument("--step", type=float, default=None, help="step size (default: tuned)")
     p.add_argument("--epochs", type=int, default=None, help="max epochs")
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON (chrome://tracing / Perfetto) to PATH",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="write the reproducible run manifest (config, dataset, git SHA, "
+        "counters, final metrics) to PATH",
+    )
     _add_context_args(p)
     p.set_defaults(func=_cmd_train)
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..models.base import Matrix, Model
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.errors import ConfigurationError, DivergenceError
 
 __all__ = ["AsyncSchedule", "run_async_epoch", "apply_updates"]
@@ -96,11 +98,15 @@ def apply_updates(params: np.ndarray, updates) -> None:
     accumulate — the per-word atomicity of real Hogwild); dense updates
     add the full delta.
     """
-    for idx, delta in updates:
-        if idx is None:
-            params += delta
-        else:
-            np.add.at(params, idx, delta)
+    # Overflow is how divergence manifests mid-epoch; it is detected and
+    # reported deliberately (DivergenceError -> the paper's "inf"
+    # entries), so the transient RuntimeWarning is pure noise.
+    with np.errstate(over="ignore"):
+        for idx, delta in updates:
+            if idx is None:
+                params += delta
+            else:
+                np.add.at(params, idx, delta)
 
 
 def run_async_epoch(
@@ -111,8 +117,14 @@ def run_async_epoch(
     step: float,
     schedule: AsyncSchedule,
     rng: np.random.Generator,
+    telemetry: AnyTelemetry | None = None,
 ) -> None:
     """Run one asynchronous optimisation epoch in place.
+
+    When *telemetry* is supplied, the epoch's event totals are counted:
+    gradient evaluations, updates applied, scheduling rounds, and stale
+    reads (work items whose gradient observed a model snapshot older
+    than the latest applied update — zero at concurrency 1).
 
     Raises
     ------
@@ -120,25 +132,47 @@ def run_async_epoch(
         When the parameters become non-finite (the runners translate
         this into the paper's ``inf`` time-to-convergence entries).
     """
+    tel = ensure_telemetry(telemetry)
     n = X.shape[0]
     order = rng.permutation(n) if schedule.shuffle else np.arange(n)
     items = schedule.work_items(order)
     C = schedule.concurrency
 
+    # Divergence-prone arithmetic below overflows by design shortly
+    # before _check_finite reports it; suppress the noise (see
+    # apply_updates).
     if schedule.batch_size == 1:
         serial = getattr(model, "serial_sgd_epoch", None)
         if C == 1 and serial is not None:
-            serial(X, y, order, params, step)
+            with np.errstate(over="ignore"):
+                serial(X, y, order, params, step)
+            tel.count(keys.GRAD_EVALS, n)
+            tel.count(keys.UPDATES_APPLIED, n)
+            tel.count(keys.ASYNC_ROUNDS, n)
             _check_finite(params)
             return
         if schedule.pipeline_lag > 1:
             _run_pipelined(model, X, y, params, step, schedule, order)
+            blocks = -(-n // (schedule.pipeline_block or 1))
+            tel.count(keys.GRAD_EVALS, n)
+            tel.count(keys.UPDATES_APPLIED, n)
+            tel.count(keys.ASYNC_ROUNDS, blocks)
+            tel.count(keys.STALE_READS, n - min(schedule.pipeline_block or n, n))
             _check_finite(params)
             return
-        for start in range(0, len(items), C):
-            rows = np.concatenate(items[start : start + C])
-            updates = model.example_updates(X, y, rows, params, step)
-            apply_updates(params, updates)
+        rounds = 0
+        with np.errstate(over="ignore"):
+            for start in range(0, len(items), C):
+                rows = np.concatenate(items[start : start + C])
+                updates = model.example_updates(X, y, rows, params, step)
+                apply_updates(params, updates)
+                rounds += 1
+        tel.count(keys.GRAD_EVALS, n)
+        tel.count(keys.UPDATES_APPLIED, n)
+        tel.count(keys.ASYNC_ROUNDS, rounds)
+        # Within a round only the first applied update saw the freshest
+        # model; the rest read the round-start snapshot.
+        tel.count(keys.STALE_READS, max(0, n - rounds))
         _check_finite(params)
         return
 
@@ -146,12 +180,19 @@ def run_async_epoch(
     # round's updates are computed before any is applied, so they all
     # observe the model as of the round start — no explicit snapshot
     # copy is needed.
-    for start in range(0, len(items), C):
-        round_items = items[start : start + C]
-        updates = [
-            model.batch_update(X, y, rows, params, step) for rows in round_items
-        ]
-        apply_updates(params, updates)
+    rounds = 0
+    with np.errstate(over="ignore"):
+        for start in range(0, len(items), C):
+            round_items = items[start : start + C]
+            updates = [
+                model.batch_update(X, y, rows, params, step) for rows in round_items
+            ]
+            apply_updates(params, updates)
+            rounds += 1
+    tel.count(keys.GRAD_EVALS, n)
+    tel.count(keys.UPDATES_APPLIED, len(items))
+    tel.count(keys.ASYNC_ROUNDS, rounds)
+    tel.count(keys.STALE_READS, max(0, len(items) - rounds))
     _check_finite(params)
 
 
@@ -182,12 +223,13 @@ def _run_pipelined(
     # observed.  Until the pipe fills, the view is the epoch start.
     history: deque[np.ndarray] = deque(maxlen=lag)
     n = order.shape[0]
-    for start in range(0, n, block):
-        rows = order[start : start + block]
-        stale = history[0] if len(history) == lag else epoch_start
-        updates = model.example_updates(X, y, rows, stale, step)
-        apply_updates(params, updates)
-        history.append(params.copy())
+    with np.errstate(over="ignore"):
+        for start in range(0, n, block):
+            rows = order[start : start + block]
+            stale = history[0] if len(history) == lag else epoch_start
+            updates = model.example_updates(X, y, rows, stale, step)
+            apply_updates(params, updates)
+            history.append(params.copy())
 
 
 def _check_finite(params: np.ndarray) -> None:

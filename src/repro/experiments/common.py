@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace as dc_replace
 from ..datasets import DATASET_NAMES
 from ..hardware import CpuModel, GpuModel
 from ..sgd.runner import TrainResult, train
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.errors import ConfigurationError
 from .tuned import lookup_step
 
@@ -49,6 +50,10 @@ class ExperimentContext:
     step_overrides: dict[tuple[str, str, str, str], float] = field(
         default_factory=dict
     )
+    #: Observability sink shared by every run this context executes
+    #: (``None`` = disabled).  Cached configurations are only measured
+    #: the first time they execute.
+    telemetry: AnyTelemetry | None = None
     _cache: dict[tuple, TrainResult] = field(default_factory=dict, repr=False)
 
     def step_for(
@@ -76,17 +81,26 @@ class ExperimentContext:
             return self._run_sync(task, dataset, architecture)
         key = (task, dataset, architecture, strategy)
         if key not in self._cache:
-            self._cache[key] = train(
-                task,
-                dataset,
+            tel = ensure_telemetry(self.telemetry)
+            with tel.span(
+                "experiment.run",
+                task=task,
+                dataset=dataset,
                 architecture=architecture,
                 strategy=strategy,
-                scale=self.scale,
-                seed=self.seed,
-                step_size=self.step_for(task, dataset, strategy, architecture),
-                max_epochs=self.async_max_epochs,
-                early_stop_tolerance=self.tolerance,
-            )
+            ):
+                self._cache[key] = train(
+                    task,
+                    dataset,
+                    architecture=architecture,
+                    strategy=strategy,
+                    scale=self.scale,
+                    seed=self.seed,
+                    step_size=self.step_for(task, dataset, strategy, architecture),
+                    max_epochs=self.async_max_epochs,
+                    early_stop_tolerance=self.tolerance,
+                    telemetry=self.telemetry,
+                )
         return self._cache[key]
 
     def _run_sync(self, task: str, dataset: str, architecture: str) -> TrainResult:
@@ -96,19 +110,28 @@ class ExperimentContext:
             return self._cache[key]
         base_key = (task, dataset, "cpu-seq", "synchronous")
         if base_key not in self._cache:
-            self._cache[base_key] = train(
-                task,
-                dataset,
+            tel = ensure_telemetry(self.telemetry)
+            with tel.span(
+                "experiment.run",
+                task=task,
+                dataset=dataset,
                 architecture="cpu-seq",
                 strategy="synchronous",
-                scale=self.scale,
-                seed=self.seed,
-                step_size=self.step_for(task, dataset, "synchronous"),
-                max_epochs=self.sync_max_epochs,
-                early_stop_tolerance=self.tolerance,
-                cpu_model=self.cpu,
-                gpu_model=self.gpu,
-            )
+            ):
+                self._cache[base_key] = train(
+                    task,
+                    dataset,
+                    architecture="cpu-seq",
+                    strategy="synchronous",
+                    scale=self.scale,
+                    seed=self.seed,
+                    step_size=self.step_for(task, dataset, "synchronous"),
+                    max_epochs=self.sync_max_epochs,
+                    early_stop_tolerance=self.tolerance,
+                    cpu_model=self.cpu,
+                    gpu_model=self.gpu,
+                    telemetry=self.telemetry,
+                )
         base = self._cache[base_key]
         if architecture == "cpu-seq":
             return base
@@ -116,10 +139,13 @@ class ExperimentContext:
             raise ConfigurationError("synchronous run lost its epoch trace")
         if architecture == "cpu-par":
             tpi = self.cpu.sync_epoch_time(
-                base.epoch_trace, self.cpu.spec.max_threads, self._ws(task, dataset)
+                base.epoch_trace,
+                self.cpu.spec.max_threads,
+                self._ws(task, dataset),
+                self.telemetry,
             )
         elif architecture == "gpu":
-            tpi = self.gpu.sync_epoch_time(base.epoch_trace)
+            tpi = self.gpu.sync_epoch_time(base.epoch_trace, self.telemetry)
         else:
             raise ConfigurationError(f"unknown architecture {architecture!r}")
         result = dc_replace(base, architecture=architecture, time_per_iter=tpi)

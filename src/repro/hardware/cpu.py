@@ -29,6 +29,9 @@ from dataclasses import dataclass
 
 from ..linalg.policy import VIENNACL_POLICY, KernelPolicy
 from ..linalg.trace import OpKind, OpRecord, Trace
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
+from ..utils.units import CACHE_LINE_BYTES
 from .cache import MemLevel, residency
 from .spec import XEON_E5_2660V4_DUAL, CpuSpec
 from .workload import AsyncWorkload
@@ -127,11 +130,22 @@ class CpuModel:
         return max(compute, memory) + overhead
 
     def sync_epoch_time(
-        self, trace: Trace, threads: int, working_set_bytes: float
+        self,
+        trace: Trace,
+        threads: int,
+        working_set_bytes: float,
+        telemetry: AnyTelemetry | None = None,
     ) -> float:
-        """Time of one synchronous epoch (sum of blocking kernels)."""
+        """Time of one synchronous epoch (sum of blocking kernels).
+
+        With *telemetry*, the modelled work of the costed epoch is
+        counted: flops and bytes priced by the roofline.
+        """
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        tel = ensure_telemetry(telemetry)
+        tel.count(keys.FLOPS_MODELLED, trace.total_flops)
+        tel.count(keys.BYTES_MOVED, trace.total_bytes)
         return sum(self.op_time(op, threads, working_set_bytes) for op in trace)
 
     def sync_breakdown(
@@ -164,11 +178,21 @@ class CpuModel:
 
     # -- asynchronous (workload-driven) ----------------------------------------
 
-    def async_epoch_time(self, w: AsyncWorkload, threads: int) -> float:
+    def async_epoch_time(
+        self,
+        w: AsyncWorkload,
+        threads: int,
+        telemetry: AnyTelemetry | None = None,
+    ) -> float:
         """Time of one asynchronous epoch with *threads* workers."""
-        return self.async_breakdown(w, threads).total
+        return self.async_breakdown(w, threads, telemetry).total
 
-    def async_breakdown(self, w: AsyncWorkload, threads: int) -> CpuCostBreakdown:
+    def async_breakdown(
+        self,
+        w: AsyncWorkload,
+        threads: int,
+        telemetry: AnyTelemetry | None = None,
+    ) -> CpuCostBreakdown:
         """Decomposed per-epoch cost of Hogwild/Hogbatch execution.
 
         Per step a worker pays: fixed loop overhead, gradient flops
@@ -183,9 +207,19 @@ class CpuModel:
         ``f_max = 1`` and the floor alone exceeds the sequential time —
         the paper's covtype finding (Table III).
         """
+        tel = ensure_telemetry(telemetry)
         spec = self.spec
         threads = max(1, min(threads, spec.max_threads))
         eff_cores = spec.effective_cores(threads)
+        tel.count(keys.FLOPS_MODELLED, w.flops_per_step * w.steps_per_epoch)
+        tel.count(
+            keys.BYTES_MOVED,
+            w.steps_per_epoch
+            * (
+                w.data_bytes_per_step
+                + 2.0 * w.model_lines_per_step * CACHE_LINE_BYTES
+            ),
+        )
 
         batched = w.examples_per_step > 1
         simd = 0.50 if batched else 0.25
@@ -207,6 +241,7 @@ class CpuModel:
         if threads > 1 and self.model_coherence:
             frac = w.line_stats.conflict_fraction(threads)
             conflicted = frac * w.model_lines_per_step
+            tel.count(keys.COHERENCE_CONFLICTS, conflicted * w.steps_per_epoch)
             numa = 1.5 if spec.sockets_engaged(threads) > 1 else 1.0
             coherence_per_step = (
                 conflicted * spec.coherence_latency * _COHERENCE_OVERLAP * numa

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..linalg.trace import OpKind, OpRecord, Trace
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from .spec import TESLA_K80, GpuSpec
 from .workload import AsyncWorkload
 
@@ -119,8 +121,18 @@ class GpuModel:
         )
         return spec.kernel_launch_overhead + max(compute, memory)
 
-    def sync_epoch_time(self, trace: Trace) -> float:
-        """Time of one synchronous epoch on the GPU."""
+    def sync_epoch_time(
+        self, trace: Trace, telemetry: AnyTelemetry | None = None
+    ) -> float:
+        """Time of one synchronous epoch on the GPU.
+
+        With *telemetry*, the costed epoch's modelled work is counted:
+        flops, bytes, and one kernel launch per primitive.
+        """
+        tel = ensure_telemetry(telemetry)
+        tel.count(keys.FLOPS_MODELLED, trace.total_flops)
+        tel.count(keys.BYTES_MOVED, trace.total_bytes)
+        tel.count(keys.KERNEL_LAUNCHES, len(trace))
         return sum(self.op_time(op) for op in trace)
 
     def sync_breakdown(self, trace: Trace) -> GpuCostBreakdown:
@@ -166,11 +178,17 @@ class GpuModel:
         """
         return self.spec.concurrent_threads
 
-    def async_epoch_time(self, w: AsyncWorkload) -> float:
+    def async_epoch_time(
+        self, w: AsyncWorkload, telemetry: AnyTelemetry | None = None
+    ) -> float:
         """Time of one asynchronous epoch on the GPU."""
-        return self.async_breakdown(w).total
+        return self.async_breakdown(w, telemetry).total
 
-    def async_breakdown(self, w: AsyncWorkload) -> GpuCostBreakdown:
+    def async_breakdown(
+        self, w: AsyncWorkload, telemetry: AnyTelemetry | None = None
+    ) -> GpuCostBreakdown:
+        tel = ensure_telemetry(telemetry)
+        tel.count(keys.FLOPS_MODELLED, w.flops_per_step * w.steps_per_epoch)
         spec = self.spec
         if w.examples_per_step > 1:
             # Hogbatch: a stream of small synchronous-style kernels, one
@@ -186,6 +204,8 @@ class GpuModel:
                 compute, memory
             )
             n = w.steps_per_epoch
+            tel.count(keys.BYTES_MOVED, n * mem_bytes)
+            tel.count(keys.KERNEL_LAUNCHES, n * launches_per_step)
             return GpuCostBreakdown(
                 total=n * per_step,
                 compute=n * compute,
@@ -225,6 +245,9 @@ class GpuModel:
         if self.warp_shuffle:
             updates_to_hot_line /= spec.warp_size
         atomics_floor = updates_to_hot_line * _ATOMIC_SERVICE
+        tel.count(keys.BYTES_MOVED, n * tx_per_step * spec.transaction_bytes)
+        tel.count(keys.KERNEL_LAUNCHES, 1)
+        tel.count(keys.ATOMIC_HOTLINE_UPDATES, updates_to_hot_line)
         total = max(compute, memory, atomics_floor) + spec.kernel_launch_overhead
         return GpuCostBreakdown(
             total=total,

@@ -25,6 +25,8 @@ import numpy as np
 from ..asyncsim import AsyncSchedule, run_async_epoch
 from ..linalg import trace_paused
 from ..models.base import Matrix, Model
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.errors import DivergenceError
 from ..utils.rng import derive_rng
 from .config import SGDConfig
@@ -51,38 +53,56 @@ def train_asynchronous(
     init_params: np.ndarray,
     config: SGDConfig,
     schedule: AsyncSchedule,
+    telemetry: AnyTelemetry | None = None,
 ) -> AsyncResult:
     """Run asynchronous SGD under the given interleaving schedule.
 
     A :class:`~repro.utils.errors.DivergenceError` from the engine and
     runaway losses are both recorded as divergence (infinite final
     loss) rather than raised, matching how the paper reports
-    non-convergent configurations.
+    non-convergent configurations.  *telemetry* (optional) receives a
+    span covering the optimisation; the per-epoch event totals
+    (gradients, updates, rounds, stale reads) are counted inside the
+    asynchrony engine.
     """
+    tel = ensure_telemetry(telemetry)
     params = np.array(init_params, dtype=np.float64, copy=True)
     rng = derive_rng(config.seed, f"async/c{schedule.concurrency}/b{schedule.batch_size}")
     curve = LossCurve()
     with trace_paused():
         initial = model.loss(X, y, params)
+    tel.count(keys.LOSS_EVALS)
     curve.record(0, initial)
     limit = config.divergence_factor * max(initial, 1e-12)
 
     diverged = False
-    for epoch in range(1, config.max_epochs + 1):
-        try:
-            run_async_epoch(model, X, y, params, config.step_size, schedule, rng)
-        except DivergenceError:
-            curve.record(epoch, float("inf"))
-            diverged = True
-            break
-        if epoch % config.eval_every == 0 or epoch == config.max_epochs:
-            with trace_paused():
-                loss = model.loss(X, y, params)
-            if not np.isfinite(loss) or loss > limit:
+    with tel.span(
+        "async.optimize",
+        concurrency=schedule.concurrency,
+        batch_size=schedule.batch_size,
+        step_size=config.step_size,
+    ) as opt_span:
+        for epoch in range(1, config.max_epochs + 1):
+            try:
+                run_async_epoch(
+                    model, X, y, params, config.step_size, schedule, rng, tel
+                )
+            except DivergenceError:
+                tel.count(keys.EPOCHS)
                 curve.record(epoch, float("inf"))
                 diverged = True
                 break
-            curve.record(epoch, loss)
-            if config.target_loss is not None and loss <= config.target_loss:
-                break
+            tel.count(keys.EPOCHS)
+            if epoch % config.eval_every == 0 or epoch == config.max_epochs:
+                with trace_paused():
+                    loss = model.loss(X, y, params)
+                tel.count(keys.LOSS_EVALS)
+                if not np.isfinite(loss) or loss > limit:
+                    curve.record(epoch, float("inf"))
+                    diverged = True
+                    break
+                curve.record(epoch, loss)
+                if config.target_loss is not None and loss <= config.target_loss:
+                    break
+        opt_span.set_attribute("diverged", diverged)
     return AsyncResult(curve=curve, params=params, schedule=schedule, diverged=diverged)

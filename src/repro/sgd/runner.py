@@ -26,6 +26,8 @@ from ..datasets.synthetic import Dataset
 from ..hardware import AsyncWorkload, CpuModel, GpuModel
 from ..linalg.trace import Trace
 from ..models import Model, make_model
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.errors import ConfigurationError
 from ..utils.rng import DEFAULT_SEED, derive_rng
 from ..utils.units import FLOAT64_BYTES, INT32_BYTES
@@ -87,6 +89,9 @@ class TrainResult:
     diverged: bool
     #: The epoch trace (synchronous runs only) for further analysis.
     epoch_trace: Trace | None = field(default=None, repr=False)
+    #: Realised dataset statistics (rows/features/nnz of the data the
+    #: optimisation actually ran on) — recorded into run manifests.
+    dataset_stats: dict | None = field(default=None, repr=False)
 
     @property
     def initial_loss(self) -> float:
@@ -287,6 +292,7 @@ def train(
     gpu_model: GpuModel | None = None,
     early_stop_tolerance: float | None = 0.01,
     representation: str = "auto",
+    telemetry: AnyTelemetry | None = None,
 ) -> TrainResult:
     """Train one paper configuration and report all three performance axes.
 
@@ -323,6 +329,13 @@ def train(
         writes all d coordinates and the coherence storm appears on an
         otherwise sparse problem.  lr/svm only (the MLP pipeline is
         dense by construction).
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` to receive spans (dataset
+        load, reference solve, optimisation, hardware costing),
+        counters (gradient evaluations, updates applied, stale reads,
+        modelled bytes/flops) and simulated-time gauges.  ``None`` (the
+        default) disables observability at zero cost; results are
+        bit-identical either way.
     """
     if task not in ("lr", "svm", "mlp"):
         raise ConfigurationError(f"unknown task {task!r}")
@@ -344,51 +357,102 @@ def train(
             "representation overrides apply to lr/svm; the MLP pipeline is "
             "dense by construction (feature grouping densifies the data)"
         )
+    tel = ensure_telemetry(telemetry)
     cpu = cpu_model or CpuModel()
     gpu = gpu_model or GpuModel()
 
-    if isinstance(dataset, Dataset):
-        ds = dataset
-        ds_name = ds.profile.name.removesuffix("-mlp")
-    else:
-        ds_name = dataset
-        ds = load_mlp(dataset, scale, seed) if task == "mlp" else load(dataset, scale, seed)
-    ds = _apply_representation(ds, representation)
+    with tel.span(
+        "train",
+        task=task,
+        architecture=architecture,
+        strategy=strategy,
+        scale=scale,
+    ) as root:
+        with tel.span("dataset.load", scale=scale):
+            if isinstance(dataset, Dataset):
+                ds = dataset
+                ds_name = ds.profile.name.removesuffix("-mlp")
+            else:
+                ds_name = dataset
+                ds = (
+                    load_mlp(dataset, scale, seed)
+                    if task == "mlp"
+                    else load(dataset, scale, seed)
+                )
+            ds = _apply_representation(ds, representation)
+        root.set_attribute("dataset", ds_name)
+        stats = _dataset_stats(ds, ds_name, representation)
 
-    model = make_model(task, ds)
-    init = model.init_params(derive_rng(seed, f"init/{task}/{ds_name}"))
-    ref_key = f"{task}/{ds_name}/{ds.n_examples}x{ds.n_features}/seed{seed or DEFAULT_SEED}"
-    optimal = reference_loss(model, ds.X, ds.y, init, key=ref_key)
+        model = make_model(task, ds)
+        init = model.init_params(derive_rng(seed, f"init/{task}/{ds_name}"))
+        ref_key = f"{task}/{ds_name}/{ds.n_examples}x{ds.n_features}/seed{seed or DEFAULT_SEED}"
+        with tel.span("reference.solve", key=ref_key):
+            optimal = reference_loss(model, ds.X, ds.y, init, key=ref_key)
 
-    if step_size is None:
-        step_size = default_step_size(task, strategy)
-    if max_epochs is None:
-        max_epochs = 400 if strategy == "synchronous" else 150
+        if step_size is None:
+            step_size = default_step_size(task, strategy)
+        if max_epochs is None:
+            max_epochs = 400 if strategy == "synchronous" else 150
 
-    target = None
-    if early_stop_tolerance is not None:
-        initial = model.loss(ds.X, ds.y, init)
-        target = tolerance_threshold(optimal, early_stop_tolerance, initial)
+        target = None
+        if early_stop_tolerance is not None:
+            initial = model.loss(ds.X, ds.y, init)
+            target = tolerance_threshold(optimal, early_stop_tolerance, initial)
 
-    config = SGDConfig(
-        step_size=step_size,
-        max_epochs=max_epochs,
-        batch_size=batch_size,
-        seed=seed if seed is not None else DEFAULT_SEED,
-        target_loss=target,
-    )
+        config = SGDConfig(
+            step_size=step_size,
+            max_epochs=max_epochs,
+            batch_size=batch_size,
+            seed=seed if seed is not None else DEFAULT_SEED,
+            target_loss=target,
+        )
 
-    if strategy == "synchronous":
-        res = train_synchronous(model, ds.X, ds.y, init, config)
-        factor = full_scale_factor(ds, task, representation)
-        trace = res.epoch_trace.scaled(factor)
-        ws = working_set_bytes(ds, model, task, representation)
-        if architecture == "cpu-seq":
-            tpi = cpu.sync_epoch_time(trace, 1, ws)
-        elif architecture == "cpu-par":
-            tpi = cpu.sync_epoch_time(trace, cpu.spec.max_threads, ws)
+        if strategy == "synchronous":
+            res = train_synchronous(model, ds.X, ds.y, init, config, tel)
+            factor = full_scale_factor(ds, task, representation)
+            trace = res.epoch_trace.scaled(factor)
+            ws = working_set_bytes(ds, model, task, representation)
+            with tel.span("hardware.cost", architecture=architecture) as costing:
+                if architecture == "cpu-seq":
+                    tpi = cpu.sync_epoch_time(trace, 1, ws, tel)
+                elif architecture == "cpu-par":
+                    tpi = cpu.sync_epoch_time(trace, cpu.spec.max_threads, ws, tel)
+                else:
+                    tpi = gpu.sync_epoch_time(trace, tel)
+                costing.add_sim_time(tpi)
+            _record_sim_time(tel, root, tpi, res.curve)
+            return TrainResult(
+                task=task,
+                dataset=ds_name,
+                architecture=architecture,
+                strategy=strategy,
+                step_size=step_size,
+                curve=res.curve,
+                time_per_iter=tpi,
+                optimal_loss=optimal,
+                diverged=res.curve.diverged,
+                epoch_trace=trace,
+                dataset_stats=stats,
+            )
+
+        full = _effective_full_profile(ds, representation)
+        schedule = _async_schedule(
+            task, architecture, ds.n_examples, full.n_examples, cpu, gpu, batch_size
+        )
+        res = train_asynchronous(model, ds.X, ds.y, init, config, schedule, tel)
+        if task == "mlp":
+            workload = AsyncWorkload.for_batched(ds, model, batch_size, profile=full)
         else:
-            tpi = gpu.sync_epoch_time(trace)
+            workload = AsyncWorkload.for_linear(ds, model, profile=full)
+        with tel.span("hardware.cost", architecture=architecture) as costing:
+            if architecture == "cpu-seq":
+                tpi = cpu.async_epoch_time(workload, 1, tel)
+            elif architecture == "cpu-par":
+                tpi = cpu.async_epoch_time(workload, cpu.spec.max_threads, tel)
+            else:
+                tpi = gpu.async_epoch_time(workload, tel)
+            costing.add_sim_time(tpi)
+        _record_sim_time(tel, root, tpi, res.curve)
         return TrainResult(
             task=task,
             dataset=ds_name,
@@ -398,33 +462,29 @@ def train(
             curve=res.curve,
             time_per_iter=tpi,
             optimal_loss=optimal,
-            diverged=res.curve.diverged,
-            epoch_trace=trace,
+            diverged=res.diverged,
+            dataset_stats=stats,
         )
 
-    full = _effective_full_profile(ds, representation)
-    schedule = _async_schedule(
-        task, architecture, ds.n_examples, full.n_examples, cpu, gpu, batch_size
-    )
-    res = train_asynchronous(model, ds.X, ds.y, init, config, schedule)
-    if task == "mlp":
-        workload = AsyncWorkload.for_batched(ds, model, batch_size, profile=full)
-    else:
-        workload = AsyncWorkload.for_linear(ds, model, profile=full)
-    if architecture == "cpu-seq":
-        tpi = cpu.async_epoch_time(workload, 1)
-    elif architecture == "cpu-par":
-        tpi = cpu.async_epoch_time(workload, cpu.spec.max_threads)
-    else:
-        tpi = gpu.async_epoch_time(workload)
-    return TrainResult(
-        task=task,
-        dataset=ds_name,
-        architecture=architecture,
-        strategy=strategy,
-        step_size=step_size,
-        curve=res.curve,
-        time_per_iter=tpi,
-        optimal_loss=optimal,
-        diverged=res.diverged,
-    )
+
+def _dataset_stats(ds: Dataset, name: str, representation: str) -> dict:
+    """Realised dataset statistics recorded into manifests."""
+    return {
+        "name": name,
+        "profile": ds.profile.name,
+        "n_examples": int(ds.n_examples),
+        "n_features": int(ds.n_features),
+        "sparse": bool(ds.is_sparse),
+        "nnz": int(ds.nnz)
+        if ds.is_sparse
+        else int(ds.n_examples) * int(ds.n_features),
+        "representation": representation,
+    }
+
+
+def _record_sim_time(tel: AnyTelemetry, root_span, time_per_iter: float, curve: LossCurve) -> None:
+    """Publish the simulated-time gauges and attribute them to the run."""
+    epochs = curve.epochs[-1] if curve.epochs else 0
+    tel.set_gauge(keys.SIM_SECONDS_PER_EPOCH, time_per_iter)
+    tel.set_gauge(keys.SIM_SECONDS_TOTAL, epochs * time_per_iter)
+    root_span.add_sim_time(epochs * time_per_iter)

@@ -22,6 +22,8 @@ import numpy as np
 from ..linalg import axpy, recording, trace_paused
 from ..linalg.trace import Trace
 from ..models.base import Matrix, Model
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.rng import derive_rng
 from .config import SGDConfig
 from .convergence import LossCurve
@@ -56,39 +58,50 @@ def train_synchronous(
     y: np.ndarray,
     init_params: np.ndarray,
     config: SGDConfig,
+    telemetry: AnyTelemetry | None = None,
 ) -> SyncResult:
     """Full-batch gradient descent to the configured stop condition.
 
     The epoch trace is recorded on the first epoch only — every epoch
     executes the identical kernel sequence, so one recording suffices
-    and later epochs skip the bookkeeping.
+    and later epochs skip the bookkeeping.  *telemetry* (optional)
+    receives a span covering the optimisation and per-epoch counters:
+    a full-batch epoch is N gradient evaluations and one model update.
     """
+    tel = ensure_telemetry(telemetry)
     params = np.array(init_params, dtype=np.float64, copy=True)
+    n = X.shape[0]
     curve = LossCurve()
     with trace_paused():
         initial = model.loss(X, y, params)
+    tel.count(keys.LOSS_EVALS)
     curve.record(0, initial)
     limit = config.divergence_factor * max(initial, 1e-12)
 
     epoch_trace = Trace()
-    for epoch in range(1, config.max_epochs + 1):
-        if epoch == 1:
-            with recording() as epoch_trace:
+    with tel.span("sync.optimize", n_examples=n, step_size=config.step_size):
+        for epoch in range(1, config.max_epochs + 1):
+            if epoch == 1:
+                with recording() as epoch_trace:
+                    _sync_step(model, X, y, params, config.step_size)
+            else:
                 _sync_step(model, X, y, params, config.step_size)
-        else:
-            _sync_step(model, X, y, params, config.step_size)
-        if not np.all(np.isfinite(params)):
-            curve.record(epoch, float("inf"))
-            break
-        if epoch % config.eval_every == 0 or epoch == config.max_epochs:
-            with trace_paused():
-                loss = model.loss(X, y, params)
-            curve.record(epoch, loss)
-            if not np.isfinite(loss) or loss > limit:
-                curve.losses[-1] = float("inf")
+            tel.count(keys.EPOCHS)
+            tel.count(keys.GRAD_EVALS, n)
+            tel.count(keys.UPDATES_APPLIED)
+            if not np.all(np.isfinite(params)):
+                curve.record(epoch, float("inf"))
                 break
-            if config.target_loss is not None and loss <= config.target_loss:
-                break
+            if epoch % config.eval_every == 0 or epoch == config.max_epochs:
+                with trace_paused():
+                    loss = model.loss(X, y, params)
+                tel.count(keys.LOSS_EVALS)
+                curve.record(epoch, loss)
+                if not np.isfinite(loss) or loss > limit:
+                    curve.losses[-1] = float("inf")
+                    break
+                if config.target_loss is not None and loss <= config.target_loss:
+                    break
     return SyncResult(curve=curve, params=params, epoch_trace=epoch_trace)
 
 

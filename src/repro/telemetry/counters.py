@@ -1,0 +1,124 @@
+"""Monotonic counters and last-value gauges, in a thread-safe registry.
+
+Counters accumulate event totals (gradient evaluations, updates
+applied, modelled bytes moved); gauges hold the latest value of a
+measurement (simulated seconds per epoch).  Both are created on first
+use, so instrumented code never has to pre-declare the metrics it
+emits, and all mutation goes through one registry lock — contention is
+irrelevant at the granularity we instrument (per epoch / per costing
+call, not per arithmetic operation).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def add(self, value: float = 1.0) -> None:
+        """Increment by *value* (must be non-negative)."""
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {value})")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-value-wins measurement (also tracks the maximum seen)."""
+
+    __slots__ = ("name", "_value", "_max", "_set", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._max = 0.0
+        self._set = False
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        with self._lock:
+            value = float(value)
+            self._value = value
+            self._max = value if not self._set else max(self._max, value)
+            self._set = True
+
+    @property
+    def value(self) -> float:
+        """Most recently set value (0.0 if never set)."""
+        with self._lock:
+            return self._value
+
+    @property
+    def max(self) -> float:
+        """Largest value ever set."""
+        with self._lock:
+            return self._max
+
+
+class MetricsRegistry:
+    """Create-on-demand home for all counters and gauges of one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name*, created if absent."""
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name, self._lock)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name*, created if absent."""
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name, self._lock)
+            return g
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Shorthand: ``counter(name).add(value)``."""
+        self.counter(name).add(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Shorthand: ``gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def counter_values(self) -> dict[str, float]:
+        """Name -> total for every counter (sorted by name)."""
+        with self._lock:
+            return {name: c._value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> dict[str, float]:
+        """Name -> latest value for every gauge (sorted by name)."""
+        with self._lock:
+            return {name: g._value for name, g in sorted(self._gauges.items())}
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Counters and gauges as one JSON-ready mapping."""
+        return {"counters": self.counter_values(), "gauges": self.gauge_values()}
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self.counter_values().items())

@@ -1,0 +1,80 @@
+"""Canonical metric names shared by every instrumented layer.
+
+Counters and gauges are keyed by dotted strings; this module is the
+single vocabulary so producers (runners, the asynchrony engine, the
+hardware models) and consumers (manifests, benchmarks, tests) agree on
+spelling.  The prefixes partition the namespace:
+
+* ``sgd.``   — work performed by the numerical optimisation itself
+  (gradient evaluations, model updates, epochs);
+* ``async.`` — events specific to the asynchrony simulator (stale
+  reads, scheduling rounds);
+* ``hw.``    — *modelled* hardware activity derived by the analytical
+  machine models (bytes moved, flops, coherence conflicts, kernel
+  launches) — these describe the paper's machines, not the host;
+* ``sim.``   — simulated-time outputs (seconds per epoch at paper
+  scale), the quantities the paper reports as hardware efficiency.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GRAD_EVALS",
+    "UPDATES_APPLIED",
+    "EPOCHS",
+    "LOSS_EVALS",
+    "STALE_READS",
+    "ASYNC_ROUNDS",
+    "BYTES_MOVED",
+    "FLOPS_MODELLED",
+    "KERNEL_LAUNCHES",
+    "COHERENCE_CONFLICTS",
+    "ATOMIC_HOTLINE_UPDATES",
+    "SIM_SECONDS_PER_EPOCH",
+    "SIM_SECONDS_TOTAL",
+]
+
+#: Per-example gradient evaluations (a full-batch gradient over N rows
+#: counts N; an incremental step counts 1).
+GRAD_EVALS = "sgd.gradient_evals"
+
+#: Model updates applied to the shared parameter vector (one per epoch
+#: for batch GD, one per example/mini-batch for Hogwild/Hogbatch).
+UPDATES_APPLIED = "sgd.updates_applied"
+
+#: Optimisation epochs actually executed.
+EPOCHS = "sgd.epochs"
+
+#: Full-dataset loss evaluations (excluded from iteration timing, but
+#: counted so their cost is visible).
+LOSS_EVALS = "sgd.loss_evals"
+
+#: Gradients computed against a stale model snapshot (the asynchrony
+#: simulator's whole point: staleness of reads).
+STALE_READS = "async.stale_reads"
+
+#: Scheduling rounds executed by the asynchrony engine.
+ASYNC_ROUNDS = "async.rounds"
+
+#: Modelled memory traffic (bytes) the hardware models priced.
+BYTES_MOVED = "hw.bytes_moved"
+
+#: Modelled floating-point operations the hardware models priced.
+FLOPS_MODELLED = "hw.flops_modelled"
+
+#: Modelled GPU kernel launches (synchronous primitives / batch steps).
+KERNEL_LAUNCHES = "hw.kernel_launches"
+
+#: Modelled coherence-conflicted model cache lines per costed epoch
+#: (CPU Hogwild: lines whose update pays an ownership transfer).
+COHERENCE_CONFLICTS = "hw.coherence_conflict_lines"
+
+#: Modelled serialised atomic updates to the hottest model line per
+#: costed epoch (GPU Hogwild's contention floor).
+ATOMIC_HOTLINE_UPDATES = "hw.atomic_hotline_updates"
+
+#: Gauge: modelled seconds per optimisation epoch at paper scale.
+SIM_SECONDS_PER_EPOCH = "sim.seconds_per_epoch"
+
+#: Gauge: modelled seconds for the whole run (epochs x per-epoch time).
+SIM_SECONDS_TOTAL = "sim.seconds_total"

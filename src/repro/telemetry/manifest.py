@@ -1,0 +1,146 @@
+"""Run manifests: the reproducibility record of one training run.
+
+A manifest pins everything needed to compare a result across PRs and
+machines: the full configuration, the realised dataset's statistics,
+the seed, the producing commit, the final metrics along the paper's
+three axes, and the telemetry counter totals.  It round-trips through
+JSON losslessly (``write`` -> ``load`` -> equality), which the test
+suite asserts and the benchmark trajectory (``BENCH_*.json``) relies
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from .gitinfo import current_git_sha
+from .session import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sgd.runner import TrainResult
+
+__all__ = ["MANIFEST_SCHEMA", "RunManifest", "build_manifest", "load_manifest"]
+
+MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
+
+
+@dataclass
+class RunManifest:
+    """Snapshot of one run's identity, inputs, outputs and counters."""
+
+    schema: str
+    created_unix: float
+    git_sha: str | None
+    repro_version: str
+    #: The exact configuration: task, dataset, architecture, strategy,
+    #: step size, scale, seed, epoch budget, batch size, ...
+    config: dict[str, Any] = field(default_factory=dict)
+    #: Realised dataset statistics (name, rows, features, nnz, density).
+    dataset: dict[str, Any] = field(default_factory=dict)
+    #: Final metrics along the paper's axes (losses, time per iter,
+    #: epochs/time to each tolerance, divergence flag).
+    results: dict[str, Any] = field(default_factory=dict)
+    #: Telemetry counter totals at the end of the run.
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Telemetry gauge values at the end of the run.
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialised JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the manifest file and return its path."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its dict form."""
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
+
+
+def load_manifest(path: str | pathlib.Path) -> RunManifest:
+    """Read a manifest file back into a :class:`RunManifest`."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return RunManifest.from_dict(data)
+
+
+def build_manifest(
+    result: "TrainResult",
+    telemetry: Telemetry | None = None,
+    *,
+    scale: str | None = None,
+    seed: int | None = None,
+    max_epochs: int | None = None,
+    batch_size: int | None = None,
+    extra_config: dict[str, Any] | None = None,
+) -> RunManifest:
+    """Assemble the manifest for one :func:`repro.train` result.
+
+    The counter/gauge sections come from *telemetry* (empty when the
+    run was not instrumented); the result section is always derived
+    from the returned :class:`~repro.sgd.runner.TrainResult`, so a
+    manifest is meaningful even without live telemetry.
+    """
+    from .. import __version__
+    from ..sgd.config import TOLERANCES
+
+    config: dict[str, Any] = {
+        "task": result.task,
+        "dataset": result.dataset,
+        "architecture": result.architecture,
+        "strategy": result.strategy,
+        "step_size": result.step_size,
+    }
+    if scale is not None:
+        config["scale"] = scale
+    if seed is not None:
+        config["seed"] = seed
+    if max_epochs is not None:
+        config["max_epochs"] = max_epochs
+    if batch_size is not None:
+        config["batch_size"] = batch_size
+    if extra_config:
+        config.update(extra_config)
+
+    epochs_run = result.curve.epochs[-1] if result.curve.epochs else 0
+    results: dict[str, Any] = {
+        "initial_loss": result.initial_loss,
+        "optimal_loss": result.optimal_loss,
+        "final_loss": result.curve.final_loss,
+        "diverged": result.diverged,
+        "epochs_run": epochs_run,
+        "time_per_iter_s": result.time_per_iter,
+        "sim_seconds_total": epochs_run * result.time_per_iter,
+    }
+    for tol in TOLERANCES:
+        pct = int(round(tol * 100))
+        epochs = result.epochs_to(tol)
+        results[f"epochs_to_{pct}pct"] = epochs
+        t = result.time_to(tol)
+        # JSON has no Infinity; the paper's "never converged" marker is
+        # stored as null and read back as such.
+        results[f"time_to_{pct}pct_s"] = None if epochs is None else t
+
+    return RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_unix=time.time(),
+        git_sha=current_git_sha(),
+        repro_version=__version__,
+        config=config,
+        dataset=dict(result.dataset_stats or {}),
+        results=results,
+        counters=telemetry.counters() if telemetry is not None else {},
+        gauges=telemetry.gauges() if telemetry is not None else {},
+    )

@@ -1,0 +1,60 @@
+"""The disabled-telemetry implementation: every operation is a no-op.
+
+Instrumented code is written against the :class:`~repro.telemetry.session.Telemetry`
+surface and receives :data:`NULL_TELEMETRY` when the caller did not ask
+for observability.  The null objects allocate nothing per call (the
+span is a shared singleton), so instrumentation in hot paths costs a
+method dispatch and nothing else — and, critically, touches no RNG and
+no numerics, keeping results bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["NullSpan", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class NullSpan:
+    """Context manager that ignores everything."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_sim_time(self, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTelemetry:
+    """No-op stand-in for :class:`repro.telemetry.session.Telemetry`."""
+
+    __slots__ = ()
+
+    enabled: bool = False
+
+    def span(self, name: str, **attributes: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTelemetry()"
+
+
+#: Shared default instance; instrumented code normalises ``None`` to it.
+NULL_TELEMETRY = NullTelemetry()

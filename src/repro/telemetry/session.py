@@ -1,0 +1,67 @@
+"""The `Telemetry` facade: one tracer + one metrics registry per run.
+
+Instrumented code takes ``telemetry: Telemetry | NullTelemetry | None``
+and normalises with :func:`ensure_telemetry`; everything downstream
+then calls three methods — :meth:`Telemetry.span`,
+:meth:`Telemetry.count`, :meth:`Telemetry.set_gauge` — without caring
+whether observability is live.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Union
+
+from .counters import MetricsRegistry
+from .nulls import NULL_TELEMETRY, NullTelemetry
+from .spans import Span, Tracer
+
+__all__ = ["Telemetry", "AnyTelemetry", "ensure_telemetry"]
+
+
+class Telemetry:
+    """Live observability for one run (or one experiment session)."""
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+
+    # -- the three verbs instrumented code uses -------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a (nested) span; use as a context manager."""
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to the counter *name*."""
+        self.metrics.count(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        self.metrics.set_gauge(name, value)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        """All counter totals."""
+        return self.metrics.counter_values()
+
+    def gauges(self) -> dict[str, float]:
+        """All gauge values."""
+        return self.metrics.gauge_values()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Telemetry(spans={len(self.tracer)}, "
+            f"counters={len(self.counters())})"
+        )
+
+
+AnyTelemetry = Union[Telemetry, NullTelemetry]
+
+
+def ensure_telemetry(telemetry: AnyTelemetry | None) -> AnyTelemetry:
+    """Normalise an optional telemetry argument to a usable sink."""
+    return NULL_TELEMETRY if telemetry is None else telemetry

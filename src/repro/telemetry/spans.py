@@ -1,0 +1,193 @@
+"""Nested spans and the thread-safe tracer that collects them.
+
+A span covers one region of the training stack — "optimize",
+"epoch", "hardware.cost" — and records both *wall-clock* duration
+(what the reproduction spends computing) and, optionally, an attributed
+amount of *simulated time* (what the paper's machines would spend, as
+priced by :mod:`repro.hardware`).  Keeping the two on the same record
+is deliberate: the paper's whole argument is that wall-clock intuition
+and modelled hardware time diverge, and a trace should show both.
+
+Nesting is tracked per thread with a thread-local stack, so concurrent
+sections (e.g. a future threaded experiment driver) interleave without
+corrupting parent links; finished spans funnel into one lock-protected
+collector on the owning :class:`Tracer`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["SpanRecord", "Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, immutable and export-ready.
+
+    ``start_s`` is relative to the tracer's epoch (its construction
+    time), so records from one tracer share a timeline.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    start_s: float
+    duration_s: float
+    #: Simulated seconds attributed to this region (``None`` when the
+    #: region performed no hardware-model pricing).
+    sim_seconds: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (used by the generic exporter)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "sim_seconds": self.sim_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Span:
+    """A live (open) span; use as a context manager via :meth:`Tracer.span`.
+
+    Mutations (:meth:`set_attribute`, :meth:`add_sim_time`) must happen
+    before the ``with`` block exits; the record is frozen on exit.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "_start",
+        "_sim_seconds",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attributes: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start = 0.0
+        self._sim_seconds: float | None = None
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value to the span."""
+        self.attributes[key] = value
+
+    def add_sim_time(self, seconds: float) -> None:
+        """Attribute simulated (modelled) seconds to this region."""
+        if self._sim_seconds is None:
+            self._sim_seconds = 0.0
+        self._sim_seconds += float(seconds)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._now()
+        self._tracer._pop(self)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._collect(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=threading.get_ident(),
+                start_s=self._start,
+                duration_s=max(0.0, end - self._start),
+                sim_seconds=self._sim_seconds,
+                attributes=self.attributes,
+            )
+        )
+
+
+class Tracer:
+    """Creates spans and collects their finished records, thread-safely."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; nests under the thread's innermost open span."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = self._stack()[-1].span_id if self._stack() else None
+        return Span(self, name, span_id, parent, dict(attributes))
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- collected data -------------------------------------------------------
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of all finished spans (collection order)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records())
+
+    def total_sim_seconds(self) -> float:
+        """Sum of simulated time attributed across all finished spans."""
+        return sum(r.sim_seconds or 0.0 for r in self.records())
+
+    # -- internals ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _collect(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)

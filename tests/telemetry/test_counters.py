@@ -1,0 +1,92 @@
+"""Counter/gauge semantics and cross-thread aggregation."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, NullTelemetry, Telemetry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert c.value == 0.0
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_same_name_same_counter(self):
+        reg = MetricsRegistry()
+        reg.count("x", 1)
+        reg.count("x", 2)
+        assert reg.counter("x").value == 3
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").add(-1)
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.count("b", 2)
+        reg.count("a", 1)
+        reg.set_gauge("g", 7.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap == {"counters": {"a": 1, "b": 2}, "gauges": {"g": 7.0}}
+
+
+class TestGauge:
+    def test_last_value_wins_and_max_tracked(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("t")
+        g.set(5.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.max == 5.0
+
+
+class TestCrossThreadAggregation:
+    def test_concurrent_adds_are_not_lost(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 2000
+
+        def work() -> None:
+            for _ in range(per_thread):
+                reg.count("events")
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("events").value == n_threads * per_thread
+
+    def test_telemetry_facade_counts_across_threads(self):
+        tel = Telemetry()
+
+        def work(i: int) -> None:
+            tel.count("per_thread", i)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.counters()["per_thread"] == sum(range(10))
+
+
+class TestNullTelemetryMetrics:
+    def test_null_is_disabled_and_silent(self):
+        tel = NullTelemetry()
+        assert tel.enabled is False
+        tel.count("anything", 5)
+        tel.set_gauge("g", 1.0)
+        with tel.span("s") as span:
+            span.set_attribute("k", "v")
+            span.add_sim_time(1.0)
+        # No state to observe — the calls simply must not fail.
+
+    def test_live_is_enabled(self):
+        assert Telemetry().enabled is True

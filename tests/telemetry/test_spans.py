@@ -1,0 +1,159 @@
+"""Span nesting, timing, attributes and thread safety of the Tracer."""
+
+import threading
+
+from repro.telemetry import Tracer
+
+
+class FakeClock:
+    """Deterministic clock for timing assertions."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestSpanBasics:
+    def test_records_name_and_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work"):
+            clock.advance(1.5)
+        (rec,) = tracer.records()
+        assert rec.name == "work"
+        assert rec.duration_s == 1.5
+        assert rec.parent_id is None
+
+    def test_start_is_relative_to_tracer_epoch(self):
+        clock = FakeClock()
+        clock.advance(100.0)
+        tracer = Tracer(clock=clock)
+        clock.advance(2.0)
+        with tracer.span("late"):
+            clock.advance(0.5)
+        (rec,) = tracer.records()
+        assert rec.start_s == 2.0
+
+    def test_attributes_and_mutation(self):
+        tracer = Tracer()
+        with tracer.span("op", task="lr") as span:
+            span.set_attribute("dataset", "w8a")
+        (rec,) = tracer.records()
+        assert rec.attributes == {"task": "lr", "dataset": "w8a"}
+
+    def test_sim_time_attribution(self):
+        tracer = Tracer()
+        with tracer.span("cost") as span:
+            span.add_sim_time(0.25)
+            span.add_sim_time(0.75)
+        (rec,) = tracer.records()
+        assert rec.sim_seconds == 1.0
+        assert tracer.total_sim_seconds() == 1.0
+
+    def test_sim_time_defaults_to_none(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        assert tracer.records()[0].sim_seconds is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (rec,) = tracer.records()
+        assert rec.attributes["error"] == "ValueError"
+
+
+class TestNesting:
+    def test_child_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.records()
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.records()
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_deep_nesting_chain(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("l0"):
+            clock.advance(1)
+            with tracer.span("l1"):
+                clock.advance(1)
+                with tracer.span("l2"):
+                    clock.advance(1)
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["l2"].parent_id == by_name["l1"].span_id
+        assert by_name["l1"].parent_id == by_name["l0"].span_id
+        # Inner durations are contained in outer durations.
+        assert by_name["l0"].duration_s == 3
+        assert by_name["l1"].duration_s == 2
+        assert by_name["l2"].duration_s == 1
+
+    def test_current_span(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+        assert tracer.current_span() is None
+
+
+class TestThreadSafety:
+    def test_spans_from_many_threads_all_collected(self):
+        tracer = Tracer()
+        n_threads, per_thread = 8, 50
+
+        def work(i: int) -> None:
+            for k in range(per_thread):
+                with tracer.span(f"t{i}", k=k):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = tracer.records()
+        assert len(records) == n_threads * per_thread
+        assert len({r.span_id for r in records}) == len(records)
+
+    def test_nesting_is_per_thread(self):
+        tracer = Tracer()
+        done = threading.Event()
+        results = {}
+
+        def other() -> None:
+            # The main thread has an open span, but this thread's span
+            # must NOT become its child.
+            with tracer.span("other-root") as s:
+                results["parent"] = s.parent_id
+            done.set()
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=other)
+            t.start()
+            done.wait(5)
+            t.join()
+        assert results["parent"] is None
