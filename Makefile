@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: test bench bench-snapshot shapes experiments examples probe lint all
+.PHONY: test bench bench-snapshot bench-compare shapes experiments examples probe lint all
 
 test:
 	pytest tests/
@@ -10,6 +10,9 @@ bench:
 
 bench-snapshot:  ## telemetry-backed grid snapshot -> BENCH_<n>.json
 	REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py
+
+bench-compare:   ## fail if any cell regressed >10% vs the latest BENCH_<n>.json
+	REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
 
 shapes:          ## regenerate + assert all tables/figures (no timing)
 	pytest benchmarks/ --benchmark-disable -s

@@ -27,7 +27,6 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-import math
 import sys
 
 from repro.datasets import load, load_mlp

@@ -1,0 +1,139 @@
+"""Benchmark regression gate: fail if modelled time/epoch regressed.
+
+Re-runs the :mod:`bench_snapshot` grid in memory and compares each
+cell's ``sim.seconds_per_epoch`` gauge against the latest committed
+``BENCH_<n>.json``.  Any cell more than ``--threshold`` (default 10%)
+slower than the committed value fails the gate; faster cells and new
+cells pass.  The modelled gauges are deterministic, so a genuine change
+in a cell means a code change moved the cost model or the optimisation
+— exactly what the gate should surface in CI.
+
+``--inflate F`` multiplies the freshly measured values by ``F`` before
+comparing — a self-test hook proving the gate actually trips (CI runs
+``--inflate 2.0`` and asserts a non-zero exit).
+
+Usage::
+
+    REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
+    python scripts/bench_compare.py --inflate 2.0   # must fail
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+_SCRIPTS = Path(__file__).resolve().parent
+if str(_SCRIPTS) not in sys.path:
+    sys.path.insert(0, str(_SCRIPTS))
+
+ROOT = Path(__file__).resolve().parent.parent
+GAUGE = "sim.seconds_per_epoch"
+
+
+def latest_bench_path() -> Path | None:
+    paths = sorted(
+        ROOT.glob("BENCH_*.json"),
+        key=lambda p: int(p.stem.split("_")[1]),
+    )
+    return paths[-1] if paths else None
+
+
+def cell_key(cell: dict) -> str:
+    return "/".join(
+        (cell["task"], cell["dataset"], cell["architecture"], cell["strategy"])
+    )
+
+
+def current_cells() -> list[dict]:
+    """Re-run the snapshot grid (modelled cells only) in memory."""
+    from bench_snapshot import ARCHITECTURES, GRID, STRATEGIES, run_cell
+
+    cells = []
+    for task, dataset in GRID:
+        for architecture in ARCHITECTURES:
+            for strategy in STRATEGIES:
+                print(
+                    f"  {task}/{dataset} {architecture} {strategy} ...",
+                    flush=True,
+                )
+                cells.append(run_cell(task, dataset, architecture, strategy))
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum tolerated relative slowdown per cell (default 0.10)",
+    )
+    parser.add_argument(
+        "--inflate",
+        type=float,
+        default=1.0,
+        help="multiply fresh values by this factor (gate self-test hook)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="compare against this snapshot instead of the latest BENCH_<n>.json",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or latest_bench_path()
+    if baseline_path is None:
+        print("no committed BENCH_<n>.json to compare against; gate skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    committed = {cell_key(c): c for c in baseline["cells"]}
+
+    fresh = current_cells()
+
+    failures = []
+    compared = 0
+    for cell in fresh:
+        key = cell_key(cell)
+        old = committed.get(key)
+        if old is None:
+            print(f"  NEW   {key} (no committed value)")
+            continue
+        old_v = old.get("gauges", {}).get(GAUGE)
+        new_v = cell.get("gauges", {}).get(GAUGE)
+        if old_v is None or new_v is None or old_v <= 0:
+            print(f"  SKIP  {key} (gauge missing)")
+            continue
+        new_v *= args.inflate
+        ratio = new_v / old_v
+        compared += 1
+        status = "OK"
+        if ratio > 1.0 + args.threshold:
+            status = "FAIL"
+            failures.append((key, old_v, new_v, ratio))
+        print(
+            f"  {status:<5} {key}: {GAUGE} {old_v:.6g} -> {new_v:.6g} "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+
+    print(
+        f"\ncompared {compared} cells against {baseline_path.name} "
+        f"(threshold {args.threshold:.0%})"
+    )
+    if failures:
+        print(f"{len(failures)} cell(s) regressed beyond the threshold:")
+        for key, old_v, new_v, ratio in failures:
+            print(f"  {key}: {old_v:.6g} -> {new_v:.6g} ({ratio:.2f}x)")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,14 @@ records per cell the two efficiency axes (modelled time/iteration,
 epochs to the 2% tolerance) together with the counter totals (gradient
 evaluations, stale reads, coherence conflicts, bytes moved, ...).
 
+A ``measured`` section follows the modelled cells: each grid task is
+also run through the shared-memory Hogwild backend
+(:func:`repro.parallel.train_shm`) at 1..N worker processes, recording
+*real* wall-clock seconds per epoch and the speedup curve over the
+single-worker run — the host-hardware counterpart of the paper's Fig. 8
+scaling measurements (worker counts are capped by the host's cores, so
+the curve flattens on small runners; the point is the paper-trail).
+
 The output lands at the repo root as BENCH_1.json, BENCH_2.json, ...
 (next free index picked automatically) so successive snapshots form a
 performance paper-trail; diff two files to see what a change did.
@@ -16,6 +24,7 @@ Usage: REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -37,6 +46,9 @@ ROOT = Path(__file__).resolve().parent.parent
 SCALE = "tiny"
 MAX_EPOCHS = 60
 TOLERANCE = 0.02
+#: Epochs for the measured (shm backend) scaling runs — short: we are
+#: timing epochs, not converging.
+MEASURED_EPOCHS = 8
 GRID = [
     ("lr", "covtype"),   # fully dense
     ("svm", "w8a"),      # sparse
@@ -81,6 +93,47 @@ def run_cell(task: str, dataset: str, architecture: str, strategy: str) -> dict:
     }
 
 
+def run_measured(task: str, dataset: str) -> dict:
+    """Real shm-backend scaling curve: wall seconds/epoch at 1..N workers."""
+    from repro.parallel import default_shm_workers
+
+    max_workers = default_shm_workers()
+    points = []
+    base = None
+    for workers in range(1, max_workers + 1):
+        result = repro.train(
+            task,
+            dataset,
+            architecture="cpu-par",
+            strategy="asynchronous",
+            scale=SCALE,
+            max_epochs=MEASURED_EPOCHS,
+            early_stop_tolerance=None,
+            backend="shm",
+            threads=workers,
+        )
+        wall = result.measured["wall_seconds_per_epoch"]
+        if base is None:
+            base = wall
+        points.append(
+            {
+                "workers": workers,
+                "wall_seconds_per_epoch": wall,
+                "speedup_vs_1": base / wall if wall > 0 else None,
+                "final_loss": result.curve.final_loss,
+                "counters": result.measured["counters"],
+            }
+        )
+    return {
+        "task": task,
+        "dataset": dataset,
+        "backend": "shm",
+        "host_cpus": os.cpu_count(),
+        "epochs": MEASURED_EPOCHS,
+        "points": points,
+    }
+
+
 def main() -> None:
     t0 = time.time()
     cells = []
@@ -91,6 +144,11 @@ def main() -> None:
                       flush=True)
                 cells.append(run_cell(task, dataset, architecture, strategy))
 
+    measured = []
+    for task, dataset in GRID:
+        print(f"  {task}/{dataset} shm measured scaling ...", flush=True)
+        measured.append(run_measured(task, dataset))
+
     snapshot = {
         "schema": BENCH_SCHEMA,
         "created_unix": time.time(),
@@ -99,10 +157,12 @@ def main() -> None:
         "settings": {
             "scale": SCALE,
             "max_epochs": MAX_EPOCHS,
+            "measured_epochs": MEASURED_EPOCHS,
             "tolerance": TOLERANCE,
             "grid": [f"{t}/{d}" for t, d in GRID],
         },
         "cells": cells,
+        "measured": measured,
     }
     path = next_bench_path()
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",

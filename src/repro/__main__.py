@@ -22,7 +22,7 @@ import sys
 
 from .datasets import DATASET_NAMES
 from .models import TASK_NAMES
-from .sgd import ARCHITECTURES, STRATEGIES
+from .sgd import ARCHITECTURES, BACKENDS, STRATEGIES
 
 
 def _add_context_args(p: argparse.ArgumentParser) -> None:
@@ -96,9 +96,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         step_size=args.step,
         max_epochs=args.epochs,
         early_stop_tolerance=args.tolerance,
+        backend=args.backend,
+        threads=args.threads,
         telemetry=telemetry,
     )
     s = result.summary()
+    if result.measured is not None:
+        s["backend"] = result.backend
+        s["workers"] = result.measured["workers"]
+        s["wall_seconds_per_epoch"] = result.measured["wall_seconds_per_epoch"]
+        s["wall_seconds_total"] = result.measured["wall_seconds_total"]
     width = max(len(k) for k in s)
     for key, value in s.items():
         print(f"{key.ljust(width)} : {value}")
@@ -106,12 +113,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.manifest_out:
         from .telemetry import build_manifest
 
+        extra = {"backend": result.backend}
+        if result.measured is not None:
+            extra["measured"] = result.measured
         manifest = build_manifest(
             result,
             telemetry,
             scale=args.scale,
             seed=args.seed,
             max_epochs=args.epochs,
+            extra_config=extra,
         )
         path = manifest.write(args.manifest_out)
         print(f"manifest written to {path}", file=sys.stderr)
@@ -185,6 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", choices=STRATEGIES, default="asynchronous")
     p.add_argument("--step", type=float, default=None, help="step size (default: tuned)")
     p.add_argument("--epochs", type=int, default=None, help="max epochs")
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="simulated",
+        help="execution backend: 'simulated' (asynchrony simulator + "
+        "analytical hardware time) or 'shm' (real shared-memory worker "
+        "processes, measured wall-clock time; asynchronous lr/svm only)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend shm (default: up to 4, "
+        "bounded by the host's cores)",
+    )
     p.add_argument(
         "--trace-out",
         default=None,

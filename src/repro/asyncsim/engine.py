@@ -109,6 +109,23 @@ def apply_updates(params: np.ndarray, updates) -> None:
                 np.add.at(params, idx, delta)
 
 
+def _apply_batched(params: np.ndarray, batched: tuple) -> None:
+    """Apply one round's :meth:`~repro.models.base.Model.batched_updates`.
+
+    The concatenated sparse scatter accumulates element-by-element in
+    row order, so the result is bit-identical to looping
+    :func:`apply_updates` over the per-example deltas; the dense form
+    applies each delta row in order for the same reason.
+    """
+    idx, values = batched
+    with np.errstate(over="ignore"):
+        if idx is not None:
+            np.add.at(params, idx, values)
+        else:
+            for delta in values:
+                params += delta
+
+
 def run_async_epoch(
     model: Model,
     X: Matrix,
@@ -161,11 +178,15 @@ def run_async_epoch(
             _check_finite(params)
             return
         rounds = 0
+        batched = getattr(model, "batched_updates", None)
         with np.errstate(over="ignore"):
             for start in range(0, len(items), C):
                 rows = np.concatenate(items[start : start + C])
-                updates = model.example_updates(X, y, rows, params, step)
-                apply_updates(params, updates)
+                if batched is not None:
+                    _apply_batched(params, batched(X, y, rows, params, step))
+                else:
+                    updates = model.example_updates(X, y, rows, params, step)
+                    apply_updates(params, updates)
                 rounds += 1
         tel.count(keys.GRAD_EVALS, n)
         tel.count(keys.UPDATES_APPLIED, n)
@@ -223,12 +244,16 @@ def _run_pipelined(
     # observed.  Until the pipe fills, the view is the epoch start.
     history: deque[np.ndarray] = deque(maxlen=lag)
     n = order.shape[0]
+    batched = getattr(model, "batched_updates", None)
     with np.errstate(over="ignore"):
         for start in range(0, n, block):
             rows = order[start : start + block]
             stale = history[0] if len(history) == lag else epoch_start
-            updates = model.example_updates(X, y, rows, stale, step)
-            apply_updates(params, updates)
+            if batched is not None:
+                _apply_batched(params, batched(X, y, rows, stale, step))
+            else:
+                updates = model.example_updates(X, y, rows, stale, step)
+                apply_updates(params, updates)
             history.append(params.copy())
 
 

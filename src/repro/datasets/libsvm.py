@@ -98,7 +98,7 @@ def _normalise_labels(y: np.ndarray) -> np.ndarray:
         )
     if uniq.size == 1:
         return np.where(y == uniq[0], 1.0, -1.0) if uniq[0] > 0 else np.full_like(y, -1.0)
-    lo, hi = uniq
+    _, hi = uniq
     return np.where(y == hi, 1.0, -1.0)
 
 

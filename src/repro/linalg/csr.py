@@ -196,13 +196,23 @@ class CSRMatrix:
         ``unique(J // 8)`` lines.
         """
         per_line = CACHE_LINE_BYTES // FLOAT64_BYTES
-        out = np.empty(self.n_rows, dtype=np.int64)
-        lines = self.indices // per_line
-        for i in range(self.n_rows):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            seg = lines[lo:hi]
-            # indices are sorted, so line ids are sorted: count breaks.
-            out[i] = 0 if hi == lo else 1 + int(np.count_nonzero(np.diff(seg)))
+        counts = self.row_nnz
+        if self.nnz == 0:
+            return np.zeros(self.n_rows, dtype=np.int64)
+        lines = (self.indices // per_line).astype(np.int64)
+        # Indices are sorted within a row, so line ids are sorted: a
+        # row's distinct-line count is 1 + its number of breaks.  Breaks
+        # are counted globally (one diff over the whole array) and
+        # diffs that straddle a row boundary are masked out.
+        breaks = np.zeros(self.nnz, dtype=bool)
+        if self.nnz > 1:
+            breaks[1:] = np.diff(lines) != 0
+            row_starts = self.indptr[1:-1]
+            breaks[row_starts[row_starts < self.nnz]] = False  # boundary diffs exempt
+        out = np.zeros(self.n_rows, dtype=np.int64)
+        nonempty = counts > 0
+        cum = np.concatenate(([0], np.cumsum(breaks)))
+        out[nonempty] = 1 + (cum[self.indptr[1:]] - cum[self.indptr[:-1]])[nonempty]
         return out
 
     # -- access -------------------------------------------------------------
@@ -218,19 +228,48 @@ class CSRMatrix:
             yield self.row(i)
 
     def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
-        """Return a new CSR containing the given rows, in order."""
+        """Return a new CSR containing the given rows, in order.
+
+        The gather is fully vectorised: one fancy-index over the flat
+        ``indices``/``data`` arrays instead of a Python loop per row —
+        this is the batched row-gather the asynchronous engine and the
+        shared-memory backend lean on every round.
+        """
+        indptr, indices, data, shape = self.gather_rows_arrays(rows)
+        return CSRMatrix(indptr, indices, data, shape, check=False)
+
+    def gather_rows_arrays(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[int, int]]:
+        """Batched row-gather returning raw ``(indptr, indices, data, shape)``.
+
+        Identical content to :meth:`take_rows` without constructing a
+        :class:`CSRMatrix`; hot paths that only need the concatenated
+        coordinate/value arrays (per-example scatter updates) use this
+        to skip the wrapper.
+        """
         rows = np.asarray(rows, dtype=np.int64)
-        counts = self.indptr[rows + 1] - self.indptr[rows]
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
         indptr = np.zeros(rows.size + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         nnz = int(indptr[-1])
-        indices = np.empty(nnz, dtype=np.int32)
-        data = np.empty(nnz, dtype=np.float64)
-        for k, r in enumerate(rows):
-            lo, hi = self.indptr[r], self.indptr[r + 1]
-            indices[indptr[k] : indptr[k + 1]] = self.indices[lo:hi]
-            data[indptr[k] : indptr[k + 1]] = self.data[lo:hi]
-        return CSRMatrix(indptr, indices, data, (rows.size, self.n_cols), check=False)
+        if nnz == 0:
+            return (
+                indptr,
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.float64),
+                (rows.size, self.n_cols),
+            )
+        # Flat source positions: for each output slot, the offset of its
+        # row's segment start plus the slot's rank within the segment.
+        flat = np.repeat(starts - indptr[:-1], counts) + np.arange(nnz, dtype=np.int64)
+        return (
+            indptr,
+            self.indices[flat],
+            self.data[flat],
+            (rows.size, self.n_cols),
+        )
 
     def to_dense(self) -> np.ndarray:
         """Expand to a dense float64 array."""

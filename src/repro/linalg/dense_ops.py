@@ -29,6 +29,7 @@ __all__ = [
     "reduce_sum",
     "reduce_mean",
     "outer_update",
+    "batch_sgd_deltas",
 ]
 
 _F64 = 8
@@ -290,6 +291,39 @@ def reduce_mean(
             bytes_written=max(1, out.size) * _F64,
             parallel_tasks=max(1, x.size),
             result_size=max(1, out.size),
+            cost_scales=cost_scales,
+            parallelism_scales=parallelism_scales,
+        )
+    )
+    return out
+
+
+def batch_sgd_deltas(
+    Xb: np.ndarray,
+    coef: np.ndarray,
+    step: float,
+    name: str = "batch_sgd_deltas",
+    cost_scales: bool = True,
+    parallelism_scales: bool = True,
+) -> np.ndarray:
+    """Per-example dense SGD deltas ``-step * coef[:, None] * Xb``.
+
+    The batched gradient kernel of an incremental round: one broadcasted
+    product replaces a Python loop of per-example row scalings.  Row *i*
+    of the result is bit-identical to ``(-step * coef[i]) * Xb[i]``.
+    """
+    Xb = np.asarray(Xb, dtype=np.float64)
+    coef = np.asarray(coef, dtype=np.float64)
+    out = (-step * coef)[:, None] * Xb
+    record_op(
+        OpRecord(
+            name=name,
+            kind=OpKind.ELEMENTWISE,
+            flops=2.0 * out.size,
+            bytes_read=(Xb.size + coef.size) * _F64,
+            bytes_written=out.size * _F64,
+            parallel_tasks=max(1, Xb.shape[0]),
+            result_size=out.size,
             cost_scales=cost_scales,
             parallelism_scales=parallelism_scales,
         )

@@ -23,7 +23,15 @@ from ..utils.stats import dispersion_ratio
 from .csr import CSRMatrix
 from .trace import OpKind, OpRecord, record_op
 
-__all__ = ["csr_matvec", "csr_rmatvec", "csr_matmat", "gather", "scatter_add"]
+__all__ = [
+    "csr_matvec",
+    "csr_rmatvec",
+    "csr_matmat",
+    "csr_gather_rows",
+    "csr_submatvec",
+    "gather",
+    "scatter_add",
+]
 
 _F64 = 8
 _I32 = 4
@@ -91,6 +99,68 @@ def csr_matmat(A: CSRMatrix, B: np.ndarray, name: str = "csr_matmat") -> np.ndar
             result_size=out.size,
             irregular=True,
             dispersion=_row_dispersion(A),
+        )
+    )
+    return out
+
+
+def csr_gather_rows(
+    A: CSRMatrix, rows: np.ndarray, name: str = "csr_gather_rows"
+) -> CSRMatrix:
+    """Batched row-gather ``A[rows]`` with cost recording.
+
+    One vectorised fancy-index over the flat CSR arrays (see
+    :meth:`CSRMatrix.take_rows`); the recorded cost is the streamed
+    sub-matrix plus the row-pointer lookups.
+    """
+    out = A.take_rows(rows)
+    record_op(
+        OpRecord(
+            name=name,
+            kind=OpKind.GATHER_SCATTER,
+            flops=0.0,
+            bytes_read=out.nnz * (_F64 + _I32) + np.asarray(rows).size * 8,
+            bytes_written=out.nnz * (_F64 + _I32),
+            parallel_tasks=max(1, np.asarray(rows).size),
+            result_size=out.nnz,
+            irregular=True,
+            dispersion=_row_dispersion(out) if out.n_rows else 1.0,
+        )
+    )
+    return out
+
+
+def csr_submatvec(
+    A: CSRMatrix,
+    rows: np.ndarray,
+    x: np.ndarray,
+    name: str = "csr_submatvec",
+) -> np.ndarray:
+    """``A[rows] @ x`` without materialising the sub-matrix (batched SpMV).
+
+    The margins kernel of a mini-batch/Hogbatch step: gather the rows'
+    segments, multiply against the gathered model coordinates and
+    segment-reduce.  Only the touched non-zeros are streamed.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    indptr, indices, data, _ = A.gather_rows_arrays(rows)
+    out = np.zeros(rows.size, dtype=np.float64)
+    if indices.size:
+        prod = data * x[indices]
+        counts = np.diff(indptr)
+        nonempty = counts > 0
+        out[nonempty] = np.add.reduceat(prod, indptr[:-1][nonempty])
+    record_op(
+        OpRecord(
+            name=name,
+            kind=OpKind.SPMV,
+            flops=2.0 * indices.size,
+            bytes_read=indices.size * (_F64 + _I32) + indices.size * _F64,
+            bytes_written=rows.size * _F64,
+            parallel_tasks=max(1, rows.size),
+            result_size=rows.size,
+            irregular=True,
+            dispersion=dispersion_ratio(np.diff(indptr)) if rows.size else 1.0,
         )
     )
     return out

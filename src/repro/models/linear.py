@@ -166,10 +166,48 @@ class LinearModel(Model):
         Xb = np.asarray(X, dtype=np.float64)[rows]
         margins = Xb @ params
         coef = y[rows] * self._dmargin_fn(y[rows] * margins)
-        deltas = -step * coef[:, None] * Xb
+        deltas = dense_ops.batch_sgd_deltas(Xb, coef, step, name="example_deltas")
         if self.l2:
             deltas -= step * self.l2 * params[None, :]
         return [(None, deltas[i]) for i in range(rows.size)]
+
+    def batched_updates(
+        self,
+        X: Matrix,
+        y: np.ndarray,
+        rows: np.ndarray,
+        params: np.ndarray,
+        step: float,
+    ) -> ExampleUpdate:
+        """All of :meth:`example_updates` as one flat batch, in row order.
+
+        Sparse data returns the concatenated ``(indices, values)`` of
+        every row's delta — a single ``np.add.at`` over them applies the
+        round's updates bit-identically to the per-example loop (the
+        scatter accumulates element-by-element in order).  Dense data
+        (and the L2-regularised sparse case, whose deltas are dense)
+        returns ``(None, deltas)`` with one delta row per example.
+
+        This is the vectorised fast path the asynchronous engine and
+        the shared-memory backend use each round.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        self._check_params(params)
+        if isinstance(X, CSRMatrix) and not self.l2:
+            indptr, indices, data, _ = X.gather_rows_arrays(rows)
+            counts = np.diff(indptr)
+            margins = np.zeros(rows.size, dtype=np.float64)
+            if indices.size:
+                prod = data * params[indices]
+                nonempty = counts > 0
+                margins[nonempty] = np.add.reduceat(prod, indptr[:-1][nonempty])
+            coef = y[rows] * self._dmargin_fn(y[rows] * margins)
+            values = (-step * np.repeat(coef, counts)) * data
+            return indices, values
+        updates = self.example_updates(X, y, rows, params, step)
+        if not updates:
+            return None, np.zeros((0, self.n_params))
+        return None, np.stack([delta for _, delta in updates])
 
     def serial_sgd_epoch(
         self,

@@ -1,5 +1,13 @@
 """Real (non-simulated) parallel execution backends."""
 
 from .hogwild import HogwildReport, hogwild_train
+from .shm import ShmSchedule, ShmTrainResult, default_shm_workers, train_shm
 
-__all__ = ["HogwildReport", "hogwild_train"]
+__all__ = [
+    "HogwildReport",
+    "hogwild_train",
+    "ShmSchedule",
+    "ShmTrainResult",
+    "default_shm_workers",
+    "train_shm",
+]

@@ -1,0 +1,443 @@
+"""Shared-memory Hogwild/Hogbatch backend: measured, not simulated.
+
+The asynchrony simulator (:mod:`repro.asyncsim`) answers the paper's
+*statistical* questions deterministically; :func:`repro.parallel.hogwild_train`
+demonstrates raw lock-free convergence.  This module is the production
+backend between them: the model lives in one
+:mod:`multiprocessing.shared_memory` buffer, N worker processes stream
+vectorised mini-batch updates into it with **no locks**, and the run is
+instrumented — per-epoch wall clock, measured stale reads and racy
+coordinate conflicts — through the same telemetry keys the simulator
+and the analytical hardware models emit, so measured numbers land next
+to modelled ones in manifests and ``BENCH_<n>.json``.
+
+Execution model
+---------------
+Examples are partitioned round-robin across workers (the paper's
+data-partitioning strategy).  Epochs are barrier-aligned: the parent
+releases all workers into an epoch, each worker makes one lock-free
+pass over its shuffled partition (work items of ``batch_size`` rows:
+1 = Hogwild, >1 = Hogbatch), and the parent times the epoch between
+barriers, then evaluates the loss while the workers wait — loss
+evaluation is excluded from iteration time, matching the paper's
+protocol (Section IV-A).
+
+Within an epoch nothing synchronises.  A worker's update is a single
+``np.add.at`` scatter (sparse) or row-wise adds (dense) against the
+shared vector; concurrent updates race exactly as OpenMP Hogwild races
+on the paper's machine.  Two quantities of that race are *measured*:
+
+* **stale reads** — examples whose gradient window overlapped another
+  worker's committed update (detected from the other workers' update
+  counters before/after the gradient computation);
+* **update conflicts** — model coordinates whose value changed between
+  the item's gradient read and its write (detected by re-reading the
+  item's coordinate footprint just before the scatter).
+
+Worker death mid-epoch is detected by a liveness watchdog that breaks
+the epoch barrier; the parent then terminates the remaining workers,
+releases the shared buffer and raises
+:class:`~repro.utils.errors.WorkerError` — no leaked processes or
+shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..models.base import Matrix, Model
+from ..sgd.config import SGDConfig
+from ..sgd.convergence import LossCurve
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
+from ..utils.errors import ConfigurationError, WorkerError
+from ..utils.rng import DEFAULT_SEED, derive_rng
+
+__all__ = ["ShmSchedule", "ShmTrainResult", "train_shm", "default_shm_workers"]
+
+# Per-worker counter slots in the shared counters block.
+_SLOT_UPDATES = 0  # examples applied to the shared model
+_SLOT_ITEMS = 1  # work items (scatter rounds) completed
+_SLOT_STALE = 2  # examples computed against a raced snapshot
+_SLOT_CONFLICTS = 3  # coordinates overwritten between read and write
+_N_SLOTS = 4
+
+_CTL_STOP = 0  # parent -> workers: exit at the next epoch barrier
+_N_CTL = 1
+
+
+def default_shm_workers() -> int:
+    """Worker count used when the caller does not pick one."""
+    return min(4, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ShmSchedule:
+    """Execution shape of one shared-memory run.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes sharing the model buffer (clamped to the
+        example count).
+    batch_size:
+        Rows per lock-free work item: 1 = Hogwild, >1 = Hogbatch.
+    track_conflicts:
+        Measure racy coordinate overwrites (one extra gather + compare
+        per item).  Disable for the leanest possible hot loop.
+    epoch_timeout:
+        Seconds the parent waits for an epoch barrier before declaring
+        the run dead.
+    """
+
+    workers: int
+    batch_size: int = 1
+    track_conflicts: bool = True
+    epoch_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.epoch_timeout <= 0:
+            raise ConfigurationError(
+                f"epoch_timeout must be positive, got {self.epoch_timeout}"
+            )
+
+
+@dataclass
+class ShmTrainResult:
+    """Outcome of a measured shared-memory run."""
+
+    curve: LossCurve
+    params: np.ndarray
+    workers: int
+    batch_size: int
+    epochs_run: int
+    diverged: bool
+    #: Measured seconds per optimisation epoch (loss evals excluded).
+    wall_seconds_per_epoch: float
+    #: Measured optimisation seconds across all epochs.
+    wall_seconds_total: float
+    #: Aggregated event totals, keyed by the telemetry vocabulary.
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def updates_applied(self) -> float:
+        """Examples applied to the shared model across all workers."""
+        return self.counters.get(keys.UPDATES_APPLIED, 0.0)
+
+
+def _worker_loop(
+    shm_name: str,
+    counters_name: str,
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    part: np.ndarray,
+    n_params: int,
+    n_workers: int,
+    worker_id: int,
+    step: float,
+    max_epochs: int,
+    batch_size: int,
+    track_conflicts: bool,
+    seed: int,
+    start_barrier,
+    end_barrier,
+    timeout: float,
+) -> None:
+    """One worker: barrier-aligned epochs of lock-free partition passes."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    cshm = shared_memory.SharedMemory(name=counters_name)
+    try:
+        w = np.ndarray((n_params,), dtype=np.float64, buffer=shm.buf)
+        blk = np.ndarray(
+            (n_workers, _N_SLOTS), dtype=np.int64, buffer=cshm.buf, offset=_N_CTL * 8
+        )
+        ctl = np.ndarray((_N_CTL,), dtype=np.int64, buffer=cshm.buf)
+        mine = blk[worker_id]
+        others = [blk[k] for k in range(n_workers) if k != worker_id]
+        rng = derive_rng(seed, f"shm/{n_workers}/{worker_id}")
+        sparse = hasattr(X, "gather_rows_arrays")
+        Xd = None if sparse else np.asarray(X, dtype=np.float64)
+
+        for _ in range(max_epochs):
+            start_barrier.wait(timeout)
+            if ctl[_CTL_STOP]:
+                break
+            order = part[rng.permutation(part.shape[0])]
+            for lo in range(0, order.shape[0], batch_size):
+                rows = order[lo : lo + batch_size]
+                before = sum(int(o[_SLOT_UPDATES]) for o in others)
+                if sparse:
+                    indptr, indices, data, _ = X.gather_rows_arrays(rows)
+                    gathered = w[indices]  # lock-free model read
+                    counts = np.diff(indptr)
+                    margins = np.zeros(rows.shape[0], dtype=np.float64)
+                    if indices.size:
+                        prod = data * gathered
+                        nonempty = counts > 0
+                        margins[nonempty] = np.add.reduceat(
+                            prod, indptr[:-1][nonempty]
+                        )
+                    coef = y[rows] * model._dmargin_fn(y[rows] * margins)
+                    values = (-step * np.repeat(coef, counts)) * data
+                    if track_conflicts and indices.size:
+                        mine[_SLOT_CONFLICTS] += int(
+                            np.count_nonzero(w[indices] != gathered)
+                        )
+                    np.add.at(w, indices, values)  # lock-free scatter
+                else:
+                    Xb = Xd[rows]
+                    snapshot = w.copy() if track_conflicts else w
+                    margins = Xb @ snapshot
+                    coef = y[rows] * model._dmargin_fn(y[rows] * margins)
+                    deltas = (-step * coef)[:, None] * Xb
+                    if track_conflicts:
+                        mine[_SLOT_CONFLICTS] += int(
+                            np.count_nonzero(w != snapshot)
+                        )
+                    for delta in deltas:  # per-word-atomic adds, in order
+                        w += delta
+                after = sum(int(o[_SLOT_UPDATES]) for o in others)
+                if after != before:
+                    mine[_SLOT_STALE] += rows.shape[0]
+                mine[_SLOT_UPDATES] += rows.shape[0]
+                mine[_SLOT_ITEMS] += 1
+            end_barrier.wait(timeout)
+    finally:
+        shm.close()
+        cshm.close()
+
+
+def _await_barrier(barrier, procs, timeout: float, phase: str) -> None:
+    """Wait at *barrier* with a liveness watchdog over the workers.
+
+    A worker that exits before reaching the barrier would otherwise
+    stall the parent for the full timeout; the watchdog notices within
+    ~100 ms and breaks the barrier, turning the stall into a prompt
+    :class:`WorkerError`.
+    """
+    stop = threading.Event()
+
+    def _watch() -> None:
+        while not stop.wait(0.1):
+            if any(p.exitcode is not None for p in procs):
+                barrier.abort()
+                return
+
+    watchdog = threading.Thread(target=_watch, daemon=True)
+    watchdog.start()
+    try:
+        barrier.wait(timeout)
+    except threading.BrokenBarrierError:
+        dead = [(p.name, p.exitcode) for p in procs if p.exitcode is not None]
+        raise WorkerError(
+            f"shared-memory worker(s) died at the {phase} barrier: "
+            f"{dead or 'barrier timeout'}"
+        ) from None
+    finally:
+        stop.set()
+        watchdog.join()
+
+
+def train_shm(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    config: SGDConfig,
+    schedule: ShmSchedule,
+    telemetry: AnyTelemetry | None = None,
+) -> ShmTrainResult:
+    """Train on the host's cores through the shared-memory backend.
+
+    The recorded loss curve is *measured* statistical efficiency (one
+    loss evaluation per epoch, on a snapshot of the racing model) and
+    the wall-clock gauges are measured hardware efficiency, making this
+    the native analogue of the paper's per-epoch measurement loop.
+
+    Raises
+    ------
+    ConfigurationError
+        For models without the vectorised link-derivative machinery
+        (the MLP's Hogbatch runs through the simulator).
+    WorkerError
+        When a worker dies or stops responding mid-run; workers and
+        shared buffers are torn down before raising.
+    """
+    if not hasattr(model, "_dmargin_fn"):
+        raise ConfigurationError(
+            f"{type(model).__name__} is not supported by the shared-memory "
+            "backend; it drives the margin-based linear models (lr/svm)"
+        )
+    if getattr(model, "l2", 0.0):
+        raise ConfigurationError(
+            "the shared-memory backend implements the paper's unregularised "
+            "objectives (l2=0)"
+        )
+    tel = ensure_telemetry(telemetry)
+    n = X.shape[0]
+    workers = min(schedule.workers, n)
+    seed = config.seed if config.seed is not None else DEFAULT_SEED
+
+    init_params = np.asarray(init_params, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        initial = float(model.loss(X, y, init_params))
+    tel.count(keys.LOSS_EVALS)
+    curve = LossCurve()
+    curve.record(0, initial)
+    limit = config.divergence_factor * max(initial, 1e-12)
+
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    start_barrier = ctx.Barrier(workers + 1)
+    end_barrier = ctx.Barrier(workers + 1)
+    shm = shared_memory.SharedMemory(create=True, size=init_params.nbytes)
+    cshm = shared_memory.SharedMemory(
+        create=True, size=(_N_CTL + workers * _N_SLOTS) * 8
+    )
+    procs: list = []
+    diverged = False
+    epochs_run = 0
+    epoch_walls: list[float] = []
+    try:
+        shared = np.ndarray(init_params.shape, dtype=np.float64, buffer=shm.buf)
+        shared[:] = init_params
+        ctl = np.ndarray((_N_CTL,), dtype=np.int64, buffer=cshm.buf)
+        ctl[:] = 0
+        counters = np.ndarray(
+            (workers, _N_SLOTS), dtype=np.int64, buffer=cshm.buf, offset=_N_CTL * 8
+        )
+        counters[:] = 0
+
+        partitions = [np.arange(k, n, workers, dtype=np.int64) for k in range(workers)]
+        procs = [
+            ctx.Process(
+                target=_worker_loop,
+                name=f"shm-worker-{k}",
+                args=(
+                    shm.name,
+                    cshm.name,
+                    model,
+                    X,
+                    y,
+                    partitions[k],
+                    init_params.shape[0],
+                    workers,
+                    k,
+                    config.step_size,
+                    config.max_epochs,
+                    schedule.batch_size,
+                    schedule.track_conflicts,
+                    seed,
+                    start_barrier,
+                    end_barrier,
+                    schedule.epoch_timeout,
+                ),
+            )
+            for k in range(workers)
+        ]
+        for p in procs:
+            p.start()
+
+        with tel.span(
+            "shm.optimize",
+            workers=workers,
+            batch_size=schedule.batch_size,
+            step_size=config.step_size,
+        ) as opt_span:
+            for epoch in range(1, config.max_epochs + 1):
+                t0 = time.perf_counter()
+                _await_barrier(
+                    start_barrier, procs, schedule.epoch_timeout, "epoch-start"
+                )
+                _await_barrier(
+                    end_barrier, procs, schedule.epoch_timeout, "epoch-end"
+                )
+                epoch_walls.append(time.perf_counter() - t0)
+                epochs_run = epoch
+                tel.count(keys.EPOCHS)
+                # Workers idle at the next start barrier while the loss
+                # is evaluated on a snapshot — excluded from epoch time.
+                params_now = shared.copy()
+                stop = epoch == config.max_epochs
+                if not np.all(np.isfinite(params_now)):
+                    curve.record(epoch, float("inf"))
+                    diverged = True
+                    stop = True
+                else:
+                    with np.errstate(over="ignore"):
+                        loss = float(model.loss(X, y, params_now))
+                    tel.count(keys.LOSS_EVALS)
+                    if not np.isfinite(loss) or loss > limit:
+                        curve.record(epoch, float("inf"))
+                        diverged = True
+                        stop = True
+                    else:
+                        curve.record(epoch, loss)
+                        if (
+                            config.target_loss is not None
+                            and loss <= config.target_loss
+                        ):
+                            stop = True
+                if stop:
+                    if epoch < config.max_epochs:
+                        ctl[_CTL_STOP] = 1
+                        _await_barrier(
+                            start_barrier, procs, schedule.epoch_timeout, "shutdown"
+                        )
+                    break
+            opt_span.set_attribute("diverged", diverged)
+
+        deadline = time.perf_counter() + schedule.epoch_timeout
+        for p in procs:
+            p.join(max(0.1, deadline - time.perf_counter()))
+        hung = [p for p in procs if p.is_alive()]
+        if hung:  # pragma: no cover - defensive
+            raise WorkerError(f"{len(hung)} shared-memory worker(s) failed to exit")
+        params = shared.copy()
+        totals = counters.sum(axis=0)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join()
+        shm.close()
+        shm.unlink()
+        cshm.close()
+        cshm.unlink()
+
+    wall_total = float(sum(epoch_walls))
+    wall_per_epoch = wall_total / max(1, len(epoch_walls))
+    counter_totals = {
+        keys.UPDATES_APPLIED: float(totals[_SLOT_UPDATES]),
+        keys.GRAD_EVALS: float(totals[_SLOT_UPDATES]),
+        keys.ASYNC_ROUNDS: float(totals[_SLOT_ITEMS]),
+        keys.STALE_READS: float(totals[_SLOT_STALE]),
+        keys.UPDATE_CONFLICTS: float(totals[_SLOT_CONFLICTS]),
+    }
+    for key, value in counter_totals.items():
+        tel.count(key, value)
+    tel.set_gauge(keys.WALL_SECONDS_PER_EPOCH, wall_per_epoch)
+    tel.set_gauge(keys.WALL_SECONDS_TOTAL, wall_total)
+
+    return ShmTrainResult(
+        curve=curve,
+        params=params,
+        workers=workers,
+        batch_size=schedule.batch_size,
+        epochs_run=epochs_run,
+        diverged=diverged,
+        wall_seconds_per_epoch=wall_per_epoch,
+        wall_seconds_total=wall_total,
+        counters=counter_totals,
+    )

@@ -17,6 +17,7 @@ from .reference import clear_reference_cache, reference_loss
 from .serialize import load_results, result_from_dict, result_to_dict, save_results
 from .runner import (
     ARCHITECTURES,
+    BACKENDS,
     DEFAULT_STEP_SIZES,
     STRATEGIES,
     TrainResult,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_STEP_SIZES",
     "ARCHITECTURES",
     "STRATEGIES",
+    "BACKENDS",
     "full_scale_factor",
     "working_set_bytes",
     "grid_search",

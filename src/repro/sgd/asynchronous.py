@@ -94,7 +94,10 @@ def train_asynchronous(
                 break
             tel.count(keys.EPOCHS)
             if epoch % config.eval_every == 0 or epoch == config.max_epochs:
-                with trace_paused():
+                # Near-divergent parameters overflow inside the loss
+                # reduction; the non-finite result is handled right
+                # below, so the RuntimeWarning is pure noise.
+                with trace_paused(), np.errstate(over="ignore"):
                     loss = model.loss(X, y, params)
                 tel.count(keys.LOSS_EVALS)
                 if not np.isfinite(loss) or loss > limit:

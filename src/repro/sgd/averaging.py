@@ -101,20 +101,25 @@ def train_model_averaging(
     diverged = False
 
     for epoch in range(1, config.max_epochs + 1):
-        for k in range(workers):
-            order = partitions[k][rngs[k].permutation(partitions[k].shape[0])]
-            serial(X, y, order, replicas[k], config.step_size)
-        if epoch % schedule.sync_every == 0:
-            mean = np.mean(replicas, axis=0)
+        # Divergent runs overflow inside the serial pass, the replica
+        # mean and the loss reduction shortly before the non-finite
+        # checks below report them; suppress the transient warnings.
+        with np.errstate(over="ignore"):
             for k in range(workers):
-                replicas[k][:] = mean
-        averaged = np.mean(replicas, axis=0)
+                order = partitions[k][rngs[k].permutation(partitions[k].shape[0])]
+                serial(X, y, order, replicas[k], config.step_size)
+            if epoch % schedule.sync_every == 0:
+                mean = np.mean(replicas, axis=0)
+                for k in range(workers):
+                    replicas[k][:] = mean
+            averaged = np.mean(replicas, axis=0)
         if not np.all(np.isfinite(averaged)):
             curve.record(epoch, float("inf"))
             diverged = True
             break
         if epoch % config.eval_every == 0 or epoch == config.max_epochs:
-            loss = model.loss(X, y, averaged)
+            with np.errstate(over="ignore"):
+                loss = model.loss(X, y, averaged)
             if not np.isfinite(loss) or loss > limit:
                 curve.record(epoch, float("inf"))
                 diverged = True
@@ -123,7 +128,8 @@ def train_model_averaging(
             if config.target_loss is not None and loss <= config.target_loss:
                 break
 
-    final = np.mean(replicas, axis=0)
+    with np.errstate(over="ignore"):
+        final = np.mean(replicas, axis=0)
     return AveragingResult(
         curve=curve, params=final, schedule=schedule, diverged=diverged
     )

@@ -40,6 +40,7 @@ from .synchronous import train_synchronous
 __all__ = [
     "ARCHITECTURES",
     "STRATEGIES",
+    "BACKENDS",
     "TrainResult",
     "train",
     "default_step_size",
@@ -48,6 +49,13 @@ __all__ = [
 
 ARCHITECTURES: tuple[str, ...] = ("cpu-seq", "cpu-par", "gpu")
 STRATEGIES: tuple[str, ...] = ("synchronous", "asynchronous")
+
+#: Execution backends for asynchronous lr/svm configurations:
+#: ``"simulated"`` runs the deterministic asynchrony simulator and prices
+#: hardware time with the analytical machine models; ``"shm"`` runs real
+#: lock-free worker processes over a shared-memory model and *measures*
+#: wall-clock time on the host.
+BACKENDS: tuple[str, ...] = ("simulated", "shm")
 
 #: Step sizes selected by the grid-search protocol (Section IV-A) at the
 #: default benchmark scale; :func:`repro.sgd.gridsearch.grid_search`
@@ -92,6 +100,12 @@ class TrainResult:
     #: Realised dataset statistics (rows/features/nnz of the data the
     #: optimisation actually ran on) — recorded into run manifests.
     dataset_stats: dict | None = field(default=None, repr=False)
+    #: Execution backend that produced the curve ("simulated" or "shm").
+    backend: str = "simulated"
+    #: Measured execution record (shm backend only): worker count,
+    #: wall-clock seconds and event counters.  For the simulated
+    #: backend this is ``None`` and ``time_per_iter`` is modelled.
+    measured: dict | None = field(default=None, repr=False)
 
     @property
     def initial_loss(self) -> float:
@@ -292,6 +306,8 @@ def train(
     gpu_model: GpuModel | None = None,
     early_stop_tolerance: float | None = 0.01,
     representation: str = "auto",
+    backend: str = "simulated",
+    threads: int | None = None,
     telemetry: AnyTelemetry | None = None,
 ) -> TrainResult:
     """Train one paper configuration and report all three performance axes.
@@ -329,6 +345,18 @@ def train(
         writes all d coordinates and the coherence storm appears on an
         otherwise sparse problem.  lr/svm only (the MLP pipeline is
         dense by construction).
+    backend:
+        ``"simulated"`` (default) runs the deterministic asynchrony
+        simulator and prices time with the analytical hardware models;
+        ``"shm"`` runs real lock-free worker processes over a
+        shared-memory model (:func:`repro.parallel.train_shm`) and
+        reports *measured* wall-clock time per epoch in
+        ``time_per_iter`` plus a ``measured`` record.  shm applies to
+        asynchronous lr/svm configurations.
+    threads:
+        Worker processes for the shm backend (default: up to 4,
+        bounded by the host's cores).  Only meaningful with
+        ``backend="shm"``.
     telemetry:
         A :class:`repro.telemetry.Telemetry` to receive spans (dataset
         load, reference solve, optimisation, hardware costing),
@@ -356,6 +384,22 @@ def train(
         raise ConfigurationError(
             "representation overrides apply to lr/svm; the MLP pipeline is "
             "dense by construction (feature grouping densifies the data)"
+        )
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; available: {BACKENDS}"
+        )
+    if backend == "shm":
+        if strategy != "asynchronous" or task == "mlp":
+            raise ConfigurationError(
+                "the shm backend runs asynchronous lr/svm configurations; "
+                "use backend='simulated' for synchronous or MLP runs"
+            )
+    elif threads is not None:
+        raise ConfigurationError(
+            "threads selects the shm worker count; pass backend='shm' "
+            "(the simulated backend's concurrency comes from the "
+            "architecture's machine model)"
         )
     tel = ensure_telemetry(telemetry)
     cpu = cpu_model or CpuModel()
@@ -433,6 +477,46 @@ def train(
                 diverged=res.curve.diverged,
                 epoch_trace=trace,
                 dataset_stats=stats,
+            )
+
+        if backend == "shm":
+            from ..parallel.shm import ShmSchedule, default_shm_workers, train_shm
+
+            workers = threads if threads is not None else default_shm_workers()
+            shm_res = train_shm(
+                model,
+                ds.X,
+                ds.y,
+                init,
+                config,
+                ShmSchedule(workers=workers, batch_size=1),
+                tel,
+            )
+            measured = {
+                "workers": shm_res.workers,
+                "batch_size": shm_res.batch_size,
+                "epochs_run": shm_res.epochs_run,
+                "wall_seconds_per_epoch": shm_res.wall_seconds_per_epoch,
+                "wall_seconds_total": shm_res.wall_seconds_total,
+                "counters": dict(shm_res.counters),
+            }
+            root.set_attribute("backend", "shm")
+            root.set_attribute("workers", shm_res.workers)
+            return TrainResult(
+                task=task,
+                dataset=ds_name,
+                architecture=architecture,
+                strategy=strategy,
+                step_size=step_size,
+                curve=shm_res.curve,
+                # Measured, not modelled: real seconds per epoch on the
+                # host, with loss evaluation excluded.
+                time_per_iter=shm_res.wall_seconds_per_epoch,
+                optimal_loss=optimal,
+                diverged=shm_res.diverged,
+                dataset_stats=stats,
+                backend="shm",
+                measured=measured,
             )
 
         full = _effective_full_profile(ds, representation)

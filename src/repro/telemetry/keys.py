@@ -25,6 +25,7 @@ __all__ = [
     "LOSS_EVALS",
     "STALE_READS",
     "ASYNC_ROUNDS",
+    "UPDATE_CONFLICTS",
     "BYTES_MOVED",
     "FLOPS_MODELLED",
     "KERNEL_LAUNCHES",
@@ -32,6 +33,8 @@ __all__ = [
     "ATOMIC_HOTLINE_UPDATES",
     "SIM_SECONDS_PER_EPOCH",
     "SIM_SECONDS_TOTAL",
+    "WALL_SECONDS_PER_EPOCH",
+    "WALL_SECONDS_TOTAL",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -56,6 +59,12 @@ STALE_READS = "async.stale_reads"
 #: Scheduling rounds executed by the asynchrony engine.
 ASYNC_ROUNDS = "async.rounds"
 
+#: *Measured* racy coordinate writes observed by the shared-memory
+#: backend: model coordinates whose value changed between a work item's
+#: gradient read and its update write (the lock-free Hogwild race the
+#: simulator can only model).
+UPDATE_CONFLICTS = "async.update_conflicts"
+
 #: Modelled memory traffic (bytes) the hardware models priced.
 BYTES_MOVED = "hw.bytes_moved"
 
@@ -78,3 +87,12 @@ SIM_SECONDS_PER_EPOCH = "sim.seconds_per_epoch"
 
 #: Gauge: modelled seconds for the whole run (epochs x per-epoch time).
 SIM_SECONDS_TOTAL = "sim.seconds_total"
+
+#: Gauge: *measured* wall-clock seconds per optimisation epoch on the
+#: host (shared-memory backend; loss evaluation excluded, matching the
+#: paper's iteration-time protocol).  Sits next to ``sim.*`` so the
+#: analytical model's predictions and real measurements share a record.
+WALL_SECONDS_PER_EPOCH = "wall.seconds_per_epoch"
+
+#: Gauge: measured wall-clock seconds across all optimisation epochs.
+WALL_SECONDS_TOTAL = "wall.seconds_total"

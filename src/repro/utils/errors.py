@@ -13,6 +13,7 @@ __all__ = [
     "DataFormatError",
     "DivergenceError",
     "TraceError",
+    "WorkerError",
 ]
 
 
@@ -39,3 +40,12 @@ class DivergenceError(ReproError, ArithmeticError):
 
 class TraceError(ReproError, RuntimeError):
     """Operation-trace recording was used outside an active recorder."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A parallel worker process died or stopped responding mid-run.
+
+    Raised by the shared-memory backend after it has torn down the
+    remaining workers and released the shared parameter buffer, so the
+    caller never leaks OS resources on a crashed run.
+    """

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets import DATASET_NAMES, PAPER_PROFILES, get_profile
+from repro.datasets import DATASET_NAMES, get_profile
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import MiB
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import generate, get_profile
+from repro.datasets import generate
 from repro.datasets.registry import scaled_profile
 from repro.linalg import CSRMatrix
 

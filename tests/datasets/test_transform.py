@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets import group_features, load, load_mlp, mlp_dataset
-from repro.linalg import CSRMatrix
 from repro.utils.errors import ConfigurationError
 
 

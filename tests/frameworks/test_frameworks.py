@@ -1,6 +1,5 @@
 """Tests for the framework baseline executors."""
 
-import numpy as np
 import pytest
 
 from repro.frameworks import (

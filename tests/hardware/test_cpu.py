@@ -1,6 +1,5 @@
 """Tests for the CPU performance model."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import load

@@ -1,13 +1,11 @@
 """Tests for the heterogeneous CPU+GPU execution model."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import load, load_mlp
-from repro.hardware import CpuModel, GpuModel
 from repro.hardware.hetero import HeteroModel
 from repro.linalg import recording
-from repro.linalg.trace import OpKind, OpRecord, Trace
+from repro.linalg.trace import OpKind, OpRecord
 from repro.models import make_model
 from repro.sgd.runner import full_scale_factor, working_set_bytes
 from repro.utils import derive_rng

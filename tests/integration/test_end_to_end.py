@@ -5,9 +5,7 @@ variant -> asynchrony simulator -> hardware model -> convergence
 protocol — the way a library user would drive it.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 import repro

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import load, load_mlp
+from repro.datasets import load
 from repro.models import (
     MLP,
     LinearSVM,

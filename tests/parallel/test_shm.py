@@ -1,0 +1,193 @@
+"""Tests for the measured shared-memory Hogwild backend.
+
+With one worker there are no races, so the run is asserted against
+plain sequential incremental SGD; with several workers the assertions
+are functional (buffer integrity, counter accounting, teardown) because
+true Hogwild is racy by construction.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.models import make_model
+from repro.parallel import ShmSchedule, default_shm_workers, train_shm
+from repro.parallel import shm as shm_mod
+from repro.sgd import SGDConfig
+from repro.telemetry import Telemetry, keys
+from repro.utils.errors import ConfigurationError, WorkerError
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module", params=["covtype", "w8a"], ids=["dense", "sparse"])
+def setup(request):
+    ds = load(request.param, "tiny")
+    model = make_model("lr", ds)
+    init = model.init_params(derive_rng(7, "shmtest"))
+    return model, ds, init
+
+
+def _config(**kw):
+    defaults = dict(step_size=0.05, max_epochs=3, seed=99)
+    defaults.update(kw)
+    return SGDConfig(**defaults)
+
+
+class TestScheduleValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            ShmSchedule(workers=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            ShmSchedule(workers=1, batch_size=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ShmSchedule(workers=1, epoch_timeout=0.0)
+
+    def test_rejects_unsupported_model(self, tiny_mlp_data):
+        model = make_model("mlp", tiny_mlp_data)
+        init = model.init_params(derive_rng(7, "shmtest"))
+        with pytest.raises(ConfigurationError):
+            train_shm(
+                model,
+                tiny_mlp_data.X,
+                tiny_mlp_data.y,
+                init,
+                _config(),
+                ShmSchedule(workers=1),
+            )
+
+    def test_default_workers_bounded_by_host(self):
+        assert 1 <= default_shm_workers() <= max(4, os.cpu_count() or 1)
+
+
+class TestSingleWorkerDeterminism:
+    def test_matches_sequential_sgd(self, setup):
+        """One worker = no races: the run must equal serial incremental
+        SGD over the same shuffled order (1e-12: the vectorised margin
+        uses a different reduction order than the scalar dot)."""
+        model, ds, init = setup
+        res = train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=1))
+        expected = init.copy()
+        rng = derive_rng(99, "shm/1/0")
+        part = np.arange(ds.X.shape[0], dtype=np.int64)
+        for _ in range(res.epochs_run):
+            order = part[rng.permutation(part.shape[0])]
+            model.serial_sgd_epoch(ds.X, ds.y, order, expected, 0.05)
+        np.testing.assert_allclose(res.params, expected, rtol=0, atol=1e-12)
+
+    def test_repeated_runs_identical(self, setup):
+        model, ds, init = setup
+        a = train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=1))
+        b = train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=1))
+        assert np.array_equal(a.params, b.params)
+        assert a.curve.losses == b.curve.losses
+
+    def test_no_conflicts_or_staleness_alone(self, setup):
+        model, ds, init = setup
+        res = train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=1))
+        assert res.counters[keys.STALE_READS] == 0
+        assert res.counters[keys.UPDATE_CONFLICTS] == 0
+
+
+class TestConcurrentIntegrity:
+    def test_buffer_finite_and_learning_under_races(self, setup):
+        """Lock-free concurrent writes must leave a finite, improving
+        model — per-word atomicity means no torn doubles."""
+        model, ds, init = setup
+        res = train_shm(
+            model,
+            ds.X,
+            ds.y,
+            init,
+            _config(max_epochs=5),
+            ShmSchedule(workers=3, batch_size=4),
+        )
+        assert np.all(np.isfinite(res.params))
+        assert res.workers == 3
+        assert not res.diverged
+        assert res.curve.final_loss < res.curve.initial_loss
+
+    def test_wall_clock_measured(self, setup):
+        model, ds, init = setup
+        res = train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=2))
+        assert res.wall_seconds_total > 0
+        assert res.wall_seconds_per_epoch == pytest.approx(
+            res.wall_seconds_total / res.epochs_run
+        )
+
+
+class TestTelemetryConsistency:
+    def test_counter_accounting(self, setup):
+        """Every example is applied exactly once per epoch, whatever the
+        worker count, and the totals land in the telemetry registry."""
+        model, ds, init = setup
+        tel = Telemetry()
+        epochs = 3
+        res = train_shm(
+            model,
+            ds.X,
+            ds.y,
+            init,
+            _config(max_epochs=epochs),
+            ShmSchedule(workers=2),
+            tel,
+        )
+        n = ds.X.shape[0]
+        assert res.counters[keys.UPDATES_APPLIED] == n * epochs
+        counters = tel.counters()
+        assert counters[keys.UPDATES_APPLIED] == n * epochs
+        assert counters[keys.GRAD_EVALS] == n * epochs
+        assert counters[keys.EPOCHS] == epochs
+        # initial + one eval per epoch
+        assert counters[keys.LOSS_EVALS] == epochs + 1
+        assert keys.UPDATE_CONFLICTS in counters
+        assert keys.STALE_READS in counters
+
+    def test_wall_gauges_published(self, setup):
+        model, ds, init = setup
+        tel = Telemetry()
+        res = train_shm(
+            model, ds.X, ds.y, init, _config(), ShmSchedule(workers=1), tel
+        )
+        gauges = tel.gauges()
+        assert gauges[keys.WALL_SECONDS_PER_EPOCH] == res.wall_seconds_per_epoch
+        assert gauges[keys.WALL_SECONDS_TOTAL] == res.wall_seconds_total
+
+
+class TestTeardown:
+    def test_worker_death_raises_worker_error(self, setup, monkeypatch):
+        """A worker dying mid-run must surface promptly as WorkerError,
+        with every process joined and both shared segments unlinked."""
+        model, ds, init = setup
+        real = shm_mod._worker_loop
+
+        def dying(*args):
+            if args[8] == 1:  # worker_id
+                os._exit(17)
+            return real(*args)
+
+        monkeypatch.setattr(shm_mod, "_worker_loop", dying)
+        with pytest.raises(WorkerError):
+            train_shm(
+                model,
+                ds.X,
+                ds.y,
+                init,
+                _config(),
+                ShmSchedule(workers=2, epoch_timeout=30.0),
+            )
+        import glob
+
+        assert not glob.glob("/dev/shm/psm_*")
+
+    def test_clean_run_leaves_no_segments(self, setup):
+        import glob
+
+        model, ds, init = setup
+        train_shm(model, ds.X, ds.y, init, _config(), ShmSchedule(workers=2))
+        assert not glob.glob("/dev/shm/psm_*")

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.datasets import load, load_mlp
+from repro.datasets import load
 from repro.experiments.common import ExperimentContext
 from repro.sgd.advisor import (
     Advice,

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.asyncsim import AsyncSchedule
-from repro.models import make_model
 from repro.sgd.lowprec import (
     BFloat16Quantizer,
     FixedPointQuantizer,

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.sgd import train
@@ -132,3 +131,43 @@ class TestTrainAsync:
             scale="tiny", step_size=0.3, max_epochs=5,
         )
         assert r.dataset == "w8a"
+
+
+class TestShmBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            train("lr", "w8a", scale="tiny", backend="cuda")
+
+    def test_shm_requires_asynchronous(self):
+        with pytest.raises(ConfigurationError):
+            train("lr", "w8a", strategy="synchronous", scale="tiny", backend="shm")
+
+    def test_shm_rejects_mlp(self):
+        with pytest.raises(ConfigurationError):
+            train("mlp", "w8a", scale="tiny", backend="shm")
+
+    def test_threads_requires_shm(self):
+        with pytest.raises(ConfigurationError):
+            train("lr", "w8a", scale="tiny", threads=2)
+
+    def test_shm_reports_measured_wall_clock(self):
+        r = train(
+            "lr", "covtype", strategy="asynchronous", scale="tiny",
+            step_size=0.05, max_epochs=5, early_stop_tolerance=None,
+            backend="shm", threads=2,
+        )
+        assert r.backend == "shm"
+        assert r.measured is not None
+        assert r.measured["workers"] == 2
+        assert r.measured["wall_seconds_total"] > 0
+        # time_per_iter is the measured per-epoch wall clock here.
+        assert r.time_per_iter == r.measured["wall_seconds_per_epoch"]
+        assert not math.isnan(r.curve.final_loss)
+
+    def test_simulated_result_has_no_measured_record(self):
+        r = train(
+            "lr", "w8a", strategy="asynchronous", scale="tiny",
+            step_size=0.1, max_epochs=5,
+        )
+        assert r.backend == "simulated"
+        assert r.measured is None

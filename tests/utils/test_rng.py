@@ -1,9 +1,7 @@
 """Tests for deterministic RNG management."""
 
 import numpy as np
-import pytest
 
-from repro.utils import rng as rng_mod
 from repro.utils.rng import DEFAULT_SEED, derive_rng, make_rng, spawn_streams, stable_hash
 
 
