@@ -1,9 +1,12 @@
 # Convenience targets for the repro library.
 
-.PHONY: test bench bench-snapshot bench-compare shapes experiments examples probe lint all
+.PHONY: test chaos bench bench-snapshot bench-compare shapes experiments examples probe lint all
 
 test:
 	pytest tests/
+
+chaos:           ## fault-injection + recovery suite against the shm backend
+	pytest tests/faults tests/parallel/test_chaos.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -38,6 +38,7 @@ from . import (
     asyncsim,
     datasets,
     experiments,
+    faults,
     frameworks,
     hardware,
     linalg,
@@ -47,6 +48,7 @@ from . import (
     telemetry,
     utils,
 )
+from .faults import FaultPlan, FaultSpec, RecoveryPolicy
 from .datasets import DATASET_NAMES, Dataset, load, load_mlp, read_libsvm
 from .hardware import TESLA_K80, XEON_E5_2660V4_DUAL, CpuModel, GpuModel
 from .models import MLP, LinearSVM, LogisticRegression, make_model
@@ -92,6 +94,9 @@ __all__ = [
     "GpuModel",
     "XEON_E5_2660V4_DUAL",
     "TESLA_K80",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryPolicy",
     "Telemetry",
     "NullTelemetry",
     "RunManifest",
@@ -104,6 +109,7 @@ __all__ = [
     "hardware",
     "asyncsim",
     "parallel",
+    "faults",
     "sgd",
     "telemetry",
     "frameworks",

@@ -86,6 +86,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from .sgd import train
 
     telemetry = _make_telemetry(args)
+    fault_plan = None
+    if args.inject_fault:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.inject_fault, seed=args.seed)
     result = train(
         args.task,
         args.dataset,
@@ -95,9 +100,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         step_size=args.step,
         max_epochs=args.epochs,
+        batch_size=args.batch_size,
         early_stop_tolerance=args.tolerance,
         backend=args.backend,
         threads=args.threads,
+        epoch_timeout=args.epoch_timeout,
+        fault_plan=fault_plan,
+        max_restarts=args.max_restarts,
         telemetry=telemetry,
     )
     s = result.summary()
@@ -106,6 +115,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         s["workers"] = result.measured["workers"]
         s["wall_seconds_per_epoch"] = result.measured["wall_seconds_per_epoch"]
         s["wall_seconds_total"] = result.measured["wall_seconds_total"]
+        if result.measured["recovery"]:
+            s["recoveries"] = len(result.measured["recovery"])
+            s["workers_final"] = result.measured["workers_final"]
     width = max(len(k) for k in s)
     for key, value in s.items():
         print(f"{key.ljust(width)} : {value}")
@@ -113,16 +125,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.manifest_out:
         from .telemetry import build_manifest
 
-        extra = {"backend": result.backend}
-        if result.measured is not None:
-            extra["measured"] = result.measured
         manifest = build_manifest(
             result,
             telemetry,
             scale=args.scale,
             seed=args.seed,
             max_epochs=args.epochs,
-            extra_config=extra,
         )
         path = manifest.write(args.manifest_out)
         print(f"manifest written to {path}", file=sys.stderr)
@@ -211,6 +219,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --backend shm (default: up to 4, "
         "bounded by the host's cores)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="rows per update (default: 512 for the simulated MLP "
+        "Hogbatch, 1 for --backend shm; shm with B>1 runs measured "
+        "Hogbatch)",
+    )
+    p.add_argument(
+        "--epoch-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="--backend shm: seconds the parent waits at an epoch "
+        "barrier before declaring the run dead (default 120)",
+    )
+    p.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="--backend shm: inject a seeded fault, format "
+        "kind@epoch[:wK][:seconds] with kind in kill|stall|delay|nan "
+        "(e.g. kill@3, stall@2:w1, delay@1:w0:0.25); repeatable",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help="--backend shm: recover from up to N worker failures "
+        "(repartition onto survivors / respawn with timeout backoff) "
+        "before giving up; 0 fails fast",
     )
     p.add_argument(
         "--trace-out",

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and recovery for the measured backend.
+
+``repro.faults`` makes failure a *scenario the system measures and
+survives* instead of a crash: :class:`FaultPlan` schedules seeded,
+reproducible faults (worker kills, stalls, late barrier arrivals, NaN
+poisoning) into a :func:`repro.parallel.train_shm` run, and
+:class:`RecoveryPolicy` bounds how the parent recovers — repartition
+onto survivors or respawn, with exponential timeout backoff and a
+shared retry budget.  Recovery actions surface as ``fault.*``
+telemetry counters and a per-run recovery trajectory in the manifest
+(see ``docs/BACKENDS.md`` and ``docs/OBSERVABILITY.md``).
+"""
+
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .recovery import RECOVERY_MODES, RecoveryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "RECOVERY_MODES",
+    "RecoveryPolicy",
+]

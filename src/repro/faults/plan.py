@@ -1,0 +1,226 @@
+"""Deterministic fault plans for the measured shared-memory backend.
+
+A :class:`FaultPlan` describes *what goes wrong and when* in a
+``train_shm`` run: a worker killed at epoch k, a worker stalled past
+the parent's watchdog window, a late barrier arrival, or a gradient
+window poisoned with NaNs.  Plans are data, not behaviour — the
+shared-memory workers interpret the resolved specs — and they are
+seeded through :func:`repro.utils.rng.derive_rng`, so a chaos run is as
+reproducible as a healthy one: the same ``(plan, seed, workers)``
+triple always injects the same faults into the same workers.
+
+The four fault kinds map to the failure modes a lock-free
+data-partitioned SGD deployment actually sees:
+
+``kill``
+    The worker process exits abruptly mid-epoch (``os._exit``), halfway
+    through its partition pass — partial updates are already committed,
+    exactly like a real crash.
+``stall``
+    The worker stops responding for longer than the parent's epoch
+    timeout (default: ``3 x epoch_timeout``), modelling a straggler
+    wedged in an NFS read or a page-fault storm.
+``delay``
+    The worker arrives late (default 50 ms) at the epoch-end barrier
+    but *within* the watchdog window — a healthy run must absorb this
+    without any recovery action.
+``nan``
+    The worker scribbles NaNs over the coordinate window of its first
+    work item — a poisoned gradient, the numeric failure HOGWILD!-style
+    systems must contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..utils.errors import ConfigurationError
+from ..utils.rng import derive_rng
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: The injectable failure modes, in documentation order.
+FAULT_KINDS: tuple[str, ...] = ("kill", "stall", "delay", "nan")
+
+#: Barrier-arrival delay (seconds) when a ``delay`` spec omits its own.
+DEFAULT_DELAY_SECONDS = 0.05
+
+#: A ``stall`` with no explicit duration sleeps this multiple of the
+#: epoch timeout — guaranteed to outlive the parent's barrier wait.
+STALL_TIMEOUT_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    epoch:
+        1-based optimisation epoch at which the fault fires.
+    worker:
+        Target worker id, or ``None`` to let the plan's seeded RNG pick
+        one at resolution time.
+    seconds:
+        Stall/delay duration; ``None`` selects the kind's default
+        (:data:`STALL_TIMEOUT_FACTOR` x timeout for stalls,
+        :data:`DEFAULT_DELAY_SECONDS` for delays).  Ignored by
+        ``kill`` and ``nan``.
+    """
+
+    kind: str
+    epoch: int
+    worker: int | None = None
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; available: {FAULT_KINDS}"
+            )
+        if self.epoch < 1:
+            raise ConfigurationError(f"fault epoch must be >= 1, got {self.epoch}")
+        if self.worker is not None and self.worker < 0:
+            raise ConfigurationError(f"fault worker must be >= 0, got {self.worker}")
+        if self.seconds is not None and self.seconds <= 0:
+            raise ConfigurationError(
+                f"fault seconds must be positive, got {self.seconds}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI grammar ``kind@epoch[:wK][:seconds]``.
+
+        Examples: ``kill@3`` (seeded worker choice), ``stall@2:w1``,
+        ``delay@1:w0:0.25``, ``nan@4:1.5`` (a token starting with ``w``
+        is a worker id; a bare number is a duration).
+        """
+        head, sep, rest = text.strip().partition("@")
+        if not sep or not head:
+            raise ConfigurationError(
+                f"fault spec {text!r} must look like 'kind@epoch[:wK][:seconds]'"
+            )
+        fields = rest.split(":")
+        try:
+            epoch = int(fields[0])
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec {text!r} has a non-integer epoch {fields[0]!r}"
+            ) from None
+        worker: int | None = None
+        seconds: float | None = None
+        for token in fields[1:]:
+            token = token.strip()
+            if not token:
+                continue
+            if token[0] in ("w", "W"):
+                try:
+                    worker = int(token[1:])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault spec {text!r} has a bad worker token {token!r}"
+                    ) from None
+            else:
+                try:
+                    seconds = float(token)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault spec {text!r} has a bad duration token {token!r}"
+                    ) from None
+        return cls(kind=head.lower(), epoch=epoch, worker=worker, seconds=seconds)
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict form for manifests."""
+        return {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "worker": self.worker,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of faults to inject into one shm run.
+
+    Attributes
+    ----------
+    specs:
+        The planned faults.
+    seed:
+        Seed for the worker-choice stream of specs with
+        ``worker=None``; ``None`` defers to the run's own seed, so a
+        plan shared across configurations stays aligned with each run.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, texts: Iterable[str], seed: int | None = None) -> "FaultPlan":
+        """Build a plan from CLI spec strings (see :meth:`FaultSpec.parse`)."""
+        return cls(specs=tuple(FaultSpec.parse(t) for t in texts), seed=seed)
+
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        epoch: int,
+        worker: int | None = None,
+        seconds: float | None = None,
+        seed: int | None = None,
+    ) -> "FaultPlan":
+        """Convenience: a plan with exactly one fault."""
+        return cls(
+            specs=(FaultSpec(kind=kind, epoch=epoch, worker=worker, seconds=seconds),),
+            seed=seed,
+        )
+
+    def resolve(
+        self, workers: int, *, run_seed: int, epoch_timeout: float
+    ) -> dict[int, list[dict[str, Any]]]:
+        """Pin every spec to a concrete worker and duration.
+
+        Returns a mapping ``worker_id -> [{kind, epoch, seconds}, ...]``
+        ready to ship to worker processes.  Worker choices for
+        ``worker=None`` specs draw from ``derive_rng(seed, ...)`` in
+        spec order, so resolution is a pure function of
+        ``(plan, run_seed, workers)``.
+        """
+        rng = derive_rng(
+            self.seed if self.seed is not None else run_seed, f"faults/{workers}"
+        )
+        assigned: dict[int, list[dict[str, Any]]] = {}
+        for spec in self.specs:
+            worker = spec.worker if spec.worker is not None else int(
+                rng.integers(workers)
+            )
+            if worker >= workers:
+                raise ConfigurationError(
+                    f"fault targets worker {worker} but the run has only "
+                    f"{workers} worker(s)"
+                )
+            seconds = spec.seconds
+            if seconds is None:
+                seconds = (
+                    epoch_timeout * STALL_TIMEOUT_FACTOR
+                    if spec.kind == "stall"
+                    else DEFAULT_DELAY_SECONDS
+                )
+            assigned.setdefault(worker, []).append(
+                {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
+            )
+        return assigned
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Plain-list form for manifests (one dict per spec)."""
+        return [spec.describe() for spec in self.specs]

@@ -1,0 +1,76 @@
+"""Recovery policies: what the parent does when a worker fails.
+
+The HOGWILD! line of work argues lock-free SGD is robust to
+interference; this module extends that robustness from *races* to
+*failures*.  A :class:`RecoveryPolicy` bounds how hard the
+shared-memory parent tries to keep a run alive:
+
+* a worker **death** is recovered by rebuilding the pool — either
+  re-partitioning the dead worker's examples over the survivors
+  (``mode="repartition"``, the default: capacity degrades, coverage
+  does not) or respawning at full strength (``mode="respawn"``);
+* a barrier **timeout** (a stalled worker — no corpse to identify) is
+  always recovered by a full respawn;
+* a **non-finite model snapshot** (poisoned gradients) is scrubbed:
+  the bad coordinates are restored from the last finite snapshot and
+  the epoch is recorded as degraded.
+
+Every recovery action — respawn, repartition, or NaN scrub — consumes
+one unit of the shared ``max_restarts`` budget, and each rebuild
+multiplies the epoch timeout by ``backoff`` (a slow machine that
+caused one timeout gets more headroom, not a retry storm).  When the
+budget is exhausted the next failure raises
+:class:`~repro.utils.errors.WorkerError` exactly as an un-recovered
+run would, with all processes joined and both shared segments
+unlinked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.errors import ConfigurationError
+
+__all__ = ["RECOVERY_MODES", "RecoveryPolicy"]
+
+#: How a dead worker's partition is handled on rebuild.
+RECOVERY_MODES: tuple[str, ...] = ("repartition", "respawn")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry recovery for the shared-memory backend.
+
+    Attributes
+    ----------
+    max_restarts:
+        Total recovery budget (respawns + repartitions + NaN scrubs).
+        ``0`` disables recovery — identical to passing no policy.
+    backoff:
+        Epoch-timeout multiplier applied at every pool rebuild
+        (exponential backoff; ``1.0`` keeps the timeout constant).
+    mode:
+        ``"repartition"`` shrinks the pool by the dead worker and
+        round-robins its examples over the survivors; ``"respawn"``
+        rebuilds at the original worker count.
+    scrub_nans:
+        Restore non-finite model coordinates from the last finite
+        snapshot instead of declaring divergence (consumes budget).
+    """
+
+    max_restarts: int = 1
+    backoff: float = 2.0
+    mode: str = "repartition"
+    scrub_nans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1.0, got {self.backoff}")
+        if self.mode not in RECOVERY_MODES:
+            raise ConfigurationError(
+                f"unknown recovery mode {self.mode!r}; available: {RECOVERY_MODES}"
+            )

@@ -22,6 +22,11 @@ barriers, then evaluates the loss while the workers wait — loss
 evaluation is excluded from iteration time, matching the paper's
 protocol (Section IV-A).
 
+Workers wait at the barriers *untimed*: liveness is the parent's job
+(its waits carry ``epoch_timeout`` plus a ~100 ms liveness watchdog),
+so a slow parent-side loss evaluation can never break the barrier
+inside a healthy worker.
+
 Within an epoch nothing synchronises.  A worker's update is a single
 ``np.add.at`` scatter (sparse) or row-wise adds (dense) against the
 shared vector; concurrent updates race exactly as OpenMP Hogwild races
@@ -34,11 +39,23 @@ on the paper's machine.  Two quantities of that race are *measured*:
   the item's gradient read and its write (detected by re-reading the
   item's coordinate footprint just before the scatter).
 
-Worker death mid-epoch is detected by a liveness watchdog that breaks
-the epoch barrier; the parent then terminates the remaining workers,
-releases the shared buffer and raises
+Faults and recovery
+-------------------
+A :class:`repro.faults.FaultPlan` injects seeded, reproducible faults
+(worker kills, stalls past the watchdog window, late barrier arrivals,
+NaN-poisoned gradient windows) into the workers, and a
+:class:`repro.faults.RecoveryPolicy` bounds how the parent survives
+them: dead workers are recovered by re-partitioning their examples
+over the survivors (or respawning the pool), barrier timeouts by a
+full respawn with exponential backoff on the epoch timeout, and
+non-finite model snapshots by scrubbing the poisoned coordinates from
+the last finite snapshot.  Every action consumes the policy's shared
+retry budget and is recorded — ``fault.*`` telemetry counters plus a
+per-run recovery trajectory on the result.  Without a policy (the
+default) behaviour is unchanged: the parent terminates the remaining
+workers, releases the shared buffers and raises
 :class:`~repro.utils.errors.WorkerError` — no leaked processes or
-shared-memory segments.
+shared-memory segments on any path.
 """
 
 from __future__ import annotations
@@ -49,9 +66,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
+from ..faults import FaultPlan, RecoveryPolicy
 from ..models.base import Matrix, Model
 from ..sgd.config import SGDConfig
 from ..sgd.convergence import LossCurve
@@ -67,10 +86,14 @@ _SLOT_UPDATES = 0  # examples applied to the shared model
 _SLOT_ITEMS = 1  # work items (scatter rounds) completed
 _SLOT_STALE = 2  # examples computed against a raced snapshot
 _SLOT_CONFLICTS = 3  # coordinates overwritten between read and write
-_N_SLOTS = 4
+_SLOT_FAULTS = 4  # planned faults actually injected by this worker
+_N_SLOTS = 5
 
 _CTL_STOP = 0  # parent -> workers: exit at the next epoch barrier
 _N_CTL = 1
+
+#: Exit code of a worker killed by an injected ``kill`` fault.
+_FAULT_EXITCODE = 23
 
 
 def default_shm_workers() -> int:
@@ -94,7 +117,8 @@ class ShmSchedule:
         per item).  Disable for the leanest possible hot loop.
     epoch_timeout:
         Seconds the parent waits for an epoch barrier before declaring
-        the run dead.
+        the run dead.  Workers themselves wait untimed — only the
+        parent enforces liveness.
     """
 
     workers: int
@@ -129,11 +153,30 @@ class ShmTrainResult:
     wall_seconds_total: float
     #: Aggregated event totals, keyed by the telemetry vocabulary.
     counters: dict[str, float] = field(default_factory=dict)
+    #: Workers still in the pool at the end (== ``workers`` unless a
+    #: repartition recovery shrank it).
+    workers_final: int = 0
+    #: Full-pool respawn recoveries performed.
+    restarts: int = 0
+    #: Repartition recoveries performed (pool shrank by one each time).
+    repartitions: int = 0
+    #: Epochs executed degraded: fewer workers than requested, or on a
+    #: NaN-scrubbed snapshot.
+    degraded_epochs: int = 0
+    #: Chronological recovery trajectory — one dict per recovery action
+    #: (respawn / repartition / nan_scrub / ...), recorded into run
+    #: manifests.
+    recovery: list[dict] = field(default_factory=list)
 
     @property
     def updates_applied(self) -> float:
         """Examples applied to the shared model across all workers."""
         return self.counters.get(keys.UPDATES_APPLIED, 0.0)
+
+    @property
+    def faults_injected(self) -> float:
+        """Planned faults the workers actually injected."""
+        return self.counters.get(keys.FAULT_INJECTED, 0.0)
 
 
 def _worker_loop(
@@ -154,8 +197,18 @@ def _worker_loop(
     start_barrier,
     end_barrier,
     timeout: float,
+    faults: tuple = (),
+    epoch_offset: int = 0,
 ) -> None:
-    """One worker: barrier-aligned epochs of lock-free partition passes."""
+    """One worker: barrier-aligned epochs of lock-free partition passes.
+
+    Barrier waits are untimed — the parent owns liveness.  A broken
+    barrier means the parent is tearing the pool down (another worker
+    died, or the run timed out); the worker exits quietly.  *faults*
+    is this worker's resolved slice of the run's fault plan; *timeout*
+    is kept only as the parent's watchdog window (stall durations are
+    resolved against it).
+    """
     shm = shared_memory.SharedMemory(name=shm_name)
     cshm = shared_memory.SharedMemory(name=counters_name)
     try:
@@ -170,12 +223,35 @@ def _worker_loop(
         sparse = hasattr(X, "gather_rows_arrays")
         Xd = None if sparse else np.asarray(X, dtype=np.float64)
 
-        for _ in range(max_epochs):
-            start_barrier.wait(timeout)
+        for local_epoch in range(max_epochs):
+            try:
+                start_barrier.wait()
+            except threading.BrokenBarrierError:
+                return
             if ctl[_CTL_STOP]:
                 break
+            kill_item = None
+            sleep_seconds = 0.0
+            poison_nans = False
+            if faults:
+                epoch = epoch_offset + local_epoch + 1
+                for spec in faults:
+                    if spec["epoch"] != epoch:
+                        continue
+                    if spec["kind"] == "kill":
+                        # Die halfway through the pass: partial updates
+                        # are already committed, like a real crash.
+                        kill_item = -(-part.shape[0] // batch_size) // 2
+                    elif spec["kind"] in ("stall", "delay"):
+                        sleep_seconds += spec["seconds"]
+                        mine[_SLOT_FAULTS] += 1
+                    else:  # nan
+                        poison_nans = True
             order = part[rng.permutation(part.shape[0])]
-            for lo in range(0, order.shape[0], batch_size):
+            for item, lo in enumerate(range(0, order.shape[0], batch_size)):
+                if item == kill_item:
+                    mine[_SLOT_FAULTS] += 1
+                    os._exit(_FAULT_EXITCODE)
                 rows = order[lo : lo + batch_size]
                 before = sum(int(o[_SLOT_UPDATES]) for o in others)
                 if sparse:
@@ -196,6 +272,9 @@ def _worker_loop(
                             np.count_nonzero(w[indices] != gathered)
                         )
                     np.add.at(w, indices, values)  # lock-free scatter
+                    if poison_nans and item == 0:
+                        mine[_SLOT_FAULTS] += 1
+                        w[indices] = np.nan  # poisoned gradient window
                 else:
                     Xb = Xd[rows]
                     snapshot = w.copy() if track_conflicts else w
@@ -208,30 +287,52 @@ def _worker_loop(
                         )
                     for delta in deltas:  # per-word-atomic adds, in order
                         w += delta
+                    if poison_nans and item == 0:
+                        mine[_SLOT_FAULTS] += 1
+                        w[:] = np.nan  # dense window = the whole model
                 after = sum(int(o[_SLOT_UPDATES]) for o in others)
                 if after != before:
                     mine[_SLOT_STALE] += rows.shape[0]
                 mine[_SLOT_UPDATES] += rows.shape[0]
                 mine[_SLOT_ITEMS] += 1
-            end_barrier.wait(timeout)
+            if sleep_seconds:
+                time.sleep(sleep_seconds)
+            try:
+                end_barrier.wait()
+            except threading.BrokenBarrierError:
+                return
     finally:
         shm.close()
         cshm.close()
 
 
-def _await_barrier(barrier, procs, timeout: float, phase: str) -> None:
+def _await_barrier(
+    barrier, procs, timeout: float, phase: str, epoch: int | None = None
+) -> None:
     """Wait at *barrier* with a liveness watchdog over the workers.
 
     A worker that exits before reaching the barrier would otherwise
     stall the parent for the full timeout; the watchdog notices within
     ~100 ms and breaks the barrier, turning the stall into a prompt
-    :class:`WorkerError`.
+    :class:`WorkerError`.  The raised error is structured: it carries
+    the first dead worker's id and exit code (or ``worker_id=None``
+    for a pure timeout — a stalled worker leaves no corpse), the epoch
+    and the phase, which is what the recovery policy dispatches on.
     """
     stop = threading.Event()
+    # Deaths the watchdog saw *before* aborting the barrier.  Blame is
+    # taken from here, not re-read after the break: aborting releases
+    # the healthy workers too, and they exit 0 — re-reading exit codes
+    # would pin a stall timeout on an innocent survivor.
+    observed: list[tuple[int, int]] = []
 
     def _watch() -> None:
         while not stop.wait(0.1):
-            if any(p.exitcode is not None for p in procs):
+            dead = [
+                (k, p.exitcode) for k, p in enumerate(procs) if p.exitcode is not None
+            ]
+            if dead:
+                observed.extend(dead)
                 barrier.abort()
                 return
 
@@ -240,14 +341,47 @@ def _await_barrier(barrier, procs, timeout: float, phase: str) -> None:
     try:
         barrier.wait(timeout)
     except threading.BrokenBarrierError:
-        dead = [(p.name, p.exitcode) for p in procs if p.exitcode is not None]
+        dead = list(observed)
+        if dead:
+            detail = ", ".join(f"worker {k} exitcode {c}" for k, c in dead)
+            raise WorkerError(
+                f"shared-memory worker(s) died at the {phase} barrier: {detail}",
+                worker_id=dead[0][0],
+                epoch=epoch,
+                phase=phase,
+                exitcode=dead[0][1],
+            ) from None
         raise WorkerError(
-            f"shared-memory worker(s) died at the {phase} barrier: "
-            f"{dead or 'barrier timeout'}"
+            f"shared-memory run timed out after {timeout:.1f}s at the "
+            f"{phase} barrier",
+            epoch=epoch,
+            phase=phase,
         ) from None
     finally:
         stop.set()
         watchdog.join()
+
+
+def _teardown_pool(procs, barriers, grace: float = 2.0) -> None:
+    """Abort the pool's barriers and reap every worker process.
+
+    Healthy workers blocked at a barrier see the abort as a broken
+    barrier and exit on their own; anything still alive after *grace*
+    seconds (stalled, or mid-pass on a large partition) is terminated.
+    On return every process is joined.
+    """
+    for b in barriers:
+        try:
+            b.abort()
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            pass
+    deadline = time.perf_counter() + grace
+    for p in procs:
+        p.join(max(0.05, deadline - time.perf_counter()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join()
 
 
 def train_shm(
@@ -258,6 +392,8 @@ def train_shm(
     config: SGDConfig,
     schedule: ShmSchedule,
     telemetry: AnyTelemetry | None = None,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ShmTrainResult:
     """Train on the host's cores through the shared-memory backend.
 
@@ -266,14 +402,25 @@ def train_shm(
     the wall-clock gauges are measured hardware efficiency, making this
     the native analogue of the paper's per-epoch measurement loop.
 
+    Parameters
+    ----------
+    fault_plan:
+        Seeded faults to inject into the workers (chaos testing); see
+        :class:`repro.faults.FaultPlan`.  ``None`` injects nothing.
+    recovery:
+        Bounded recovery from worker failures; see
+        :class:`repro.faults.RecoveryPolicy`.  ``None`` (the default)
+        keeps the fail-fast behaviour: the first failure raises.
+
     Raises
     ------
     ConfigurationError
         For models without the vectorised link-derivative machinery
         (the MLP's Hogbatch runs through the simulator).
     WorkerError
-        When a worker dies or stops responding mid-run; workers and
-        shared buffers are torn down before raising.
+        When a worker dies or stops responding and no recovery policy
+        is set — or the policy's retry budget is exhausted; workers
+        and shared buffers are torn down before raising.
     """
     if not hasattr(model, "_dmargin_fn"):
         raise ConfigurationError(
@@ -287,8 +434,16 @@ def train_shm(
         )
     tel = ensure_telemetry(telemetry)
     n = X.shape[0]
-    workers = min(schedule.workers, n)
+    requested_workers = min(schedule.workers, n)
     seed = config.seed if config.seed is not None else DEFAULT_SEED
+    budget = recovery.max_restarts if recovery is not None else 0
+    assignments: dict[int, list[dict[str, Any]]] = (
+        fault_plan.resolve(
+            requested_workers, run_seed=seed, epoch_timeout=schedule.epoch_timeout
+        )
+        if fault_plan
+        else {}
+    )
 
     init_params = np.asarray(init_params, dtype=np.float64)
     with np.errstate(over="ignore"):
@@ -299,27 +454,32 @@ def train_shm(
     limit = config.divergence_factor * max(initial, 1e-12)
 
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    start_barrier = ctx.Barrier(workers + 1)
-    end_barrier = ctx.Barrier(workers + 1)
     shm = shared_memory.SharedMemory(create=True, size=init_params.nbytes)
     cshm = shared_memory.SharedMemory(
-        create=True, size=(_N_CTL + workers * _N_SLOTS) * 8
+        create=True, size=(_N_CTL + requested_workers * _N_SLOTS) * 8
     )
     procs: list = []
+    start_barrier = end_barrier = None
     diverged = False
     epochs_run = 0
     epoch_walls: list[float] = []
-    try:
-        shared = np.ndarray(init_params.shape, dtype=np.float64, buffer=shm.buf)
-        shared[:] = init_params
-        ctl = np.ndarray((_N_CTL,), dtype=np.int64, buffer=cshm.buf)
-        ctl[:] = 0
-        counters = np.ndarray(
-            (workers, _N_SLOTS), dtype=np.int64, buffer=cshm.buf, offset=_N_CTL * 8
-        )
-        counters[:] = 0
+    active_workers = requested_workers
+    timeout = schedule.epoch_timeout
+    recoveries_used = 0
+    restarts = 0
+    repartitions = 0
+    degraded_epochs = 0
+    recovery_log: list[dict] = []
 
-        partitions = [np.arange(k, n, workers, dtype=np.int64) for k in range(workers)]
+    def _spawn(next_epoch: int) -> None:
+        """(Re)build the worker pool to run epochs ``next_epoch..max``."""
+        nonlocal procs, start_barrier, end_barrier
+        partitions = [
+            np.arange(k, n, active_workers, dtype=np.int64)
+            for k in range(active_workers)
+        ]
+        start_barrier = ctx.Barrier(active_workers + 1)
+        end_barrier = ctx.Barrier(active_workers + 1)
         procs = [
             ctx.Process(
                 target=_worker_loop,
@@ -332,45 +492,122 @@ def train_shm(
                     y,
                     partitions[k],
                     init_params.shape[0],
-                    workers,
+                    active_workers,
                     k,
                     config.step_size,
-                    config.max_epochs,
+                    config.max_epochs - (next_epoch - 1),
                     schedule.batch_size,
                     schedule.track_conflicts,
                     seed,
                     start_barrier,
                     end_barrier,
-                    schedule.epoch_timeout,
+                    timeout,
+                    tuple(assignments.get(k, ())),
+                    next_epoch - 1,
                 ),
             )
-            for k in range(workers)
+            for k in range(active_workers)
         ]
         for p in procs:
             p.start()
 
+    try:
+        shared = np.ndarray(init_params.shape, dtype=np.float64, buffer=shm.buf)
+        shared[:] = init_params
+        ctl = np.ndarray((_N_CTL,), dtype=np.int64, buffer=cshm.buf)
+        ctl[:] = 0
+        counters = np.ndarray(
+            (requested_workers, _N_SLOTS),
+            dtype=np.int64,
+            buffer=cshm.buf,
+            offset=_N_CTL * 8,
+        )
+        counters[:] = 0
+        last_good = init_params.copy()
+        _spawn(1)
+
         with tel.span(
             "shm.optimize",
-            workers=workers,
+            workers=requested_workers,
             batch_size=schedule.batch_size,
             step_size=config.step_size,
         ) as opt_span:
-            for epoch in range(1, config.max_epochs + 1):
+            epoch = 1
+            while epoch <= config.max_epochs:
                 t0 = time.perf_counter()
-                _await_barrier(
-                    start_barrier, procs, schedule.epoch_timeout, "epoch-start"
-                )
-                _await_barrier(
-                    end_barrier, procs, schedule.epoch_timeout, "epoch-end"
-                )
+                try:
+                    _await_barrier(start_barrier, procs, timeout, "epoch-start", epoch)
+                    _await_barrier(end_barrier, procs, timeout, "epoch-end", epoch)
+                except WorkerError as err:
+                    _teardown_pool(procs, (start_barrier, end_barrier))
+                    if recovery is None or recoveries_used >= budget:
+                        raise
+                    recoveries_used += 1
+                    timeout *= recovery.backoff
+                    if (
+                        err.worker_id is not None
+                        and recovery.mode == "repartition"
+                        and active_workers > 1
+                    ):
+                        # The dead worker's examples round-robin onto
+                        # the survivors; capacity degrades, coverage
+                        # does not.
+                        active_workers -= 1
+                        repartitions += 1
+                        action = "repartition"
+                    else:
+                        restarts += 1
+                        action = "respawn"
+                    # Faults at or before the interrupted epoch had
+                    # their chance; they must not re-fire on the
+                    # rebuilt pool re-running this epoch.
+                    assignments = {
+                        k: [s for s in v if s["epoch"] > epoch]
+                        for k, v in assignments.items()
+                    }
+                    recovery_log.append(
+                        {
+                            "action": action,
+                            "epoch": epoch,
+                            "workers": active_workers,
+                            "epoch_timeout": timeout,
+                            "cause": err.describe(),
+                        }
+                    )
+                    _spawn(epoch)
+                    continue
                 epoch_walls.append(time.perf_counter() - t0)
                 epochs_run = epoch
                 tel.count(keys.EPOCHS)
                 # Workers idle at the next start barrier while the loss
                 # is evaluated on a snapshot — excluded from epoch time.
+                degraded = active_workers < requested_workers
                 params_now = shared.copy()
                 stop = epoch == config.max_epochs
-                if not np.all(np.isfinite(params_now)):
+                finite = bool(np.all(np.isfinite(params_now)))
+                if (
+                    not finite
+                    and recovery is not None
+                    and recovery.scrub_nans
+                    and recoveries_used < budget
+                ):
+                    # Poisoned coordinates are restored from the last
+                    # finite snapshot; the workers are idle at the next
+                    # start barrier, so the write-back cannot race.
+                    recoveries_used += 1
+                    bad = ~np.isfinite(params_now)
+                    params_now[bad] = last_good[bad]
+                    shared[:] = params_now
+                    degraded = True
+                    finite = True
+                    recovery_log.append(
+                        {
+                            "action": "nan_scrub",
+                            "epoch": epoch,
+                            "coordinates": int(bad.sum()),
+                        }
+                    )
+                if not finite:
                     curve.record(epoch, float("inf"))
                     diverged = True
                     stop = True
@@ -384,26 +621,58 @@ def train_shm(
                         stop = True
                     else:
                         curve.record(epoch, loss)
+                        last_good = params_now
                         if (
                             config.target_loss is not None
                             and loss <= config.target_loss
                         ):
                             stop = True
+                if degraded:
+                    degraded_epochs += 1
                 if stop:
                     if epoch < config.max_epochs:
                         ctl[_CTL_STOP] = 1
-                        _await_barrier(
-                            start_barrier, procs, schedule.epoch_timeout, "shutdown"
-                        )
+                        try:
+                            _await_barrier(
+                                start_barrier, procs, timeout, "shutdown", epoch
+                            )
+                        except WorkerError as err:
+                            if recovery is None:
+                                raise
+                            # The run already has its result; the
+                            # teardown below reaps the stragglers.
+                            recovery_log.append(
+                                {
+                                    "action": "shutdown_failure_ignored",
+                                    "epoch": epoch,
+                                    "cause": err.describe(),
+                                }
+                            )
                     break
+                epoch += 1
             opt_span.set_attribute("diverged", diverged)
+            opt_span.set_attribute("recoveries", recoveries_used)
 
-        deadline = time.perf_counter() + schedule.epoch_timeout
+        deadline = time.perf_counter() + timeout
         for p in procs:
             p.join(max(0.1, deadline - time.perf_counter()))
-        hung = [p for p in procs if p.is_alive()]
-        if hung:  # pragma: no cover - defensive
-            raise WorkerError(f"{len(hung)} shared-memory worker(s) failed to exit")
+        hung = [(k, p) for k, p in enumerate(procs) if p.is_alive()]
+        if hung:
+            if recovery is None:  # pragma: no cover - defensive
+                raise WorkerError(
+                    f"{len(hung)} shared-memory worker(s) failed to exit",
+                    phase="join",
+                )
+            for _, p in hung:
+                p.terminate()
+                p.join()
+            recovery_log.append(
+                {
+                    "action": "stragglers_terminated",
+                    "epoch": epochs_run,
+                    "workers": [k for k, _ in hung],
+                }
+            )
         params = shared.copy()
         totals = counters.sum(axis=0)
     finally:
@@ -424,6 +693,10 @@ def train_shm(
         keys.ASYNC_ROUNDS: float(totals[_SLOT_ITEMS]),
         keys.STALE_READS: float(totals[_SLOT_STALE]),
         keys.UPDATE_CONFLICTS: float(totals[_SLOT_CONFLICTS]),
+        keys.FAULT_INJECTED: float(totals[_SLOT_FAULTS]),
+        keys.FAULT_WORKER_RESTARTS: float(restarts),
+        keys.FAULT_REPARTITIONS: float(repartitions),
+        keys.FAULT_DEGRADED_EPOCHS: float(degraded_epochs),
     }
     for key, value in counter_totals.items():
         tel.count(key, value)
@@ -433,11 +706,16 @@ def train_shm(
     return ShmTrainResult(
         curve=curve,
         params=params,
-        workers=workers,
+        workers=requested_workers,
         batch_size=schedule.batch_size,
         epochs_run=epochs_run,
         diverged=diverged,
         wall_seconds_per_epoch=wall_per_epoch,
         wall_seconds_total=wall_total,
         counters=counter_totals,
+        workers_final=active_workers,
+        restarts=restarts,
+        repartitions=repartitions,
+        degraded_epochs=degraded_epochs,
+        recovery=recovery_log,
     )

@@ -23,6 +23,7 @@ import numpy as np
 from ..asyncsim import AsyncSchedule
 from ..datasets import PAPER_PROFILES, load, load_mlp
 from ..datasets.synthetic import Dataset
+from ..faults import FaultPlan, RecoveryPolicy
 from ..hardware import AsyncWorkload, CpuModel, GpuModel
 from ..linalg.trace import Trace
 from ..models import Model, make_model
@@ -300,7 +301,7 @@ def train(
     scale: str = "small",
     step_size: float | None = None,
     max_epochs: int | None = None,
-    batch_size: int = 512,
+    batch_size: int | None = None,
     seed: int | None = None,
     cpu_model: CpuModel | None = None,
     gpu_model: GpuModel | None = None,
@@ -308,6 +309,10 @@ def train(
     representation: str = "auto",
     backend: str = "simulated",
     threads: int | None = None,
+    track_conflicts: bool = True,
+    epoch_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    max_restarts: int = 0,
     telemetry: AnyTelemetry | None = None,
 ) -> TrainResult:
     """Train one paper configuration and report all three performance axes.
@@ -331,7 +336,11 @@ def train(
     max_epochs:
         Epoch budget; defaults to 400 synchronous / 150 asynchronous.
     batch_size:
-        Hogbatch batch size (paper: 512).
+        Mini-batch rows per update.  ``None`` (the default) resolves
+        per backend: 512 for the simulated MLP Hogbatch (the paper's
+        B) and 1 (pure Hogwild) for the shm backend.  With
+        ``backend="shm"`` an explicit value > 1 runs *measured*
+        Hogbatch: one vectorised lock-free work item per batch.
     early_stop_tolerance:
         Stop once the loss is within this tolerance of the optimum
         (``None`` disables; the curve then runs to max_epochs).
@@ -357,6 +366,23 @@ def train(
         Worker processes for the shm backend (default: up to 4,
         bounded by the host's cores).  Only meaningful with
         ``backend="shm"``.
+    track_conflicts:
+        shm backend: measure racy coordinate overwrites
+        (``async.update_conflicts``); ``False`` gives the leanest
+        possible hot loop.  shm only.
+    epoch_timeout:
+        shm backend: seconds the parent waits for an epoch barrier
+        before declaring the run dead (default 120).  shm only.
+    fault_plan:
+        Seeded faults to inject into shm workers (chaos testing); see
+        :class:`repro.faults.FaultPlan`.  shm only.
+    max_restarts:
+        Recovery budget for shm worker failures: dead workers are
+        recovered by re-partitioning their examples over the
+        survivors (stalls by a full respawn, NaN-poisoned snapshots
+        by scrubbing), up to this many times, with exponential
+        backoff on the epoch timeout.  ``0`` (the default) fails
+        fast.  shm only.
     telemetry:
         A :class:`repro.telemetry.Telemetry` to receive spans (dataset
         load, reference solve, optimisation, hardware costing),
@@ -389,18 +415,34 @@ def train(
         raise ConfigurationError(
             f"unknown backend {backend!r}; available: {BACKENDS}"
         )
+    if max_restarts < 0:
+        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
     if backend == "shm":
         if strategy != "asynchronous" or task == "mlp":
             raise ConfigurationError(
                 "the shm backend runs asynchronous lr/svm configurations; "
                 "use backend='simulated' for synchronous or MLP runs"
             )
-    elif threads is not None:
-        raise ConfigurationError(
-            "threads selects the shm worker count; pass backend='shm' "
-            "(the simulated backend's concurrency comes from the "
-            "architecture's machine model)"
-        )
+    else:
+        shm_only = {
+            "threads": threads is not None,
+            "epoch_timeout": epoch_timeout is not None,
+            "fault_plan": fault_plan is not None,
+            "max_restarts": max_restarts != 0,
+            "track_conflicts": track_conflicts is not True,
+        }
+        offending = [name for name, set_ in shm_only.items() if set_]
+        if offending:
+            raise ConfigurationError(
+                f"{', '.join(offending)} configure the shm backend; pass "
+                "backend='shm' (the simulated backend's concurrency and "
+                "failure model come from the architecture's machine model)"
+            )
+    if batch_size is None:
+        # Per-backend default: the simulated MLP Hogbatch uses the
+        # paper's B = 512; the measured backend defaults to pure
+        # Hogwild (one row per lock-free work item).
+        batch_size = 1 if backend == "shm" else 512
     tel = ensure_telemetry(telemetry)
     cpu = cpu_model or CpuModel()
     gpu = gpu_model or GpuModel()
@@ -429,7 +471,10 @@ def train(
 
         model = make_model(task, ds)
         init = model.init_params(derive_rng(seed, f"init/{task}/{ds_name}"))
-        ref_key = f"{task}/{ds_name}/{ds.n_examples}x{ds.n_features}/seed{seed or DEFAULT_SEED}"
+        # `seed if ... else`, not `seed or`: seed=0 is a real seed and
+        # must not collide with the default seed's cached optimum.
+        ref_seed = seed if seed is not None else DEFAULT_SEED
+        ref_key = f"{task}/{ds_name}/{ds.n_examples}x{ds.n_features}/seed{ref_seed}"
         with tel.span("reference.solve", key=ref_key):
             optimal = reference_loss(model, ds.X, ds.y, init, key=ref_key)
 
@@ -440,7 +485,11 @@ def train(
 
         target = None
         if early_stop_tolerance is not None:
-            initial = model.loss(ds.X, ds.y, init)
+            # Divergence-prone configurations overflow inside the loss
+            # already at the initial model; handled here like the
+            # runners handle it, not leaked as a RuntimeWarning.
+            with np.errstate(over="ignore"):
+                initial = model.loss(ds.X, ds.y, init)
             target = tolerance_threshold(optimal, early_stop_tolerance, initial)
 
         config = SGDConfig(
@@ -483,22 +532,44 @@ def train(
             from ..parallel.shm import ShmSchedule, default_shm_workers, train_shm
 
             workers = threads if threads is not None else default_shm_workers()
+            schedule_kwargs: dict = {
+                "workers": workers,
+                "batch_size": batch_size,
+                "track_conflicts": track_conflicts,
+            }
+            if epoch_timeout is not None:
+                schedule_kwargs["epoch_timeout"] = epoch_timeout
+            schedule = ShmSchedule(**schedule_kwargs)
+            recovery = (
+                RecoveryPolicy(max_restarts=max_restarts) if max_restarts else None
+            )
             shm_res = train_shm(
                 model,
                 ds.X,
                 ds.y,
                 init,
                 config,
-                ShmSchedule(workers=workers, batch_size=1),
+                schedule,
                 tel,
+                fault_plan=fault_plan,
+                recovery=recovery,
             )
             measured = {
                 "workers": shm_res.workers,
+                "workers_final": shm_res.workers_final,
                 "batch_size": shm_res.batch_size,
+                "track_conflicts": schedule.track_conflicts,
+                "epoch_timeout": schedule.epoch_timeout,
                 "epochs_run": shm_res.epochs_run,
                 "wall_seconds_per_epoch": shm_res.wall_seconds_per_epoch,
                 "wall_seconds_total": shm_res.wall_seconds_total,
                 "counters": dict(shm_res.counters),
+                "restarts": shm_res.restarts,
+                "repartitions": shm_res.repartitions,
+                "degraded_epochs": shm_res.degraded_epochs,
+                "recovery": list(shm_res.recovery),
+                "fault_plan": fault_plan.describe() if fault_plan else None,
+                "max_restarts": max_restarts,
             }
             root.set_attribute("backend", "shm")
             root.set_attribute("workers", shm_res.workers)

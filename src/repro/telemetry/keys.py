@@ -13,7 +13,10 @@ spelling.  The prefixes partition the namespace:
   machine models (bytes moved, flops, coherence conflicts, kernel
   launches) — these describe the paper's machines, not the host;
 * ``sim.``   — simulated-time outputs (seconds per epoch at paper
-  scale), the quantities the paper reports as hardware efficiency.
+  scale), the quantities the paper reports as hardware efficiency;
+* ``fault.`` — fault-injection and recovery events in the measured
+  shared-memory backend (injected faults, worker restarts,
+  repartitions, degraded epochs) — see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -35,6 +38,10 @@ __all__ = [
     "SIM_SECONDS_TOTAL",
     "WALL_SECONDS_PER_EPOCH",
     "WALL_SECONDS_TOTAL",
+    "FAULT_INJECTED",
+    "FAULT_WORKER_RESTARTS",
+    "FAULT_REPARTITIONS",
+    "FAULT_DEGRADED_EPOCHS",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -96,3 +103,21 @@ WALL_SECONDS_PER_EPOCH = "wall.seconds_per_epoch"
 
 #: Gauge: measured wall-clock seconds across all optimisation epochs.
 WALL_SECONDS_TOTAL = "wall.seconds_total"
+
+#: Faults actually injected into shm workers by a
+#: :class:`repro.faults.FaultPlan` (counted by the workers themselves
+#: at the injection site, so a kill is counted before the process
+#: dies).
+FAULT_INJECTED = "fault.injected"
+
+#: Full-pool respawns performed by the recovery policy (worker death
+#: in ``respawn`` mode, or any barrier timeout).
+FAULT_WORKER_RESTARTS = "fault.worker_restarts"
+
+#: Pool rebuilds that re-partitioned a dead worker's examples over the
+#: survivors (``repartition`` mode).
+FAULT_REPARTITIONS = "fault.repartitions"
+
+#: Optimisation epochs executed in a degraded state: fewer workers
+#: than requested, or a NaN-scrubbed model snapshot.
+FAULT_DEGRADED_EPOCHS = "fault.degraded_epochs"

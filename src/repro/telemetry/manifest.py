@@ -113,6 +113,7 @@ def build_manifest(
         config["batch_size"] = batch_size
     if extra_config:
         config.update(extra_config)
+    config.setdefault("backend", result.backend)
 
     epochs_run = result.curve.epochs[-1] if result.curve.epochs else 0
     results: dict[str, Any] = {
@@ -132,6 +133,10 @@ def build_manifest(
         # JSON has no Infinity; the paper's "never converged" marker is
         # stored as null and read back as such.
         results[f"time_to_{pct}pct_s"] = None if epochs is None else t
+    if result.measured is not None:
+        # Measured execution record (shm backend): wall clock, worker
+        # counts, fault counters and the recovery trajectory.
+        results["measured"] = dict(result.measured)
 
     return RunManifest(
         schema=MANIFEST_SCHEMA,

@@ -48,4 +48,35 @@ class WorkerError(ReproError, RuntimeError):
     Raised by the shared-memory backend after it has torn down the
     remaining workers and released the shared parameter buffer, so the
     caller never leaks OS resources on a crashed run.
+
+    The structured attributes identify the failure for recovery
+    policies and post-mortems: which worker (``None`` for a barrier
+    timeout with no identifiable corpse), at which optimisation epoch,
+    in which phase (``"epoch-start"``, ``"epoch-end"``,
+    ``"shutdown"``, ``"join"``), and the observed exit code, if any.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_id: int | None = None,
+        epoch: int | None = None,
+        phase: str | None = None,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.epoch = epoch
+        self.phase = phase
+        self.exitcode = exitcode
+
+    def describe(self) -> dict:
+        """Plain-dict form recorded into recovery trajectories."""
+        return {
+            "message": str(self),
+            "worker_id": self.worker_id,
+            "epoch": self.epoch,
+            "phase": self.phase,
+            "exitcode": self.exitcode,
+        }

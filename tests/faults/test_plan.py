@@ -1,0 +1,146 @@
+"""Tests for the fault-plan / recovery-policy data layer.
+
+Plans are pure data: parsing, validation and seeded resolution are
+exact, deterministic functions — no processes involved.  The chaos
+tests in ``tests/parallel/test_chaos.py`` exercise the behaviour.
+"""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    RECOVERY_MODES,
+    FaultPlan,
+    FaultSpec,
+    RecoveryPolicy,
+)
+from repro.faults.plan import DEFAULT_DELAY_SECONDS, STALL_TIMEOUT_FACTOR
+from repro.utils.errors import ConfigurationError
+
+
+class TestFaultSpecParse:
+    def test_minimal(self):
+        spec = FaultSpec.parse("kill@3")
+        assert spec == FaultSpec(kind="kill", epoch=3)
+        assert spec.worker is None and spec.seconds is None
+
+    def test_worker_token(self):
+        assert FaultSpec.parse("stall@2:w1") == FaultSpec(
+            kind="stall", epoch=2, worker=1
+        )
+
+    def test_worker_and_seconds(self):
+        assert FaultSpec.parse("delay@1:w0:0.25") == FaultSpec(
+            kind="delay", epoch=1, worker=0, seconds=0.25
+        )
+
+    def test_bare_number_is_seconds(self):
+        assert FaultSpec.parse("stall@4:1.5") == FaultSpec(
+            kind="stall", epoch=4, seconds=1.5
+        )
+
+    def test_case_and_whitespace_tolerated(self):
+        assert FaultSpec.parse("  KILL@2  ").kind == "kill"
+
+    @pytest.mark.parametrize(
+        "text", ["kill3", "@3", "kill@x", "kill@1:wx", "kill@1:abc"]
+    )
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(text)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="segfault", epoch=1)
+
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="kill", epoch=0)
+
+    def test_worker_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="kill", epoch=1, worker=-1)
+
+    def test_seconds_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="delay", epoch=1, seconds=0.0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind, epoch=1).kind == kind
+
+
+class TestFaultPlan:
+    def test_parse_builds_all_specs(self):
+        plan = FaultPlan.parse(["kill@2", "nan@3:w0"], seed=5)
+        assert len(plan.specs) == 2
+        assert plan.seed == 5
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan(specs=())
+        assert FaultPlan.single("kill", 1)
+
+    def test_resolve_is_deterministic(self):
+        plan = FaultPlan.single("kill", 2)  # seeded worker choice
+        a = plan.resolve(4, run_seed=99, epoch_timeout=10.0)
+        b = plan.resolve(4, run_seed=99, epoch_timeout=10.0)
+        assert a == b
+
+    def test_plan_seed_overrides_run_seed(self):
+        plan = FaultPlan.single("kill", 2, seed=1)
+        a = plan.resolve(4, run_seed=7, epoch_timeout=10.0)
+        b = plan.resolve(4, run_seed=8, epoch_timeout=10.0)
+        assert a == b
+
+    def test_resolve_respects_pinned_worker(self):
+        plan = FaultPlan.single("kill", 2, worker=1)
+        assigned = plan.resolve(3, run_seed=99, epoch_timeout=10.0)
+        assert list(assigned) == [1]
+        assert assigned[1] == [
+            {"kind": "kill", "epoch": 2, "seconds": DEFAULT_DELAY_SECONDS}
+        ]
+
+    def test_resolve_rejects_out_of_range_worker(self):
+        plan = FaultPlan.single("kill", 1, worker=5)
+        with pytest.raises(ConfigurationError, match="only"):
+            plan.resolve(2, run_seed=0, epoch_timeout=10.0)
+
+    def test_stall_default_outlives_timeout(self):
+        plan = FaultPlan.single("stall", 1, worker=0)
+        assigned = plan.resolve(1, run_seed=0, epoch_timeout=2.0)
+        assert assigned[0][0]["seconds"] == pytest.approx(2.0 * STALL_TIMEOUT_FACTOR)
+
+    def test_explicit_seconds_kept(self):
+        plan = FaultPlan.single("delay", 1, worker=0, seconds=0.4)
+        assigned = plan.resolve(1, run_seed=0, epoch_timeout=2.0)
+        assert assigned[0][0]["seconds"] == pytest.approx(0.4)
+
+    def test_describe_round_trips_specs(self):
+        plan = FaultPlan.parse(["kill@2", "stall@3:w1:9"], seed=4)
+        assert plan.describe() == [
+            {"kind": "kill", "epoch": 2, "worker": None, "seconds": None},
+            {"kind": "stall", "epoch": 3, "worker": 1, "seconds": 9.0},
+        ]
+
+
+class TestRecoveryPolicy:
+    def test_defaults(self):
+        policy = RecoveryPolicy()
+        assert policy.max_restarts == 1
+        assert policy.backoff == 2.0
+        assert policy.mode in RECOVERY_MODES
+        assert policy.scrub_nans is True
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_restarts=-1)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(backoff=0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown recovery mode"):
+            RecoveryPolicy(mode="reincarnate")

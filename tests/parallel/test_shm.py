@@ -7,6 +7,7 @@ true Hogwild is racy by construction.
 """
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -111,6 +112,48 @@ class TestConcurrentIntegrity:
         assert res.workers == 3
         assert not res.diverged
         assert res.curve.final_loss < res.curve.initial_loss
+
+    def test_hogbatch_minibatches_learn(self, setup):
+        """Measured Hogbatch (batch_size > 1): fewer, coarser updates
+        must still drive the loss down and account for every example."""
+        model, ds, init = setup
+        res = train_shm(
+            model,
+            ds.X,
+            ds.y,
+            init,
+            _config(max_epochs=6),
+            ShmSchedule(workers=2, batch_size=8),
+        )
+        assert res.batch_size == 8
+        assert not res.diverged
+        assert res.curve.final_loss < res.curve.initial_loss
+        assert res.counters[keys.UPDATES_APPLIED] == ds.X.shape[0] * 6
+
+    def test_slow_parent_loss_eval_does_not_break_workers(self, setup):
+        """Regression: workers wait at the epoch barriers untimed —
+        liveness is the parent watchdog's job.  A parent-side loss
+        evaluation slower than epoch_timeout must not break the
+        barrier under healthy workers."""
+        model, ds, init = setup
+
+        class SlowLoss(type(model)):
+            def loss(self, X, y, params):
+                time.sleep(0.45)
+                return super().loss(X, y, params)
+
+        slow = object.__new__(SlowLoss)
+        slow.__dict__.update(model.__dict__)
+        res = train_shm(
+            slow,
+            ds.X,
+            ds.y,
+            init,
+            _config(),
+            ShmSchedule(workers=2, epoch_timeout=0.3),
+        )
+        assert res.epochs_run == 3
+        assert not res.diverged
 
     def test_wall_clock_measured(self, setup):
         model, ds, init = setup

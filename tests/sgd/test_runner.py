@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.faults import FaultPlan
 from repro.sgd import train
 from repro.sgd.runner import full_scale_factor, working_set_bytes
 from repro.datasets import PAPER_PROFILES, load, load_mlp
@@ -23,6 +24,34 @@ class TestValidation:
     def test_unknown_strategy(self):
         with pytest.raises(ConfigurationError, match="unknown strategy"):
             train("lr", "w8a", strategy="semi", scale="tiny")
+
+
+class TestSeedHandling:
+    def test_seed_zero_gets_its_own_reference_key(self, monkeypatch):
+        """Regression: seed=0 must not collapse onto the default seed's
+        cached reference optimum (`seed or DEFAULT` treated 0 as
+        unset)."""
+        import repro.sgd.runner as runner_mod
+
+        seen = []
+        real = runner_mod.reference_loss
+
+        def capture(model, X, y, init, key):
+            seen.append(key)
+            return real(model, X, y, init, key=key)
+
+        monkeypatch.setattr(runner_mod, "reference_loss", capture)
+        train("lr", "w8a", scale="tiny", seed=0, step_size=0.1, max_epochs=2)
+        train("lr", "w8a", scale="tiny", seed=None, step_size=0.1, max_epochs=2)
+        key_zero, key_default = seen
+        assert "seed0" in key_zero
+        assert key_zero != key_default
+
+    def test_seed_zero_reruns_bit_identical(self):
+        a = train("lr", "w8a", scale="tiny", seed=0, step_size=0.1, max_epochs=3)
+        b = train("lr", "w8a", scale="tiny", seed=0, step_size=0.1, max_epochs=3)
+        assert a.curve.losses == b.curve.losses
+        assert a.optimal_loss == b.optimal_loss
 
 
 class TestScaleFactors:
@@ -163,6 +192,56 @@ class TestShmBackend:
         # time_per_iter is the measured per-epoch wall clock here.
         assert r.time_per_iter == r.measured["wall_seconds_per_epoch"]
         assert not math.isnan(r.curve.final_loss)
+
+    def test_shm_batch_size_wired_through(self):
+        """Regression: the facade hard-coded batch_size=1 into the shm
+        schedule; train(..., backend='shm', batch_size=B) must run
+        measured Hogbatch."""
+        r = train(
+            "lr", "covtype", strategy="asynchronous", scale="tiny",
+            step_size=0.05, max_epochs=5, early_stop_tolerance=None,
+            backend="shm", threads=2, batch_size=16,
+        )
+        assert r.measured["batch_size"] == 16
+        assert not r.diverged
+        assert r.curve.final_loss < r.curve.initial_loss
+
+    def test_shm_schedule_knobs_wired_through(self):
+        r = train(
+            "lr", "w8a", strategy="asynchronous", scale="tiny",
+            step_size=0.05, max_epochs=3, early_stop_tolerance=None,
+            backend="shm", threads=2,
+            track_conflicts=False, epoch_timeout=45.0,
+        )
+        assert r.measured["track_conflicts"] is False
+        assert r.measured["epoch_timeout"] == 45.0
+        assert r.measured["counters"]["async.update_conflicts"] == 0
+
+    def test_shm_defaults_to_pure_hogwild(self):
+        r = train(
+            "lr", "w8a", strategy="asynchronous", scale="tiny",
+            step_size=0.05, max_epochs=2, early_stop_tolerance=None,
+            backend="shm", threads=2,
+        )
+        assert r.measured["batch_size"] == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epoch_timeout": 5.0},
+            {"track_conflicts": False},
+            {"max_restarts": 1},
+            {"fault_plan": FaultPlan.single("kill", 1)},
+        ],
+        ids=["epoch_timeout", "track_conflicts", "max_restarts", "fault_plan"],
+    )
+    def test_shm_only_params_rejected_on_simulated(self, kwargs):
+        with pytest.raises(ConfigurationError, match="shm"):
+            train("lr", "w8a", scale="tiny", **kwargs)
+
+    def test_negative_max_restarts_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_restarts"):
+            train("lr", "w8a", scale="tiny", backend="shm", max_restarts=-1)
 
     def test_simulated_result_has_no_measured_record(self):
         r = train(
