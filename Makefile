@@ -1,6 +1,9 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos bench bench-snapshot bench-compare shapes experiments examples probe lint all
+.PHONY: test chaos bench bench-snapshot bench-compare shapes experiments grid examples probe lint all
+
+# Worker processes for the parallel experiment grid (make grid JOBS=8).
+JOBS ?= 4
 
 test:
 	pytest tests/
@@ -22,6 +25,10 @@ shapes:          ## regenerate + assert all tables/figures (no timing)
 
 experiments:     ## rebuild EXPERIMENTS.md from a fresh run
 	REPRO_CACHE_DIR=.repro_cache python scripts/run_experiments.py
+
+grid:            ## all paper artifacts over the parallel, resumable grid
+	REPRO_CACHE_DIR=.repro_cache PYTHONPATH=src python -m repro experiments \
+		--jobs $(JOBS) --resume --store .repro_cache/grid
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; REPRO_CACHE_DIR=.repro_cache python $$f || exit 1; done

@@ -12,6 +12,16 @@ in a cell means a code change moved the cost model or the optimisation
 comparing — a self-test hook proving the gate actually trips (CI runs
 ``--inflate 2.0`` and asserts a non-zero exit).
 
+A second, wall-clock gate guards the experiment-grid executor: the
+snapshot grid is run end-to-end serially and with ``--grid-jobs``
+workers on this machine, and the gate fails if the parallel run is
+slower than the serial one beyond ``--grid-threshold`` — catching a
+fan-out that stops paying for its own process overhead.  Both runs
+happen back-to-back on the same host, so machine speed cancels out
+(the committed snapshot's speedup is reported for context only).  The
+``--inflate`` self-test skips this gate (it exercises the modelled-cell
+comparison).
+
 Usage::
 
     REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
@@ -22,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -86,6 +97,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="compare against this snapshot instead of the latest BENCH_<n>.json",
     )
+    parser.add_argument(
+        "--grid-jobs",
+        type=int,
+        default=4,
+        help="worker processes for the grid wall-clock gate (default 4)",
+    )
+    parser.add_argument(
+        "--grid-threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated parallel/serial grid wall-clock ratio above "
+        "1.0 (default 0.25: parallel may be at most 25%% slower than serial "
+        "before the gate fails)",
+    )
+    parser.add_argument(
+        "--skip-grid",
+        action="store_true",
+        help="skip the grid wall-clock gate (modelled cells only)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_bench_path()
@@ -131,6 +161,35 @@ def main(argv: list[str] | None = None) -> int:
         for key, old_v, new_v, ratio in failures:
             print(f"  {key}: {old_v:.6g} -> {new_v:.6g} ({ratio:.2f}x)")
         return 1
+
+    host_cpus = os.cpu_count() or 1
+    if not args.skip_grid and args.inflate == 1.0 and host_cpus < 2:
+        # A process pool cannot win on a single-CPU host; the ratio
+        # would only measure fork overhead.  The gate needs real cores.
+        print(f"\ngrid wall-clock gate skipped: host has {host_cpus} cpu")
+    elif not args.skip_grid and args.inflate == 1.0:
+        from bench_snapshot import run_grid_timing
+
+        committed_grid = baseline.get("grid")
+        if committed_grid and committed_grid.get("speedup"):
+            print(
+                f"\ncommitted grid speedup ({baseline_path.name}): "
+                f"{committed_grid['speedup']:.2f}x at jobs={committed_grid['jobs']}"
+            )
+        print(f"\ngrid wall-clock gate (jobs={args.grid_jobs}):")
+        grid = run_grid_timing(args.grid_jobs)
+        ratio = grid["parallel_seconds"] / grid["serial_seconds"]
+        print(
+            f"  serial {grid['serial_seconds']:.2f}s, parallel "
+            f"{grid['parallel_seconds']:.2f}s ({grid['speedup']:.2f}x speedup)"
+        )
+        if ratio > 1.0 + args.grid_threshold:
+            print(
+                f"grid gate FAILED: parallel run is {ratio:.2f}x the serial "
+                f"wall-clock (limit {1.0 + args.grid_threshold:.2f}x)"
+            )
+            return 1
+
     print("benchmark gate passed")
     return 0
 

@@ -14,15 +14,22 @@ single-worker run — the host-hardware counterpart of the paper's Fig. 8
 scaling measurements (worker counts are capped by the host's cores, so
 the curve flattens on small runners; the point is the paper-trail).
 
+A ``grid`` section times the same grid end-to-end through the
+process-pool :class:`~repro.experiments.executor.GridExecutor` —
+serial (jobs=1) and parallel (``--jobs``, default 4) wall-clock on the
+same warmed caches — recording the measured fan-out speedup alongside
+the modelled numbers.
+
 The output lands at the repo root as BENCH_1.json, BENCH_2.json, ...
 (next free index picked automatically) so successive snapshots form a
 performance paper-trail; diff two files to see what a change did.
 
-Usage: REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py
+Usage: REPRO_CACHE_DIR=.repro_cache python scripts/bench_snapshot.py [--jobs N]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -134,7 +141,70 @@ def run_measured(task: str, dataset: str) -> dict:
     }
 
 
-def main() -> None:
+def _grid_context(jobs: int):
+    from repro.experiments import ExperimentContext
+
+    return ExperimentContext(
+        scale=SCALE,
+        tolerance=TOLERANCE,
+        sync_max_epochs=MAX_EPOCHS,
+        async_max_epochs=MAX_EPOCHS,
+        tasks=tuple(dict.fromkeys(t for t, _ in GRID)),
+        datasets=tuple(dict.fromkeys(d for _, d in GRID)),
+        jobs=jobs,
+    )
+
+
+def run_grid_timing(jobs: int) -> dict:
+    """Measured wall-clock of the grid: serial executor vs ``jobs`` workers.
+
+    A warm-up pass fills the in-process dataset and reference-loss
+    caches first; the forked pool inherits them, so both timed passes
+    run against the same warm state and the ratio isolates the fan-out
+    itself (workers re-run the optimisation; the parent re-costs shared
+    synchronous bases either way).
+    """
+    from repro.experiments import GridCell, GridExecutor
+
+    cells = [
+        GridCell(task, dataset, architecture, strategy)
+        for task, dataset in GRID
+        for strategy in STRATEGIES
+        for architecture in ARCHITECTURES
+    ]
+    print("  grid warm-up (caches) ...", flush=True)
+    GridExecutor(_grid_context(jobs=1)).execute(cells)
+
+    print("  grid serial timing ...", flush=True)
+    t0 = time.perf_counter()
+    GridExecutor(_grid_context(jobs=1)).execute(cells)
+    serial_s = time.perf_counter() - t0
+
+    print(f"  grid parallel timing (jobs={jobs}) ...", flush=True)
+    t0 = time.perf_counter()
+    GridExecutor(_grid_context(jobs=jobs)).execute(cells)
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the grid wall-clock section (default 4)",
+    )
+    args = parser.parse_args(argv)
+
     t0 = time.time()
     cells = []
     for task, dataset in GRID:
@@ -148,6 +218,8 @@ def main() -> None:
     for task, dataset in GRID:
         print(f"  {task}/{dataset} shm measured scaling ...", flush=True)
         measured.append(run_measured(task, dataset))
+
+    grid = run_grid_timing(args.jobs)
 
     snapshot = {
         "schema": BENCH_SCHEMA,
@@ -163,6 +235,7 @@ def main() -> None:
         },
         "cells": cells,
         "measured": measured,
+        "grid": grid,
     }
     path = next_bench_path()
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",

@@ -4,12 +4,18 @@ Runs every table/figure driver at benchmark scale, puts the regenerated
 ratios side by side with the paper's published values, and records the
 shape-check verdicts.
 
-Usage: REPRO_CACHE_DIR=.repro_cache python scripts/run_experiments.py
+Usage: REPRO_CACHE_DIR=.repro_cache python scripts/run_experiments.py [--jobs N]
+
+``--jobs N`` fans the independent grid cells over N worker processes
+(bit-identical results); ``--resume`` replays cells persisted by an
+earlier, interrupted run from the on-disk result store.
 """
 
 from __future__ import annotations
 
+import argparse
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -47,9 +53,42 @@ def verdict(ok: bool) -> str:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed cells from the on-disk result store",
+    )
+    args = parser.parse_args()
+
+    store = None
+    if args.jobs > 1 or args.resume:
+        from repro.experiments import ResultStore
+
+        store = ResultStore(
+            os.path.join(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"), "grid")
+        )
+
     t0 = time.time()
-    ctx = ExperimentContext(scale="small", sync_max_epochs=3000, async_max_epochs=950)
+    ctx = ExperimentContext(
+        scale="small",
+        sync_max_epochs=3000,
+        async_max_epochs=950,
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+    )
     sections: list[str] = []
+    if args.jobs > 1 or args.resume:
+        # One upfront prefetch exposes the whole grid's parallelism;
+        # the drivers below then run entirely from the warm cache.
+        ctx.prefetch(ctx.grid_cells())
 
     sections.append(
         "# EXPERIMENTS — paper vs. reproduction\n\n"

@@ -4,12 +4,16 @@ Commands map one-to-one onto the paper's artifacts:
 
 * ``table1`` / ``table2`` / ``table3`` — regenerate a table;
 * ``fig6`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate a figure;
+* ``experiments`` — run several artifacts over one shared grid, with
+  ``--jobs N`` process-pool fan-out and ``--resume`` from the on-disk
+  result store;
 * ``train`` — run a single configuration (all three performance axes);
 * ``gridsearch`` — the step-size selection protocol for one cell.
 
 Examples::
 
     python -m repro table2 --scale small
+    python -m repro experiments --artifacts table2 table3 --jobs 4 --resume
     python -m repro train --task svm --dataset news \\
         --architecture cpu-par --strategy asynchronous --step 0.3
     python -m repro fig7 --tolerance 0.05
@@ -33,6 +37,44 @@ def _add_context_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment grid (1 = serial; "
+        "results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist completed grid cells to DIR (default with --resume: "
+        "$REPRO_CACHE_DIR/grid or .repro_cache/grid)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay cells already in the result store instead of "
+        "recomputing them",
+    )
+
+
+def _make_store(args: argparse.Namespace):
+    """The ResultStore implied by --store/--resume, or ``None``."""
+    import os
+
+    path = getattr(args, "store", None)
+    if path is None and getattr(args, "resume", False):
+        path = os.path.join(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"), "grid")
+    if path is None:
+        return None
+    from .experiments import ResultStore
+
+    return ResultStore(path)
+
+
 def _make_telemetry(args: argparse.Namespace):
     """A live Telemetry when any observability output was requested."""
     if getattr(args, "trace_out", None) or getattr(args, "manifest_out", None):
@@ -54,6 +96,11 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
 def _make_context(args: argparse.Namespace):
     from .experiments import ExperimentContext
 
+    kwargs = {}
+    if getattr(args, "tasks", None):
+        kwargs["tasks"] = tuple(args.tasks)
+    if getattr(args, "datasets", None):
+        kwargs["datasets"] = tuple(args.datasets)
     return ExperimentContext(
         scale=args.scale,
         seed=args.seed,
@@ -61,6 +108,10 @@ def _make_context(args: argparse.Namespace):
         sync_max_epochs=3000,
         async_max_epochs=950,
         telemetry=_make_telemetry(args),
+        jobs=getattr(args, "jobs", 1),
+        store=_make_store(args),
+        resume=getattr(args, "resume", False),
+        **kwargs,
     )
 
 
@@ -79,6 +130,59 @@ def _cmd_table(args: argparse.Namespace) -> int:
     }[args.command]
     print(runner(ctx).render())
     _export_telemetry(args, ctx.telemetry)
+    return 0
+
+
+_ARTIFACTS = ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ctx = _make_context(args)
+    from . import experiments
+
+    runners = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "table3": experiments.run_table3,
+        "fig6": experiments.run_fig6,
+        "fig7": experiments.run_fig7,
+        "fig8": experiments.run_fig8,
+        "fig9": experiments.run_fig9,
+    }
+    for name in args.artifacts:
+        print(runners[name](ctx).render())
+        print()
+    executed = sum(1 for r in ctx.grid_records if r["source"] == "executed")
+    resumed = sum(1 for r in ctx.grid_records if r["source"] == "resumed")
+    if ctx.grid_records:
+        print(
+            f"grid: {len(ctx.grid_records)} cells "
+            f"({executed} executed, {resumed} resumed) with jobs={ctx.jobs}",
+            file=sys.stderr,
+        )
+    _export_telemetry(args, ctx.telemetry)
+    if args.manifest_out:
+        import json
+
+        from .telemetry import Telemetry, build_grid_manifest
+
+        tel = ctx.telemetry if isinstance(ctx.telemetry, Telemetry) else None
+        manifest = build_grid_manifest(
+            ctx.grid_records,
+            tel,
+            jobs=ctx.jobs,
+            settings={
+                "scale": args.scale,
+                "seed": args.seed,
+                "tolerance": args.tolerance,
+                "artifacts": list(args.artifacts),
+                "resume": bool(args.resume),
+            },
+        )
+        with open(args.manifest_out, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"grid manifest written to {args.manifest_out}", file=sys.stderr)
     return 0
 
 
@@ -186,9 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name in ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"):
+    for name in _ARTIFACTS:
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         _add_context_args(p)
+        _add_grid_args(p)
         p.add_argument(
             "--trace-out",
             default=None,
@@ -196,6 +301,52 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a Chrome-trace JSON of all runs to PATH",
         )
         p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser(
+        "experiments",
+        help="run several artifacts over one shared (optionally parallel, "
+        "resumable) experiment grid",
+    )
+    p.add_argument(
+        "--artifacts",
+        nargs="+",
+        choices=_ARTIFACTS,
+        default=list(_ARTIFACTS),
+        metavar="NAME",
+        help=f"artifacts to produce (default: all of {', '.join(_ARTIFACTS)})",
+    )
+    p.add_argument(
+        "--tasks",
+        nargs="+",
+        choices=TASK_NAMES,
+        default=None,
+        metavar="TASK",
+        help="restrict the grid to these tasks (default: all)",
+    )
+    p.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=DATASET_NAMES,
+        default=None,
+        metavar="DS",
+        help="restrict the grid to these datasets (default: all)",
+    )
+    _add_context_args(p)
+    _add_grid_args(p)
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON of all runs to PATH",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="write the aggregate grid manifest (per-cell provenance + "
+        "merged counters) to PATH",
+    )
+    p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("train", help="run one configuration")
     p.add_argument("--task", choices=TASK_NAMES, default="lr")

@@ -230,31 +230,33 @@ def _run_pipelined(
     ``j - lag`` (earlier blocks read the epoch-start state).
 
     A bounded history of post-block snapshots provides the stale views;
-    memory is ``lag * n_params`` floats.
+    memory is ``lag * n_params`` floats, preallocated once as a ring of
+    reusable buffers — the steady state allocates nothing per block.
     """
-    from collections import deque
-
     block = schedule.pipeline_block
     assert block is not None
     lag = schedule.pipeline_lag
     epoch_start = params.copy()
-    # Post-block states of the last `lag` blocks; at the start of block
-    # j (once the pipe is full) history[0] is the state after block
-    # j - lag — exactly what a warp scheduled `concurrency` updates ago
-    # observed.  Until the pipe fills, the view is the epoch start.
-    history: deque[np.ndarray] = deque(maxlen=lag)
+    # Ring of post-block states: once the pipe is full, slot ``j % lag``
+    # holds the state after block ``j - lag`` — exactly what a warp
+    # scheduled `concurrency` updates ago observed.  Until the pipe
+    # fills, the view is the epoch start.  The slot read at block j is
+    # overwritten only after that block's updates are fully computed
+    # and applied, so the stale view is never clobbered mid-read.
+    ring = [np.empty_like(params) for _ in range(lag)]
     n = order.shape[0]
     batched = getattr(model, "batched_updates", None)
     with np.errstate(over="ignore"):
-        for start in range(0, n, block):
+        for j, start in enumerate(range(0, n, block)):
             rows = order[start : start + block]
-            stale = history[0] if len(history) == lag else epoch_start
+            slot = j % lag
+            stale = ring[slot] if j >= lag else epoch_start
             if batched is not None:
                 _apply_batched(params, batched(X, y, rows, stale, step))
             else:
                 updates = model.example_updates(X, y, rows, stale, step)
                 apply_updates(params, updates)
-            history.append(params.copy())
+            np.copyto(ring[slot], params)
 
 
 def _check_finite(params: np.ndarray) -> None:

@@ -1,6 +1,7 @@
 """Experiment drivers: one module per table/figure of the paper."""
 
 from .common import ExperimentContext, infinity_or
+from .executor import ARCHITECTURES, STRATEGIES, GridCell, GridExecutor
 from .fig1_space import Fig1Cell, Fig1Result, run_fig1_space
 from .fig6 import DEFAULT_ARCHITECTURES, Fig6Point, Fig6Result, run_fig6
 from .fig7 import Fig7Panel, Fig7Result, run_fig7
@@ -8,6 +9,7 @@ from .fig89 import Fig89Result, SpeedupEntry, run_fig8, run_fig9
 from .tolerances import LadderEntry, ToleranceLadder, run_tolerance_ladder
 from .report import ReproductionReport, Verdict, reproduce_all
 from .table1 import Table1Check, Table1Result, run_table1
+from .store import ResultStore, config_key
 from .table2 import Table2Result, Table2Row, run_table2
 from .table3 import Table3Result, Table3Row, run_table3
 from .tuned import TUNED_STEPS, lookup_step
@@ -15,6 +17,12 @@ from .tuned import TUNED_STEPS, lookup_step
 __all__ = [
     "ExperimentContext",
     "infinity_or",
+    "GridCell",
+    "GridExecutor",
+    "ResultStore",
+    "config_key",
+    "ARCHITECTURES",
+    "STRATEGIES",
     "TUNED_STEPS",
     "lookup_step",
     "run_table1",

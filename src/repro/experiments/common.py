@@ -10,6 +10,14 @@ Synchronous statistical efficiency is architecture-independent
 only the hardware costing differs.  Asynchronous configurations are
 re-run per architecture because the interleaving schedule — and hence
 the measured loss curve — changes with the concurrency.
+
+With ``jobs > 1`` (or a result store attached) a driver can
+:meth:`~ExperimentContext.prefetch` the cells it is about to walk: the
+:class:`~repro.experiments.executor.GridExecutor` fans the independent
+optimisation runs over worker processes (and/or replays them from the
+store) into this context's cache, after which the driver's serial
+``run`` calls are all hits.  Results are bit-identical to the serial
+path; see docs/EXPERIMENTS-PARALLEL.md.
 """
 
 from __future__ import annotations
@@ -17,12 +25,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace as dc_replace
 
+from typing import TYPE_CHECKING
+
 from ..datasets import DATASET_NAMES
 from ..hardware import CpuModel, GpuModel
 from ..sgd.runner import TrainResult, train
 from ..telemetry.session import AnyTelemetry, ensure_telemetry
 from ..utils.errors import ConfigurationError
 from .tuned import lookup_step
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import GridCell
+    from .store import ResultStore
 
 __all__ = ["ExperimentContext", "infinity_or"]
 
@@ -54,7 +68,21 @@ class ExperimentContext:
     #: (``None`` = disabled).  Cached configurations are only measured
     #: the first time they execute.
     telemetry: AnyTelemetry | None = None
+    #: Worker processes for :meth:`prefetch`; 1 = everything runs
+    #: serially in-process (the historical behaviour).
+    jobs: int = 1
+    #: Optional on-disk store of completed cells
+    #: (:class:`~repro.experiments.store.ResultStore`); completed grid
+    #: cells are persisted into it, and with :attr:`resume` they are
+    #: replayed from it.
+    store: "ResultStore | None" = None
+    #: Replay store hits instead of recomputing (requires :attr:`store`).
+    resume: bool = False
+    #: Per-cell provenance records accumulated by every :meth:`prefetch`
+    #: (input of :func:`repro.telemetry.build_grid_manifest`).
+    grid_records: list[dict] = field(default_factory=list, repr=False)
     _cache: dict[tuple, TrainResult] = field(default_factory=dict, repr=False)
+    _ws_cache: dict[tuple, float] = field(default_factory=dict, repr=False)
 
     def step_for(
         self, task: str, dataset: str, strategy: str, architecture: str = "*"
@@ -153,14 +181,51 @@ class ExperimentContext:
         return result
 
     def _ws(self, task: str, dataset: str) -> float:
-        from ..datasets import load, load_mlp
-        from ..models import make_model
-        from ..sgd.runner import working_set_bytes
+        key = (task, dataset)
+        if key not in self._ws_cache:
+            from ..datasets import load, load_mlp
+            from ..models import make_model
+            from ..sgd.runner import working_set_bytes
 
-        ds = load_mlp(dataset, self.scale, self.seed) if task == "mlp" else load(
-            dataset, self.scale, self.seed
-        )
-        return working_set_bytes(ds, make_model(task, ds), task)
+            ds = load_mlp(dataset, self.scale, self.seed) if task == "mlp" else load(
+                dataset, self.scale, self.seed
+            )
+            self._ws_cache[key] = working_set_bytes(ds, make_model(task, ds), task)
+        return self._ws_cache[key]
+
+    def grid_cells(
+        self,
+        strategies: tuple[str, ...] = ("synchronous", "asynchronous"),
+        architectures: tuple[str, ...] | None = None,
+    ) -> "list[GridCell]":
+        """Every grid cell this context's task/dataset axes span."""
+        from .executor import ARCHITECTURES, GridCell
+
+        archs = ARCHITECTURES if architectures is None else architectures
+        return [
+            GridCell(task, dataset, architecture, strategy)
+            for task in self.tasks
+            for dataset in self.datasets
+            for strategy in strategies
+            for architecture in archs
+        ]
+
+    def prefetch(self, cells: "list[GridCell]") -> None:
+        """Materialise *cells* into the cache ahead of serial ``run`` calls.
+
+        A no-op on a plain serial context (``jobs=1``, no store): the
+        historical code path — train on first ``run`` — is untouched.
+        Otherwise the :class:`~repro.experiments.executor.GridExecutor`
+        computes the cells (process pool, shared-base dedup, optional
+        store resume) with bit-identical results.
+        """
+        if self.jobs <= 1 and self.store is None:
+            return
+        from .executor import GridExecutor
+
+        executor = GridExecutor(self)
+        executor.execute(cells)
+        self.grid_records.extend(executor.cell_records)
 
     def best_async_cpu(self, task: str, dataset: str) -> TrainResult:
         """The optimal asynchronous CPU configuration (Fig. 7's left side).

@@ -1,0 +1,424 @@
+"""Process-pool execution of the experiment grid.
+
+The paper's result set is a grid of independent cells — (dataset ×
+task × architecture × strategy) — each an isolated optimisation run.
+Serial drivers walk the grid one cell at a time through
+:meth:`ExperimentContext.run`; this module fans the *independent* work
+over ``jobs`` worker processes while preserving every semantic of the
+serial path:
+
+* **Dedup before fan-out.**  Synchronous statistical efficiency is
+  architecture-independent (Section IV-A), so the three synchronous
+  cells of a (task, dataset) pair share one ``cpu-seq`` optimisation
+  run; only that base run goes to a worker, and the parent re-costs it
+  per architecture through :meth:`ExperimentContext._run_sync` — which
+  also preserves the serial path's curve-object sharing between the
+  re-costed results.
+* **Bit-identical results.**  Workers run the same :func:`repro.train`
+  with the same derived seeds the serial loop would use; nothing about
+  placement changes the numbers, which the test suite asserts by
+  comparing ``jobs=4`` against ``jobs=1`` cell by cell.
+* **Deterministic telemetry merge.**  Each worker carries its own
+  :class:`~repro.telemetry.Telemetry`; the parent folds the snapshots
+  back in *submission order* (not completion order), so counter totals
+  and span ordering are reproducible run to run and match a serial
+  run's totals (modulo the ``grid.*`` bookkeeping keys, which only a
+  grid run emits).
+* **Resumability.**  With a :class:`~repro.experiments.store.ResultStore`
+  attached, every completed cell is persisted keyed by its config hash;
+  ``resume=True`` replays stored cells instead of recomputing them.
+
+Workers disable nested reference-loss parallelism
+(``REPRO_REFERENCE_JOBS=1`` via the pool initialiser) so a grid of N
+workers never forks N pools of M processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..sgd.runner import TrainResult, train
+from ..telemetry import keys
+from ..telemetry.manifest import build_manifest
+from ..telemetry.session import Telemetry, ensure_telemetry
+from ..utils.errors import ConfigurationError, WorkerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .common import ExperimentContext
+
+__all__ = ["GridCell", "GridExecutor", "ARCHITECTURES", "STRATEGIES"]
+
+ARCHITECTURES = ("cpu-seq", "cpu-par", "gpu")
+STRATEGIES = ("synchronous", "asynchronous")
+
+#: Test hook: ``"task/dataset/architecture/strategy:exitcode"`` makes
+#: the worker assigned that cell die with the given exit code, so the
+#: crash-recovery path can be exercised without a real fault.  Read
+#: from the environment (inherited by fork and spawn alike).
+_CRASH_ENV = "REPRO_GRID_TEST_CRASH"
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of the experiment grid."""
+
+    task: str
+    dataset: str
+    architecture: str
+    strategy: str
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ConfigurationError(f"unknown architecture {self.architecture!r}")
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """The :class:`ExperimentContext` cache key for this cell."""
+        return (self.task, self.dataset, self.architecture, self.strategy)
+
+    def label(self) -> str:
+        return f"{self.task}/{self.dataset}/{self.architecture}/{self.strategy}"
+
+
+@dataclass
+class _Job:
+    """One unit of worker work (a sync base run or one async cell)."""
+
+    kind: str  # "sync-base" | "async"
+    cell: GridCell  # the cell the worker actually trains
+    payload: dict[str, Any]
+    config: dict[str, Any]  # store key material
+    #: Requested cells satisfied by this job (> 1 only for sync bases).
+    covers: list[GridCell] = field(default_factory=list)
+    result: TrainResult | None = None
+    source: str = "executed"
+    worker_pid: int | None = None
+
+
+def _worker_init() -> None:
+    """Pool initialiser: forbid nested reference-loss pools."""
+    os.environ["REPRO_REFERENCE_JOBS"] = "1"
+
+
+def _execute_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Train one configuration (runs in a worker, or in-parent for jobs=1)."""
+    crash = payload.get("crash")
+    if crash is not None:  # pragma: no cover - dies by design
+        os._exit(int(crash))
+    tel = Telemetry() if payload.get("telemetry") else None
+    result = train(
+        payload["task"],
+        payload["dataset"],
+        architecture=payload["architecture"],
+        strategy=payload["strategy"],
+        scale=payload["scale"],
+        seed=payload["seed"],
+        step_size=payload["step_size"],
+        max_epochs=payload["max_epochs"],
+        early_stop_tolerance=payload["tolerance"],
+        cpu_model=payload.get("cpu_model"),
+        gpu_model=payload.get("gpu_model"),
+        telemetry=tel,
+    )
+    return {
+        "result": result,
+        "telemetry": tel.snapshot_for_merge() if tel is not None else None,
+        "pid": os.getpid(),
+    }
+
+
+def _hw_fingerprint(ctx: "ExperimentContext") -> dict[str, Any]:
+    """Hashable description of the machine models costing a sync base.
+
+    Part of the store key for synchronous runs: their ``time_per_iter``
+    is computed from these models, so changing a spec must miss.
+    """
+    return {
+        "cpu": {
+            "spec": asdict(ctx.cpu.spec),
+            "policy": asdict(ctx.cpu.policy),
+            "irregular_penalty": ctx.cpu.irregular_penalty,
+            "model_coherence": ctx.cpu.model_coherence,
+        },
+        "gpu": {
+            "spec": asdict(ctx.gpu.spec),
+            "irregular_penalty": ctx.gpu.irregular_penalty,
+            "warp_shuffle": ctx.gpu.warp_shuffle,
+        },
+    }
+
+
+def _fork_context() -> mp.context.BaseContext:
+    # Fork shares the parent's loaded datasets copy-on-write (the same
+    # choice the shm backend makes); spawn is the portable fallback.
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+class GridExecutor:
+    """Plans, deduplicates, fans out and merges one grid of cells."""
+
+    def __init__(self, ctx: "ExperimentContext") -> None:
+        self.ctx = ctx
+        #: Per-cell provenance records for the grid manifest, in the
+        #: requested cell order.
+        self.cell_records: list[dict[str, Any]] = []
+
+    # -- planning -----------------------------------------------------
+
+    def _crash_spec(self) -> tuple[str, int] | None:
+        raw = os.environ.get(_CRASH_ENV)
+        if not raw:
+            return None
+        label, _, code = raw.partition(":")
+        return label, int(code or "13")
+
+    def _payload(self, cell: GridCell, kind: str) -> dict[str, Any]:
+        ctx = self.ctx
+        sync = kind == "sync-base"
+        payload: dict[str, Any] = {
+            "kind": kind,
+            "task": cell.task,
+            "dataset": cell.dataset,
+            "architecture": cell.architecture,
+            "strategy": cell.strategy,
+            "scale": ctx.scale,
+            "seed": ctx.seed,
+            "step_size": ctx.step_for(
+                cell.task, cell.dataset, cell.strategy, cell.architecture
+            ),
+            "max_epochs": ctx.sync_max_epochs if sync else ctx.async_max_epochs,
+            "tolerance": ctx.tolerance,
+            "telemetry": ensure_telemetry(ctx.telemetry).enabled,
+        }
+        if sync:
+            payload["cpu_model"] = ctx.cpu
+            payload["gpu_model"] = ctx.gpu
+        crash = self._crash_spec()
+        if crash is not None and crash[0] == cell.label():
+            payload["crash"] = crash[1]
+        return payload
+
+    def _config(self, payload: dict[str, Any]) -> dict[str, Any]:
+        config = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("telemetry", "crash", "cpu_model", "gpu_model")
+        }
+        if payload["kind"] == "sync-base":
+            config["hardware"] = _hw_fingerprint(self.ctx)
+        return config
+
+    def _plan(self, cells: list[GridCell]) -> list[_Job]:
+        """Map requested cells onto the minimal set of worker jobs."""
+        ctx = self.ctx
+        jobs: list[_Job] = []
+        sync_bases: dict[tuple[str, str], _Job] = {}
+        for cell in cells:
+            if cell.key in ctx._cache:
+                continue
+            if cell.strategy == "synchronous":
+                group = (cell.task, cell.dataset)
+                base_key = (cell.task, cell.dataset, "cpu-seq", "synchronous")
+                if group in sync_bases:
+                    sync_bases[group].covers.append(cell)
+                    continue
+                if base_key in ctx._cache:
+                    # Base already ran (this or an earlier grid); the
+                    # merge step re-costs straight from the cache.
+                    continue
+                base_cell = GridCell(cell.task, cell.dataset, "cpu-seq", "synchronous")
+                payload = self._payload(base_cell, "sync-base")
+                job = _Job(
+                    kind="sync-base",
+                    cell=base_cell,
+                    payload=payload,
+                    config=self._config(payload),
+                    covers=[cell],
+                )
+                sync_bases[group] = job
+                jobs.append(job)
+            else:
+                payload = self._payload(cell, "async")
+                jobs.append(
+                    _Job(
+                        kind="async",
+                        cell=cell,
+                        payload=payload,
+                        config=self._config(payload),
+                        covers=[cell],
+                    )
+                )
+        return jobs
+
+    # -- execution ----------------------------------------------------
+
+    def _try_resume(self, job: _Job) -> bool:
+        """Fill *job* from the result store; True on a usable hit."""
+        ctx = self.ctx
+        if not ctx.resume or ctx.store is None:
+            return False
+        stored = ctx.store.load(job.config)
+        if stored is None:
+            return False
+        if job.kind == "sync-base" and stored.epoch_trace is None:
+            # An old store entry without the trace cannot be re-costed
+            # for the other architectures; recompute instead.
+            return False
+        job.result = stored
+        job.source = "resumed"
+        return True
+
+    def _run_jobs(self, jobs: list[_Job], tel, parent_span) -> None:
+        """Execute the planned jobs, serially or over a process pool."""
+        ctx = self.ctx
+        to_run = [job for job in jobs if job.result is None]
+        if not to_run:
+            return
+        if ctx.jobs <= 1 or len(to_run) == 1:
+            for job in to_run:
+                out = _execute_job(job.payload)
+                job.result = out["result"]
+                job.worker_pid = out["pid"]
+                if out["telemetry"] is not None:
+                    tel.merge_snapshot(out["telemetry"], parent_span=parent_span)
+            return
+        pool = ProcessPoolExecutor(
+            max_workers=min(ctx.jobs, len(to_run)),
+            mp_context=_fork_context(),
+            initializer=_worker_init,
+        )
+        try:
+            futures = [(job, pool.submit(_execute_job, job.payload)) for job in to_run]
+            # Collect in submission order: the telemetry merge and the
+            # cache fill become deterministic regardless of scheduling.
+            for job, future in futures:
+                try:
+                    out = future.result()
+                except BrokenProcessPool as exc:
+                    # A dead worker poisons every outstanding future, so
+                    # the cell named here is the first affected one in
+                    # submission order, not necessarily the killer.
+                    tel.count(keys.GRID_WORKER_FAILURES)
+                    raise WorkerError(
+                        "grid worker process died abruptly "
+                        f"(first affected cell {job.cell.label()}): {exc}",
+                        phase="pool",
+                    ) from exc
+                except Exception as exc:
+                    tel.count(keys.GRID_WORKER_FAILURES)
+                    raise WorkerError(
+                        f"grid cell {job.cell.label()} failed in worker: {exc}",
+                        phase="grid-cell",
+                    ) from exc
+                job.result = out["result"]
+                job.worker_pid = out["pid"]
+                if out["telemetry"] is not None:
+                    tel.merge_snapshot(out["telemetry"], parent_span=parent_span)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _merge(self, cells: list[GridCell], jobs: list[_Job], tel) -> None:
+        """Fold job results into the context cache and persist them."""
+        ctx = self.ctx
+        for job in jobs:
+            assert job.result is not None
+            ctx._cache[job.cell.key] = job.result
+            if ctx.store is not None and job.source == "executed":
+                ctx.store.save(
+                    job.config,
+                    job.result,
+                    include_trace=job.kind == "sync-base",
+                )
+            tel.count(keys.GRID_CELLS_EXECUTED if job.source == "executed" else keys.GRID_CELLS_RESUMED)
+            if len(job.covers) > 1:
+                tel.count(keys.GRID_CELLS_DEDUPED, len(job.covers) - 1)
+
+    def _record(self, cell: GridCell, source: str, pid: int | None) -> None:
+        ctx = self.ctx
+        result = ctx._cache[cell.key]
+        manifest = build_manifest(
+            result,
+            None,
+            scale=ctx.scale,
+            seed=ctx.seed,
+            max_epochs=ctx.sync_max_epochs
+            if cell.strategy == "synchronous"
+            else ctx.async_max_epochs,
+            extra_config={"tolerance": ctx.tolerance},
+        )
+        record: dict[str, Any] = {
+            "cell": {
+                "task": cell.task,
+                "dataset": cell.dataset,
+                "architecture": cell.architecture,
+                "strategy": cell.strategy,
+            },
+            "source": source,
+            "manifest": manifest.to_dict(),
+        }
+        if pid is not None:
+            record["worker_pid"] = pid
+        self.cell_records.append(record)
+
+    def execute(self, cells: list[GridCell]) -> dict[GridCell, TrainResult]:
+        """Produce every requested cell; returns cell -> result."""
+        ctx = self.ctx
+        tel = ensure_telemetry(ctx.telemetry)
+        if ctx.resume and ctx.store is None:
+            raise ConfigurationError("resume=True requires a result store")
+        # Stable de-duplication of the request itself.
+        unique: list[GridCell] = []
+        seen: set[tuple] = set()
+        for cell in cells:
+            if cell.key not in seen:
+                seen.add(cell.key)
+                unique.append(cell)
+        cells = unique
+
+        start = time.perf_counter()
+        with tel.span("grid.execute", jobs=ctx.jobs, cells=len(cells)) as span:
+            tel.count(keys.GRID_CELLS_REQUESTED, len(cells))
+            cached = {cell for cell in cells if cell.key in ctx._cache}
+            jobs = self._plan(cells)
+            for job in jobs:
+                self._try_resume(job)
+            self._run_jobs(jobs, tel, span if tel.enabled else None)
+            self._merge(cells, jobs, tel)
+
+            # Derive every requested cell in the parent.  Synchronous
+            # re-costing shares the base's curve object, exactly like
+            # the serial path.
+            job_by_cell = {}
+            for job in jobs:
+                for covered in job.covers:
+                    job_by_cell[covered.key] = job
+            results: dict[GridCell, TrainResult] = {}
+            for cell in cells:
+                job = job_by_cell.get(cell.key)
+                if cell in cached:
+                    source = "cached"
+                elif cell.strategy == "synchronous" and (
+                    job is None or cell.key != job.cell.key
+                ):
+                    source = "recosted"
+                    tel.count(keys.GRID_CELLS_RECOSTED)
+                else:
+                    source = job.source if job is not None else "recosted"
+                results[cell] = ctx.run(
+                    cell.task, cell.dataset, cell.architecture, cell.strategy
+                )
+                self._record(
+                    cell, source, job.worker_pid if job is not None else None
+                )
+        tel.set_gauge(keys.GRID_JOBS, ctx.jobs)
+        tel.set_gauge(keys.GRID_WALL_SECONDS, time.perf_counter() - start)
+        return results

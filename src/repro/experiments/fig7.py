@@ -104,6 +104,14 @@ class Fig7Result:
 def run_fig7(ctx: ExperimentContext | None = None) -> Fig7Result:
     """Regenerate the Fig. 7 comparison at the context's scale."""
     ctx = ctx or ExperimentContext()
+    # Sync GPU cells plus both async CPU candidates best_async_cpu picks
+    # between.
+    ctx.prefetch(
+        ctx.grid_cells(strategies=("synchronous",), architectures=("gpu",))
+        + ctx.grid_cells(
+            strategies=("asynchronous",), architectures=("cpu-seq", "cpu-par")
+        )
+    )
     result = Fig7Result()
     for task in ctx.tasks:
         for dataset in ctx.datasets:

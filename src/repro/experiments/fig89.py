@@ -123,6 +123,15 @@ def _async_speedup(ctx: ExperimentContext, task: str, dataset: str) -> float:
 
 
 def _run_figure(ctx: ExperimentContext, figure: str, tasks: tuple[str, ...]) -> Fig89Result:
+    from .executor import GridCell
+
+    ctx.prefetch(
+        [
+            GridCell(task, dataset, "cpu-seq", "synchronous")
+            for task in tasks
+            for dataset in ctx.datasets
+        ]
+    )
     result = Fig89Result(figure=figure)
     for task in tasks:
         for dataset in ctx.datasets:

@@ -172,6 +172,9 @@ def _collect_verdicts(report: ReproductionReport) -> list[Verdict]:
 def reproduce_all(ctx: ExperimentContext | None = None) -> ReproductionReport:
     """Run every table/figure driver and collect the verdicts."""
     ctx = ctx or ExperimentContext()
+    # One prefetch covers every driver below; each also prefetches its
+    # own (by then fully cached) slice.
+    ctx.prefetch(ctx.grid_cells())
     report = ReproductionReport(
         table1=run_table1(ctx),
         table2=run_table2(ctx),

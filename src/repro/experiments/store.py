@@ -1,0 +1,112 @@
+"""Resumable on-disk store of completed experiment-grid cells.
+
+One file per completed cell, named by the SHA-256 of the cell's
+canonical configuration (task, dataset, architecture, strategy, plus
+every knob that changes the numbers: scale, seed, epoch budget, step
+size, tolerance).  A grid interrupted at cell k restarts with
+``--resume`` and replays cells 0..k-1 from disk instead of recomputing
+them; any configuration change hashes to different keys, so a stale
+store can never leak wrong results into a new grid.
+
+Writes are atomic (temp file + ``os.replace`` in the store directory),
+so a cell file is either absent or complete — a worker killed
+mid-write leaves nothing behind that a resume could trip over.
+Unreadable or corrupt files are treated as cache misses and the cell
+is recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..sgd.runner import TrainResult
+from ..sgd.serialize import result_from_dict, result_to_dict
+from ..utils.errors import ConfigurationError
+
+__all__ = ["ResultStore", "config_key"]
+
+_STORE_SCHEMA = "repro.experiments/result-store/v1"
+
+
+def config_key(config: dict[str, Any]) -> str:
+    """Stable hash of a cell configuration.
+
+    The canonical form is JSON with sorted keys, so dict insertion
+    order never changes the key; any value change does.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory of completed cells, keyed by configuration hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def contains(self, config: dict[str, Any]) -> bool:
+        """True when a (readable) result for *config* is on disk."""
+        return self.load(config) is not None
+
+    def load(self, config: dict[str, Any]) -> TrainResult | None:
+        """The stored result for *config*, or ``None`` on miss/corruption."""
+        path = self._path(config_key(config))
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != _STORE_SCHEMA:
+            return None
+        try:
+            return result_from_dict(doc["result"])
+        except (KeyError, TypeError, ValueError, ConfigurationError):
+            return None
+
+    def save(
+        self,
+        config: dict[str, Any],
+        result: TrainResult,
+        *,
+        include_trace: bool = False,
+    ) -> Path:
+        """Persist *result* under *config*'s key, atomically.
+
+        ``include_trace=True`` keeps the epoch trace in the file — the
+        executor needs it on synchronous base runs so a resumed grid
+        can re-cost them for the other architectures.
+        """
+        key = config_key(config)
+        path = self._path(key)
+        doc = {
+            "schema": _STORE_SCHEMA,
+            "key": key,
+            "config": config,
+            "result": result_to_dict(result, include_trace=include_trace),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key[:16] + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r}, entries={len(self)})"

@@ -115,6 +115,7 @@ class Table2Result:
 def run_table2(ctx: ExperimentContext | None = None) -> Table2Result:
     """Regenerate Table II at the context's scale."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(ctx.grid_cells(strategies=("synchronous",)))
     result = Table2Result()
     for task in ctx.tasks:
         for dataset in ctx.datasets:

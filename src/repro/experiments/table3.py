@@ -141,6 +141,7 @@ class Table3Result:
 def run_table3(ctx: ExperimentContext | None = None) -> Table3Result:
     """Regenerate Table III at the context's scale."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(ctx.grid_cells(strategies=("asynchronous",)))
     result = Table3Result()
     for task in ctx.tasks:
         for dataset in ctx.datasets:

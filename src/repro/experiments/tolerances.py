@@ -126,6 +126,15 @@ def run_tolerance_ladder(
 ) -> ToleranceLadder:
     """Measure the full ladder for every (strategy, architecture)."""
     ctx = ctx or ExperimentContext()
+    from .executor import ARCHITECTURES, STRATEGIES, GridCell
+
+    ctx.prefetch(
+        [
+            GridCell(task, dataset, architecture, strategy)
+            for strategy in STRATEGIES
+            for architecture in ARCHITECTURES
+        ]
+    )
     out = ToleranceLadder(task=task, dataset=dataset)
     for strategy in ("synchronous", "asynchronous"):
         for architecture in ("cpu-seq", "cpu-par", "gpu"):

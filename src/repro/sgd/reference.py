@@ -18,9 +18,17 @@ We reproduce the protocol with a bounded budget: the reference for a
    constant-step iterate — standing in for the long tail of a full-day
    run.
 
+The constant-step members are mutually independent, so the sweep can
+fan them out over worker processes (``jobs`` argument, or the
+``REPRO_REFERENCE_JOBS`` environment variable); the members' loss
+trajectories are then *folded in the serial program order*, so the
+parallel sweep is bit-identical to the serial one.
+
 Results are cached in-process and optionally on disk (set
 ``REPRO_CACHE_DIR``); the experiment harness reruns the same keys
-constantly.
+constantly.  Disk writes are atomic (temp file + ``os.replace``) and
+merge-on-write, so concurrent grid workers cannot lose each other's
+entries.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -52,6 +61,10 @@ _SGD_EPOCHS = 150
 _BGD_EPOCHS = 800
 _POLISH_EPOCHS = 80
 
+#: Epochs of non-improving loss before a batch-GD member may consider
+#: the plateau exit (shared by the member's local bound and the fold).
+_BGD_STALE_LIMIT = 50
+
 
 def _disk_cache_path() -> Path | None:
     root = os.environ.get("REPRO_CACHE_DIR")
@@ -70,17 +83,50 @@ def _load_disk_cache() -> dict[str, float]:
         return {}
 
 
-def _store_disk_cache(cache: dict[str, float]) -> None:
+def _store_disk_cache(entries: dict[str, float]) -> None:
+    """Merge *entries* into the on-disk cache, atomically.
+
+    Concurrent writers (experiment-grid workers solving different keys)
+    each re-read the current file, merge their own entries on top and
+    publish with ``os.replace`` — a crashed writer leaves the previous
+    file intact, and two racing writers can only ever publish a merged
+    superset of their own entries, never a truncated or interleaved
+    file.  (A writer may still miss an entry committed between its read
+    and its replace; the loser's key is simply recomputed or re-merged
+    on its next write, which is acceptable for a cache of deterministic
+    values.)
+    """
     path = _disk_cache_path()
-    if path is None:
+    if path is None or not entries:
         return
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(cache, indent=1, sort_keys=True))
+    merged = _load_disk_cache()
+    merged.update(entries)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(merged, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def clear_reference_cache() -> None:
     """Drop the in-process reference-loss cache (tests)."""
     _CACHE.clear()
+
+
+def _default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_REFERENCE_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 def reference_loss(
@@ -89,6 +135,7 @@ def reference_loss(
     y: np.ndarray,
     init_params: np.ndarray,
     key: str | None = None,
+    jobs: int | None = None,
 ) -> float:
     """Best loss achieved by the budgeted configuration sweep.
 
@@ -97,6 +144,12 @@ def reference_loss(
     key:
         Cache key (e.g. ``"lr/w8a/3000x300/seed0"``); ``None`` bypasses
         caching.
+    jobs:
+        Worker processes for the constant-step member sweep.  ``None``
+        reads ``REPRO_REFERENCE_JOBS`` (default 1 = serial).  The
+        result is bit-identical for every jobs value: members compute
+        the same trajectories either way and are folded in the serial
+        program order.
     """
     if key is not None:
         if key in _CACHE:
@@ -106,60 +159,203 @@ def reference_loss(
             _CACHE[key] = disk[key]
             return disk[key]
 
-    value = _protocol_reference(model, X, y, init_params)
+    value = _protocol_reference(
+        model, X, y, init_params, jobs=_default_jobs() if jobs is None else jobs
+    )
     if key is not None:
         _CACHE[key] = value
-        disk = _load_disk_cache()
-        disk[key] = value
-        _store_disk_cache(disk)
+        _store_disk_cache({key: value})
     return value
 
 
-def _protocol_reference(
-    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray
-) -> float:
-    best = model.loss(X, y, w0)
-    best_w = np.array(w0, copy=True)
+# --- constant-step family members ------------------------------------------
+#
+# Each member is a self-contained deterministic run (its RNG stream and
+# its control flow depend only on its own arguments), which is what
+# makes the sweep safe to fan out over processes.  The only coupling in
+# the original serial protocol is the batch-GD plateau exit, which
+# compared against the *global* best-so-far; `_fold_members` replays
+# exactly that serial reduction over the recorded trajectories, so the
+# final (best, best_w) is bit-identical to the historical interleaved
+# loop for any jobs count.
+
+
+def _reference_schedule(model: Model) -> AsyncSchedule:
     batch = 1 if not isinstance(model, MLP) else 256
-    schedule = AsyncSchedule(concurrency=1, batch_size=batch)
+    return AsyncSchedule(concurrency=1, batch_size=batch)
 
-    # Family 1: constant-step serial incremental / mini-batch SGD.
-    for step in _SGD_STEPS:
-        w = np.array(w0, copy=True)
-        rng = derive_rng(0, f"reference/sgd/{step}")
-        for _epoch in range(_SGD_EPOCHS):
-            try:
-                run_async_epoch(model, X, y, w, step, schedule, rng)
-            except DivergenceError:
-                break
-            loss = model.loss(X, y, w)
-            if not math.isfinite(loss):
-                break
-            if loss < best:
-                best, best_w = loss, w.copy()
 
-    # Family 2: constant-step full-batch gradient descent.
-    for step in _BGD_STEPS:
-        w = np.array(w0, copy=True)
+def _sgd_member(
+    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray, step: float
+) -> tuple[float, np.ndarray | None]:
+    """One constant-step serial SGD run: (own best loss, iterate at it).
+
+    The returned iterate is the one at the *first* attainment of the
+    run's minimum (strict-< improvements only), matching what the
+    serial protocol would have kept had this run's minimum become the
+    global best.
+    """
+    schedule = _reference_schedule(model)
+    w = np.array(w0, copy=True)
+    rng = derive_rng(0, f"reference/sgd/{step}")
+    best = math.inf
+    best_w: np.ndarray | None = None
+    for _epoch in range(_SGD_EPOCHS):
+        try:
+            run_async_epoch(model, X, y, w, step, schedule, rng)
+        except DivergenceError:
+            break
+        loss = model.loss(X, y, w)
+        if not math.isfinite(loss):
+            break
+        if loss < best:
+            best, best_w = loss, w.copy()
+    return best, best_w
+
+
+def _bgd_member(
+    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray, step: float
+) -> tuple[list[float], int, np.ndarray | None]:
+    """One constant-step batch-GD run: (losses, own-min epoch, iterate).
+
+    The member applies the plateau exit against its *own* running best
+    — a strictly weaker condition than the serial protocol's
+    global-best exit (its own best is never below the global best), so
+    the recorded trajectory always covers the prefix the serial
+    protocol would have observed; `_fold_members` re-applies the exact
+    global condition over these losses.
+    """
+    w = np.array(w0, copy=True)
+    losses: list[float] = []
+    best = math.inf
+    best_w: np.ndarray | None = None
+    best_epoch = -1
+    stale = 0
+    prev = math.inf
+    for epoch in range(_BGD_EPOCHS):
+        grad = model.full_grad(X, y, w)
+        w -= step * grad
+        if not np.all(np.isfinite(w)):
+            break
+        loss = model.loss(X, y, w)
+        if not math.isfinite(loss):
+            break
+        losses.append(loss)
+        if loss < best:
+            best, best_w, best_epoch = loss, w.copy(), epoch
+        # Early exit when the run has plateaued well above the best.
+        stale = stale + 1 if loss >= prev - 1e-12 else 0
+        if stale > _BGD_STALE_LIMIT and loss > best * 1.5 + 1e-9:
+            break
+        prev = loss
+    return losses, best_epoch, best_w
+
+
+def _bgd_iterate_at(
+    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray, step: float, epoch: int
+) -> np.ndarray:
+    """Deterministically recompute a batch-GD member's iterate at *epoch*."""
+    w = np.array(w0, copy=True)
+    for _ in range(epoch + 1):
+        w -= step * model.full_grad(X, y, w)
+    return w
+
+
+def _run_members(model, X, y, w0, jobs: int):
+    """Compute all constant-step members, serially or in a process pool."""
+    if jobs > 1:
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            if multiprocessing.current_process().daemon:
+                raise RuntimeError("daemonic process cannot fan out")
+            n_members = len(_SGD_STEPS) + len(_BGD_STEPS)
+            with ProcessPoolExecutor(max_workers=min(jobs, n_members)) as pool:
+                sgd_futs = [
+                    pool.submit(_sgd_member, model, X, y, w0, step)
+                    for step in _SGD_STEPS
+                ]
+                bgd_futs = [
+                    pool.submit(_bgd_member, model, X, y, w0, step)
+                    for step in _BGD_STEPS
+                ]
+                return (
+                    [f.result() for f in sgd_futs],
+                    [f.result() for f in bgd_futs],
+                )
+        except (OSError, RuntimeError):
+            pass  # no fork/spawn available (or nested pool): fall back
+    return (
+        [_sgd_member(model, X, y, w0, step) for step in _SGD_STEPS],
+        [_bgd_member(model, X, y, w0, step) for step in _BGD_STEPS],
+    )
+
+
+def _fold_members(
+    initial_loss: float,
+    sgd_results: list[tuple[float, np.ndarray | None]],
+    bgd_results: list[tuple[list[float], int, np.ndarray | None]],
+) -> tuple[float, tuple | None]:
+    """Reduce member trajectories in the serial program order.
+
+    Returns ``(best, winner)`` where *winner* identifies which member
+    (and, for batch GD, which epoch) produced the global best —
+    ``None`` when no member improved on the initial loss.  The batch-GD
+    walk re-applies the historical plateau exit against the evolving
+    global best, truncating each trajectory exactly where the serial
+    interleaved loop would have stopped observing it.
+    """
+    best = initial_loss
+    winner: tuple | None = None
+    for i, (member_best, _w) in enumerate(sgd_results):
+        if member_best < best:
+            best = member_best
+            winner = ("sgd", i)
+    for i, (losses, _own_epoch, _w) in enumerate(bgd_results):
         stale = 0
         prev = math.inf
-        for _epoch in range(_BGD_EPOCHS):
-            grad = model.full_grad(X, y, w)
-            w -= step * grad
-            if not np.all(np.isfinite(w)):
-                break
-            loss = model.loss(X, y, w)
-            if not math.isfinite(loss):
-                break
+        for epoch, loss in enumerate(losses):
             if loss < best:
-                best, best_w = loss, w.copy()
-            # Early exit when the run has plateaued well above the best.
+                best = loss
+                winner = ("bgd", i, epoch)
             stale = stale + 1 if loss >= prev - 1e-12 else 0
-            if stale > 50 and loss > best * 1.5 + 1e-9:
+            if stale > _BGD_STALE_LIMIT and loss > best * 1.5 + 1e-9:
                 break
             prev = loss
+    return best, winner
+
+
+def _protocol_reference(
+    model: Model, X: Matrix, y: np.ndarray, w0: np.ndarray, jobs: int = 1
+) -> float:
+    best = model.loss(X, y, w0)
+
+    # Families 1 and 2: independent constant-step members, reduced in
+    # serial order.
+    sgd_results, bgd_results = _run_members(model, X, y, w0, jobs)
+    best, winner = _fold_members(best, sgd_results, bgd_results)
+
+    if winner is None:
+        best_w = np.array(w0, copy=True)
+    elif winner[0] == "sgd":
+        member_w = sgd_results[winner[1]][1]
+        assert member_w is not None
+        best_w = member_w
+    else:
+        _losses, own_epoch, own_w = bgd_results[winner[1]]
+        if winner[2] == own_epoch and own_w is not None:
+            best_w = own_w
+        else:
+            # The global best lands before the member's own minimum
+            # (the serial protocol stopped observing this run earlier);
+            # recompute that iterate deterministically.
+            best_w = _bgd_iterate_at(
+                model, X, y, w0, _BGD_STEPS[winner[1]], winner[2]
+            )
 
     # Family 3: decaying-step polish from the best iterate found.
+    schedule = _reference_schedule(model)
     w = best_w
     rng = derive_rng(0, "reference/polish")
     for t in range(1, _POLISH_EPOCHS + 1):

@@ -15,6 +15,7 @@ import math
 from pathlib import Path
 from typing import TextIO
 
+from ..linalg.trace import OpKind, OpRecord, Trace
 from ..utils.errors import ConfigurationError
 from .convergence import LossCurve
 from .runner import TrainResult
@@ -22,6 +23,38 @@ from .runner import TrainResult
 __all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
 
 _FORMAT_VERSION = 1
+
+#: OpRecord fields serialised for the optional epoch trace (everything
+#: the hardware models cost from; ``kind`` is stored as its str value).
+_OP_FIELDS = (
+    "name",
+    "kind",
+    "flops",
+    "bytes_read",
+    "bytes_written",
+    "parallel_tasks",
+    "result_size",
+    "irregular",
+    "dispersion",
+    "cost_scales",
+    "parallelism_scales",
+)
+
+
+def _trace_to_list(trace: Trace) -> list[dict]:
+    return [
+        {f: (op.kind.value if f == "kind" else getattr(op, f)) for f in _OP_FIELDS}
+        for op in trace
+    ]
+
+
+def _trace_from_list(ops: list[dict]) -> Trace:
+    trace = Trace()
+    for raw in ops:
+        kwargs = {f: raw[f] for f in _OP_FIELDS if f in raw}
+        kwargs["kind"] = OpKind(kwargs["kind"])
+        trace.add(OpRecord(**kwargs))
+    return trace
 
 
 def _encode_float(v: float):
@@ -38,13 +71,16 @@ def _decode_float(v) -> float:
     return float(v)
 
 
-def result_to_dict(result: TrainResult) -> dict:
+def result_to_dict(result: TrainResult, *, include_trace: bool = False) -> dict:
     """Flatten a result into JSON-safe primitives.
 
-    The epoch trace is not serialised (it is an analysis intermediate;
-    re-run the configuration to regenerate it).
+    By default the epoch trace is not serialised (it is an analysis
+    intermediate; re-run the configuration to regenerate it).  Pass
+    ``include_trace=True`` to keep it — the experiment-grid result
+    store needs it so a resumed synchronous base run can still be
+    re-costed for the other architectures.
     """
-    return {
+    payload = {
         "version": _FORMAT_VERSION,
         "task": result.task,
         "dataset": result.dataset,
@@ -54,11 +90,17 @@ def result_to_dict(result: TrainResult) -> dict:
         "time_per_iter": result.time_per_iter,
         "optimal_loss": result.optimal_loss,
         "diverged": result.diverged,
+        "backend": result.backend,
         "curve": {
             "epochs": list(result.curve.epochs),
             "losses": [_encode_float(v) for v in result.curve.losses],
         },
     }
+    if result.dataset_stats is not None:
+        payload["dataset_stats"] = dict(result.dataset_stats)
+    if include_trace and result.epoch_trace is not None:
+        payload["epoch_trace"] = _trace_to_list(result.epoch_trace)
+    return payload
 
 
 def result_from_dict(payload: dict) -> TrainResult:
@@ -74,6 +116,8 @@ def result_from_dict(payload: dict) -> TrainResult:
     curve = LossCurve()
     for epoch, loss in zip(payload["curve"]["epochs"], payload["curve"]["losses"]):
         curve.record(int(epoch), _decode_float(loss))
+    trace = payload.get("epoch_trace")
+    stats = payload.get("dataset_stats")
     return TrainResult(
         task=str(payload["task"]),
         dataset=str(payload["dataset"]),
@@ -84,6 +128,9 @@ def result_from_dict(payload: dict) -> TrainResult:
         time_per_iter=float(payload["time_per_iter"]),
         optimal_loss=float(payload["optimal_loss"]),
         diverged=bool(payload["diverged"]),
+        epoch_trace=_trace_from_list(trace) if trace is not None else None,
+        dataset_stats=dict(stats) if stats is not None else None,
+        backend=str(payload.get("backend", "simulated")),
     )
 
 

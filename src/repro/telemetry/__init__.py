@@ -31,7 +31,14 @@ from . import keys
 from .counters import Counter, Gauge, MetricsRegistry
 from .export import chrome_trace, spans_json, write_chrome_trace, write_spans_json
 from .gitinfo import current_git_sha
-from .manifest import MANIFEST_SCHEMA, RunManifest, build_manifest, load_manifest
+from .manifest import (
+    GRID_MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_grid_manifest,
+    build_manifest,
+    load_manifest,
+)
 from .nulls import NULL_TELEMETRY, NullSpan, NullTelemetry
 from .session import AnyTelemetry, Telemetry, ensure_telemetry
 from .spans import Span, SpanRecord, Tracer
@@ -56,7 +63,9 @@ __all__ = [
     "write_spans_json",
     "RunManifest",
     "MANIFEST_SCHEMA",
+    "GRID_MANIFEST_SCHEMA",
     "build_manifest",
+    "build_grid_manifest",
     "load_manifest",
     "current_git_sha",
 ]

@@ -106,6 +106,23 @@ class MetricsRegistry:
         """Shorthand: ``gauge(name).set(value)``."""
         self.gauge(name).set(value)
 
+    def merge_counters(self, totals: dict[str, float]) -> None:
+        """Add another registry's counter totals into this one.
+
+        Used by the experiment-grid executor to fold worker-process
+        telemetry back into the parent registry; addition is
+        order-independent, so merging workers as they complete yields
+        the same totals as the serial run.
+        """
+        for name, value in totals.items():
+            self.counter(name).add(value)
+
+    def merge_gauges(self, values: dict[str, float]) -> None:
+        """Set gauges from another registry's snapshot (last-write-wins,
+        like any local ``set``; the max is tracked across merges)."""
+        for name, value in values.items():
+            self.gauge(name).set(value)
+
     def counter_values(self) -> dict[str, float]:
         """Name -> total for every counter (sorted by name)."""
         with self._lock:

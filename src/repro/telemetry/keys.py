@@ -16,7 +16,10 @@ spelling.  The prefixes partition the namespace:
   scale), the quantities the paper reports as hardware efficiency;
 * ``fault.`` — fault-injection and recovery events in the measured
   shared-memory backend (injected faults, worker restarts,
-  repartitions, degraded epochs) — see :mod:`repro.faults`.
+  repartitions, degraded epochs) — see :mod:`repro.faults`;
+* ``grid.`` — the parallel experiment-grid executor (cells scheduled,
+  deduplicated, resumed from the on-disk store, executed in workers)
+  — see :mod:`repro.experiments.executor`.
 """
 
 from __future__ import annotations
@@ -42,6 +45,14 @@ __all__ = [
     "FAULT_WORKER_RESTARTS",
     "FAULT_REPARTITIONS",
     "FAULT_DEGRADED_EPOCHS",
+    "GRID_CELLS_REQUESTED",
+    "GRID_CELLS_EXECUTED",
+    "GRID_CELLS_DEDUPED",
+    "GRID_CELLS_RESUMED",
+    "GRID_CELLS_RECOSTED",
+    "GRID_WORKER_FAILURES",
+    "GRID_JOBS",
+    "GRID_WALL_SECONDS",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -121,3 +132,32 @@ FAULT_REPARTITIONS = "fault.repartitions"
 #: Optimisation epochs executed in a degraded state: fewer workers
 #: than requested, or a NaN-scrubbed model snapshot.
 FAULT_DEGRADED_EPOCHS = "fault.degraded_epochs"
+
+#: Grid cells requested from the executor (after in-memory cache hits).
+GRID_CELLS_REQUESTED = "grid.cells_requested"
+
+#: Cells whose optimisation actually ran (in a worker or in-parent).
+GRID_CELLS_EXECUTED = "grid.cells_executed"
+
+#: Synchronous cells that shared another architecture's base
+#: optimisation run instead of scheduling their own (the cpu-seq
+#: dedup: one run, re-costed per architecture).
+GRID_CELLS_DEDUPED = "grid.cells_deduped"
+
+#: Cells skipped because the on-disk result store already held them
+#: (``--resume``).
+GRID_CELLS_RESUMED = "grid.cells_resumed"
+
+#: Synchronous cells derived in-parent by re-costing a shared base run
+#: on a different machine model.
+GRID_CELLS_RECOSTED = "grid.cells_recosted"
+
+#: Grid jobs that raised (or whose worker process died); each failure
+#: surfaces as a structured :class:`repro.utils.errors.WorkerError`.
+GRID_WORKER_FAILURES = "grid.worker_failures"
+
+#: Gauge: worker processes the last executor fan-out used.
+GRID_JOBS = "grid.jobs"
+
+#: Gauge: measured wall-clock seconds of the last executor fan-out.
+GRID_WALL_SECONDS = "grid.wall_seconds"

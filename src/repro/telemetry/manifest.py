@@ -23,9 +23,22 @@ from .session import Telemetry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sgd.runner import TrainResult
 
-__all__ = ["MANIFEST_SCHEMA", "RunManifest", "build_manifest", "load_manifest"]
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "GRID_MANIFEST_SCHEMA",
+    "RunManifest",
+    "build_manifest",
+    "load_manifest",
+    "build_grid_manifest",
+]
 
 MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
+
+#: Schema of the aggregate manifest the experiment-grid executor writes:
+#: one record per cell (each a :data:`MANIFEST_SCHEMA` manifest dict,
+#: tagged with how the cell was produced) plus the merged parent-side
+#: counter/gauge totals.
+GRID_MANIFEST_SCHEMA = "repro.telemetry/grid-manifest/v1"
 
 
 @dataclass
@@ -149,3 +162,34 @@ def build_manifest(
         counters=telemetry.counters() if telemetry is not None else {},
         gauges=telemetry.gauges() if telemetry is not None else {},
     )
+
+
+def build_grid_manifest(
+    cells: list[dict[str, Any]],
+    telemetry: Telemetry | None = None,
+    *,
+    jobs: int = 1,
+    settings: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the aggregate manifest of one experiment-grid run.
+
+    *cells* are per-cell records produced by the executor: each holds
+    the cell's :func:`build_manifest` dict plus provenance (executed in
+    a worker / re-costed from a shared base / resumed from the store).
+    The parent telemetry supplies the merged counter totals — worker
+    counters have already been folded in by the executor, so these are
+    grid-wide totals, comparable to a serial run's.
+    """
+    from .. import __version__
+
+    return {
+        "schema": GRID_MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "git_sha": current_git_sha(),
+        "repro_version": __version__,
+        "jobs": jobs,
+        "settings": dict(settings or {}),
+        "cells": cells,
+        "counters": telemetry.counters() if telemetry is not None else {},
+        "gauges": telemetry.gauges() if telemetry is not None else {},
+    }

@@ -52,6 +52,12 @@ class NullTelemetry:
     def set_gauge(self, name: str, value: float) -> None:
         pass
 
+    def snapshot_for_merge(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "spans": []}
+
+    def merge_snapshot(self, snapshot: dict[str, Any], parent_span: Any = None) -> None:
+        pass
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NullTelemetry()"
 

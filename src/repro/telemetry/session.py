@@ -14,7 +14,7 @@ from typing import Any, Callable, Union
 
 from .counters import MetricsRegistry
 from .nulls import NULL_TELEMETRY, NullTelemetry
-from .spans import Span, Tracer
+from .spans import Span, SpanRecord, Tracer
 
 __all__ = ["Telemetry", "AnyTelemetry", "ensure_telemetry"]
 
@@ -41,6 +41,34 @@ class Telemetry:
     def set_gauge(self, name: str, value: float) -> None:
         """Set the gauge *name* to *value*."""
         self.metrics.set_gauge(name, value)
+
+    # -- cross-process merge --------------------------------------------------
+
+    def snapshot_for_merge(self) -> dict[str, Any]:
+        """Serialise this telemetry's state for transport to a parent.
+
+        Worker processes of the experiment-grid executor call this once
+        per cell and ship the (JSON-safe, picklable) dict back; the
+        parent folds it in with :meth:`merge_snapshot`.
+        """
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "spans": [r.to_dict() for r in self.tracer.records()],
+        }
+
+    def merge_snapshot(self, snapshot: dict[str, Any], parent_span: Span | None = None) -> None:
+        """Fold a worker's :meth:`snapshot_for_merge` into this telemetry.
+
+        Counter totals add (order-independent, so parallel completion
+        order cannot perturb them); gauges are set last-write-wins; the
+        worker's spans are grafted under *parent_span* (or at top level)
+        with their ids remapped into this tracer.
+        """
+        self.metrics.merge_counters(snapshot.get("counters") or {})
+        self.metrics.merge_gauges(snapshot.get("gauges") or {})
+        spans = [SpanRecord.from_dict(d) for d in snapshot.get("spans") or []]
+        self.tracer.import_records(spans, parent=parent_span)
 
     # -- conveniences ---------------------------------------------------------
 

@@ -56,6 +56,22 @@ class SpanRecord:
             "attributes": dict(self.attributes),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output (worker import)."""
+        return cls(
+            name=str(data["name"]),
+            span_id=int(data["span_id"]),
+            parent_id=None if data.get("parent_id") is None else int(data["parent_id"]),
+            thread_id=int(data.get("thread_id", 0)),
+            start_s=float(data.get("start_s", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            sim_seconds=(
+                None if data.get("sim_seconds") is None else float(data["sim_seconds"])
+            ),
+            attributes=dict(data.get("attributes") or {}),
+        )
+
 
 class Span:
     """A live (open) span; use as a context manager via :meth:`Tracer.span`.
@@ -163,6 +179,40 @@ class Tracer:
 
     def __iter__(self) -> Iterator[SpanRecord]:
         return iter(self.records())
+
+    def import_records(
+        self, records: list[SpanRecord], parent: Span | None = None
+    ) -> None:
+        """Graft finished spans from another tracer into this one.
+
+        Span ids are remapped into this tracer's id space (internal
+        parent links are preserved); records whose parent lies outside
+        the imported batch are re-parented under *parent*, so a worker
+        process's whole trace nests below the parent-side grid span.
+        Timelines are not shifted — worker clocks start at their own
+        epoch — which is fine for the Chrome exporter (each import
+        keeps its own thread lane).
+        """
+        if not records:
+            return
+        with self._lock:
+            base = self._next_id
+            self._next_id += len(records)
+        mapping = {r.span_id: base + i for i, r in enumerate(records)}
+        anchor = parent.span_id if parent is not None else None
+        for i, r in enumerate(records):
+            self._collect(
+                SpanRecord(
+                    name=r.name,
+                    span_id=base + i,
+                    parent_id=mapping.get(r.parent_id, anchor),
+                    thread_id=r.thread_id,
+                    start_s=r.start_s,
+                    duration_s=r.duration_s,
+                    sim_seconds=r.sim_seconds,
+                    attributes=dict(r.attributes),
+                )
+            )
 
     def total_sim_seconds(self) -> float:
         """Sum of simulated time attributed across all finished spans."""

@@ -1,0 +1,129 @@
+"""ResultStore: config hashing, atomic persistence, corruption tolerance."""
+
+import json
+
+import numpy as np
+
+from repro.experiments.store import ResultStore, config_key
+from repro.sgd.convergence import LossCurve
+from repro.sgd.runner import TrainResult
+
+
+def make_result(**overrides):
+    curve = LossCurve()
+    curve.record(0, 1.0)
+    curve.record(1, 0.5)
+    curve.record(2, float("inf"))
+    fields = dict(
+        task="lr",
+        dataset="w8a",
+        architecture="cpu-seq",
+        strategy="asynchronous",
+        step_size=0.5,
+        curve=curve,
+        time_per_iter=0.125,
+        optimal_loss=0.25,
+        diverged=False,
+        dataset_stats={"rows": 100, "features": 10},
+    )
+    fields.update(overrides)
+    return TrainResult(**fields)
+
+
+CONFIG = {"task": "lr", "dataset": "w8a", "seed": 0, "max_epochs": 50}
+
+
+class TestConfigKey:
+    def test_insertion_order_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert config_key(a) == config_key(b)
+
+    def test_any_value_change_changes_key(self):
+        assert config_key(CONFIG) != config_key({**CONFIG, "seed": 1})
+        assert config_key(CONFIG) != config_key({**CONFIG, "extra": None})
+
+    def test_nested_values_hashed(self):
+        base = {"hw": {"cores": 28, "ghz": 2.0}}
+        assert config_key(base) != config_key({"hw": {"cores": 28, "ghz": 2.6}})
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        store.save(CONFIG, result)
+        loaded = store.load(CONFIG)
+        assert loaded is not None
+        assert loaded.curve.losses == result.curve.losses
+        assert loaded.curve.epochs == result.curve.epochs
+        assert loaded.time_per_iter == result.time_per_iter
+        assert loaded.dataset_stats == result.dataset_stats
+        assert loaded.epoch_trace is None
+
+    def test_trace_preserved_when_requested(self, tmp_path):
+        from repro.linalg.trace import OpKind, OpRecord, Trace
+
+        trace = Trace()
+        trace.add(
+            OpRecord(
+                name="csr_matvec",
+                kind=OpKind.SPMV,
+                flops=100.0,
+                bytes_read=800.0,
+                bytes_written=80.0,
+                parallel_tasks=10,
+                irregular=True,
+                dispersion=1.5,
+            )
+        )
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result(epoch_trace=trace), include_trace=True)
+        loaded = store.load(CONFIG)
+        assert loaded.epoch_trace is not None
+        assert len(loaded.epoch_trace) == 1
+        op = loaded.epoch_trace.ops[0]
+        assert op.kind is OpKind.SPMV
+        assert op.flops == 100.0
+        assert op.irregular and op.dispersion == 1.5
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).load(CONFIG) is None
+
+    def test_nonfinite_losses_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result())
+        loaded = store.load(CONFIG)
+        assert np.isinf(loaded.curve.losses[-1])
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result())
+        path = store._path(config_key(CONFIG))
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.load(CONFIG) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result())
+        path = store._path(config_key(CONFIG))
+        doc = json.loads(path.read_text())
+        doc["schema"] = "something/else"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.load(CONFIG) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in range(5):
+            store.save({**CONFIG, "seed": seed}, make_result())
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(store) == 5
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result(time_per_iter=1.0))
+        store.save(CONFIG, make_result(time_per_iter=2.0))
+        assert len(store) == 1
+        assert store.load(CONFIG).time_per_iter == 2.0

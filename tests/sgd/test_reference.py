@@ -56,6 +56,52 @@ class TestReferenceLoss:
         ref = reference_loss(model, ds.X, ds.y, init, key="t/corrupt")
         assert np.isfinite(ref)
 
+    def test_parallel_jobs_bit_identical(self, lr_setup):
+        """The member sweep folds in serial order: any jobs count gives
+        exactly the serial value."""
+        model, ds, init = lr_setup
+        serial = reference_loss(model, ds.X, ds.y, init, jobs=1)
+        parallel = reference_loss(model, ds.X, ds.y, init, jobs=3)
+        assert parallel == serial
+
+    def test_jobs_env_default(self, lr_setup, monkeypatch):
+        model, ds, init = lr_setup
+        serial = reference_loss(model, ds.X, ds.y, init, jobs=1)
+        monkeypatch.setenv("REPRO_REFERENCE_JOBS", "2")
+        assert reference_loss(model, ds.X, ds.y, init) == serial
+
+    def test_disk_cache_merges_concurrent_entries(
+        self, lr_setup, tmp_path, monkeypatch
+    ):
+        """A write merges on top of entries other processes added after
+        our initial read — no read-modify-write lost updates."""
+        import json
+
+        from repro.sgd import reference as refmod
+
+        model, ds, init = lr_setup
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_reference_cache()
+        reference_loss(model, ds.X, ds.y, init, key="t/mine")
+        # Simulate a concurrent writer landing between our read and the
+        # next write: its entry must survive our subsequent store.
+        path = tmp_path / "reference_losses.json"
+        other = json.loads(path.read_text())
+        other["t/theirs"] = 0.875
+        path.write_text(json.dumps(other))
+        refmod._store_disk_cache({"t/mine2": 0.5})
+        merged = json.loads(path.read_text())
+        assert merged["t/theirs"] == 0.875
+        assert merged["t/mine2"] == 0.5
+        assert "t/mine" in merged
+
+    def test_disk_cache_write_is_atomic(self, lr_setup, tmp_path, monkeypatch):
+        model, ds, init = lr_setup
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_reference_cache()
+        reference_loss(model, ds.X, ds.y, init, key="t/atomic")
+        assert not list(tmp_path.glob("*.tmp"))
+
     def test_svm_reference(self, tiny_sparse):
         model = make_model("svm", tiny_sparse)
         init = model.init_params(derive_rng(0, "init"))
