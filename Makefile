@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos bench bench-snapshot bench-compare shapes experiments grid examples probe lint all
+.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare shapes experiments grid examples probe lint all
 
 # Worker processes for the parallel experiment grid (make grid JOBS=8).
 JOBS ?= 4
@@ -10,6 +10,23 @@ test:
 
 chaos:           ## fault-injection + recovery suite against the shm backend
 	pytest tests/faults tests/parallel/test_chaos.py
+
+chaos-grid:      ## degraded-mode grid run under injected cell faults
+	rm -rf /tmp/chaos_grid && REPRO_CACHE_DIR=/tmp/chaos_grid/cache \
+	PYTHONPATH=src python -m repro experiments \
+		--artifacts table3 --tasks lr --datasets covtype w8a \
+		--scale tiny --tolerance 0.05 --jobs 2 --keep-going \
+		--inject-grid-fault cell-kill@1 \
+		--inject-grid-fault cell-stall@2:600 \
+		--inject-grid-fault cell-nan@4 \
+		--cell-attempts 2 --cell-deadline 20 --retry-budget 4 \
+		--store /tmp/chaos_grid/store \
+		--manifest-out /tmp/chaos_grid/manifest.json
+	PYTHONPATH=src python -c "import json; \
+		m = json.load(open('/tmp/chaos_grid/manifest.json')); \
+		kinds = sorted(f['failure']['kind'] for f in m['failures']); \
+		assert kinds == ['crash', 'divergence', 'stall'], kinds; \
+		print('chaos-grid: quarantined kinds', kinds)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,7 +8,10 @@ Usage: REPRO_CACHE_DIR=.repro_cache python scripts/run_experiments.py [--jobs N]
 
 ``--jobs N`` fans the independent grid cells over N worker processes
 (bit-identical results); ``--resume`` replays cells persisted by an
-earlier, interrupted run from the on-disk result store.
+earlier, interrupted run from the on-disk result store; ``--keep-going``
+switches the grid into degraded mode (failing cells are retried and, if
+hopeless, quarantined and rendered as gaps instead of aborting the
+whole report; see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -65,6 +68,11 @@ def main() -> None:
         action="store_true",
         help="replay completed cells from the on-disk result store",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="retry/quarantine failing cells and render gaps instead of aborting",
+    )
     args = parser.parse_args()
 
     store = None
@@ -83,6 +91,7 @@ def main() -> None:
         jobs=args.jobs,
         store=store,
         resume=args.resume,
+        keep_going=args.keep_going,
     )
     sections: list[str] = []
     if args.jobs > 1 or args.resume:

@@ -5,8 +5,9 @@ Commands map one-to-one onto the paper's artifacts:
 * ``table1`` / ``table2`` / ``table3`` — regenerate a table;
 * ``fig6`` / ``fig7`` / ``fig8`` / ``fig9`` — regenerate a figure;
 * ``experiments`` — run several artifacts over one shared grid, with
-  ``--jobs N`` process-pool fan-out and ``--resume`` from the on-disk
-  result store;
+  ``--jobs N`` process-pool fan-out, ``--resume`` from the on-disk
+  result store, and ``--keep-going`` degraded mode (retry/quarantine
+  failing cells instead of aborting; see docs/RESILIENCE.md);
 * ``train`` — run a single configuration (all three performance axes);
 * ``gridsearch`` — the step-size selection protocol for one cell.
 
@@ -59,6 +60,59 @@ def _add_grid_args(p: argparse.ArgumentParser) -> None:
         help="replay cells already in the result store instead of "
         "recomputing them",
     )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        help="degraded mode: retry failing grid cells (crash/stall/"
+        "divergence) with backoff, quarantine the ones that exhaust "
+        "their budget, and render partial results with gap markers "
+        "instead of aborting (see docs/RESILIENCE.md)",
+    )
+    mode.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort the whole grid on the first worker failure "
+        "(the default)",
+    )
+    p.set_defaults(keep_going=False)
+    p.add_argument(
+        "--cell-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--keep-going: executions one cell may consume before "
+        "quarantine (default 3)",
+    )
+    p.add_argument(
+        "--cell-deadline",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="--keep-going: wall-clock budget for one attempt of one "
+        "cell; a worker past it is killed and retried (default: none)",
+    )
+    p.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--keep-going: grid-wide shared retry budget across all "
+        "cells (default 8)",
+    )
+    p.add_argument(
+        "--inject-grid-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="chaos-test the grid executor: inject a fault into the "
+        "Nth submitted grid job, format kind@job[:wK][:seconds] with "
+        "kind in cell-kill|cell-stall|cell-nan (wK = fire on attempts "
+        "1..K only, so a retry heals it; e.g. cell-kill@1, "
+        "cell-stall@2:600, cell-nan@4:w1); repeatable",
+    )
 
 
 def _make_store(args: argparse.Namespace):
@@ -93,6 +147,32 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
         print(f"trace written to {path}", file=sys.stderr)
 
 
+def _make_retry_policy(args: argparse.Namespace):
+    """The CellRetryPolicy implied by the --cell-*/--retry-budget flags."""
+    overrides = {}
+    if getattr(args, "cell_attempts", None) is not None:
+        overrides["max_attempts"] = args.cell_attempts
+    if getattr(args, "cell_deadline", None) is not None:
+        overrides["deadline"] = args.cell_deadline
+    if getattr(args, "retry_budget", None) is not None:
+        overrides["max_restarts"] = args.retry_budget
+    if not overrides and not getattr(args, "keep_going", False):
+        return None
+    from .faults import CellRetryPolicy
+
+    return CellRetryPolicy(**overrides)
+
+
+def _make_fault_plan(args: argparse.Namespace):
+    """The grid FaultPlan implied by --inject-grid-fault, or ``None``."""
+    specs = getattr(args, "inject_grid_fault", None)
+    if not specs:
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan.parse(specs, seed=getattr(args, "seed", None))
+
+
 def _make_context(args: argparse.Namespace):
     from .experiments import ExperimentContext
 
@@ -111,6 +191,9 @@ def _make_context(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         store=_make_store(args),
         resume=getattr(args, "resume", False),
+        keep_going=getattr(args, "keep_going", False),
+        retry=_make_retry_policy(args),
+        fault_plan=_make_fault_plan(args),
         **kwargs,
     )
 
@@ -154,12 +237,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print()
     executed = sum(1 for r in ctx.grid_records if r["source"] == "executed")
     resumed = sum(1 for r in ctx.grid_records if r["source"] == "resumed")
+    quarantined = sum(1 for r in ctx.grid_records if r["source"] == "quarantined")
     if ctx.grid_records:
-        print(
+        line = (
             f"grid: {len(ctx.grid_records)} cells "
-            f"({executed} executed, {resumed} resumed) with jobs={ctx.jobs}",
+            f"({executed} executed, {resumed} resumed"
+        )
+        if quarantined:
+            line += f", {quarantined} quarantined"
+        line += f") with jobs={ctx.jobs}"
+        print(line, file=sys.stderr)
+    if ctx.failures:
+        print(
+            f"degraded run: {len(ctx.failures)} grid job(s) quarantined "
+            "('-' marks the gaps above):",
             file=sys.stderr,
         )
+        for failure in ctx.failures.values():
+            print(f"  ! {failure.summary()}", file=sys.stderr)
     _export_telemetry(args, ctx.telemetry)
     if args.manifest_out:
         import json
@@ -177,6 +272,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 "tolerance": args.tolerance,
                 "artifacts": list(args.artifacts),
                 "resume": bool(args.resume),
+                "keep_going": bool(args.keep_going),
+                "injected_faults": list(args.inject_grid_fault or []),
             },
         )
         with open(args.manifest_out, "w", encoding="utf-8") as fh:

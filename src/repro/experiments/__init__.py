@@ -6,6 +6,7 @@ from .fig1_space import Fig1Cell, Fig1Result, run_fig1_space
 from .fig6 import DEFAULT_ARCHITECTURES, Fig6Point, Fig6Result, run_fig6
 from .fig7 import Fig7Panel, Fig7Result, run_fig7
 from .fig89 import Fig89Result, SpeedupEntry, run_fig8, run_fig9
+from .resilience import FAILURE_KINDS, CellFailure, render_failure_section
 from .tolerances import LadderEntry, ToleranceLadder, run_tolerance_ladder
 from .report import ReproductionReport, Verdict, reproduce_all
 from .table1 import Table1Check, Table1Result, run_table1
@@ -21,6 +22,9 @@ __all__ = [
     "GridExecutor",
     "ResultStore",
     "config_key",
+    "CellFailure",
+    "FAILURE_KINDS",
+    "render_failure_section",
     "ARCHITECTURES",
     "STRATEGIES",
     "TUNED_STEPS",

@@ -31,11 +31,13 @@ from ..datasets import DATASET_NAMES
 from ..hardware import CpuModel, GpuModel
 from ..sgd.runner import TrainResult, train
 from ..telemetry.session import AnyTelemetry, ensure_telemetry
-from ..utils.errors import ConfigurationError
+from ..utils.errors import CellQuarantinedError, ConfigurationError
 from .tuned import lookup_step
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import CellRetryPolicy, FaultPlan
     from .executor import GridCell
+    from .resilience import CellFailure
     from .store import ResultStore
 
 __all__ = ["ExperimentContext", "infinity_or"]
@@ -78,6 +80,23 @@ class ExperimentContext:
     store: "ResultStore | None" = None
     #: Replay store hits instead of recomputing (requires :attr:`store`).
     resume: bool = False
+    #: Degraded-mode switch: ``False`` (fail-fast, the historical
+    #: behaviour) aborts the grid on the first worker failure;
+    #: ``True`` retries failing cells under :attr:`retry` and
+    #: quarantines the ones that exhaust their budget, so the grid
+    #: always completes.  See docs/RESILIENCE.md.
+    keep_going: bool = False
+    #: Retry/backoff/deadline policy for keep-going grids
+    #: (``None`` = :class:`repro.faults.CellRetryPolicy` defaults).
+    retry: "CellRetryPolicy | None" = None
+    #: Optional chaos plan: grid-level fault kinds (``cell-kill`` /
+    #: ``cell-stall`` / ``cell-nan``) injected into worker processes.
+    fault_plan: "FaultPlan | None" = None
+    #: Sticky quarantine registry: executed-cell key ->
+    #: :class:`~repro.experiments.resilience.CellFailure`.  Populated
+    #: by keep-going grids; :meth:`run` refuses quarantined cells and
+    #: :meth:`try_run` maps them to ``None``.
+    failures: dict[tuple, "CellFailure"] = field(default_factory=dict, repr=False)
     #: Per-cell provenance records accumulated by every :meth:`prefetch`
     #: (input of :func:`repro.telemetry.build_grid_manifest`).
     grid_records: list[dict] = field(default_factory=list, repr=False)
@@ -101,10 +120,56 @@ class ExperimentContext:
 
         return default_step_size(task, strategy)
 
+    def failure_for(
+        self, task: str, dataset: str, architecture: str, strategy: str
+    ) -> "CellFailure | None":
+        """The quarantine record gapping this cell out, if any.
+
+        A quarantined synchronous *base* run (``cpu-seq``) gaps out all
+        three synchronous architectures of its (task, dataset) pair,
+        because they would have been re-costed from it.
+        """
+        direct = self.failures.get((task, dataset, architecture, strategy))
+        if direct is not None:
+            return direct
+        if strategy == "synchronous":
+            return self.failures.get((task, dataset, "cpu-seq", "synchronous"))
+        return None
+
+    def try_run(
+        self, task: str, dataset: str, architecture: str, strategy: str
+    ) -> TrainResult | None:
+        """Degraded-mode :meth:`run`: ``None`` for a quarantined cell.
+
+        Table/figure drivers use this to render partial grids with
+        explicit gap markers instead of aborting; on a healthy context
+        it is exactly :meth:`run`.
+        """
+        key = (task, dataset, architecture, strategy)
+        if key not in self._cache and self.failure_for(*key) is not None:
+            return None
+        return self.run(task, dataset, architecture, strategy)
+
     def run(
         self, task: str, dataset: str, architecture: str, strategy: str
     ) -> TrainResult:
-        """Train (or fetch from cache) one configuration."""
+        """Train (or fetch from cache) one configuration.
+
+        Raises :class:`~repro.utils.errors.CellQuarantinedError` for a
+        cell a keep-going grid already gave up on — recomputing it
+        in-parent would hit the exact failure the executor spent a
+        retry budget on.
+        """
+        cell_key = (task, dataset, architecture, strategy)
+        if cell_key not in self._cache:
+            failure = self.failure_for(*cell_key)
+            if failure is not None:
+                raise CellQuarantinedError(
+                    f"grid cell {task}/{dataset}/{architecture}/{strategy} was "
+                    f"quarantined ({failure.kind} after {failure.attempts} "
+                    "attempt(s)); use try_run() for degraded-mode rendering",
+                    failure=failure,
+                )
         if strategy == "synchronous":
             return self._run_sync(task, dataset, architecture)
         key = (task, dataset, architecture, strategy)
@@ -219,7 +284,12 @@ class ExperimentContext:
         computes the cells (process pool, shared-base dedup, optional
         store resume) with bit-identical results.
         """
-        if self.jobs <= 1 and self.store is None:
+        if (
+            self.jobs <= 1
+            and self.store is None
+            and not self.keep_going
+            and self.fault_plan is None
+        ):
             return
         from .executor import GridExecutor
 

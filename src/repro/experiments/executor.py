@@ -25,8 +25,27 @@ serial path:
   run's totals (modulo the ``grid.*`` bookkeeping keys, which only a
   grid run emits).
 * **Resumability.**  With a :class:`~repro.experiments.store.ResultStore`
-  attached, every completed cell is persisted keyed by its config hash;
+  attached, every completed cell is persisted *the moment it finishes*
+  — an aborted grid never loses the cells that did complete — and
   ``resume=True`` replays stored cells instead of recomputing them.
+
+Failure handling comes in two modes (see docs/RESILIENCE.md):
+
+* **fail-fast** (the default, the historical behaviour): the first
+  worker failure tears the grid down and raises a structured
+  :class:`~repro.utils.errors.WorkerError`, after flushing every
+  already-completed cell to the store.
+* **keep-going** (``ExperimentContext.keep_going``): every job runs in
+  its own supervised process with a heartbeat; crashes, stalls, worker
+  exceptions and non-finite results are retried under a
+  :class:`~repro.faults.CellRetryPolicy` (exponential backoff, shared
+  budget, per-attempt deadline + heartbeat watchdog, step-size backoff
+  for divergence) and cells that exhaust their budget are *quarantined*
+  as structured :class:`~repro.experiments.resilience.CellFailure`
+  records — the grid completes, degraded, instead of aborting.
+
+Grid-level fault kinds (``cell-kill`` / ``cell-stall`` / ``cell-nan``)
+from a :class:`~repro.faults.FaultPlan` chaos-test exactly these paths.
 
 Workers disable nested reference-loss parallelism
 (``REPRO_REFERENCE_JOBS=1`` via the pool initialiser) so a grid of N
@@ -35,19 +54,26 @@ workers never forks N pools of M processes.
 
 from __future__ import annotations
 
+import heapq
+import math
 import multiprocessing as mp
 import os
+import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from typing import TYPE_CHECKING, Any
 
+from ..faults.recovery import CellRetryPolicy
 from ..sgd.runner import TrainResult, train
 from ..telemetry import keys
 from ..telemetry.manifest import build_manifest
 from ..telemetry.session import Telemetry, ensure_telemetry
-from ..utils.errors import ConfigurationError, WorkerError
+from ..utils.errors import ConfigurationError, DivergenceError, WorkerError
+from .resilience import CellFailure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .common import ExperimentContext
@@ -62,6 +88,15 @@ STRATEGIES = ("synchronous", "asynchronous")
 #: crash-recovery path can be exercised without a real fault.  Read
 #: from the environment (inherited by fork and spawn alike).
 _CRASH_ENV = "REPRO_GRID_TEST_CRASH"
+
+#: Exit code of a worker killed by an injected ``cell-kill`` fault
+#: (distinctive, so post-mortems can tell injected deaths from real
+#: ones).
+_KILL_EXIT_CODE = 23
+
+#: Fallback sleep for a ``cell-stall`` fault with no explicit seconds:
+#: long enough that any sane watchdog fires first.
+_DEFAULT_STALL_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +136,9 @@ class _Job:
     result: TrainResult | None = None
     source: str = "executed"
     worker_pid: int | None = None
+    #: Set instead of ``result`` when keep-going mode quarantined the
+    #: cell (``source`` becomes ``"quarantined"``).
+    failure: CellFailure | None = None
 
 
 def _worker_init() -> None:
@@ -108,11 +146,37 @@ def _worker_init() -> None:
     os.environ["REPRO_REFERENCE_JOBS"] = "1"
 
 
+def _apply_grid_fault(payload: dict[str, Any]) -> str | None:
+    """Fire a scheduled grid fault inside the worker, if armed.
+
+    ``cell-kill`` and ``cell-stall`` act here (the process dies or
+    wedges); ``cell-nan`` returns ``"nan"`` so the caller can poison
+    the finished result.  A fault with a ``wK`` worker token only fires
+    on attempts 1..K — the vehicle for *transient* faults that a retry
+    heals.
+    """
+    fault = payload.get("grid_fault")
+    if fault is None:
+        return None
+    attempt = payload.get("grid_attempt", 1)
+    fire_through = fault.get("attempts")
+    if fire_through is not None and attempt > fire_through:
+        return None
+    kind = fault["kind"]
+    if kind == "cell-kill":  # pragma: no cover - dies by design
+        os._exit(_KILL_EXIT_CODE)
+    if kind == "cell-stall":
+        time.sleep(fault.get("seconds") or _DEFAULT_STALL_SECONDS)
+        return None
+    return "nan"
+
+
 def _execute_job(payload: dict[str, Any]) -> dict[str, Any]:
     """Train one configuration (runs in a worker, or in-parent for jobs=1)."""
     crash = payload.get("crash")
     if crash is not None:  # pragma: no cover - dies by design
         os._exit(int(crash))
+    poison = _apply_grid_fault(payload)
     tel = Telemetry() if payload.get("telemetry") else None
     result = train(
         payload["task"],
@@ -128,11 +192,85 @@ def _execute_job(payload: dict[str, Any]) -> dict[str, Any]:
         gpu_model=payload.get("gpu_model"),
         telemetry=tel,
     )
+    if poison == "nan":
+        result.diverged = True
     return {
         "result": result,
         "telemetry": tel.snapshot_for_merge() if tel is not None else None,
         "pid": os.getpid(),
     }
+
+
+def _resilient_worker(payload, conn, heartbeat, interval: float) -> None:
+    """Entry point of one supervised keep-going worker process.
+
+    Injected kill/stall faults fire *before* the heartbeat thread
+    starts, so a stalled worker's heartbeat stays at its spawn value
+    and the parent watchdog sees the silence.  Everything the worker
+    has to say goes back over *conn* as one dict: ``{"ok": True, ...}``
+    with the trained result, or ``{"ok": False, ...}`` describing the
+    exception.  A worker that dies without sending is a crash.
+    """
+    os.environ["REPRO_REFERENCE_JOBS"] = "1"
+    payload = dict(payload)
+    poison = _apply_grid_fault(payload)
+    payload.pop("grid_fault", None)
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.time()
+            stop.wait(interval)
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+    try:
+        out = _execute_job(payload)
+        if poison == "nan":
+            out["result"].diverged = True
+        conn.send({"ok": True, **out})
+    except BaseException as exc:  # noqa: BLE001 - ships the failure home
+        try:
+            conn.send(
+                {
+                    "ok": False,
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "pid": os.getpid(),
+                }
+            )
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        stop.set()
+        conn.close()
+
+
+def _result_is_finite(result: TrainResult) -> bool:
+    """The divergence sentinel's check: every reported loss is finite."""
+    if result.diverged:
+        return False
+    return all(math.isfinite(loss) for loss in result.curve.losses)
+
+
+@dataclass
+class _CellState:
+    """Parent-side supervision state of one keep-going job."""
+
+    job: _Job
+    index: int  # 1-based submission index (= FaultSpec.epoch)
+    fault: dict[str, Any] | None = None
+    attempts: int = 0
+    resubmissions: int = 0  # backoff exponent
+    divergence_retries: int = 0
+    step_size: float | None = None  # backed-off step, once diverged
+    errors: list[dict[str, Any]] = field(default_factory=list)
+    pids: list[int | None] = field(default_factory=list)
+    first_spawn: float | None = None
+    proc: Any = None
+    conn: Any = None
+    heartbeat: Any = None
+    spawned_at: float = 0.0
 
 
 def _hw_fingerprint(ctx: "ExperimentContext") -> dict[str, Any]:
@@ -211,19 +349,35 @@ class GridExecutor:
         config = {
             k: v
             for k, v in payload.items()
-            if k not in ("telemetry", "crash", "cpu_model", "gpu_model")
+            if k
+            not in (
+                "telemetry",
+                "crash",
+                "cpu_model",
+                "gpu_model",
+                "grid_fault",
+                "grid_attempt",
+            )
         }
         if payload["kind"] == "sync-base":
             config["hardware"] = _hw_fingerprint(self.ctx)
         return config
 
     def _plan(self, cells: list[GridCell]) -> list[_Job]:
-        """Map requested cells onto the minimal set of worker jobs."""
+        """Map requested cells onto the minimal set of worker jobs.
+
+        Cells this context already quarantined are *not* re-planned:
+        quarantine is sticky for the lifetime of the context (a fresh
+        context — or a resumed run, which ignores failure files —
+        retries them).
+        """
         ctx = self.ctx
         jobs: list[_Job] = []
         sync_bases: dict[tuple[str, str], _Job] = {}
         for cell in cells:
             if cell.key in ctx._cache:
+                continue
+            if ctx.failure_for(*cell.key) is not None:
                 continue
             if cell.strategy == "synchronous":
                 group = (cell.task, cell.dataset)
@@ -277,17 +431,57 @@ class GridExecutor:
         job.source = "resumed"
         return True
 
+    def _persist(self, job: _Job) -> None:
+        """Flush one completed job to the store, immediately.
+
+        Called the moment a result lands (in-parent, pool collect loop,
+        resilient scheduler, and the abort-path sweep), so partial
+        progress survives any later failure of the same grid.
+        """
+        ctx = self.ctx
+        if (
+            ctx.store is not None
+            and job.source == "executed"
+            and job.result is not None
+        ):
+            ctx.store.save(
+                job.config, job.result, include_trace=job.kind == "sync-base"
+            )
+
+    def _grid_faults(self, to_run: list[_Job]) -> dict[int, dict[str, Any]]:
+        """Injected grid faults keyed by 1-based job submission index."""
+        ctx = self.ctx
+        if ctx.fault_plan is None:
+            return {}
+        return ctx.fault_plan.resolve_grid(len(to_run))
+
     def _run_jobs(self, jobs: list[_Job], tel, parent_span) -> None:
-        """Execute the planned jobs, serially or over a process pool."""
+        """Execute the planned jobs, serially or over worker processes."""
         ctx = self.ctx
         to_run = [job for job in jobs if job.result is None]
         if not to_run:
             return
+        if ctx.keep_going:
+            self._run_jobs_resilient(to_run, tel, parent_span)
+            return
+        faults = self._grid_faults(to_run)
         if ctx.jobs <= 1 or len(to_run) == 1:
+            # In-parent: grid faults are not injected here (a cell-kill
+            # would take the parent down with it); fail-fast in-parent
+            # keeps the historical semantics, now with a structured
+            # wrapper and per-cell flushing.
             for job in to_run:
-                out = _execute_job(job.payload)
+                try:
+                    out = _execute_job(job.payload)
+                except Exception as exc:
+                    tel.count(keys.GRID_WORKER_FAILURES)
+                    raise WorkerError(
+                        f"grid cell {job.cell.label()} failed in-parent: {exc}",
+                        phase="grid-cell",
+                    ) from exc
                 job.result = out["result"]
                 job.worker_pid = out["pid"]
+                self._persist(job)
                 if out["telemetry"] is not None:
                     tel.merge_snapshot(out["telemetry"], parent_span=parent_span)
             return
@@ -297,7 +491,16 @@ class GridExecutor:
             initializer=_worker_init,
         )
         try:
-            futures = [(job, pool.submit(_execute_job, job.payload)) for job in to_run]
+            futures = []
+            for index, job in enumerate(to_run, start=1):
+                payload = job.payload
+                if index in faults:
+                    payload = {
+                        **payload,
+                        "grid_fault": faults[index],
+                        "grid_attempt": 1,
+                    }
+                futures.append((job, pool.submit(_execute_job, payload)))
             # Collect in submission order: the telemetry merge and the
             # cache fill become deterministic regardless of scheduling.
             for job, future in futures:
@@ -308,6 +511,7 @@ class GridExecutor:
                     # the cell named here is the first affected one in
                     # submission order, not necessarily the killer.
                     tel.count(keys.GRID_WORKER_FAILURES)
+                    self._flush_completed(futures)
                     raise WorkerError(
                         "grid worker process died abruptly "
                         f"(first affected cell {job.cell.label()}): {exc}",
@@ -315,29 +519,332 @@ class GridExecutor:
                     ) from exc
                 except Exception as exc:
                     tel.count(keys.GRID_WORKER_FAILURES)
+                    self._flush_completed(futures)
                     raise WorkerError(
                         f"grid cell {job.cell.label()} failed in worker: {exc}",
                         phase="grid-cell",
                     ) from exc
                 job.result = out["result"]
                 job.worker_pid = out["pid"]
+                self._persist(job)
                 if out["telemetry"] is not None:
                     tel.merge_snapshot(out["telemetry"], parent_span=parent_span)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
+    def _flush_completed(self, futures) -> None:
+        """Abort-path sweep: persist every future that did complete.
+
+        The submission-order collect loop may be stuck on job k while
+        jobs k+1.. already finished; without this sweep their results
+        would be lost when the grid raises.
+        """
+        for job, future in futures:
+            if job.result is not None:
+                continue
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                if future.exception() is not None:
+                    continue
+                out = future.result()
+            except Exception:  # pragma: no cover - racing a dying pool
+                continue
+            job.result = out["result"]
+            job.worker_pid = out["pid"]
+            self._persist(job)
+
+    # -- keep-going scheduler -----------------------------------------
+
+    def _run_jobs_resilient(self, to_run: list[_Job], tel, parent_span) -> None:
+        """Supervised per-job processes with retry, watchdog, quarantine.
+
+        Every job gets its own process, pipe and heartbeat slot.  The
+        parent runs an event loop over the pipes: results are collected
+        as they land (each immediately persisted), failures are retried
+        with exponential backoff under the shared
+        :class:`~repro.faults.CellRetryPolicy` budget, wedged workers
+        are killed by the deadline/heartbeat watchdog, and non-finite
+        results get one step-size-backoff retry before quarantine.
+        Telemetry snapshots are buffered and merged in submission order
+        after the loop, so the merge stays deterministic even though
+        completion order is not.
+        """
+        ctx = self.ctx
+        policy = ctx.retry if ctx.retry is not None else CellRetryPolicy()
+        mp_ctx = _fork_context()
+        faults = self._grid_faults(to_run)
+        states = [
+            _CellState(job=job, index=i, fault=faults.get(i))
+            for i, job in enumerate(to_run, start=1)
+        ]
+        pending: deque[_CellState] = deque(states)
+        delayed: list[tuple[float, int, _CellState]] = []
+        running: dict[Any, _CellState] = {}
+        snapshots: dict[int, dict[str, Any]] = {}
+        budget = policy.max_restarts
+        max_workers = min(max(1, ctx.jobs), len(to_run))
+        push_seq = 0
+        if policy.heartbeat_timeout is not None:
+            beat_interval = max(0.01, min(policy.heartbeat_timeout / 4.0, 0.5))
+        else:
+            beat_interval = 0.5
+
+        def _spawn(state: _CellState) -> None:
+            state.attempts += 1
+            payload = dict(state.job.payload)
+            if state.step_size is not None:
+                payload["step_size"] = state.step_size
+            if state.fault is not None:
+                payload["grid_fault"] = state.fault
+                payload["grid_attempt"] = state.attempts
+            recv_conn, send_conn = mp_ctx.Pipe(duplex=False)
+            heartbeat = mp_ctx.Value("d", time.time())
+            proc = mp_ctx.Process(
+                target=_resilient_worker,
+                args=(payload, send_conn, heartbeat, beat_interval),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()
+            now = time.monotonic()
+            if state.first_spawn is None:
+                state.first_spawn = now
+            state.proc, state.conn, state.heartbeat = proc, recv_conn, heartbeat
+            state.spawned_at = now
+            state.pids.append(proc.pid)
+            running[recv_conn] = state
+
+        def _reap(state: _CellState) -> None:
+            proc = state.proc
+            try:
+                state.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if proc is None:
+                return
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - refuses to die
+                proc.kill()
+                proc.join()
+            state.proc = state.conn = state.heartbeat = None
+
+        def _quarantine(
+            state: _CellState, kind: str, *, budget_exhausted: bool
+        ) -> None:
+            job = state.job
+            elapsed = time.monotonic() - (state.first_spawn or time.monotonic())
+            failure = CellFailure(
+                task=job.cell.task,
+                dataset=job.cell.dataset,
+                architecture=job.cell.architecture,
+                strategy=job.cell.strategy,
+                kind=kind,
+                phase="collect" if kind == "divergence" else "train",
+                attempts=state.attempts,
+                error_chain=tuple(state.errors),
+                elapsed_seconds=elapsed,
+                worker_pids=tuple(state.pids),
+                budget_exhausted=budget_exhausted,
+                covers=tuple(c.label() for c in job.covers),
+            )
+            job.failure = failure
+            job.source = "quarantined"
+            tel.count(keys.GRID_QUARANTINE_CELLS, len(job.covers))
+            if budget_exhausted:
+                tel.count(keys.GRID_QUARANTINE_BUDGET_EXHAUSTED)
+
+        def _failed(state: _CellState, kind: str, entry: dict[str, Any]) -> None:
+            nonlocal budget, push_seq
+            entry = {**entry, "attempt": state.attempts, "kind": kind}
+            state.errors.append(entry)
+            if kind == "crash":
+                tel.count(keys.GRID_RETRY_CRASHES)
+            elif kind == "stall":
+                tel.count(keys.GRID_RETRY_STALLS)
+            elif kind == "divergence":
+                tel.count(keys.GRID_RETRY_DIVERGENCES)
+            else:
+                tel.count(keys.GRID_WORKER_FAILURES)
+            if kind == "divergence":
+                retry_ok = state.divergence_retries < policy.divergence_retries
+            else:
+                retry_ok = state.attempts < policy.max_attempts
+            if not retry_ok:
+                _quarantine(state, kind, budget_exhausted=False)
+                return
+            if budget <= 0:
+                _quarantine(state, kind, budget_exhausted=True)
+                return
+            budget -= 1
+            if kind == "divergence":
+                state.divergence_retries += 1
+                current = (
+                    state.step_size
+                    if state.step_size is not None
+                    else state.job.payload["step_size"]
+                )
+                state.step_size = current * policy.step_backoff
+            delay = policy.retry_delay(state.resubmissions)
+            state.resubmissions += 1
+            tel.count(keys.GRID_RETRY_ATTEMPTS)
+            tel.count(keys.GRID_RETRY_BACKOFF_SECONDS, delay)
+            push_seq += 1
+            heapq.heappush(delayed, (time.monotonic() + delay, push_seq, state))
+
+        def _collect(state: _CellState) -> None:
+            try:
+                msg = state.conn.recv()
+            except (EOFError, OSError):
+                msg = None
+            proc = state.proc
+            _reap(state)
+            if msg is None:
+                exitcode = proc.exitcode if proc is not None else None
+                _failed(
+                    state,
+                    "crash",
+                    {
+                        "type": "WorkerCrash",
+                        "message": (
+                            f"worker pid {state.pids[-1]} died without a result "
+                            f"(exit code {exitcode})"
+                        ),
+                    },
+                )
+                return
+            if not msg.get("ok"):
+                _failed(
+                    state,
+                    "exception",
+                    {
+                        "type": msg.get("type", "Exception"),
+                        "message": msg.get("message", ""),
+                    },
+                )
+                return
+            job = state.job
+            result = msg["result"]
+            if not _result_is_finite(result):
+                step = (
+                    state.step_size
+                    if state.step_size is not None
+                    else job.payload["step_size"]
+                )
+                err = DivergenceError(
+                    f"non-finite loss from grid cell {job.cell.label()} "
+                    f"at step size {step:g}",
+                    cell=job.cell.label(),
+                    step_size=step,
+                    attempt=state.attempts,
+                )
+                _failed(
+                    state, "divergence", {"type": "DivergenceError", **err.describe()}
+                )
+                return
+            if state.step_size is not None:
+                # The divergence sentinel changed the step: the store
+                # key must describe the run that actually produced this
+                # result.
+                job.payload = {**job.payload, "step_size": state.step_size}
+                job.config = self._config(job.payload)
+            job.result = result
+            job.worker_pid = msg["pid"]
+            self._persist(job)
+            if msg.get("telemetry") is not None:
+                snapshots[id(job)] = msg["telemetry"]
+
+        def _watchdog() -> None:
+            now_m = time.monotonic()
+            now_w = time.time()
+            wedged = []
+            for state in running.values():
+                if (
+                    policy.deadline is not None
+                    and now_m - state.spawned_at > policy.deadline
+                ):
+                    wedged.append((state, "deadline", now_m - state.spawned_at))
+                elif (
+                    policy.heartbeat_timeout is not None
+                    and now_w - state.heartbeat.value > policy.heartbeat_timeout
+                ):
+                    wedged.append((state, "heartbeat", now_w - state.heartbeat.value))
+            for state, why, silence in wedged:
+                running.pop(state.conn, None)
+                proc = state.proc
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+                _reap(state)
+                _failed(
+                    state,
+                    "stall",
+                    {
+                        "type": "WorkerStall",
+                        "message": (
+                            f"worker pid {state.pids[-1]} killed by the {why} "
+                            f"watchdog after {silence:.1f}s"
+                        ),
+                    },
+                )
+
+        def _tick_timeout() -> float:
+            candidates = [0.5]
+            now_m = time.monotonic()
+            if delayed:
+                candidates.append(delayed[0][0] - now_m)
+            now_w = time.time()
+            for state in running.values():
+                if policy.deadline is not None:
+                    candidates.append(policy.deadline - (now_m - state.spawned_at))
+                if policy.heartbeat_timeout is not None:
+                    candidates.append(
+                        policy.heartbeat_timeout - (now_w - state.heartbeat.value)
+                    )
+            return max(0.02, min(candidates))
+
+        try:
+            while pending or delayed or running:
+                now_m = time.monotonic()
+                while delayed and delayed[0][0] <= now_m:
+                    pending.append(heapq.heappop(delayed)[2])
+                while pending and len(running) < max_workers:
+                    _spawn(pending.popleft())
+                if not running:
+                    if delayed:
+                        time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                for conn in _conn_wait(list(running), timeout=_tick_timeout()):
+                    state = running.pop(conn)
+                    _collect(state)
+                _watchdog()
+        finally:
+            for state in list(running.values()):
+                proc = state.proc
+                if proc is not None and proc.is_alive():  # pragma: no cover - abort
+                    proc.kill()
+                _reap(state)
+        # Deterministic merge: submission order, final attempts only.
+        for job in to_run:
+            snap = snapshots.get(id(job))
+            if snap is not None:
+                tel.merge_snapshot(snap, parent_span=parent_span)
+
+    # -- merge and provenance -----------------------------------------
+
     def _merge(self, cells: list[GridCell], jobs: list[_Job], tel) -> None:
-        """Fold job results into the context cache and persist them."""
+        """Fold job results (and quarantines) into the context."""
         ctx = self.ctx
         for job in jobs:
-            assert job.result is not None
-            ctx._cache[job.cell.key] = job.result
-            if ctx.store is not None and job.source == "executed":
-                ctx.store.save(
-                    job.config,
-                    job.result,
-                    include_trace=job.kind == "sync-base",
+            if job.result is None:
+                failure = job.failure
+                assert failure is not None, (
+                    "job finished with neither result nor failure"
                 )
+                ctx.failures[job.cell.key] = failure
+                if ctx.store is not None:
+                    ctx.store.save_failure(job.config, failure)
+                continue
+            ctx._cache[job.cell.key] = job.result
             tel.count(keys.GRID_CELLS_EXECUTED if job.source == "executed" else keys.GRID_CELLS_RESUMED)
             if len(job.covers) > 1:
                 tel.count(keys.GRID_CELLS_DEDUPED, len(job.covers) - 1)
@@ -369,8 +876,27 @@ class GridExecutor:
             record["worker_pid"] = pid
         self.cell_records.append(record)
 
+    def _record_quarantined(self, cell: GridCell, failure: CellFailure) -> None:
+        self.cell_records.append(
+            {
+                "cell": {
+                    "task": cell.task,
+                    "dataset": cell.dataset,
+                    "architecture": cell.architecture,
+                    "strategy": cell.strategy,
+                },
+                "source": "quarantined",
+                "failure": failure.describe(),
+            }
+        )
+
     def execute(self, cells: list[GridCell]) -> dict[GridCell, TrainResult]:
-        """Produce every requested cell; returns cell -> result."""
+        """Produce every requested cell; returns cell -> result.
+
+        Quarantined cells (keep-going mode) are absent from the result
+        map; their :class:`CellFailure` lands in ``ctx.failures`` and
+        as a ``source="quarantined"`` record in the grid manifest.
+        """
         ctx = self.ctx
         tel = ensure_telemetry(ctx.telemetry)
         if ctx.resume and ctx.store is None:
@@ -403,6 +929,10 @@ class GridExecutor:
                     job_by_cell[covered.key] = job
             results: dict[GridCell, TrainResult] = {}
             for cell in cells:
+                failure = ctx.failure_for(*cell.key)
+                if failure is not None and cell.key not in ctx._cache:
+                    self._record_quarantined(cell, failure)
+                    continue
                 job = job_by_cell.get(cell.key)
                 if cell in cached:
                     source = "cached"

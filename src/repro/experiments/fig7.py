@@ -7,6 +7,12 @@ hyper-parameters, loss measured against wall-clock time.  The paper's
 conclusion — and this driver's shape check — is that **neither side
 wins everywhere**: the winner is task- and dataset-dependent, mirroring
 the classic BGD-vs-SGD trade-off.
+
+Degraded mode: a panel needs both sides.  On a keep-going grid, a
+panel whose sync-GPU run — or both async CPU candidates — was
+quarantined is listed as a gap (``-`` columns, winner ``quarantined``)
+instead of aborting the figure; if only one async candidate was lost,
+the surviving one stands in (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass, field
 from ..sgd.runner import TrainResult
 from ..utils.tables import render_line_chart, render_table
 from .common import ExperimentContext
+from .resilience import CellFailure, render_failure_section
 
 __all__ = ["Fig7Panel", "Fig7Result", "run_fig7"]
 
@@ -68,6 +75,10 @@ class Fig7Result:
     """All panels plus the winners summary."""
 
     panels: list[Fig7Panel] = field(default_factory=list)
+    #: (task, dataset) pairs with no renderable panel (quarantined).
+    gaps: list[tuple[str, str]] = field(default_factory=list)
+    #: Quarantine records behind the gaps (keep-going grids only).
+    failures: list[CellFailure] = field(default_factory=list)
 
     def panel(self, task: str, dataset: str) -> Fig7Panel:
         """Look up one panel."""
@@ -87,9 +98,13 @@ class Fig7Result:
             [p.task, p.dataset, p.sync_time, p.async_time, p.winner]
             for p in self.panels
         ]
-        return render_table(
+        rows += [
+            [task, dataset, None, None, "quarantined"] for task, dataset in self.gaps
+        ]
+        table = render_table(
             headers, rows, title="Fig. 7: synchronous GPU vs asynchronous CPU"
         )
+        return table + render_failure_section(self.failures)
 
     # -- paper shape check ---------------------------------------------------
 
@@ -115,12 +130,30 @@ def run_fig7(ctx: ExperimentContext | None = None) -> Fig7Result:
     result = Fig7Result()
     for task in ctx.tasks:
         for dataset in ctx.datasets:
+            sync_gpu = ctx.try_run(task, dataset, "gpu", "synchronous")
+            seq = ctx.try_run(task, dataset, "cpu-seq", "asynchronous")
+            par = ctx.try_run(task, dataset, "cpu-par", "asynchronous")
+            if seq is not None and par is not None:
+                async_cpu = ctx.best_async_cpu(task, dataset)
+            else:
+                async_cpu = seq if seq is not None else par
+            if sync_gpu is None or async_cpu is None:
+                result.gaps.append((task, dataset))
+                for cell in (
+                    (task, dataset, "gpu", "synchronous"),
+                    (task, dataset, "cpu-seq", "asynchronous"),
+                    (task, dataset, "cpu-par", "asynchronous"),
+                ):
+                    failure = ctx.failure_for(*cell)
+                    if failure is not None and failure not in result.failures:
+                        result.failures.append(failure)
+                continue
             result.panels.append(
                 Fig7Panel(
                     task=task,
                     dataset=dataset,
-                    sync_gpu=ctx.run(task, dataset, "gpu", "synchronous"),
-                    async_cpu=ctx.best_async_cpu(task, dataset),
+                    sync_gpu=sync_gpu,
+                    async_cpu=async_cpu,
                     tolerance=ctx.tolerance,
                 )
             )

@@ -10,6 +10,12 @@ Paper shape: our implementations provide similar or *better* GPU
 speedup than the frameworks (their kernels are the reference points
 proving ours are efficient), with BIDMach's advantage collapsing on
 sparse data (its GPU kernels are dense-optimised).
+
+Degraded mode: every bar group hangs off the shared ``cpu-seq``
+synchronous run (its epoch trace feeds all per-system timings), so on
+a keep-going grid a quarantined base drops its whole (task, dataset)
+group — rendered as a ``-`` row plus a failure-report entry instead of
+aborting the figure (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from ..models import make_model
 from ..sgd.runner import working_set_bytes
 from ..utils.tables import render_bar_chart, render_table
 from .common import ExperimentContext
+from .resilience import CellFailure, render_failure_section
 
 __all__ = ["SpeedupEntry", "Fig89Result", "run_fig8", "run_fig9"]
 
@@ -43,6 +50,10 @@ class Fig89Result:
 
     figure: str
     entries: list[SpeedupEntry] = field(default_factory=list)
+    #: (task, dataset) groups dropped by a quarantined base run.
+    gaps: list[tuple[str, str]] = field(default_factory=list)
+    #: Quarantine records behind the gaps (keep-going grids only).
+    failures: list[CellFailure] = field(default_factory=list)
 
     def get(self, task: str, dataset: str, system: str) -> float:
         """Speedup of one (task, dataset, system) bar."""
@@ -69,12 +80,17 @@ class Fig89Result:
         rows = [
             [t, d] + [self.get(t, d, s) for s in self.systems()] for t, d in keys
         ]
+        rows += [
+            [t, d] + [None] * len(self.systems()) for t, d in self.gaps
+        ]
         table = render_table(
             headers, rows, title=f"{self.figure}: GPU over parallel-CPU speedup"
         )
         labels = [f"{t}/{d}/{s}" for t, d in keys for s in self.systems()]
         values = [self.get(t, d, s) for t, d in keys for s in self.systems()]
-        return table + "\n\n" + render_bar_chart(labels, values, unit="x")
+        chart = render_bar_chart(labels, values, unit="x") if values else ""
+        out = table + ("\n\n" + chart if chart else "")
+        return out + render_failure_section(self.failures)
 
     # -- paper shape checks -----------------------------------------------
 
@@ -91,9 +107,13 @@ class Fig89Result:
         return True
 
 
-def _sync_speedups(ctx: ExperimentContext, task: str, dataset: str) -> dict[str, float]:
-    """ours-sync / framework speedups from the shared epoch trace."""
-    run = ctx.run(task, dataset, "cpu-seq", "synchronous")
+def _sync_speedups(
+    ctx: ExperimentContext, task: str, dataset: str
+) -> dict[str, float] | None:
+    """ours-sync / framework speedups, or ``None`` if the base is gone."""
+    run = ctx.try_run(task, dataset, "cpu-seq", "synchronous")
+    if run is None:
+        return None
     assert run.epoch_trace is not None
     ds = load_mlp(dataset, ctx.scale, ctx.seed) if task == "mlp" else load(
         dataset, ctx.scale, ctx.seed
@@ -136,6 +156,12 @@ def _run_figure(ctx: ExperimentContext, figure: str, tasks: tuple[str, ...]) -> 
     for task in tasks:
         for dataset in ctx.datasets:
             sync = _sync_speedups(ctx, task, dataset)
+            if sync is None:
+                result.gaps.append((task, dataset))
+                failure = ctx.failure_for(task, dataset, "cpu-seq", "synchronous")
+                if failure is not None and failure not in result.failures:
+                    result.failures.append(failure)
+                continue
             for system, speedup in sync.items():
                 result.entries.append(SpeedupEntry(task, dataset, system, speedup))
             result.entries.append(

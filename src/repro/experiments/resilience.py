@@ -1,0 +1,168 @@
+"""Structured failure records for the resilient experiment grid.
+
+A keep-going grid run never lets one dead, wedged or diverging cell
+abort the whole evaluation: the cell is retried under a
+:class:`repro.faults.CellRetryPolicy` and, once its budget is spent,
+*quarantined* — recorded as a :class:`CellFailure` in the context, the
+result store and the grid manifest, while every healthy cell proceeds
+untouched.  Table/figure drivers render quarantined cells as explicit
+gap markers plus the failure-report section produced by
+:func:`render_failure_section`.  See docs/RESILIENCE.md for the full
+failure-handling matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FAILURE_KINDS", "CellFailure", "nan_to_gap", "render_failure_section"]
+
+#: How a quarantined cell failed, in documentation order:
+#: ``crash`` — the worker process died without returning a result;
+#: ``stall`` — the deadline/heartbeat watchdog killed a wedged worker;
+#: ``exception`` — the cell raised inside the worker;
+#: ``divergence`` — the result kept coming back with non-finite losses
+#: even after step-size backoff.
+FAILURE_KINDS: tuple[str, ...] = ("crash", "stall", "exception", "divergence")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One quarantined grid cell: who failed, how, and what it cost.
+
+    Attributes
+    ----------
+    task / dataset / architecture / strategy:
+        Identity of the *executed* cell (for a synchronous group this
+        is the shared ``cpu-seq`` base; ``covers`` lists every
+        requested cell the quarantine gaps out).
+    kind:
+        One of :data:`FAILURE_KINDS` — the final attempt's failure mode.
+    phase:
+        Where the last attempt failed: ``"spawn"``, ``"train"`` or
+        ``"collect"``.
+    attempts:
+        Executions consumed before giving up.
+    error_chain:
+        One ``{"type", "message", "attempt", "kind"}`` record per failed
+        attempt, oldest first — the exception chain across retries.
+    elapsed_seconds:
+        Wall clock from the first spawn to the quarantine decision,
+        backoff waits included.
+    worker_pids:
+        Pid of each attempt's worker process (``None`` when the process
+        died before reporting one).
+    budget_exhausted:
+        True when the quarantine was forced by the grid-wide shared
+        retry budget rather than the cell's own attempt cap.
+    """
+
+    task: str
+    dataset: str
+    architecture: str
+    strategy: str
+    kind: str
+    phase: str
+    attempts: int
+    error_chain: tuple[dict[str, Any], ...] = ()
+    elapsed_seconds: float = 0.0
+    worker_pids: tuple[int | None, ...] = ()
+    budget_exhausted: bool = False
+    covers: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "error_chain", tuple(self.error_chain))
+        object.__setattr__(self, "worker_pids", tuple(self.worker_pids))
+        object.__setattr__(self, "covers", tuple(self.covers))
+
+    def label(self) -> str:
+        return f"{self.task}/{self.dataset}/{self.architecture}/{self.strategy}"
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict form for stores and manifests (JSON-ready)."""
+        return {
+            "cell": {
+                "task": self.task,
+                "dataset": self.dataset,
+                "architecture": self.architecture,
+                "strategy": self.strategy,
+            },
+            "kind": self.kind,
+            "phase": self.phase,
+            "attempts": self.attempts,
+            "error_chain": [dict(e) for e in self.error_chain],
+            "elapsed_seconds": self.elapsed_seconds,
+            "worker_pids": list(self.worker_pids),
+            "budget_exhausted": self.budget_exhausted,
+            "covers": list(self.covers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellFailure":
+        """Rebuild a failure from its :meth:`describe` form."""
+        cell = data["cell"]
+        return cls(
+            task=cell["task"],
+            dataset=cell["dataset"],
+            architecture=cell["architecture"],
+            strategy=cell["strategy"],
+            kind=data["kind"],
+            phase=data["phase"],
+            attempts=data["attempts"],
+            error_chain=tuple(data.get("error_chain", ())),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            worker_pids=tuple(data.get("worker_pids", ())),
+            budget_exhausted=data.get("budget_exhausted", False),
+            covers=tuple(data.get("covers", ())),
+        )
+
+    def summary(self) -> str:
+        """One-line human rendering for failure-report sections."""
+        last = self.error_chain[-1] if self.error_chain else None
+        reason = f"{last['type']}: {last['message']}" if last else self.kind
+        tail = " (shared retry budget exhausted)" if self.budget_exhausted else ""
+        return (
+            f"{self.label()}: {self.kind} after {self.attempts} attempt(s) "
+            f"in phase {self.phase!r}, {self.elapsed_seconds:.1f}s — {reason}{tail}"
+        )
+
+
+def nan_to_gap(value: Any) -> Any:
+    """Map a quarantined cell's NaN field to ``None`` — the ``-`` marker.
+
+    Drivers keep gap fields as NaN inside their (float-typed, frozen)
+    row dataclasses and convert at render time; ``inf`` — a *measured*
+    never-converged run, the paper's own notation — passes through
+    untouched.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def render_failure_section(failures: list[CellFailure]) -> str:
+    """The degraded-mode failure report appended to table/figure renders.
+
+    Empty string when there is nothing to report, so healthy renders
+    are byte-identical to what they always were.
+    """
+    if not failures:
+        return ""
+    lines = [
+        "",
+        f"quarantined cells ({len(failures)} — grid ran with --keep-going; "
+        "'-' marks the gaps above):",
+    ]
+    seen: set[str] = set()
+    for failure in failures:
+        if failure.label() in seen:
+            continue
+        seen.add(failure.label())
+        lines.append(f"  ! {failure.summary()}")
+        if failure.covers and set(failure.covers) != {failure.label()}:
+            lines.append(
+                "      gaps: " + ", ".join(failure.covers)
+            )
+    return "\n".join(lines)

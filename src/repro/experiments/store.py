@@ -13,6 +13,13 @@ so a cell file is either absent or complete — a worker killed
 mid-write leaves nothing behind that a resume could trip over.
 Unreadable or corrupt files are treated as cache misses and the cell
 is recomputed.
+
+Quarantined cells (keep-going grids, docs/RESILIENCE.md) are recorded
+next to the results as ``<key>.failure.json`` files holding the
+structured :class:`~repro.experiments.resilience.CellFailure`.
+Failure files are *post-mortems, not results*: ``load`` never returns
+them, ``len()`` does not count them, and a resumed grid ignores them —
+a failed cell is retried on resume, not skipped.
 """
 
 from __future__ import annotations
@@ -27,10 +34,12 @@ from typing import Any
 from ..sgd.runner import TrainResult
 from ..sgd.serialize import result_from_dict, result_to_dict
 from ..utils.errors import ConfigurationError
+from .resilience import CellFailure
 
 __all__ = ["ResultStore", "config_key"]
 
 _STORE_SCHEMA = "repro.experiments/result-store/v1"
+_FAILURE_SCHEMA = "repro.experiments/cell-failure/v1"
 
 
 def config_key(config: dict[str, Any]) -> str:
@@ -92,6 +101,56 @@ class ResultStore:
             "config": config,
             "result": result_to_dict(result, include_trace=include_trace),
         }
+        self._write_atomic(key, path, doc)
+        return path
+
+    def _failure_path(self, key: str) -> Path:
+        return self.root / f"{key}.failure.json"
+
+    def save_failure(self, config: dict[str, Any], failure: CellFailure) -> Path:
+        """Persist a quarantine post-mortem under *config*'s key, atomically.
+
+        Written next to the results so one directory is the complete
+        record of a grid run — what finished and what was given up on.
+        """
+        key = config_key(config)
+        path = self._failure_path(key)
+        doc = {
+            "schema": _FAILURE_SCHEMA,
+            "key": key,
+            "config": config,
+            "failure": failure.describe(),
+        }
+        self._write_atomic(key, path, doc)
+        return path
+
+    def load_failure(self, config: dict[str, Any]) -> CellFailure | None:
+        """The stored quarantine record for *config*, or ``None``."""
+        path = self._failure_path(config_key(config))
+        return self._read_failure(path)
+
+    def failures(self) -> list[CellFailure]:
+        """Every quarantine record in the store, in stable path order."""
+        records = []
+        for path in sorted(self.root.glob("*.failure.json")):
+            failure = self._read_failure(path)
+            if failure is not None:
+                records.append(failure)
+        return records
+
+    def _read_failure(self, path: Path) -> CellFailure | None:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != _FAILURE_SCHEMA:
+            return None
+        try:
+            return CellFailure.from_dict(doc["failure"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _write_atomic(self, key: str, path: Path, doc: dict[str, Any]) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key[:16] + ".", suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -103,10 +162,14 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        return path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        """Completed results on disk (failure post-mortems excluded)."""
+        return sum(
+            1
+            for path in self.root.glob("*.json")
+            if not path.name.endswith(".failure.json")
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore({str(self.root)!r}, entries={len(self)})"

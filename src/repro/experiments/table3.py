@@ -4,14 +4,22 @@ Unlike the synchronous case, statistical efficiency here depends on the
 architecture (the concurrency of the interleaving), so each cell runs
 its own optimisation.  Non-convergent configurations are reported as
 infinity, exactly like the paper's Table III.
+
+Degraded mode: async cells quarantine independently, so on a
+keep-going grid a row may be *partially* gapped — the quarantined
+architecture's columns render as ``-`` while the surviving ones keep
+their numbers — with the details in the failure-report section
+(docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..utils.tables import render_table
 from .common import ExperimentContext, infinity_or
+from .resilience import CellFailure, nan_to_gap, render_failure_section
 
 __all__ = ["Table3Row", "Table3Result", "run_table3"]
 
@@ -31,6 +39,13 @@ class Table3Row:
     epochs_gpu: float
     epochs_cpu_seq: float
     epochs_cpu_par: float
+
+    @property
+    def is_gap(self) -> bool:
+        """True when any architecture of this row was quarantined."""
+        return any(
+            math.isnan(v) for v in (self.tpi_gpu, self.tpi_cpu_seq, self.tpi_cpu_par)
+        )
 
     @property
     def speedup_seq_over_par(self) -> float:
@@ -55,6 +70,8 @@ class Table3Result:
     """All rows plus rendering and shape checks."""
 
     rows: list[Table3Row] = field(default_factory=list)
+    #: Quarantine records behind the gapped columns (keep-going only).
+    failures: list[CellFailure] = field(default_factory=list)
 
     def row(self, task: str, dataset: str) -> Table3Row:
         """Look up one row."""
@@ -84,30 +101,36 @@ class Table3Result:
             [
                 r.task,
                 r.dataset,
-                r.ttc_gpu,
-                r.ttc_cpu_seq,
-                r.ttc_cpu_par,
-                r.tpi_gpu * 1e3,
-                r.tpi_cpu_seq * 1e3,
-                r.tpi_cpu_par * 1e3,
-                r.epochs_gpu,
-                r.epochs_cpu_seq,
-                r.epochs_cpu_par,
-                r.speedup_seq_over_par,
-                r.ratio_gpu_over_par,
+                *(
+                    nan_to_gap(v)
+                    for v in (
+                        r.ttc_gpu,
+                        r.ttc_cpu_seq,
+                        r.ttc_cpu_par,
+                        r.tpi_gpu * 1e3,
+                        r.tpi_cpu_seq * 1e3,
+                        r.tpi_cpu_par * 1e3,
+                        r.epochs_gpu,
+                        r.epochs_cpu_seq,
+                        r.epochs_cpu_par,
+                        r.speedup_seq_over_par,
+                        r.ratio_gpu_over_par,
+                    )
+                ),
             ]
             for r in self.rows
         ]
-        return render_table(
+        table = render_table(
             headers, body, title="Table III: Asynchronous SGD performance (1% error)"
         )
+        return table + render_failure_section(self.failures)
 
     # -- paper shape checks -----------------------------------------------
 
     def cpu_always_wins(self) -> bool:
         """Paper: '(parallel) CPU is (always) faster than GPU in time to
         convergence' for asynchronous SGD."""
-        return all(r.cpu_wins_time_to_convergence for r in self.rows)
+        return all(r.cpu_wins_time_to_convergence for r in self.rows if not r.is_gap)
 
     def gpu_wins_only_on_small_dense(self) -> set[tuple[str, str]]:
         """Cells where the GPU won time-to-convergence.
@@ -121,20 +144,22 @@ class Table3Result:
         return {
             (r.task, r.dataset)
             for r in self.rows
-            if not r.cpu_wins_time_to_convergence
+            if not r.is_gap and not r.cpu_wins_time_to_convergence
         }
 
     def dense_parallel_slower_per_iter(self) -> bool:
         """Paper: on fully dense data (covtype) coherence storms make
         parallel Hogwild slower per iteration than sequential."""
         rows = [
-            r for r in self.rows if r.dataset == "covtype" and r.task in ("lr", "svm")
+            r
+            for r in self.rows
+            if r.dataset == "covtype" and r.task in ("lr", "svm") and not r.is_gap
         ]
         return all(r.speedup_seq_over_par < 1.0 for r in rows)
 
     def mlp_parallel_speedup_band(self, lo: float = 8.0) -> bool:
         """Paper: Hogbatch cpu-par over cpu-seq speedup is 15-23x."""
-        mlp = [r for r in self.rows if r.task == "mlp"]
+        mlp = [r for r in self.rows if r.task == "mlp" and not r.is_gap]
         return all(r.speedup_seq_over_par >= lo for r in mlp)
 
 
@@ -146,26 +171,39 @@ def run_table3(ctx: ExperimentContext | None = None) -> Table3Result:
     for task in ctx.tasks:
         for dataset in ctx.datasets:
             runs = {
-                arch: ctx.run(task, dataset, arch, "asynchronous")
+                arch: ctx.try_run(task, dataset, arch, "asynchronous")
                 for arch in ("gpu", "cpu-seq", "cpu-par")
             }
+            for arch, run in runs.items():
+                if run is None:
+                    failure = ctx.failure_for(task, dataset, arch, "asynchronous")
+                    if failure is not None and failure not in result.failures:
+                        result.failures.append(failure)
+
+            def ttc(run):
+                return math.nan if run is None else run.time_to(ctx.tolerance)
+
+            def tpi(run):
+                return math.nan if run is None else run.time_per_iter
+
+            def epochs(run):
+                if run is None:
+                    return math.nan
+                return infinity_or(run.epochs_to(ctx.tolerance))
+
             result.rows.append(
                 Table3Row(
                     task=task,
                     dataset=dataset,
-                    ttc_gpu=runs["gpu"].time_to(ctx.tolerance),
-                    ttc_cpu_seq=runs["cpu-seq"].time_to(ctx.tolerance),
-                    ttc_cpu_par=runs["cpu-par"].time_to(ctx.tolerance),
-                    tpi_gpu=runs["gpu"].time_per_iter,
-                    tpi_cpu_seq=runs["cpu-seq"].time_per_iter,
-                    tpi_cpu_par=runs["cpu-par"].time_per_iter,
-                    epochs_gpu=infinity_or(runs["gpu"].epochs_to(ctx.tolerance)),
-                    epochs_cpu_seq=infinity_or(
-                        runs["cpu-seq"].epochs_to(ctx.tolerance)
-                    ),
-                    epochs_cpu_par=infinity_or(
-                        runs["cpu-par"].epochs_to(ctx.tolerance)
-                    ),
+                    ttc_gpu=ttc(runs["gpu"]),
+                    ttc_cpu_seq=ttc(runs["cpu-seq"]),
+                    ttc_cpu_par=ttc(runs["cpu-par"]),
+                    tpi_gpu=tpi(runs["gpu"]),
+                    tpi_cpu_seq=tpi(runs["cpu-seq"]),
+                    tpi_cpu_par=tpi(runs["cpu-par"]),
+                    epochs_gpu=epochs(runs["gpu"]),
+                    epochs_cpu_seq=epochs(runs["cpu-seq"]),
+                    epochs_cpu_par=epochs(runs["cpu-par"]),
                 )
             )
     return result

@@ -9,15 +9,24 @@ onto survivors or respawn, with exponential timeout backoff and a
 shared retry budget.  Recovery actions surface as ``fault.*``
 telemetry counters and a per-run recovery trajectory in the manifest
 (see ``docs/BACKENDS.md`` and ``docs/OBSERVABILITY.md``).
+
+The same machinery extends one layer up: grid-level fault kinds
+(``cell-kill`` / ``cell-stall`` / ``cell-nan``) chaos-test the
+experiment-grid executor, and :class:`CellRetryPolicy` bounds how hard
+the grid retries a failing cell before quarantining it
+(see ``docs/RESILIENCE.md``).
 """
 
-from .plan import FAULT_KINDS, FaultPlan, FaultSpec
-from .recovery import RECOVERY_MODES, RecoveryPolicy
+from .plan import ALL_FAULT_KINDS, FAULT_KINDS, GRID_FAULT_KINDS, FaultPlan, FaultSpec
+from .recovery import RECOVERY_MODES, CellRetryPolicy, RecoveryPolicy
 
 __all__ = [
     "FAULT_KINDS",
+    "GRID_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "RECOVERY_MODES",
     "RecoveryPolicy",
+    "CellRetryPolicy",
 ]

@@ -28,6 +28,24 @@ data-partitioned SGD deployment actually sees:
     The worker scribbles NaNs over the coordinate window of its first
     work item — a poisoned gradient, the numeric failure HOGWILD!-style
     systems must contain.
+
+One layer up, the *grid-level* kinds target whole experiment-grid jobs
+instead of shm workers (see :mod:`repro.experiments.executor` and
+docs/RESILIENCE.md).  For these, ``epoch`` is the 1-based *job index*
+in the grid's submission order and ``worker`` bounds how many attempts
+the fault fires on (``cell-kill@3:w1`` kills job 3's first attempt
+only, so a retry heals it; with no ``wK`` the fault fires on every
+attempt and the cell ends up quarantined):
+
+``cell-kill``
+    The worker process assigned the cell dies abruptly before
+    training.
+``cell-stall``
+    The worker wedges (sleeps ``seconds``) before its heartbeat ever
+    starts, so the grid watchdog must detect and kill it.
+``cell-nan``
+    The cell's result comes back with non-finite losses, exercising
+    the executor's divergence sentinel and step-size backoff.
 """
 
 from __future__ import annotations
@@ -38,10 +56,24 @@ from typing import Any, Iterable
 from ..utils.errors import ConfigurationError
 from ..utils.rng import derive_rng
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "GRID_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+]
 
-#: The injectable failure modes, in documentation order.
+#: The injectable shared-memory failure modes, in documentation order.
 FAULT_KINDS: tuple[str, ...] = ("kill", "stall", "delay", "nan")
+
+#: Grid-level failure modes interpreted by the experiment-grid executor
+#: (``epoch`` = 1-based job submission index, ``worker`` = number of
+#: attempts the fault fires on, ``None`` = every attempt).
+GRID_FAULT_KINDS: tuple[str, ...] = ("cell-kill", "cell-stall", "cell-nan")
+
+#: Every kind a :class:`FaultSpec` accepts.
+ALL_FAULT_KINDS: tuple[str, ...] = FAULT_KINDS + GRID_FAULT_KINDS
 
 #: Barrier-arrival delay (seconds) when a ``delay`` spec omits its own.
 DEFAULT_DELAY_SECONDS = 0.05
@@ -77,9 +109,9 @@ class FaultSpec:
     seconds: float | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ConfigurationError(
-                f"unknown fault kind {self.kind!r}; available: {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; available: {ALL_FAULT_KINDS}"
             )
         if self.epoch < 1:
             raise ConfigurationError(f"fault epoch must be >= 1, got {self.epoch}")
@@ -194,13 +226,17 @@ class FaultPlan:
         ready to ship to worker processes.  Worker choices for
         ``worker=None`` specs draw from ``derive_rng(seed, ...)`` in
         spec order, so resolution is a pure function of
-        ``(plan, run_seed, workers)``.
+        ``(plan, run_seed, workers)``.  Grid-level specs
+        (:data:`GRID_FAULT_KINDS`) are ignored here — they belong to
+        :meth:`resolve_grid`.
         """
         rng = derive_rng(
             self.seed if self.seed is not None else run_seed, f"faults/{workers}"
         )
         assigned: dict[int, list[dict[str, Any]]] = {}
         for spec in self.specs:
+            if spec.kind in GRID_FAULT_KINDS:
+                continue
             worker = spec.worker if spec.worker is not None else int(
                 rng.integers(workers)
             )
@@ -219,6 +255,30 @@ class FaultPlan:
             assigned.setdefault(worker, []).append(
                 {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
             )
+        return assigned
+
+    def resolve_grid(self, jobs: int) -> dict[int, dict[str, Any]]:
+        """Pin grid-level specs to job indices for the grid executor.
+
+        Returns a mapping ``job_index (1-based, submission order) ->
+        {kind, seconds, attempts}`` where ``attempts`` is the number of
+        attempts the fault fires on (``None`` = every attempt, so the
+        cell exhausts its retry budget and is quarantined).  Specs with
+        shm kinds, and specs targeting an index beyond *jobs*, are
+        ignored — a plan can be shared across grids of different sizes.
+        The first spec targeting an index wins.
+        """
+        assigned: dict[int, dict[str, Any]] = {}
+        for spec in self.specs:
+            if spec.kind not in GRID_FAULT_KINDS:
+                continue
+            if spec.epoch > jobs or spec.epoch in assigned:
+                continue
+            assigned[spec.epoch] = {
+                "kind": spec.kind,
+                "seconds": spec.seconds,
+                "attempts": spec.worker,
+            }
         return assigned
 
     def describe(self) -> list[dict[str, Any]]:

@@ -53,6 +53,13 @@ __all__ = [
     "GRID_WORKER_FAILURES",
     "GRID_JOBS",
     "GRID_WALL_SECONDS",
+    "GRID_RETRY_ATTEMPTS",
+    "GRID_RETRY_BACKOFF_SECONDS",
+    "GRID_RETRY_CRASHES",
+    "GRID_RETRY_STALLS",
+    "GRID_RETRY_DIVERGENCES",
+    "GRID_QUARANTINE_CELLS",
+    "GRID_QUARANTINE_BUDGET_EXHAUSTED",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -161,3 +168,32 @@ GRID_JOBS = "grid.jobs"
 
 #: Gauge: measured wall-clock seconds of the last executor fan-out.
 GRID_WALL_SECONDS = "grid.wall_seconds"
+
+#: Cell re-submissions performed by the resilient (keep-going) grid:
+#: every retry after a crash, stall, worker exception or divergence
+#: consumes one unit of the shared :class:`repro.faults.CellRetryPolicy`
+#: budget and counts here.
+GRID_RETRY_ATTEMPTS = "grid.retry.attempts"
+
+#: Cumulative exponential-backoff delay (seconds) scheduled before
+#: grid-cell re-submissions.
+GRID_RETRY_BACKOFF_SECONDS = "grid.retry.backoff_seconds"
+
+#: Grid workers observed dead (process exit without a result).
+GRID_RETRY_CRASHES = "grid.retry.crashes"
+
+#: Grid workers killed by the deadline/heartbeat watchdog.
+GRID_RETRY_STALLS = "grid.retry.stalls"
+
+#: Cell results rejected by the divergence sentinel (non-finite loss),
+#: each answered with a step-size-backoff retry while budget remains.
+GRID_RETRY_DIVERGENCES = "grid.retry.divergences"
+
+#: Requested cells quarantined after exhausting their retry budget —
+#: recorded as structured ``CellFailure`` entries and *skipped*, not
+#: fatal, under ``--keep-going``.
+GRID_QUARANTINE_CELLS = "grid.quarantine.cells"
+
+#: Quarantines forced early because the grid-wide shared retry budget
+#: (``CellRetryPolicy.max_restarts``) was already spent.
+GRID_QUARANTINE_BUDGET_EXHAUSTED = "grid.quarantine.budget_exhausted"

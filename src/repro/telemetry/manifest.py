@@ -175,10 +175,15 @@ def build_grid_manifest(
 
     *cells* are per-cell records produced by the executor: each holds
     the cell's :func:`build_manifest` dict plus provenance (executed in
-    a worker / re-costed from a shared base / resumed from the store).
-    The parent telemetry supplies the merged counter totals — worker
-    counters have already been folded in by the executor, so these are
-    grid-wide totals, comparable to a serial run's.
+    a worker / re-costed from a shared base / resumed from the store /
+    quarantined by a keep-going run).  The parent telemetry supplies
+    the merged counter totals — worker counters have already been
+    folded in by the executor, so these are grid-wide totals,
+    comparable to a serial run's.
+
+    Quarantined cells carry a structured ``failure`` record instead of
+    a manifest; they are repeated under the top-level ``failures`` key
+    so a degraded run is visible without scanning the cell list.
     """
     from .. import __version__
 
@@ -190,6 +195,7 @@ def build_grid_manifest(
         "jobs": jobs,
         "settings": dict(settings or {}),
         "cells": cells,
+        "failures": [c for c in cells if c.get("source") == "quarantined"],
         "counters": telemetry.counters() if telemetry is not None else {},
         "gauges": telemetry.gauges() if telemetry is not None else {},
     }

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "CellQuarantinedError",
     "ConfigurationError",
     "DataFormatError",
     "DivergenceError",
@@ -35,7 +36,51 @@ class DivergenceError(ReproError, ArithmeticError):
     The paper reports such configurations as ``inf`` time-to-convergence
     (Table III); the SGD runners catch this error and record the run as
     non-convergent instead of crashing.
+
+    The optional structured attributes identify *which* run diverged
+    when the error crosses a process boundary (the experiment grid's
+    divergence sentinel): the cell label, the step size that produced
+    the non-finite loss, and the attempt number.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell: str | None = None,
+        step_size: float | None = None,
+        attempt: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.step_size = step_size
+        self.attempt = attempt
+
+    def describe(self) -> dict:
+        """Plain-dict form recorded into cell-failure exception chains."""
+        return {
+            "message": str(self),
+            "cell": self.cell,
+            "step_size": self.step_size,
+            "attempt": self.attempt,
+        }
+
+
+class CellQuarantinedError(ReproError, RuntimeError):
+    """The requested grid cell was quarantined by a keep-going grid run.
+
+    Raised by :meth:`repro.experiments.ExperimentContext.run` instead of
+    silently recomputing a cell the resilient executor already gave up
+    on.  Drivers that can render a partial grid call
+    :meth:`~repro.experiments.ExperimentContext.try_run`, which maps
+    this condition to ``None`` (a gap marker) instead.
+    """
+
+    def __init__(self, message: str, *, failure=None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.experiments.CellFailure` that quarantined
+        #: the cell, when available.
+        self.failure = failure
 
 
 class TraceError(ReproError, RuntimeError):

@@ -231,6 +231,35 @@ class TestWorkerFailure:
         assert err.value.phase == "grid-cell"
         assert "no-such-dataset" in str(err.value)
 
+    def test_completed_cells_flushed_before_pool_abort(self, tmp_path):
+        """Regression: cells that finished before the failing one must
+        be in the store when the grid raises — an aborted run loses
+        only the cell that failed, and --resume replays the rest."""
+        bad = GridCell("lr", "no-such-dataset", "cpu-seq", "asynchronous")
+        good = [c for c in all_cells() if c.strategy == "asynchronous"]
+        store = ResultStore(tmp_path / "grid")
+        ctx = make_ctx(jobs=2, store=store)
+        with pytest.raises(WorkerError):
+            GridExecutor(ctx).execute(good + [bad])
+        assert len(store) == len(good)
+
+        tel = Telemetry()
+        resumed = make_ctx(jobs=2, store=store, resume=True, telemetry=tel)
+        GridExecutor(resumed).execute(good)
+        assert tel.counters()[keys.GRID_CELLS_RESUMED] == len(good)
+        assert keys.GRID_CELLS_EXECUTED not in tel.counters()
+
+    def test_completed_cells_flushed_before_inparent_abort(self, tmp_path):
+        """Same guarantee on the jobs=1 in-parent path."""
+        bad = GridCell("lr", "no-such-dataset", "cpu-seq", "asynchronous")
+        good = GridCell("lr", "covtype", "cpu-seq", "asynchronous")
+        store = ResultStore(tmp_path / "grid")
+        ctx = make_ctx(store=store)  # jobs=1
+        with pytest.raises(WorkerError) as err:
+            GridExecutor(ctx).execute([good, bad])
+        assert err.value.phase == "grid-cell"
+        assert len(store) == 1
+
 
 class TestManifestRecords:
     def test_records_cover_every_cell_with_provenance(self):

@@ -1,9 +1,11 @@
 """ResultStore: config hashing, atomic persistence, corruption tolerance."""
 
 import json
+import multiprocessing as mp
 
 import numpy as np
 
+from repro.experiments.resilience import CellFailure
 from repro.experiments.store import ResultStore, config_key
 from repro.sgd.convergence import LossCurve
 from repro.sgd.runner import TrainResult
@@ -127,3 +129,98 @@ class TestRobustness:
         store.save(CONFIG, make_result(time_per_iter=2.0))
         assert len(store) == 1
         assert store.load(CONFIG).time_per_iter == 2.0
+
+
+def _write_many(root, worker, n):
+    """Child-process body for the concurrent-writer tests."""
+    store = ResultStore(root)
+    for i in range(n):
+        # Every worker hammers one shared key and owns some private ones.
+        store.save(
+            {**CONFIG, "shared": True}, make_result(time_per_iter=float(worker))
+        )
+        store.save({**CONFIG, "worker": worker, "i": i}, make_result())
+
+
+class TestConcurrentWriters:
+    """Keep-going grids persist from many processes at once; the atomic
+    write protocol must never produce a torn or unreadable file."""
+
+    WORKERS = 4
+    WRITES = 5
+
+    def test_parallel_writes_all_readable(self, tmp_path):
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        procs = [
+            ctx.Process(target=_write_many, args=(tmp_path, w, self.WRITES))
+            for w in range(self.WORKERS)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        store = ResultStore(tmp_path)
+        # One shared key + WORKERS * WRITES private keys, no temp litter.
+        assert len(store) == 1 + self.WORKERS * self.WRITES
+        assert not list(tmp_path.glob("*.tmp"))
+        # The contested key holds one writer's value, intact.
+        shared = store.load({**CONFIG, "shared": True})
+        assert shared is not None
+        assert shared.time_per_iter in {float(w) for w in range(self.WORKERS)}
+        for w in range(self.WORKERS):
+            for i in range(self.WRITES):
+                assert store.load({**CONFIG, "worker": w, "i": i}) is not None
+
+
+def make_failure(**overrides):
+    fields = dict(
+        task="lr",
+        dataset="w8a",
+        architecture="cpu-seq",
+        strategy="asynchronous",
+        kind="crash",
+        phase="train",
+        attempts=2,
+        error_chain=({"type": "WorkerCrash", "message": "exit 23", "attempt": 2},),
+        elapsed_seconds=1.5,
+        worker_pids=(101, 102),
+        covers=("lr/w8a/cpu-seq/asynchronous",),
+    )
+    fields.update(overrides)
+    return CellFailure(**fields)
+
+
+class TestFailureRecords:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        failure = make_failure()
+        store.save_failure(CONFIG, failure)
+        assert store.load_failure(CONFIG) == failure
+        assert store.failures() == [failure]
+
+    def test_failures_do_not_count_or_load_as_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(CONFIG, make_result())
+        store.save_failure({**CONFIG, "seed": 1}, make_failure())
+        assert len(store) == 1
+        # A resumed grid must retry the failed config, not replay it.
+        assert store.load({**CONFIG, "seed": 1}) is None
+
+    def test_missing_and_corrupt_failure_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load_failure(CONFIG) is None
+        path = store.save_failure(CONFIG, make_failure())
+        path.write_text("{ torn", encoding="utf-8")
+        assert store.load_failure(CONFIG) is None
+        assert store.failures() == []
+
+    def test_result_and_failure_coexist_per_key(self, tmp_path):
+        """A cell that failed once and later succeeded keeps both the
+        post-mortem and the result under the same config key."""
+        store = ResultStore(tmp_path)
+        store.save_failure(CONFIG, make_failure())
+        store.save(CONFIG, make_result())
+        assert store.load(CONFIG) is not None
+        assert store.load_failure(CONFIG) is not None

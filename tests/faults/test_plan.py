@@ -8,8 +8,11 @@ tests in ``tests/parallel/test_chaos.py`` exercise the behaviour.
 import pytest
 
 from repro.faults import (
+    ALL_FAULT_KINDS,
     FAULT_KINDS,
+    GRID_FAULT_KINDS,
     RECOVERY_MODES,
+    CellRetryPolicy,
     FaultPlan,
     FaultSpec,
     RecoveryPolicy,
@@ -123,6 +126,87 @@ class TestFaultPlan:
             {"kind": "kill", "epoch": 2, "worker": None, "seconds": None},
             {"kind": "stall", "epoch": 3, "worker": 1, "seconds": 9.0},
         ]
+
+
+class TestGridFaultKinds:
+    """Grid-level specs: epoch = job index, worker = attempts bound."""
+
+    def test_kind_registries(self):
+        assert GRID_FAULT_KINDS == ("cell-kill", "cell-stall", "cell-nan")
+        assert ALL_FAULT_KINDS == FAULT_KINDS + GRID_FAULT_KINDS
+
+    def test_grid_kinds_parse_with_the_shared_grammar(self):
+        assert FaultSpec.parse("cell-kill@3:w1") == FaultSpec(
+            kind="cell-kill", epoch=3, worker=1
+        )
+        assert FaultSpec.parse("cell-stall@2:600") == FaultSpec(
+            kind="cell-stall", epoch=2, seconds=600.0
+        )
+
+    def test_resolve_grid_maps_job_index_to_fault(self):
+        plan = FaultPlan.parse(["cell-kill@1", "cell-nan@3:w2", "cell-stall@2:9"])
+        assert plan.resolve_grid(jobs=3) == {
+            1: {"kind": "cell-kill", "seconds": None, "attempts": None},
+            2: {"kind": "cell-stall", "seconds": 9.0, "attempts": None},
+            3: {"kind": "cell-nan", "seconds": None, "attempts": 2},
+        }
+
+    def test_resolve_grid_ignores_shm_kinds_and_vice_versa(self):
+        plan = FaultPlan.parse(["kill@1:w0", "cell-kill@1"])
+        assert plan.resolve_grid(jobs=2) == {
+            1: {"kind": "cell-kill", "seconds": None, "attempts": None}
+        }
+        shm = plan.resolve(workers=2, run_seed=0, epoch_timeout=5.0)
+        assert shm == {0: [{"kind": "kill", "epoch": 1, "seconds": 0.05}]}
+
+    def test_resolve_grid_drops_out_of_range_and_duplicate_indices(self):
+        plan = FaultPlan.parse(["cell-kill@5", "cell-kill@1", "cell-nan@1"])
+        resolved = plan.resolve_grid(jobs=2)
+        # Index 5 is beyond the grid; the first spec targeting 1 wins.
+        assert resolved == {
+            1: {"kind": "cell-kill", "seconds": None, "attempts": None}
+        }
+
+
+class TestCellRetryPolicy:
+    def test_defaults(self):
+        policy = CellRetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.max_restarts == 8
+        assert policy.divergence_retries == 1
+        assert policy.step_backoff == 0.5
+        assert policy.deadline is None
+        assert policy.heartbeat_timeout == 60.0
+
+    def test_retry_delay_is_exponential(self):
+        policy = CellRetryPolicy(base_delay=0.1, backoff=2.0)
+        assert policy.retry_delay(0) == pytest.approx(0.1)
+        assert policy.retry_delay(3) == pytest.approx(0.8)
+
+    def test_watchdog_window_is_tightest_bound(self):
+        tight = CellRetryPolicy(deadline=10.0, heartbeat_timeout=3.0)
+        assert tight.watchdog_window == 3.0
+        unbounded = CellRetryPolicy(deadline=None, heartbeat_timeout=None)
+        assert unbounded.watchdog_window is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(max_attempts=0),
+            dict(max_restarts=-1),
+            dict(backoff=0.9),
+            dict(base_delay=-0.1),
+            dict(deadline=0.0),
+            dict(heartbeat_timeout=0.0),
+            dict(divergence_retries=-1),
+            dict(step_backoff=1.0),
+        ],
+    )
+    def test_validation(self, bad):
+        from repro.utils.errors import ConfigurationError as CfgErr
+
+        with pytest.raises(CfgErr):
+            CellRetryPolicy(**bad)
 
 
 class TestRecoveryPolicy:
