@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare shapes experiments grid examples probe lint all
+.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare serve-smoke shapes experiments grid examples probe lint all
 
 # Worker processes for the parallel experiment grid (make grid JOBS=8).
 JOBS ?= 4
@@ -36,6 +36,9 @@ bench-snapshot:  ## telemetry-backed grid snapshot -> BENCH_<n>.json
 
 bench-compare:   ## fail if any cell regressed >10% vs the latest BENCH_<n>.json
 	REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
+
+serve-smoke:     ## train -> serve -> score through hot-swaps -> manifest check
+	REPRO_CACHE_DIR=.repro_cache python scripts/serve_smoke.py
 
 shapes:          ## regenerate + assert all tables/figures (no timing)
 	pytest benchmarks/ --benchmark-disable -s

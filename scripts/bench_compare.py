@@ -22,6 +22,16 @@ happen back-to-back on the same host, so machine speed cancels out
 ``--inflate`` self-test skips this gate (it exercises the modelled-cell
 comparison).
 
+A third gate guards the scoring service: the bench's serving load runs
+fresh (seeded generator, batched and direct modes back-to-back on this
+host) and fails if the micro-batched path's sustained examples/sec
+drops below ``--serve-threshold`` times the direct per-request
+baseline — catching a batcher that stops paying for its own queueing.
+Like the grid gate it is a same-host ratio, so machine speed cancels;
+``--skip-serve`` is the escape hatch for 1-cpu hosts (also applied
+automatically, and when the committed baseline predates the serving
+section).
+
 Usage::
 
     REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
@@ -116,6 +126,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the grid wall-clock gate (modelled cells only)",
     )
+    parser.add_argument(
+        "--serve-threshold",
+        type=float,
+        default=0.5,
+        help="minimum tolerated batched/direct serving throughput ratio "
+        "(default 0.5: the micro-batched path must sustain at least half "
+        "the direct per-request examples/sec; it normally exceeds it)",
+    )
+    parser.add_argument(
+        "--skip-serve",
+        action="store_true",
+        help="skip the serving throughput gate (escape hatch for 1-cpu "
+        "hosts, where concurrent load measures scheduler noise)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_bench_path()
@@ -187,6 +211,54 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"grid gate FAILED: parallel run is {ratio:.2f}x the serial "
                 f"wall-clock (limit {1.0 + args.grid_threshold:.2f}x)"
+            )
+            return 1
+
+    if args.skip_serve or args.inflate != 1.0:
+        pass  # self-test runs exercise the modelled-cell comparison only
+    elif host_cpus < 2:
+        print(f"\nserving throughput gate skipped: host has {host_cpus} cpu")
+    elif "serving" not in baseline:
+        # A baseline from before the serving section exists cannot
+        # anchor the report; the ratio is still same-host, so run it —
+        # but only informationally once a committed section exists.
+        print(
+            f"\nserving throughput gate skipped: {baseline_path.name} has "
+            "no serving section (commit a fresh bench snapshot first)"
+        )
+    else:
+        from bench_snapshot import GRID, run_serving
+
+        committed_serving = {
+            (s["task"], s["dataset"]): s for s in baseline["serving"]
+        }
+        print("\nserving throughput gate:")
+        serve_failures = []
+        for task, dataset in GRID:
+            fresh_s = run_serving(task, dataset)
+            ratio = fresh_s["batched_vs_direct_examples_per_s"]
+            old = committed_serving.get((task, dataset))
+            context = ""
+            if old and old.get("batched_vs_direct_examples_per_s"):
+                context = (
+                    f" (committed ratio "
+                    f"{old['batched_vs_direct_examples_per_s']:.2f})"
+                )
+            status = "OK"
+            if ratio is None or ratio < args.serve_threshold:
+                status = "FAIL"
+                serve_failures.append((task, dataset, ratio))
+            print(
+                f"  {status:<5} {task}/{dataset}: batched "
+                f"{fresh_s['batched']['requests_per_second']:.0f} rps "
+                f"p50 {fresh_s['batched']['latency_p50_ms']:.2f}ms "
+                f"p99 {fresh_s['batched']['latency_p99_ms']:.2f}ms, "
+                f"batched/direct {ratio:.2f}x{context}"
+            )
+        if serve_failures:
+            print(
+                f"serving gate FAILED: {len(serve_failures)} task(s) below "
+                f"the {args.serve_threshold:.2f}x batched/direct floor"
             )
             return 1
 

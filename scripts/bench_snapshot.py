@@ -20,6 +20,15 @@ serial (jobs=1) and parallel (``--jobs``, default 4) wall-clock on the
 same warmed caches — recording the measured fan-out speedup alongside
 the modelled numbers.
 
+A ``serving`` section drives the train-and-serve path: each grid task's
+trained model is served through the micro-batched
+:class:`~repro.serving.ScoringEngine` under the seeded
+:class:`~repro.serving.LoadGenerator`, recording sustained requests/sec
+and p50/p99 latency for the coalescing (batched) path next to the
+one-kernel-call-per-request (direct) baseline — the batched/direct
+ratio is the number the bench_compare throughput gate watches, because
+it cancels host speed.
+
 The output lands at the repo root as BENCH_1.json, BENCH_2.json, ...
 (next free index picked automatically) so successive snapshots form a
 performance paper-trail; diff two files to see what a change did.
@@ -141,6 +150,86 @@ def run_measured(task: str, dataset: str) -> dict:
     }
 
 
+#: Serving-section knobs: requests per load run and generator shape.
+#: 8 concurrent clients x up to 16 examples per request gives kernels
+#: meaty enough that coalescing amortises its queueing overhead — the
+#: regime micro-batching exists for.
+SERVE_REQUESTS = 600
+SERVE_CONCURRENCY = 8
+SERVE_MAX_EXAMPLES = 16
+SERVE_SEED = 2024
+SERVE_POOL = 256
+
+
+def _example_pool(ds, limit: int = SERVE_POOL) -> list:
+    """Dataset rows as scoring-request examples (sparse dicts or dense)."""
+    from repro.linalg import CSRMatrix
+
+    X = ds.X
+    n = min(limit, X.shape[0])
+    if isinstance(X, CSRMatrix):
+        return [
+            {
+                "indices": X.indices[X.indptr[i] : X.indptr[i + 1]].tolist(),
+                "values": X.data[X.indptr[i] : X.indptr[i + 1]].tolist(),
+            }
+            for i in range(n)
+        ]
+    return [X[i].tolist() for i in range(n)]
+
+
+def run_serving(task: str, dataset: str) -> dict:
+    """Sustained scoring throughput for one trained model: batched vs direct."""
+    from repro.datasets import load
+    from repro.serving import LoadGenerator, ScoringEngine, ServedModel
+
+    result = repro.train(
+        task,
+        dataset,
+        architecture="cpu-par",
+        strategy="synchronous",
+        scale=SCALE,
+        max_epochs=10,
+    )
+    ds = load(dataset, SCALE)
+    engine = ScoringEngine(task, ds.n_features)
+    engine.install(ServedModel(params=result.params, version=1, source="artifact"))
+    pool = _example_pool(ds)
+    gen = LoadGenerator(
+        engine,
+        pool,
+        seed=SERVE_SEED,
+        concurrency=SERVE_CONCURRENCY,
+        max_request_examples=SERVE_MAX_EXAMPLES,
+    )
+    with engine:
+        # Warm-up so neither mode pays first-touch costs in its window.
+        gen.run(50, mode="batched")
+        batched = gen.run(SERVE_REQUESTS, mode="batched")
+        direct = gen.run(SERVE_REQUESTS, mode="direct")
+    stats = engine.stats()
+    ratio = (
+        batched.examples_per_second / direct.examples_per_second
+        if direct.examples_per_second > 0
+        else None
+    )
+    return {
+        "task": task,
+        "dataset": dataset,
+        "n_features": ds.n_features,
+        "pool": len(pool),
+        "requests": SERVE_REQUESTS,
+        "concurrency": SERVE_CONCURRENCY,
+        "max_request_examples": SERVE_MAX_EXAMPLES,
+        "seed": SERVE_SEED,
+        "batched": batched.to_dict(),
+        "direct": direct.to_dict(),
+        "batched_vs_direct_examples_per_s": ratio,
+        "batch_size_mean": stats.batch_size_mean,
+        "batch_size_histogram": stats.batch_size_histogram,
+    }
+
+
 def _grid_context(jobs: int):
     from repro.experiments import ExperimentContext
 
@@ -219,6 +308,11 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  {task}/{dataset} shm measured scaling ...", flush=True)
         measured.append(run_measured(task, dataset))
 
+    serving = []
+    for task, dataset in GRID:
+        print(f"  {task}/{dataset} serving load ...", flush=True)
+        serving.append(run_serving(task, dataset))
+
     grid = run_grid_timing(args.jobs)
 
     snapshot = {
@@ -232,9 +326,14 @@ def main(argv: list[str] | None = None) -> None:
             "measured_epochs": MEASURED_EPOCHS,
             "tolerance": TOLERANCE,
             "grid": [f"{t}/{d}" for t, d in GRID],
+            "serve_requests": SERVE_REQUESTS,
+            "serve_concurrency": SERVE_CONCURRENCY,
+            "serve_max_examples": SERVE_MAX_EXAMPLES,
+            "serve_seed": SERVE_SEED,
         },
         "cells": cells,
         "measured": measured,
+        "serving": serving,
         "grid": grid,
     }
     path = next_bench_path()

@@ -20,6 +20,9 @@ The library implements the paper's full experimental apparatus:
   (:mod:`repro.frameworks`);
 * drivers regenerating every table and figure of the evaluation
   (:mod:`repro.experiments`);
+* a train-and-serve path — seqlock-consistent parameter snapshots of a
+  live shared-memory run and a micro-batched, hot-swapping scoring
+  service (:mod:`repro.serving`);
 * an observability layer — nested spans, counters, Chrome-trace export
   and reproducible run manifests (:mod:`repro.telemetry`).
 
@@ -44,6 +47,7 @@ from . import (
     linalg,
     models,
     parallel,
+    serving,
     sgd,
     telemetry,
     utils,
@@ -52,6 +56,7 @@ from .faults import FaultPlan, FaultSpec, RecoveryPolicy
 from .datasets import DATASET_NAMES, Dataset, load, load_mlp, read_libsvm
 from .hardware import TESLA_K80, XEON_E5_2660V4_DUAL, CpuModel, GpuModel
 from .models import MLP, LinearSVM, LogisticRegression, make_model
+from .serving import ScoringEngine, ShmTrainHandle, SnapshotPublisher
 from .sgd import (
     ARCHITECTURES,
     STRATEGIES,
@@ -97,6 +102,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RecoveryPolicy",
+    "ScoringEngine",
+    "SnapshotPublisher",
+    "ShmTrainHandle",
     "Telemetry",
     "NullTelemetry",
     "RunManifest",
@@ -110,6 +118,7 @@ __all__ = [
     "asyncsim",
     "parallel",
     "faults",
+    "serving",
     "sgd",
     "telemetry",
     "frameworks",

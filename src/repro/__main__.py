@@ -9,6 +9,13 @@ Commands map one-to-one onto the paper's artifacts:
   result store, and ``--keep-going`` degraded mode (retry/quarantine
   failing cells instead of aborting; see docs/RESILIENCE.md);
 * ``train`` — run a single configuration (all three performance axes);
+  ``--snapshot-out`` additionally publishes live parameter snapshots
+  from a ``--backend shm`` run, ``--model-out`` exports the final model
+  as a loadable artifact;
+* ``serve`` — the scoring service: load a model artifact or attach to a
+  live training run's snapshots and answer JSON-lines score requests
+  over a local socket, hot-swapping new model versions without dropping
+  in-flight requests (see docs/SERVING.md);
 * ``gridsearch`` — the step-size selection protocol for one cell.
 
 Examples::
@@ -17,6 +24,10 @@ Examples::
     python -m repro experiments --artifacts table2 table3 --jobs 4 --resume
     python -m repro train --task svm --dataset news \\
         --architecture cpu-par --strategy asynchronous --step 0.3
+    python -m repro train --task lr --dataset w8a --backend shm \\
+        --snapshot-out /tmp/snap.json --model-out model.json
+    python -m repro serve --model model.json --port 7878
+    python -m repro serve --snapshot /tmp/snap.json
     python -m repro fig7 --tolerance 0.05
 """
 
@@ -308,8 +319,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         epoch_timeout=args.epoch_timeout,
         fault_plan=fault_plan,
         max_restarts=args.max_restarts,
+        snapshot_out=args.snapshot_out,
         telemetry=telemetry,
     )
+    if args.model_out:
+        from .sgd import save_results
+
+        save_results(result, args.model_out)
+        print(f"model artifact written to {args.model_out}", file=sys.stderr)
     s = result.summary()
     if result.measured is not None:
         s["backend"] = result.backend
@@ -335,6 +352,72 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         path = manifest.write(args.manifest_out)
         print(f"manifest written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ScoringEngine, ScoringServer, ServerConfig
+
+    telemetry = _make_telemetry(args)
+    if args.model is not None:
+        engine = ScoringEngine.from_artifact(
+            args.model,
+            telemetry=telemetry,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            watch=not args.no_watch,
+            refresh_interval=(
+                args.refresh_interval if args.refresh_interval is not None else 0.25
+            ),
+        )
+        source_desc = {"model": args.model, "watch": not args.no_watch}
+    else:
+        engine = ScoringEngine.from_snapshot(
+            args.snapshot,
+            telemetry=telemetry,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            refresh_interval=(
+                args.refresh_interval if args.refresh_interval is not None else 0.05
+            ),
+        )
+        source_desc = {"snapshot": args.snapshot}
+    config = ServerConfig(host=args.host, port=args.port)
+    with engine, ScoringServer(engine, config) as server:
+        # The parseable liveness line smoke tests and scripts key on.
+        print(f"serving {engine.task} on {server.address}", flush=True)
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            pass
+        stats = engine.stats()
+    print(
+        f"served {stats.requests} requests ({stats.examples} examples, "
+        f"{stats.batches} batches, {stats.hot_swaps} hot-swaps)",
+        file=sys.stderr,
+    )
+    _export_telemetry(args, telemetry)
+    if args.manifest_out:
+        import json
+
+        from .telemetry import build_serve_manifest
+
+        manifest = build_serve_manifest(
+            stats.to_dict(),
+            telemetry,
+            settings={
+                **source_desc,
+                "task": engine.task,
+                "n_features": engine.n_features,
+                "address": server.address,
+                "max_batch": args.max_batch,
+                "max_delay": args.max_delay,
+            },
+        )
+        with open(args.manifest_out, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"serve manifest written to {args.manifest_out}", file=sys.stderr)
     return 0
 
 
@@ -504,6 +587,21 @@ def build_parser() -> argparse.ArgumentParser:
         "before giving up; 0 fails fast",
     )
     p.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="PATH",
+        help="--backend shm: publish live parameter snapshots (seqlock-"
+        "consistent, readable mid-training by 'repro serve --snapshot "
+        "PATH') and write the snapshot descriptor to PATH",
+    )
+    p.add_argument(
+        "--model-out",
+        default=None,
+        metavar="PATH",
+        help="export the final model (parameters + curve) as a JSON "
+        "artifact loadable by 'repro serve --model PATH'",
+    )
+    p.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -518,6 +616,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_context_args(p)
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "serve",
+        help="score requests over a local socket from a model artifact "
+        "or a live training run's snapshots (see docs/SERVING.md)",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="serve this model artifact (from 'repro train --model-out'); "
+        "rewriting the file hot-swaps the served model",
+    )
+    src.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="attach to a live (or finished) shm training run via its "
+        "snapshot descriptor (from 'repro train --snapshot-out') and "
+        "hot-swap each published version",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: ephemeral; the bound address is printed)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="micro-batch example cap (default 64)",
+    )
+    p.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        metavar="SEC",
+        help="micro-batch coalescing window (default 0.002)",
+    )
+    p.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="hot-swap poll interval (default: 0.05 for --snapshot, "
+        "0.25 for --model)",
+    )
+    p.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="--model: serve the artifact as loaded, without watching "
+        "the file for hot-swaps",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON of the serving session to PATH",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="write the serving manifest (throughput, latency "
+        "percentiles, serve.* counters) to PATH on shutdown",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("ladder", help="time-to-convergence at 10/5/2/1%")
     p.add_argument("--task", choices=TASK_NAMES, default="lr")

@@ -394,6 +394,7 @@ def train_shm(
     telemetry: AnyTelemetry | None = None,
     fault_plan: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = None,
+    snapshot: Any | None = None,
 ) -> ShmTrainResult:
     """Train on the host's cores through the shared-memory backend.
 
@@ -411,6 +412,15 @@ def train_shm(
         Bounded recovery from worker failures; see
         :class:`repro.faults.RecoveryPolicy`.  ``None`` (the default)
         keeps the fail-fast behaviour: the first failure raises.
+    snapshot:
+        A :class:`repro.serving.SnapshotPublisher` (duck-typed: only
+        ``publish(params, epoch=, loss=)`` is called) that receives a
+        consistent copy of the model at every epoch boundary — the
+        initial model as version 1, then one version per finite epoch.
+        Publishes happen while the workers idle at a barrier, so the
+        copied vector is race-free; the publisher's seqlock makes the
+        hand-off to concurrent readers consistent.  ``None`` (the
+        default) publishes nothing.
 
     Raises
     ------
@@ -524,6 +534,11 @@ def train_shm(
         )
         counters[:] = 0
         last_good = init_params.copy()
+        if snapshot is not None:
+            # Version 1: the initial model.  A scoring service attached
+            # before the first epoch completes serves this instead of a
+            # cold-start error.
+            snapshot.publish(init_params, epoch=0, loss=initial)
         _spawn(1)
 
         with tel.span(
@@ -622,6 +637,10 @@ def train_shm(
                     else:
                         curve.record(epoch, loss)
                         last_good = params_now
+                        if snapshot is not None:
+                            # The workers are idle at the next start
+                            # barrier: params_now is a race-free copy.
+                            snapshot.publish(params_now, epoch=epoch, loss=loss)
                         if (
                             config.target_loss is not None
                             and loss <= config.target_loss

@@ -1,0 +1,937 @@
+"""Micro-batched scoring over a hot-swappable model snapshot.
+
+The inference half of the train-and-serve system: requests carrying one
+or more examples are coalesced into micro-batches and pushed through the
+same vectorised margin kernels training uses
+(:func:`repro.linalg.sparse_ops.csr_submatvec` for sparse rows,
+:func:`repro.linalg.dense_ops.gemv` for dense), so serving cost scales
+the way the paper's Section II kernel analysis says it should — one
+gather + segment-reduce per batch, not one Python-level pass per
+request.
+
+Model management is a **versioned double buffer**: the active
+:class:`ServedModel` is swapped by plain attribute assignment (atomic
+under CPython), every batch pins the model it started with, and a
+background :class:`SnapshotRefresher` installs newer versions from
+either a live shared-memory training run (:class:`ShmTrainHandle`, the
+seqlock protocol of :mod:`repro.serving.snapshot`) or a model artifact
+file that changed on disk.  In-flight requests are therefore never
+dropped or blocked by a hot-swap — they finish on the version they
+started with, and the next batch picks up the new one.
+
+Cold starts and dead trainers degrade gracefully: scoring raises (and
+the socket layer serves) the structured, *retriable*
+:class:`~repro.utils.errors.SnapshotUnavailableError` instead of
+crashing, while the refresher keeps polling for a model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..linalg import dense_ops, sparse_ops
+from ..linalg.csr import CSRMatrix
+from ..models.linear import LinearSVM, LogisticRegression
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
+from ..utils.errors import (
+    ConfigurationError,
+    DataFormatError,
+    SnapshotUnavailableError,
+)
+from .snapshot import ModelSnapshot, ShmTrainHandle
+
+__all__ = [
+    "SERVABLE_TASKS",
+    "ServedModel",
+    "ExampleScore",
+    "ScoreResponse",
+    "EngineStats",
+    "ScoringEngine",
+    "SnapshotRefresher",
+    "ArtifactSource",
+    "SnapshotSource",
+]
+
+#: Tasks the scoring engine can serve: the margin-based linear models.
+#: (The MLP trains through the simulator only and has no serving path.)
+SERVABLE_TASKS: tuple[str, ...] = ("lr", "svm")
+
+#: Latency samples kept for percentile estimation (ring buffer).
+_LATENCY_HISTORY = 4096
+
+
+def _sigmoid(margins: np.ndarray) -> np.ndarray:
+    out = np.empty_like(margins)
+    pos = margins >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-margins[pos]))
+    e = np.exp(margins[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One immutable, installable model version (double-buffer slot)."""
+
+    params: np.ndarray = field(repr=False)
+    #: Monotonic version within one source; install() rejects stale ones.
+    version: int
+    #: "shm" (live training snapshot) or "artifact" (model file).
+    source: str
+    #: Training epoch the parameters came from (None for artifacts).
+    epoch: int | None = None
+    #: Training loss at that point, when known.
+    loss: float | None = None
+    #: Publish time at the source (snapshot publish / file mtime).
+    published_unix: float | None = None
+
+    @classmethod
+    def from_snapshot(cls, snap: ModelSnapshot) -> "ServedModel":
+        return cls(
+            params=snap.params,
+            version=snap.version,
+            source="shm",
+            epoch=snap.epoch,
+            loss=snap.loss,
+            published_unix=snap.published_unix,
+        )
+
+    @property
+    def age_seconds(self) -> float:
+        if self.published_unix is None:
+            return 0.0
+        return max(0.0, time.time() - self.published_unix)
+
+
+@dataclass(frozen=True)
+class ExampleScore:
+    """Scores for one example under one model version."""
+
+    margin: float
+    #: Predicted class in the paper's ±1 label convention.
+    label: int
+    #: P(y=+1) for logistic regression; ``None`` for the SVM.
+    prob: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"margin": self.margin, "label": self.label}
+        if self.prob is not None:
+            out["prob"] = self.prob
+        return out
+
+
+@dataclass(frozen=True)
+class ScoreResponse:
+    """One answered request: per-example scores plus model provenance."""
+
+    results: tuple[ExampleScore, ...]
+    model_version: int
+    model_source: str
+    model_epoch: int | None
+    #: Submit-to-answer latency; filled by the micro-batching path,
+    #: ``0.0`` for direct synchronous scoring.
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "results": [r.to_dict() for r in self.results],
+            "model_version": self.model_version,
+            "model_source": self.model_source,
+            "model_epoch": self.model_epoch,
+            "latency_ms": self.latency_ms,
+        }
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Point-in-time serving statistics (manifest / ``stats`` op)."""
+
+    requests: int
+    examples: int
+    batches: int
+    errors: int
+    retriable_errors: int
+    hot_swaps: int
+    source_errors: int
+    requests_per_second: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    queue_depth_peak: int
+    batch_size_mean: float
+    batch_size_histogram: dict[str, int]
+    model_version: int | None
+    model_source: str | None
+    model_epoch: int | None
+    snapshot_age_seconds: float | None
+
+    def to_dict(self) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+class _PendingRequest:
+    """One queued request: parsed examples plus its completion event."""
+
+    __slots__ = ("rows", "event", "response", "error", "t_submit")
+
+    def __init__(self, rows: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        self.rows = rows
+        self.event = threading.Event()
+        self.response: ScoreResponse | None = None
+        self.error: Exception | None = None
+        self.t_submit = time.perf_counter()
+
+
+class ScoringEngine:
+    """Score examples against the active model, coalescing micro-batches.
+
+    Two entry points:
+
+    * :meth:`score` — synchronous, one vectorised kernel call for the
+      given examples (the load generator's "unbatched" baseline and the
+      building block the batcher uses);
+    * :meth:`request` — enqueue and wait: a background batcher thread
+      coalesces examples from concurrent requests into micro-batches of
+      up to ``max_batch`` rows (waiting at most ``max_delay`` seconds
+      for stragglers) and answers every request with the model version
+      the batch was scored under.
+
+    ``start()``/``stop()`` manage the batcher and the optional
+    :class:`SnapshotRefresher`; the engine is also a context manager.
+    """
+
+    def __init__(
+        self,
+        task: str,
+        n_features: int,
+        telemetry: AnyTelemetry | None = None,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        refresher: "SnapshotRefresher | None" = None,
+    ) -> None:
+        if task not in SERVABLE_TASKS:
+            raise ConfigurationError(
+                f"task {task!r} is not servable; the scoring engine drives "
+                f"the margin-based linear models {SERVABLE_TASKS}"
+            )
+        if n_features < 1:
+            raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        self.task = task
+        self.n_features = int(n_features)
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._model = (
+            LogisticRegression(self.n_features)
+            if task == "lr"
+            else LinearSVM(self.n_features)
+        )
+        self._tel = ensure_telemetry(telemetry)
+        self._active: ServedModel | None = None
+        self._install_lock = threading.Lock()
+        self.refresher = refresher
+        if refresher is not None:
+            refresher.bind(self)
+
+        self._queue: deque[_PendingRequest] = deque()
+        self._cv = threading.Condition()
+        self._batcher: threading.Thread | None = None
+        self._running = False
+
+        self._stats_lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=_LATENCY_HISTORY)
+        self._batch_sizes: deque[int] = deque(maxlen=_LATENCY_HISTORY)
+        self._batch_histogram: dict[str, int] = {}
+        self._requests = 0
+        self._examples = 0
+        self._batches = 0
+        self._errors = 0
+        self._retriable_errors = 0
+        self._hot_swaps = 0
+        self._source_errors = 0
+        self._queue_peak = 0
+        self._t_first: float | None = None
+        self._t_last: float | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        telemetry: AnyTelemetry | None = None,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        watch: bool = True,
+        refresh_interval: float = 0.25,
+    ) -> "ScoringEngine":
+        """Serve a model artifact written by :func:`repro.sgd.save_results`.
+
+        With ``watch=True`` (the default) a refresher re-loads the file
+        whenever it changes on disk — rewriting the artifact hot-swaps
+        the served model.
+        """
+        source = ArtifactSource(path)
+        model = source.poll()
+        assert model is not None  # first poll always loads
+        engine = cls(
+            source.task,
+            model.params.shape[0],
+            telemetry=telemetry,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            refresher=(
+                SnapshotRefresher(source, interval=refresh_interval)
+                if watch
+                else None
+            ),
+        )
+        engine.install(model)
+        return engine
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        source: str | Path | ShmTrainHandle,
+        telemetry: AnyTelemetry | None = None,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        refresh_interval: float = 0.05,
+    ) -> "ScoringEngine":
+        """Serve a (possibly live) shm training run's snapshots.
+
+        *source* is a snapshot descriptor path, a segment name, or an
+        already-attached :class:`ShmTrainHandle`.  The engine may start
+        cold (no snapshot published yet): requests then receive the
+        structured retriable error until the refresher installs the
+        first version.
+        """
+        tel = ensure_telemetry(telemetry)
+        handle = (
+            source
+            if isinstance(source, ShmTrainHandle)
+            else ShmTrainHandle.attach(source, telemetry=tel)
+        )
+        task = handle.meta.get("task")
+        if task is None:
+            raise ConfigurationError(
+                "snapshot source carries no task metadata; publish with "
+                "meta={'task': ..., 'n_features': ...}"
+            )
+        n_features = int(handle.meta.get("n_features", handle._n_params))
+        engine = cls(
+            task,
+            n_features,
+            telemetry=tel,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            refresher=SnapshotRefresher(
+                SnapshotSource(handle), interval=refresh_interval
+            ),
+        )
+        try:
+            engine.install(ServedModel.from_snapshot(handle.snapshot()))
+        except SnapshotUnavailableError:
+            pass  # cold start: the refresher will install version 1
+        return engine
+
+    # -- model management --------------------------------------------------
+
+    @property
+    def active(self) -> ServedModel | None:
+        """The model new batches will be scored under (may be ``None``)."""
+        return self._active
+
+    def install(self, model: ServedModel) -> bool:
+        """Atomically make *model* the active version (hot-swap).
+
+        Stale or duplicate versions from the same source are ignored.
+        Returns ``True`` when the active model changed.  In-flight
+        batches keep the version they pinned at batch start — a swap
+        never drops or blocks them.
+        """
+        if model.params.shape != (self.n_features,):
+            raise ConfigurationError(
+                f"model has {model.params.shape[0]} parameters, engine "
+                f"serves {self.n_features} features"
+            )
+        with self._install_lock:
+            current = self._active
+            if (
+                current is not None
+                and model.source == current.source
+                and model.version <= current.version
+            ):
+                return False
+            swap = current is not None
+            self._active = model
+        if swap:
+            with self._stats_lock:
+                self._hot_swaps += 1
+            self._tel.count(keys.SERVE_HOT_SWAPS)
+        return True
+
+    def require_model(self) -> ServedModel:
+        """The active model, or the structured retriable cold-start error."""
+        model = self._active
+        if model is None:
+            hint = ""
+            if self.refresher is not None and self.refresher.last_error is not None:
+                hint = f" (source: {self.refresher.last_error})"
+            raise SnapshotUnavailableError(
+                "no model installed yet — the trainer has not published a "
+                "snapshot" + hint,
+                reason="cold-start",
+            )
+        return model
+
+    def note_source_error(self) -> None:
+        """Refresher callback: a snapshot source failed (trainer dead?)."""
+        with self._stats_lock:
+            self._source_errors += 1
+        self._tel.count(keys.SERVE_SOURCE_ERRORS)
+
+    # -- example parsing ---------------------------------------------------
+
+    def parse_example(self, example: Any) -> tuple[np.ndarray, np.ndarray]:
+        """Normalise one wire/API example to a sparse ``(indices, values)`` row.
+
+        Accepted forms: a dense sequence of ``n_features`` floats, a
+        ``{"indices": [...], "values": [...]}`` mapping, or an
+        ``(indices, values)`` pair.  Raises
+        :class:`~repro.utils.errors.DataFormatError` (non-retriable,
+        structured) for anything malformed.
+        """
+        if isinstance(example, dict):
+            if "indices" not in example or "values" not in example:
+                raise DataFormatError(
+                    "sparse example must carry 'indices' and 'values'"
+                )
+            pair = (example["indices"], example["values"])
+        elif (
+            isinstance(example, (tuple, list))
+            and len(example) == 2
+            and not np.isscalar(example[0])
+            and not _is_number_list(example)
+        ):
+            pair = (example[0], example[1])
+        else:
+            try:
+                dense = np.asarray(example, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise DataFormatError(f"unparsable dense example: {exc}") from None
+            if dense.ndim != 1 or dense.shape[0] != self.n_features:
+                raise DataFormatError(
+                    f"dense example must be a flat vector of {self.n_features} "
+                    f"features, got shape {dense.shape}"
+                )
+            idx = np.nonzero(dense)[0]
+            return idx.astype(np.int32), dense[idx]
+        try:
+            idx = np.asarray(pair[0], dtype=np.int64)
+            val = np.asarray(pair[1], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise DataFormatError(f"unparsable sparse example: {exc}") from None
+        if idx.ndim != 1 or idx.shape != val.shape:
+            raise DataFormatError(
+                f"indices/values must be flat and equal-length, got "
+                f"{idx.shape} vs {val.shape}"
+            )
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_features):
+            raise DataFormatError(
+                f"feature index out of range [0, {self.n_features}): "
+                f"{int(idx.min())}..{int(idx.max())}"
+            )
+        order = np.argsort(idx, kind="stable")
+        idx, val = idx[order], val[order]
+        if idx.size > 1 and (np.diff(idx) == 0).any():
+            raise DataFormatError("duplicate feature indices in sparse example")
+        return idx.astype(np.int32), val
+
+    def _parse_examples(
+        self, examples: Sequence[Any]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        if not isinstance(examples, (list, tuple)) or not examples:
+            raise DataFormatError("a score request carries a non-empty example list")
+        return [self.parse_example(e) for e in examples]
+
+    # -- scoring -----------------------------------------------------------
+
+    def _margins(
+        self, rows: list[tuple[np.ndarray, np.ndarray]], params: np.ndarray
+    ) -> np.ndarray:
+        """One vectorised margin kernel over the coalesced batch."""
+        X = CSRMatrix.from_rows(rows, self.n_features)
+        if X.nnz and X.density > 0.5:
+            # A mostly-dense batch pays for the GEMV layout; small or
+            # sparse batches stream only the touched coordinates.
+            return dense_ops.gemv(X.to_dense(), params, name="serve_margins")
+        return sparse_ops.csr_submatvec(
+            X, np.arange(X.n_rows, dtype=np.int64), params, name="serve_margins"
+        )
+
+    def _score_rows(
+        self, rows: list[tuple[np.ndarray, np.ndarray]], model: ServedModel
+    ) -> list[ExampleScore]:
+        margins = self._margins(rows, model.params)
+        labels = np.where(margins >= 0.0, 1, -1)
+        probs = _sigmoid(margins) if self.task == "lr" else None
+        return [
+            ExampleScore(
+                margin=float(margins[i]),
+                label=int(labels[i]),
+                prob=None if probs is None else float(probs[i]),
+            )
+            for i in range(len(rows))
+        ]
+
+    def score(self, examples: Sequence[Any]) -> ScoreResponse:
+        """Score *examples* synchronously (one kernel call, no queue)."""
+        rows = self._parse_examples(examples)
+        model = self.require_model()
+        results = self._score_rows(rows, model)
+        self._note_batch([len(rows)], len(rows), 1)
+        self._note_request(latency_ms=0.0)
+        return ScoreResponse(
+            results=tuple(results),
+            model_version=model.version,
+            model_source=model.source,
+            model_epoch=model.epoch,
+        )
+
+    # -- micro-batched path ------------------------------------------------
+
+    def submit(self, examples: Sequence[Any]) -> _PendingRequest:
+        """Validate and enqueue a request for the batcher (non-blocking)."""
+        rows = self._parse_examples(examples)  # malformed input fails fast
+        if not self._running:
+            raise ConfigurationError(
+                "micro-batched scoring needs a started engine; call start() "
+                "or use the engine as a context manager"
+            )
+        pending = _PendingRequest(rows)
+        with self._cv:
+            self._queue.append(pending)
+            depth = len(self._queue)
+            self._cv.notify()
+        with self._stats_lock:
+            self._queue_peak = max(self._queue_peak, depth)
+        return pending
+
+    def request(self, examples: Sequence[Any], timeout: float = 30.0) -> ScoreResponse:
+        """Micro-batched scoring: enqueue, wait, return the response.
+
+        Raises the structured error the batch was answered with
+        (:class:`SnapshotUnavailableError` on a cold start), or
+        :class:`ConfigurationError` on timeout.
+        """
+        pending = self.submit(examples)
+        if not pending.event.wait(timeout):
+            raise ConfigurationError(f"score request timed out after {timeout}s")
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
+    def _drain(self) -> list[_PendingRequest]:
+        """Collect the next micro-batch's worth of pending requests."""
+        with self._cv:
+            while self._running and not self._queue:
+                self._cv.wait(0.1)
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+        # Brief coalescing window: let concurrent requests pile on, up
+        # to the batch cap.  The window closes early once the queue has
+        # gone quiet — clients in a closed loop are all waiting on this
+        # very batch, so holding the full delay would only add latency.
+        # Zero delay still drains whatever is queued.
+        if self.max_delay > 0.0:
+            deadline = time.perf_counter() + self.max_delay
+            quiet = 0
+            while time.perf_counter() < deadline and quiet < 2:
+                if sum(len(p.rows) for p in batch) >= self.max_batch:
+                    break
+                with self._cv:
+                    if self._queue:
+                        batch.append(self._queue.popleft())
+                        quiet = 0
+                        continue
+                quiet += 1
+                time.sleep(self.max_delay / 10.0)
+        with self._cv:
+            while (
+                self._queue
+                and sum(len(p.rows) for p in batch) < self.max_batch
+            ):
+                batch.append(self._queue.popleft())
+        return batch
+
+    def _answer_batch(self, batch: list[_PendingRequest]) -> None:
+        n_examples = sum(len(p.rows) for p in batch)
+        try:
+            model = self.require_model()
+        except SnapshotUnavailableError as err:
+            for p in batch:
+                p.error = err
+                p.event.set()
+            self._note_retriable(len(batch))
+            return
+        rows: list[tuple[np.ndarray, np.ndarray]] = []
+        for p in batch:
+            rows.extend(p.rows)
+        try:
+            scores = self._score_rows(rows, model)
+        except Exception as err:  # defensive: a bad batch must not kill
+            for p in batch:  # the batcher thread
+                p.error = err
+                p.event.set()
+            with self._stats_lock:
+                self._errors += len(batch)
+            self._tel.count(keys.SERVE_ERRORS, len(batch))
+            return
+        self._note_batch([n_examples], n_examples, 1)
+        t_done = time.perf_counter()
+        offset = 0
+        for p in batch:
+            take = scores[offset : offset + len(p.rows)]
+            offset += len(p.rows)
+            latency_ms = (t_done - p.t_submit) * 1e3
+            p.response = ScoreResponse(
+                results=tuple(take),
+                model_version=model.version,
+                model_source=model.source,
+                model_epoch=model.epoch,
+                latency_ms=latency_ms,
+            )
+            self._note_request(latency_ms=latency_ms)
+            p.event.set()
+
+    def _batcher_loop(self) -> None:
+        while self._running:
+            batch = self._drain()
+            if batch:
+                self._answer_batch(batch)
+        # Shutdown: fail whatever is still queued, retriably — the
+        # client may reconnect to a restarted server.
+        with self._cv:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for p in leftovers:
+            p.error = SnapshotUnavailableError(
+                "scoring engine stopped", reason="shutdown"
+            )
+            p.event.set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ScoringEngine":
+        """Start the batcher thread (and the refresher, when present)."""
+        if self._running:
+            return self
+        self._running = True
+        self._batcher = threading.Thread(
+            target=self._batcher_loop, name="serve-batcher", daemon=True
+        )
+        self._batcher.start()
+        if self.refresher is not None:
+            self.refresher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the batcher and refresher; queued requests fail retriably."""
+        if self.refresher is not None:
+            self.refresher.stop()
+        if not self._running:
+            return
+        self._running = False
+        with self._cv:
+            self._cv.notify_all()
+        if self._batcher is not None:
+            self._batcher.join(timeout=5.0)
+            self._batcher = None
+
+    def __enter__(self) -> "ScoringEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accounting --------------------------------------------------------
+
+    def _note_batch(self, sizes: list[int], examples: int, batches: int) -> None:
+        with self._stats_lock:
+            self._examples += examples
+            self._batches += batches
+            for size in sizes:
+                self._batch_sizes.append(size)
+                bucket = keys.serve_batch_bucket(size)
+                self._batch_histogram[bucket] = (
+                    self._batch_histogram.get(bucket, 0) + 1
+                )
+        self._tel.count(keys.SERVE_EXAMPLES, examples)
+        self._tel.count(keys.SERVE_BATCHES, batches)
+        for size in sizes:
+            self._tel.count(keys.serve_batch_bucket(size))
+
+    def _note_request(self, latency_ms: float) -> None:
+        now = time.perf_counter()
+        with self._stats_lock:
+            self._requests += 1
+            self._latencies_ms.append(latency_ms)
+            if self._t_first is None:
+                self._t_first = now
+            self._t_last = now
+        self._tel.count(keys.SERVE_REQUESTS)
+
+    def _note_retriable(self, n: int) -> None:
+        with self._stats_lock:
+            self._retriable_errors += n
+            self._requests += n
+        self._tel.count(keys.SERVE_REQUESTS, n)
+        self._tel.count(keys.SERVE_RETRIABLE_ERRORS, n)
+
+    def note_client_error(self) -> None:
+        """Service callback: a request failed client-side (malformed)."""
+        with self._stats_lock:
+            self._errors += 1
+            self._requests += 1
+        self._tel.count(keys.SERVE_REQUESTS)
+        self._tel.count(keys.SERVE_ERRORS)
+
+    def stats(self) -> EngineStats:
+        """Point-in-time statistics; also refreshes the ``serve.*`` gauges."""
+        model = self._active
+        with self._stats_lock:
+            lat = np.asarray(self._latencies_ms, dtype=np.float64)
+            sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+            span = (
+                (self._t_last - self._t_first)
+                if self._t_first is not None
+                and self._t_last is not None
+                and self._t_last > self._t_first
+                else 0.0
+            )
+            rps = (self._requests / span) if span > 0 else 0.0
+            snapshot = EngineStats(
+                requests=self._requests,
+                examples=self._examples,
+                batches=self._batches,
+                errors=self._errors,
+                retriable_errors=self._retriable_errors,
+                hot_swaps=self._hot_swaps,
+                source_errors=self._source_errors,
+                requests_per_second=rps,
+                latency_p50_ms=float(np.percentile(lat, 50)) if lat.size else 0.0,
+                latency_p99_ms=float(np.percentile(lat, 99)) if lat.size else 0.0,
+                queue_depth_peak=self._queue_peak,
+                batch_size_mean=float(sizes.mean()) if sizes.size else 0.0,
+                batch_size_histogram=dict(self._batch_histogram),
+                model_version=model.version if model is not None else None,
+                model_source=model.source if model is not None else None,
+                model_epoch=model.epoch if model is not None else None,
+                snapshot_age_seconds=(
+                    model.age_seconds if model is not None else None
+                ),
+            )
+        self._tel.set_gauge(keys.SERVE_REQUESTS_PER_SECOND, snapshot.requests_per_second)
+        self._tel.set_gauge(keys.SERVE_LATENCY_P50_MS, snapshot.latency_p50_ms)
+        self._tel.set_gauge(keys.SERVE_LATENCY_P99_MS, snapshot.latency_p99_ms)
+        self._tel.set_gauge(keys.SERVE_QUEUE_DEPTH_PEAK, float(snapshot.queue_depth_peak))
+        self._tel.set_gauge(keys.SERVE_BATCH_SIZE_MEAN, snapshot.batch_size_mean)
+        if snapshot.model_version is not None:
+            self._tel.set_gauge(
+                keys.SERVE_SNAPSHOT_VERSION, float(snapshot.model_version)
+            )
+        if snapshot.snapshot_age_seconds is not None:
+            self._tel.set_gauge(
+                keys.SERVE_SNAPSHOT_AGE_SECONDS, snapshot.snapshot_age_seconds
+            )
+        return snapshot
+
+
+def _is_number_list(obj: Any) -> bool:
+    """True for a 2-element list/tuple of plain numbers (a dense pair)."""
+    return (
+        isinstance(obj, (list, tuple))
+        and len(obj) == 2
+        and all(isinstance(v, (int, float)) for v in obj)
+    )
+
+
+# ---------------------------------------------------------------------------
+# snapshot sources + the hot-swap refresher
+
+
+class SnapshotSource:
+    """Refresher source over a live shm run's :class:`ShmTrainHandle`."""
+
+    def __init__(self, handle: ShmTrainHandle) -> None:
+        self.handle = handle
+        self._last_version = 0
+
+    @property
+    def task(self) -> str | None:
+        return self.handle.meta.get("task")
+
+    def poll(self) -> ServedModel | None:
+        """The newest snapshot, or ``None`` when nothing newer exists.
+
+        Raises :class:`SnapshotUnavailableError` on a cold start — the
+        refresher treats that as "not yet", not as a failure.
+        """
+        if self.handle.version == self._last_version:
+            return None  # cheap pre-check: no new publish since last poll
+        snap = self.handle.snapshot()
+        if snap.version == self._last_version:
+            return None
+        self._last_version = snap.version
+        return ServedModel.from_snapshot(snap)
+
+    def close(self) -> None:
+        self.handle.close()
+
+
+class ArtifactSource:
+    """Refresher source over a model-artifact JSON file on disk.
+
+    Reloads whenever the file's mtime changes; each reload installs as
+    the next version, so rewriting the artifact (e.g. after a fresh
+    training run) hot-swaps the served model.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._mtime_ns: int | None = None
+        self._version = 0
+        self.task: str | None = None
+
+    def poll(self) -> ServedModel | None:
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            raise SnapshotUnavailableError(
+                f"model artifact {self.path} does not exist",
+                reason="no-artifact",
+            ) from None
+        if self._mtime_ns is not None and stat.st_mtime_ns == self._mtime_ns:
+            return None
+        # Import here: serialize -> runner -> (lazily) serving.
+        from ..sgd.serialize import load_results
+
+        results = load_results(self.path)
+        if not results:
+            raise ConfigurationError(f"{self.path} holds no results")
+        result = results[0]
+        if result.params is None:
+            raise ConfigurationError(
+                f"{self.path} was serialised without parameters; re-export "
+                "with result_to_dict(include_params=True) / --model-out"
+            )
+        if result.task not in SERVABLE_TASKS:
+            raise ConfigurationError(
+                f"artifact task {result.task!r} is not servable "
+                f"(supported: {SERVABLE_TASKS})"
+            )
+        self._mtime_ns = stat.st_mtime_ns
+        self._version += 1
+        self.task = result.task
+        return ServedModel(
+            params=np.asarray(result.params, dtype=np.float64),
+            version=self._version,
+            source="artifact",
+            epoch=None,
+            loss=result.curve.final_loss,
+            published_unix=stat.st_mtime_ns / 1e9,
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class SnapshotRefresher:
+    """Background hot-swapper: polls a source, installs newer versions.
+
+    Source failures never crash serving: a cold start is silently
+    retried, and a harder failure (segment vanished because the trainer
+    died, unreadable artifact) is counted as ``serve.source_errors``
+    while the engine keeps answering from the last installed model —
+    the graceful-degradation half of the hot-swap contract.
+    """
+
+    def __init__(self, source: Any, interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self.source = source
+        self.interval = float(interval)
+        self.last_error: Exception | None = None
+        self._engine: ScoringEngine | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Successful hot-swap installs performed by this refresher.
+        self.installs = 0
+
+    def bind(self, engine: ScoringEngine) -> None:
+        self._engine = engine
+
+    def poll_once(self) -> bool:
+        """One poll + install attempt; returns True when a swap happened."""
+        assert self._engine is not None, "refresher used before bind()"
+        try:
+            model = self.source.poll()
+        except SnapshotUnavailableError as err:
+            # Cold start ("nothing published yet") is expected; losing a
+            # previously working source is a degradation worth counting.
+            self.last_error = err
+            if self._engine.active is not None or err.reason not in (
+                "cold-start",
+                None,
+            ):
+                self._engine.note_source_error()
+            return False
+        except Exception as err:  # noqa: BLE001 - keep serving, count it
+            self.last_error = err
+            self._engine.note_source_error()
+            return False
+        if model is None:
+            return False
+        if self._engine.install(model):
+            self.last_error = None
+            self.installs += 1
+            return True
+        return False
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.poll_once()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-refresher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        close = getattr(self.source, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,183 @@
+"""A seeded load generator for the scoring service.
+
+Drives a :class:`~repro.serving.engine.ScoringEngine` (in-process, the
+bench path) or a live socket server with concurrent request threads and
+reports throughput and latency percentiles.  Everything is seeded —
+per-thread RNGs derive from one base seed via the repo's
+:func:`~repro.utils.rng.derive_rng` labelling scheme — so BENCH runs
+replay the same request mix.
+
+Two modes matter for the paper trail:
+
+* ``mode="batched"`` goes through :meth:`ScoringEngine.request`, so
+  concurrent threads coalesce into micro-batches — the serving
+  configuration;
+* ``mode="direct"`` calls :meth:`ScoringEngine.score` one request at a
+  time per thread — the unbatched baseline the bench throughput gate
+  compares against (a same-host ratio, immune to machine speed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError, SnapshotUnavailableError
+from ..utils.rng import derive_rng
+from .engine import ScoringEngine
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What a load run observed (the bench's serving section rows)."""
+
+    mode: str
+    concurrency: int
+    requests: int
+    examples: int
+    errors: int
+    retriable_errors: int
+    duration_s: float
+    requests_per_second: float
+    examples_per_second: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    #: Distinct model versions answers arrived under — >1 proves a
+    #: hot-swap happened mid-load without dropping requests.
+    model_versions_seen: tuple[int, ...] = field(default=())
+
+    def to_dict(self) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["model_versions_seen"] = list(self.model_versions_seen)
+        return out
+
+
+class LoadGenerator:
+    """Replayable concurrent load against a scoring engine.
+
+    *examples* is the request pool — typically dataset rows as the
+    engine's sparse ``{"indices", "values"}`` dicts or dense vectors.
+    Each request draws 1..``max_request_examples`` of them (with
+    replacement) from a per-thread seeded RNG.
+    """
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        examples: Sequence[Any],
+        seed: int = 0,
+        concurrency: int = 4,
+        max_request_examples: int = 4,
+    ) -> None:
+        if not examples:
+            raise ConfigurationError("load generator needs a non-empty example pool")
+        if concurrency < 1:
+            raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+        if max_request_examples < 1:
+            raise ConfigurationError(
+                f"max_request_examples must be >= 1, got {max_request_examples}"
+            )
+        self.engine = engine
+        self.examples = list(examples)
+        self.seed = seed
+        self.concurrency = int(concurrency)
+        self.max_request_examples = int(max_request_examples)
+
+    def _worker(
+        self,
+        index: int,
+        n_requests: int,
+        mode: str,
+        out: dict[str, Any],
+        barrier: threading.Barrier,
+    ) -> None:
+        rng = derive_rng(self.seed, f"loadgen/{mode}/{index}")
+        latencies: list[float] = []
+        versions: set[int] = set()
+        examples_done = 0
+        errors = 0
+        retriable = 0
+        pool = self.examples
+        barrier.wait()  # start all threads together for a clean window
+        for _ in range(n_requests):
+            k = int(rng.integers(1, self.max_request_examples + 1))
+            picks = [pool[int(i)] for i in rng.integers(0, len(pool), size=k)]
+            t0 = time.perf_counter()
+            try:
+                if mode == "batched":
+                    resp = self.engine.request(picks)
+                else:
+                    resp = self.engine.score(picks)
+            except SnapshotUnavailableError:
+                retriable += 1
+                time.sleep(0.005)  # back off as a polite client would
+                continue
+            except Exception:  # noqa: BLE001 - the report counts, run goes on
+                errors += 1
+                continue
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            versions.add(resp.model_version)
+            examples_done += k
+        out[index] = {
+            "latencies": latencies,
+            "versions": versions,
+            "examples": examples_done,
+            "errors": errors,
+            "retriable": retriable,
+        }
+
+    def run(self, n_requests: int, mode: str = "batched") -> LoadReport:
+        """Fire ``n_requests`` total (split across threads); report."""
+        if mode not in ("batched", "direct"):
+            raise ConfigurationError(f"mode must be 'batched' or 'direct', got {mode!r}")
+        per_thread = max(1, n_requests // self.concurrency)
+        results: dict[int, dict[str, Any]] = {}
+        barrier = threading.Barrier(self.concurrency + 1)
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(i, per_thread, mode, results, barrier),
+                name=f"loadgen-{i}",
+                daemon=True,
+            )
+            for i in range(self.concurrency)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t_start = time.perf_counter()
+        for t in threads:
+            t.join()
+        duration = max(time.perf_counter() - t_start, 1e-9)
+        lat = np.asarray(
+            [v for r in results.values() for v in r["latencies"]], dtype=np.float64
+        )
+        versions: set[int] = set()
+        for r in results.values():
+            versions |= r["versions"]
+        total_ok = int(lat.size)
+        examples = sum(r["examples"] for r in results.values())
+        errors = sum(r["errors"] for r in results.values())
+        retriable = sum(r["retriable"] for r in results.values())
+        return LoadReport(
+            mode=mode,
+            concurrency=self.concurrency,
+            requests=total_ok,
+            examples=examples,
+            errors=errors,
+            retriable_errors=retriable,
+            duration_s=duration,
+            requests_per_second=total_ok / duration,
+            examples_per_second=examples / duration,
+            latency_p50_ms=float(np.percentile(lat, 50)) if lat.size else 0.0,
+            latency_p99_ms=float(np.percentile(lat, 99)) if lat.size else 0.0,
+            model_versions_seen=tuple(sorted(versions)),
+        )

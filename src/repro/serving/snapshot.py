@@ -1,0 +1,452 @@
+"""Consistent model snapshots over shared memory: a seqlock protocol.
+
+The shared-memory backend's whole point is that workers write the model
+**lock-free** — so a naive concurrent reader sees a torn vector: some
+coordinates from before an update, some from after, possibly from
+different epochs.  Training tolerates that (Hogwild's premise); a
+*scoring service* must not.  This module gives readers a consistent
+copy-on-read view without pausing the workers.
+
+Protocol
+--------
+The publisher (the ``train_shm`` parent) owns a second, small shared
+segment: an int64/float64 header followed by a float64 parameter body.
+The header leads with a **sequence word** driven seqlock-style:
+
+* *publish* — the writer bumps the sequence to **odd**, copies the
+  parameters and metadata into the segment, then bumps it to the next
+  **even** value;
+* *read* — the reader spins until the sequence is even, copies the body,
+  re-reads the sequence, and **retries** whenever the two reads differ
+  (a publish overlapped the copy) or the duplicated version check —
+  written *after* the body — disagrees with the version written before
+  it.
+
+Readers never block the writer and the writer never blocks readers; the
+cost of consistency is a bounded number of retries, which the reader
+counts (``serve.snapshot.retries``) so the telemetry proves the
+protocol actually exercised its retry path under contention.  Publishes
+happen at epoch boundaries, while the shm workers idle at a barrier —
+so the *parameters themselves* are race-free at publish time and the
+seqlock only has to defend the publisher-vs-reader copy, not the
+Hogwild scatter traffic.
+
+The protocol is the classic seqlock and additionally verifies the
+duplicated trailing version word, so even on a host whose store
+ordering is weaker than the assumptions (CPython's GIL plus x86 TSO in
+practice) a torn copy cannot pass both checks.
+
+Discovery crosses processes through a small JSON **descriptor** file
+(segment name, parameter count, task/dataset metadata):
+:meth:`SnapshotPublisher.create` writes it, :meth:`ShmTrainHandle.attach`
+reads it.  A reader that attaches keeps its mapping even after the
+publisher unlinks the segment (trainer finished or died), so the last
+published model stays servable — the handle only loses the ability to
+see *new* versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
+from ..utils.errors import ConfigurationError, SnapshotUnavailableError
+
+__all__ = [
+    "DESCRIPTOR_SCHEMA",
+    "ModelSnapshot",
+    "SnapshotPublisher",
+    "ShmTrainHandle",
+]
+
+DESCRIPTOR_SCHEMA = "repro.serving/snapshot-descriptor/v1"
+
+# int64 header slots.
+_I_SEQ = 0  # seqlock sequence word: odd = publish in progress
+_I_VERSION = 1  # monotonically increasing snapshot version (0 = none yet)
+_I_EPOCH = 2  # training epoch the snapshot was taken at
+_I_NPARAMS = 3  # body length, sanity-checked on attach
+_I_CLOSED = 4  # publisher closed cleanly (trainer finished)
+_I_VCHECK = 5  # duplicate of _I_VERSION written *after* the body
+_N_INTS = 8  # spare slots keep the layout stable across versions
+
+# float64 header slots (after the int block).
+_F_PUBLISHED = 0  # time.time() of the publish
+_F_LOSS = 1  # training loss at the snapshot, NaN when unknown
+_N_FLOATS = 4
+
+_HEADER_BYTES = (_N_INTS + _N_FLOATS) * 8
+
+
+def _views(buf) -> tuple[np.ndarray, np.ndarray]:
+    ints = np.ndarray((_N_INTS,), dtype=np.int64, buffer=buf)
+    floats = np.ndarray((_N_FLOATS,), dtype=np.float64, buffer=buf, offset=_N_INTS * 8)
+    return ints, floats
+
+
+def _body(buf, n_params: int) -> np.ndarray:
+    return np.ndarray(
+        (n_params,), dtype=np.float64, buffer=buf, offset=_HEADER_BYTES
+    )
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One consistent copy-on-read view of the shared model."""
+
+    #: Private copy of the parameter vector (safe to keep indefinitely).
+    params: np.ndarray = field(repr=False)
+    #: Monotonically increasing publish counter (1 = first snapshot).
+    version: int
+    #: Training epoch the snapshot was taken at (0 = initial model).
+    epoch: int
+    #: Training loss recorded at publish time (may be ``nan``).
+    loss: float
+    #: ``time.time()`` at publish.
+    published_unix: float
+    #: Seqlock retries this read needed (0 = clean first pass).
+    retries: int = 0
+    #: Publisher metadata: task, dataset, n_features, ... (descriptor).
+    meta: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since this snapshot was published."""
+        return max(0.0, time.time() - self.published_unix)
+
+
+class SnapshotPublisher:
+    """Writer side of the snapshot protocol (one per training run).
+
+    Create with :meth:`create`, hand to ``train_shm`` (duck-typed: the
+    backend only calls :meth:`publish`), and :meth:`close` when the run
+    ends.  ``close(unlink=True)`` removes the segment; already-attached
+    readers keep their mapping and the last published model.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_params: int,
+        meta: dict[str, Any],
+        descriptor_path: Path | None,
+        owns_segment: bool,
+    ) -> None:
+        self._shm = shm
+        self._n_params = int(n_params)
+        self.meta = dict(meta)
+        self.descriptor_path = descriptor_path
+        self._owns = owns_segment
+        self._closed = False
+        self._ints, self._floats = _views(shm.buf)
+        self._body = _body(shm.buf, self._n_params)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        n_params: int,
+        descriptor: str | Path | None = None,
+        meta: dict[str, Any] | None = None,
+        name: str | None = None,
+    ) -> "SnapshotPublisher":
+        """Allocate the snapshot segment and (optionally) its descriptor.
+
+        Parameters
+        ----------
+        n_params:
+            Parameter-vector length the segment must hold.
+        descriptor:
+            Path for the JSON descriptor file other processes attach
+            through (``None``: in-process readers attach by
+            ``segment_name``).
+        meta:
+            Free-form metadata recorded into the descriptor and echoed
+            on every snapshot — the serving layer stores the task name
+            and feature count here.
+        """
+        if n_params < 1:
+            raise ConfigurationError(f"n_params must be >= 1, got {n_params}")
+        shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + n_params * 8, name=name
+        )
+        ints, floats = _views(shm.buf)
+        ints[:] = 0
+        floats[:] = 0.0
+        ints[_I_NPARAMS] = n_params
+        publisher = cls(shm, n_params, meta or {}, None, owns_segment=True)
+        if descriptor is not None:
+            path = Path(descriptor)
+            doc = {
+                "schema": DESCRIPTOR_SCHEMA,
+                "segment": shm.name,
+                "n_params": int(n_params),
+                "created_unix": time.time(),
+                "pid": os.getpid(),
+                "meta": dict(meta or {}),
+            }
+            path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+            publisher.descriptor_path = path
+        return publisher
+
+    # -- protocol ----------------------------------------------------------
+
+    @property
+    def segment_name(self) -> str:
+        """OS name of the shared segment (attach key for readers)."""
+        return self._shm.name
+
+    @property
+    def version(self) -> int:
+        """Version of the last published snapshot (0 = none yet)."""
+        return int(self._ints[_I_VERSION])
+
+    def publish(
+        self, params: np.ndarray, epoch: int = 0, loss: float = float("nan")
+    ) -> int:
+        """Install *params* as the next snapshot version; returns it.
+
+        Seqlock write side: sequence to odd, body + metadata, duplicate
+        version check, sequence to even.  Readers overlapping any part
+        of this retry.
+        """
+        if self._closed:
+            raise ConfigurationError("publish() on a closed SnapshotPublisher")
+        params = np.asarray(params, dtype=np.float64)
+        if params.shape != (self._n_params,):
+            raise ConfigurationError(
+                f"snapshot expects shape ({self._n_params},), got {params.shape}"
+            )
+        seq = int(self._ints[_I_SEQ])
+        version = int(self._ints[_I_VERSION]) + 1
+        self._ints[_I_SEQ] = seq + 1  # odd: publish in progress
+        self._ints[_I_VERSION] = version
+        self._ints[_I_EPOCH] = int(epoch)
+        self._floats[_F_PUBLISHED] = time.time()
+        self._floats[_F_LOSS] = float(loss)
+        np.copyto(self._body, params)
+        self._ints[_I_VCHECK] = version  # written after the body
+        self._ints[_I_SEQ] = seq + 2  # even: consistent again
+        return version
+
+    def close(self, unlink: bool = True) -> None:
+        """Mark the publisher finished and release the segment.
+
+        ``unlink=True`` (the default for the owner) removes the OS
+        object; attached readers keep their mapping and the final
+        snapshot, but new attaches will fail.
+        """
+        if self._closed:
+            return
+        self._ints[_I_CLOSED] = 1
+        self._closed = True
+        # Drop numpy views before closing the mapping.
+        self._ints = self._floats = self._body = None  # type: ignore[assignment]
+        self._shm.close()
+        if unlink and self._owns:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SnapshotPublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShmTrainHandle:
+    """Reader side: a handle onto a (possibly live) shm training run.
+
+    ``snapshot()`` returns a consistent :class:`ModelSnapshot` no matter
+    how the publisher's writes interleave with the copy; the handle
+    counts reads and seqlock retries into telemetry
+    (``serve.snapshot.reads`` / ``serve.snapshot.retries``).
+    """
+
+    #: Retry bound before a read gives up — generous: a retry window is
+    #: one memcpy of the body, so double-digit collisions in a row mean
+    #: the publisher is wedged mid-publish (e.g. died at an odd seq).
+    MAX_RETRIES = 256
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_params: int,
+        meta: dict[str, Any] | None = None,
+        telemetry: AnyTelemetry | None = None,
+    ) -> None:
+        self._shm = shm
+        self._n_params = int(n_params)
+        self.meta = dict(meta or {})
+        self._tel = ensure_telemetry(telemetry)
+        self._ints, self._floats = _views(shm.buf)
+        self._body = _body(shm.buf, self._n_params)
+        self._closed = False
+        #: Total snapshot() calls that returned a snapshot.
+        self.reads = 0
+        #: Total seqlock retries across all reads.
+        self.retries = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        source: str | Path | SnapshotPublisher,
+        telemetry: AnyTelemetry | None = None,
+    ) -> "ShmTrainHandle":
+        """Attach to a run by descriptor path, segment name or publisher.
+
+        Raises
+        ------
+        SnapshotUnavailableError
+            The descriptor or segment does not exist (trainer not up
+            yet, or already gone) — retriable: a server answering
+            queries may simply try again.
+        """
+        meta: dict[str, Any] = {}
+        if isinstance(source, SnapshotPublisher):
+            segment, n_params, meta = (
+                source.segment_name,
+                source._n_params,
+                dict(source.meta),
+            )
+        else:
+            text = str(source)
+            if text.endswith(".json") or os.sep in text or os.path.exists(text):
+                try:
+                    doc = json.loads(Path(text).read_text(encoding="utf-8"))
+                except FileNotFoundError:
+                    raise SnapshotUnavailableError(
+                        f"snapshot descriptor {text!r} does not exist (is the "
+                        "trainer running with --snapshot-out?)",
+                        reason="no-descriptor",
+                    ) from None
+                if doc.get("schema") != DESCRIPTOR_SCHEMA:
+                    raise ConfigurationError(
+                        f"{text!r} is not a snapshot descriptor "
+                        f"(schema {doc.get('schema')!r})"
+                    )
+                segment, n_params = doc["segment"], int(doc["n_params"])
+                meta = dict(doc.get("meta", {}))
+            else:
+                segment, n_params = text, -1
+        try:
+            shm = shared_memory.SharedMemory(name=segment)
+        except FileNotFoundError:
+            raise SnapshotUnavailableError(
+                f"snapshot segment {segment!r} does not exist (trainer "
+                "finished or not started)",
+                reason="no-segment",
+            ) from None
+        ints, _ = _views(shm.buf)
+        advertised = int(ints[_I_NPARAMS])
+        if n_params < 0:
+            n_params = advertised
+        if advertised != n_params:
+            shm.close()
+            raise ConfigurationError(
+                f"snapshot segment {segment!r} advertises {advertised} "
+                f"parameters, descriptor says {n_params}"
+            )
+        return cls(shm, n_params, meta, telemetry)
+
+    # -- protocol ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Latest published version (0 = nothing published yet)."""
+        return int(self._ints[_I_VERSION])
+
+    @property
+    def trainer_finished(self) -> bool:
+        """True once the publisher closed cleanly."""
+        return bool(self._ints[_I_CLOSED])
+
+    def _copy_body(self) -> np.ndarray:
+        """One unguarded copy of the parameter body (seqlock inner step).
+
+        Split out so tests can interleave a publish mid-copy and prove
+        the retry path deterministically.
+        """
+        return self._body.copy()
+
+    def snapshot(self) -> ModelSnapshot:
+        """Take one consistent copy-on-read snapshot.
+
+        Raises
+        ------
+        SnapshotUnavailableError
+            Nothing has been published yet (cold start) — retriable —
+            or the retry bound was exhausted (publisher wedged at an
+            odd sequence, e.g. killed mid-publish).
+        """
+        if self._closed:
+            raise ConfigurationError("snapshot() on a closed ShmTrainHandle")
+        retries = 0
+        while retries <= self.MAX_RETRIES:
+            s1 = int(self._ints[_I_SEQ])
+            if s1 & 1:  # publish in progress: wait it out
+                retries += 1
+                time.sleep(0.0001)
+                continue
+            version = int(self._ints[_I_VERSION])
+            if version == 0:
+                raise SnapshotUnavailableError(
+                    "no snapshot published yet (training has not completed "
+                    "an epoch)",
+                    reason="cold-start",
+                )
+            params = self._copy_body()
+            epoch = int(self._ints[_I_EPOCH])
+            loss = float(self._floats[_F_LOSS])
+            published = float(self._floats[_F_PUBLISHED])
+            vcheck = int(self._ints[_I_VCHECK])
+            s2 = int(self._ints[_I_SEQ])
+            if s1 == s2 and version == vcheck:
+                self.reads += 1
+                self.retries += retries
+                self._tel.count(keys.SERVE_SNAPSHOT_READS)
+                if retries:
+                    self._tel.count(keys.SERVE_SNAPSHOT_RETRIES, retries)
+                return ModelSnapshot(
+                    params=params,
+                    version=version,
+                    epoch=epoch,
+                    loss=loss,
+                    published_unix=published,
+                    retries=retries,
+                    meta=dict(self.meta),
+                )
+            retries += 1  # a publish overlapped the copy: go again
+        raise SnapshotUnavailableError(
+            f"snapshot read exhausted {self.MAX_RETRIES} seqlock retries "
+            "(publisher wedged mid-publish?)",
+            reason="retry-exhausted",
+        )
+
+    def close(self) -> None:
+        """Detach from the segment (never unlinks: readers don't own it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._ints = self._floats = self._body = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def __enter__(self) -> "ShmTrainHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

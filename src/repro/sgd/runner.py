@@ -103,6 +103,10 @@ class TrainResult:
     dataset_stats: dict | None = field(default=None, repr=False)
     #: Execution backend that produced the curve ("simulated" or "shm").
     backend: str = "simulated"
+    #: Final parameter vector of the run — the loadable model artifact
+    #: the serving layer scores with (:mod:`repro.serving`); round-trips
+    #: through :mod:`repro.sgd.serialize`.
+    params: np.ndarray | None = field(default=None, repr=False)
     #: Measured execution record (shm backend only): worker count,
     #: wall-clock seconds and event counters.  For the simulated
     #: backend this is ``None`` and ``time_per_iter`` is modelled.
@@ -313,6 +317,7 @@ def train(
     epoch_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     max_restarts: int = 0,
+    snapshot_out: str | None = None,
     telemetry: AnyTelemetry | None = None,
 ) -> TrainResult:
     """Train one paper configuration and report all three performance axes.
@@ -383,6 +388,14 @@ def train(
         by scrubbing), up to this many times, with exponential
         backoff on the epoch timeout.  ``0`` (the default) fails
         fast.  shm only.
+    snapshot_out:
+        shm backend: publish a consistent model snapshot at every
+        epoch boundary into a shared-memory segment and write its JSON
+        descriptor to this path, so a live scoring service
+        (``python -m repro serve --snapshot PATH``) can attach and
+        hot-swap while training runs (see :mod:`repro.serving` and
+        docs/SERVING.md).  The segment is unlinked when training ends;
+        attached readers keep the final model.  shm only.
     telemetry:
         A :class:`repro.telemetry.Telemetry` to receive spans (dataset
         load, reference solve, optimisation, hardware costing),
@@ -430,6 +443,7 @@ def train(
             "fault_plan": fault_plan is not None,
             "max_restarts": max_restarts != 0,
             "track_conflicts": track_conflicts is not True,
+            "snapshot_out": snapshot_out is not None,
         }
         offending = [name for name, set_ in shm_only.items() if set_]
         if offending:
@@ -526,6 +540,7 @@ def train(
                 diverged=res.curve.diverged,
                 epoch_trace=trace,
                 dataset_stats=stats,
+                params=res.params,
             )
 
         if backend == "shm":
@@ -543,17 +558,37 @@ def train(
             recovery = (
                 RecoveryPolicy(max_restarts=max_restarts) if max_restarts else None
             )
-            shm_res = train_shm(
-                model,
-                ds.X,
-                ds.y,
-                init,
-                config,
-                schedule,
-                tel,
-                fault_plan=fault_plan,
-                recovery=recovery,
-            )
+            publisher = None
+            if snapshot_out is not None:
+                from ..serving import SnapshotPublisher
+
+                publisher = SnapshotPublisher.create(
+                    model.n_params,
+                    descriptor=snapshot_out,
+                    meta={
+                        "task": task,
+                        "dataset": ds_name,
+                        "n_features": int(ds.n_features),
+                        "step_size": float(step_size),
+                        "scale": scale,
+                    },
+                )
+            try:
+                shm_res = train_shm(
+                    model,
+                    ds.X,
+                    ds.y,
+                    init,
+                    config,
+                    schedule,
+                    tel,
+                    fault_plan=fault_plan,
+                    recovery=recovery,
+                    snapshot=publisher,
+                )
+            finally:
+                if publisher is not None:
+                    publisher.close()
             measured = {
                 "workers": shm_res.workers,
                 "workers_final": shm_res.workers_final,
@@ -588,6 +623,7 @@ def train(
                 dataset_stats=stats,
                 backend="shm",
                 measured=measured,
+                params=shm_res.params,
             )
 
         full = _effective_full_profile(ds, representation)
@@ -619,6 +655,7 @@ def train(
             optimal_loss=optimal,
             diverged=res.diverged,
             dataset_stats=stats,
+            params=res.params,
         )
 
 

@@ -15,6 +15,8 @@ import math
 from pathlib import Path
 from typing import TextIO
 
+import numpy as np
+
 from ..linalg.trace import OpKind, OpRecord, Trace
 from ..utils.errors import ConfigurationError
 from .convergence import LossCurve
@@ -71,7 +73,9 @@ def _decode_float(v) -> float:
     return float(v)
 
 
-def result_to_dict(result: TrainResult, *, include_trace: bool = False) -> dict:
+def result_to_dict(
+    result: TrainResult, *, include_trace: bool = False, include_params: bool = True
+) -> dict:
     """Flatten a result into JSON-safe primitives.
 
     By default the epoch trace is not serialised (it is an analysis
@@ -79,6 +83,12 @@ def result_to_dict(result: TrainResult, *, include_trace: bool = False) -> dict:
     ``include_trace=True`` to keep it — the experiment-grid result
     store needs it so a resumed synchronous base run can still be
     re-costed for the other architectures.
+
+    The final parameter vector *is* serialised by default (when the
+    result carries one): it makes the document a loadable model
+    artifact for ``repro serve --model <file>`` /
+    :meth:`repro.serving.ScoringEngine.from_artifact`.  Pass
+    ``include_params=False`` for curve-only documents.
     """
     payload = {
         "version": _FORMAT_VERSION,
@@ -100,6 +110,10 @@ def result_to_dict(result: TrainResult, *, include_trace: bool = False) -> dict:
         payload["dataset_stats"] = dict(result.dataset_stats)
     if include_trace and result.epoch_trace is not None:
         payload["epoch_trace"] = _trace_to_list(result.epoch_trace)
+    if include_params and result.params is not None:
+        # The final model: what `repro serve --model <file>` loads.
+        # Non-finite coordinates (diverged runs) encode explicitly.
+        payload["params"] = [_encode_float(float(v)) for v in result.params]
     return payload
 
 
@@ -118,6 +132,7 @@ def result_from_dict(payload: dict) -> TrainResult:
         curve.record(int(epoch), _decode_float(loss))
     trace = payload.get("epoch_trace")
     stats = payload.get("dataset_stats")
+    params = payload.get("params")
     return TrainResult(
         task=str(payload["task"]),
         dataset=str(payload["dataset"]),
@@ -131,6 +146,11 @@ def result_from_dict(payload: dict) -> TrainResult:
         epoch_trace=_trace_from_list(trace) if trace is not None else None,
         dataset_stats=dict(stats) if stats is not None else None,
         backend=str(payload.get("backend", "simulated")),
+        params=(
+            np.asarray([_decode_float(v) for v in params], dtype=np.float64)
+            if params is not None
+            else None
+        ),
     )
 
 

@@ -34,9 +34,11 @@ from .gitinfo import current_git_sha
 from .manifest import (
     GRID_MANIFEST_SCHEMA,
     MANIFEST_SCHEMA,
+    SERVE_MANIFEST_SCHEMA,
     RunManifest,
     build_grid_manifest,
     build_manifest,
+    build_serve_manifest,
     load_manifest,
 )
 from .nulls import NULL_TELEMETRY, NullSpan, NullTelemetry
@@ -64,8 +66,10 @@ __all__ = [
     "RunManifest",
     "MANIFEST_SCHEMA",
     "GRID_MANIFEST_SCHEMA",
+    "SERVE_MANIFEST_SCHEMA",
     "build_manifest",
     "build_grid_manifest",
+    "build_serve_manifest",
     "load_manifest",
     "current_git_sha",
 ]

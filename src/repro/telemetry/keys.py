@@ -19,7 +19,10 @@ spelling.  The prefixes partition the namespace:
   repartitions, degraded epochs) — see :mod:`repro.faults`;
 * ``grid.`` — the parallel experiment-grid executor (cells scheduled,
   deduplicated, resumed from the on-disk store, executed in workers)
-  — see :mod:`repro.experiments.executor`.
+  — see :mod:`repro.experiments.executor`;
+* ``serve.`` — the scoring service (requests scored, micro-batches
+  formed, snapshot reads/retries/hot-swaps, latency percentiles) — see
+  :mod:`repro.serving`.
 """
 
 from __future__ import annotations
@@ -60,6 +63,24 @@ __all__ = [
     "GRID_RETRY_DIVERGENCES",
     "GRID_QUARANTINE_CELLS",
     "GRID_QUARANTINE_BUDGET_EXHAUSTED",
+    "SERVE_REQUESTS",
+    "SERVE_EXAMPLES",
+    "SERVE_BATCHES",
+    "SERVE_ERRORS",
+    "SERVE_RETRIABLE_ERRORS",
+    "SERVE_HOT_SWAPS",
+    "SERVE_SNAPSHOT_READS",
+    "SERVE_SNAPSHOT_RETRIES",
+    "SERVE_SOURCE_ERRORS",
+    "SERVE_REQUESTS_PER_SECOND",
+    "SERVE_LATENCY_P50_MS",
+    "SERVE_LATENCY_P99_MS",
+    "SERVE_QUEUE_DEPTH_PEAK",
+    "SERVE_BATCH_SIZE_MEAN",
+    "SERVE_SNAPSHOT_VERSION",
+    "SERVE_SNAPSHOT_AGE_SECONDS",
+    "SERVE_BATCH_BUCKET_PREFIX",
+    "serve_batch_bucket",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -197,3 +218,79 @@ GRID_QUARANTINE_CELLS = "grid.quarantine.cells"
 #: Quarantines forced early because the grid-wide shared retry budget
 #: (``CellRetryPolicy.max_restarts``) was already spent.
 GRID_QUARANTINE_BUDGET_EXHAUSTED = "grid.quarantine.budget_exhausted"
+
+#: Score requests answered by the scoring service (success or
+#: structured error; one request may carry several examples).
+SERVE_REQUESTS = "serve.requests"
+
+#: Examples scored (the unit the micro-batcher coalesces).
+SERVE_EXAMPLES = "serve.examples"
+
+#: Micro-batches pushed through the vectorised margin kernels — the
+#: ratio ``serve.examples / serve.batches`` is the realised coalescing
+#: factor.
+SERVE_BATCHES = "serve.batches"
+
+#: Requests answered with a structured non-retriable error (malformed
+#: payload, wrong feature count, unknown op).
+SERVE_ERRORS = "serve.errors"
+
+#: Requests answered with a structured *retriable* error
+#: (:class:`repro.utils.errors.SnapshotUnavailableError`: cold start,
+#: trainer gone before first publish).
+SERVE_RETRIABLE_ERRORS = "serve.retriable_errors"
+
+#: Model hot-swaps: a newer snapshot installed atomically while
+#: in-flight requests finished on the previous one.
+SERVE_HOT_SWAPS = "serve.hot_swaps"
+
+#: Consistent snapshot reads completed against the shared buffer.
+SERVE_SNAPSHOT_READS = "serve.snapshot.reads"
+
+#: Seqlock retries across all snapshot reads (a publish overlapped the
+#: reader's copy; the read was re-run — never served torn).
+SERVE_SNAPSHOT_RETRIES = "serve.snapshot.retries"
+
+#: Snapshot-source refresh failures survived (trainer died, segment
+#: gone); the service kept answering from the last installed model.
+SERVE_SOURCE_ERRORS = "serve.source_errors"
+
+#: Gauge: sustained request throughput over the measurement window.
+SERVE_REQUESTS_PER_SECOND = "serve.requests_per_second"
+
+#: Gauge: median request latency (milliseconds, submit -> scored).
+SERVE_LATENCY_P50_MS = "serve.latency_p50_ms"
+
+#: Gauge: 99th-percentile request latency (milliseconds).
+SERVE_LATENCY_P99_MS = "serve.latency_p99_ms"
+
+#: Gauge: deepest request queue observed by the micro-batcher.
+SERVE_QUEUE_DEPTH_PEAK = "serve.queue_depth_peak"
+
+#: Gauge: mean realised micro-batch size (examples per kernel call).
+SERVE_BATCH_SIZE_MEAN = "serve.batch_size_mean"
+
+#: Gauge: version of the model snapshot currently being served.
+SERVE_SNAPSHOT_VERSION = "serve.snapshot.version"
+
+#: Gauge: age (seconds) of the served snapshot at the last stats flush.
+SERVE_SNAPSHOT_AGE_SECONDS = "serve.snapshot.age_seconds"
+
+#: Prefix of the micro-batch size histogram counters; bucket keys are
+#: produced by :func:`serve_batch_bucket` (powers of two, e.g.
+#: ``serve.batch_size_bucket.le_8`` counts batches of 5..8 examples).
+SERVE_BATCH_BUCKET_PREFIX = "serve.batch_size_bucket."
+
+#: Largest histogram bucket; batches above the previous power of two
+#: land in ``serve.batch_size_bucket.gt_128``.
+_SERVE_BUCKET_CAP = 128
+
+
+def serve_batch_bucket(size: int) -> str:
+    """Histogram counter key for a realised micro-batch of *size* rows."""
+    if size > _SERVE_BUCKET_CAP:
+        return f"{SERVE_BATCH_BUCKET_PREFIX}gt_{_SERVE_BUCKET_CAP}"
+    edge = 1
+    while edge < size:
+        edge *= 2
+    return f"{SERVE_BATCH_BUCKET_PREFIX}le_{edge}"

@@ -26,10 +26,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "MANIFEST_SCHEMA",
     "GRID_MANIFEST_SCHEMA",
+    "SERVE_MANIFEST_SCHEMA",
     "RunManifest",
     "build_manifest",
     "load_manifest",
     "build_grid_manifest",
+    "build_serve_manifest",
 ]
 
 MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
@@ -39,6 +41,12 @@ MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
 #: tagged with how the cell was produced) plus the merged parent-side
 #: counter/gauge totals.
 GRID_MANIFEST_SCHEMA = "repro.telemetry/grid-manifest/v1"
+
+#: Schema of the manifest a ``repro serve`` session writes on shutdown:
+#: the serving statistics (throughput, latency percentiles, batch-size
+#: histogram, hot-swap and snapshot-retry counts) plus the ``serve.*``
+#: counter/gauge totals and the model provenance it ended on.
+SERVE_MANIFEST_SCHEMA = "repro.telemetry/serve-manifest/v1"
 
 
 @dataclass
@@ -196,6 +204,35 @@ def build_grid_manifest(
         "settings": dict(settings or {}),
         "cells": cells,
         "failures": [c for c in cells if c.get("source") == "quarantined"],
+        "counters": telemetry.counters() if telemetry is not None else {},
+        "gauges": telemetry.gauges() if telemetry is not None else {},
+    }
+
+
+def build_serve_manifest(
+    stats: dict[str, Any],
+    telemetry: Telemetry | None = None,
+    *,
+    settings: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the manifest of one serving session.
+
+    *stats* is :meth:`repro.serving.EngineStats.to_dict` output taken at
+    shutdown; *settings* records how the server was launched (model
+    source, address, batching knobs).  Calling
+    :meth:`~repro.serving.ScoringEngine.stats` first flushes the
+    ``serve.*`` gauges, so the gauge section here mirrors the stats
+    section — manifest consumers can rely on either.
+    """
+    from .. import __version__
+
+    return {
+        "schema": SERVE_MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "git_sha": current_git_sha(),
+        "repro_version": __version__,
+        "settings": dict(settings or {}),
+        "serving": dict(stats),
         "counters": telemetry.counters() if telemetry is not None else {},
         "gauges": telemetry.gauges() if telemetry is not None else {},
     }

@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "DataFormatError",
     "DivergenceError",
+    "SnapshotUnavailableError",
     "TraceError",
     "WorkerError",
 ]
@@ -81,6 +82,45 @@ class CellQuarantinedError(ReproError, RuntimeError):
         #: The :class:`repro.experiments.CellFailure` that quarantined
         #: the cell, when available.
         self.failure = failure
+
+
+class SnapshotUnavailableError(ReproError, RuntimeError):
+    """No consistent model snapshot can be served right now.
+
+    The scoring service's structured *retriable* failure: raised on a
+    cold start (the trainer has not published a snapshot yet), when a
+    snapshot source has disappeared before ever publishing, or when a
+    seqlock read exhausts its retry bound because the publisher wedged
+    mid-publish.  Unlike a crash, the correct client reaction is to
+    retry after a delay — :meth:`describe` carries that contract over
+    the wire (``retriable: true``), following the same structured-error
+    idiom as :class:`WorkerError` / :class:`DivergenceError`.
+    """
+
+    #: Machine-readable failure class sent to clients.
+    ERROR_TYPE = "snapshot-unavailable"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str | None = None,
+        retriable: bool = True,
+    ) -> None:
+        super().__init__(message)
+        #: Short cause tag: "cold-start", "no-descriptor", "no-segment",
+        #: "retry-exhausted", "trainer-dead", ...
+        self.reason = reason
+        self.retriable = retriable
+
+    def describe(self) -> dict:
+        """Plain-dict form served to clients as a structured error."""
+        return {
+            "type": self.ERROR_TYPE,
+            "message": str(self),
+            "reason": self.reason,
+            "retriable": self.retriable,
+        }
 
 
 class TraceError(ReproError, RuntimeError):

@@ -1,0 +1,366 @@
+"""Tests for the micro-batched scoring engine and hot-swap refresher."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.models import LinearSVM, LogisticRegression
+from repro.serving import (
+    ArtifactSource,
+    LoadGenerator,
+    ScoringEngine,
+    ServedModel,
+    ShmTrainHandle,
+    SnapshotPublisher,
+    SnapshotRefresher,
+)
+from repro.sgd import save_results, train
+from repro.telemetry import Telemetry, keys
+from repro.utils.errors import (
+    ConfigurationError,
+    DataFormatError,
+    SnapshotUnavailableError,
+)
+
+N = 6
+W = np.array([0.5, -1.0, 0.25, 0.0, 2.0, -0.5])
+
+
+def _engine(task="lr", **kw):
+    eng = ScoringEngine(task, N, max_delay=0.001, **kw)
+    eng.install(ServedModel(params=W, version=1, source="artifact"))
+    return eng
+
+
+class TestValidation:
+    def test_rejects_unservable_task(self):
+        with pytest.raises(ConfigurationError):
+            ScoringEngine("mlp", N)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [1.0, 2.0, 3.0],  # wrong dense width
+            {"indices": [0, N], "values": [1.0, 1.0]},  # index out of range
+            {"indices": [2, 2], "values": [1.0, 1.0]},  # duplicate index
+            {"indices": [1]},  # missing values
+            "nonsense",
+        ],
+    )
+    def test_malformed_examples(self, bad):
+        with pytest.raises(DataFormatError):
+            _engine().score([bad])
+
+    def test_empty_request(self):
+        with pytest.raises(DataFormatError):
+            _engine().score([])
+
+
+class TestScoring:
+    def test_margins_match_model_predict(self):
+        """Serving margins equal the training-side model's, dense and sparse."""
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((5, N))
+        eng = _engine()
+        resp = eng.score([row for row in dense])
+        model = LogisticRegression(N)
+        expected = model.predict_margin(dense, W)
+        got = np.array([r.margin for r in resp.results])
+        np.testing.assert_allclose(got, expected, rtol=0, atol=1e-12)
+        probs = np.array([r.prob for r in resp.results])
+        np.testing.assert_allclose(probs, 1.0 / (1.0 + np.exp(-expected)), atol=1e-12)
+
+    def test_sparse_and_dense_forms_agree(self):
+        eng = _engine()
+        dense = [0.0, 3.0, 0.0, 0.0, -2.0, 0.0]
+        sparse = {"indices": [1, 4], "values": [3.0, -2.0]}
+        unsorted = {"indices": [4, 1], "values": [-2.0, 3.0]}  # sorted for us
+        pair = ([1, 4], [3.0, -2.0])
+        resp = eng.score([dense, sparse, unsorted, pair])
+        margins = {r.margin for r in resp.results}
+        assert len(margins) == 1
+
+    def test_svm_has_no_probability(self):
+        resp = _engine("svm").score([[1.0] * N])
+        assert resp.results[0].prob is None
+        expected = LinearSVM(N).predict_margin(np.ones((1, N)), W)[0]
+        assert resp.results[0].margin == pytest.approx(expected, abs=1e-12)
+
+    def test_labels_follow_margin_sign(self):
+        resp = _engine().score(
+            [{"indices": [4], "values": [1.0]}, {"indices": [1], "values": [1.0]}]
+        )
+        assert [r.label for r in resp.results] == [1, -1]
+
+    def test_cold_start_is_retriable(self):
+        eng = ScoringEngine("lr", N)
+        with pytest.raises(SnapshotUnavailableError) as exc:
+            eng.score([[0.0] * N])
+        assert exc.value.reason == "cold-start"
+        assert exc.value.retriable
+
+
+class TestHotSwap:
+    def test_install_is_versioned(self):
+        eng = _engine()
+        assert not eng.install(ServedModel(params=W, version=1, source="artifact"))
+        assert eng.install(ServedModel(params=2 * W, version=2, source="artifact"))
+        assert eng.active.version == 2
+        assert eng.stats().hot_swaps == 1
+
+    def test_install_rejects_wrong_width(self):
+        with pytest.raises(ConfigurationError):
+            _engine().install(
+                ServedModel(params=np.ones(N + 1), version=9, source="artifact")
+            )
+
+    def test_swap_mid_flight_never_drops_requests(self):
+        """Requests racing a storm of hot-swaps all complete, each under
+        a single coherent version (the one its batch pinned)."""
+        eng = _engine()
+        stop = threading.Event()
+
+        def swapper():
+            version = 2
+            while not stop.is_set():
+                eng.install(
+                    ServedModel(params=W * version, version=version, source="artifact")
+                )
+                version += 1
+        x = {"indices": [0], "values": [1.0]}
+        with eng:
+            t = threading.Thread(target=swapper, daemon=True)
+            t.start()
+            try:
+                responses = [eng.request([x, x]) for _ in range(200)]
+            finally:
+                stop.set()
+                t.join(timeout=10)
+        assert len(responses) == 200
+        for resp in responses:
+            # both examples in the request scored under the same version
+            assert resp.results[0].margin == resp.results[1].margin
+            assert resp.results[0].margin == pytest.approx(
+                W[0] * resp.model_version, abs=1e-12
+            )
+        versions = {r.model_version for r in responses}
+        assert len(versions) > 1, "no swap landed mid-load"
+
+
+class TestMicroBatching:
+    def test_request_without_start_fails(self):
+        with pytest.raises(ConfigurationError):
+            _engine().request([[0.0] * N])
+
+    def test_concurrent_requests_coalesce(self):
+        tel = Telemetry()
+        eng = _engine(telemetry=tel)
+        eng.max_delay = 0.02  # wide window so the threads pile up
+        x = {"indices": [2], "values": [1.0]}
+        results = []
+        with eng:
+            barrier = threading.Barrier(8)
+
+            def fire():
+                barrier.wait()
+                results.append(eng.request([x]))
+
+            threads = [threading.Thread(target=fire) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert len(results) == 8
+        stats = eng.stats()
+        assert stats.requests == 8
+        assert stats.batches < 8, "no coalescing happened"
+        assert stats.batch_size_mean > 1.0
+        bucket_total = sum(stats.batch_size_histogram.values())
+        assert bucket_total == stats.batches
+        counters = tel.counters()
+        assert counters[keys.SERVE_REQUESTS] == 8
+        assert counters[keys.SERVE_EXAMPLES] == 8
+
+    def test_stop_fails_queued_requests_retriably(self):
+        eng = _engine()
+        eng.start()
+        eng.stop()
+        with pytest.raises(ConfigurationError):
+            eng.request([[0.0] * N])
+
+
+class TestArtifactServing:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("artifact") / "model.json"
+        result = train(
+            "lr", "w8a", architecture="cpu-par", strategy="synchronous",
+            scale="tiny", step_size=0.5, max_epochs=5,
+        )
+        save_results(result, path)
+        return path, result
+
+    def test_from_artifact_serves_trained_params(self, artifact):
+        path, result = artifact
+        eng = ScoringEngine.from_artifact(path, watch=False)
+        assert eng.task == "lr"
+        assert eng.refresher is None
+        x = {"indices": [0, 3], "values": [1.0, 1.0]}
+        resp = eng.score([x])
+        assert resp.model_source == "artifact"
+        expected = result.params[0] + result.params[3]
+        assert resp.results[0].margin == pytest.approx(expected, abs=1e-12)
+
+    def test_artifact_without_params_is_rejected(self, artifact, tmp_path):
+        import json
+
+        path, result = artifact
+        doc = json.loads(path.read_text())
+        doc["results"][0].pop("params")
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(doc))
+        with pytest.raises(ConfigurationError, match="without parameters"):
+            ScoringEngine.from_artifact(bare, watch=False)
+
+    def test_missing_artifact_is_retriable(self, tmp_path):
+        source = ArtifactSource(tmp_path / "missing.json")
+        with pytest.raises(SnapshotUnavailableError) as exc:
+            source.poll()
+        assert exc.value.reason == "no-artifact"
+
+    def test_rewrite_hot_swaps(self, artifact, tmp_path):
+        import json
+        import os
+
+        path, result = artifact
+        copy = tmp_path / "model.json"
+        copy.write_text(path.read_text())
+        eng = ScoringEngine.from_artifact(copy, watch=True, refresh_interval=0.02)
+        x = {"indices": [0], "values": [1.0]}
+        with eng:
+            r1 = eng.request([x])
+            assert r1.model_version == 1
+            doc = json.loads(copy.read_text())
+            doc["results"][0]["params"] = [
+                2.0 * float(v) for v in doc["results"][0]["params"]
+            ]
+            copy.write_text(json.dumps(doc))
+            os.utime(copy)  # ensure a fresh mtime even on coarse clocks
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                r2 = eng.request([x])
+                if r2.model_version == 2:
+                    break
+                time.sleep(0.02)
+            assert r2.model_version == 2
+            assert r2.results[0].margin == pytest.approx(
+                2 * r1.results[0].margin, abs=1e-12
+            )
+        assert eng.refresher.installs >= 1
+
+
+class TestSnapshotServing:
+    def test_from_snapshot_live_publisher(self):
+        ds = load("w8a", "tiny")
+        pub = SnapshotPublisher.create(
+            ds.n_features, meta={"task": "lr", "n_features": ds.n_features}
+        )
+        try:
+            handle = ShmTrainHandle.attach(pub)
+            eng = ScoringEngine.from_snapshot(handle, refresh_interval=0.01)
+            x = {"indices": [0], "values": [1.0]}
+            with eng:
+                # cold start first: nothing published yet
+                with pytest.raises(SnapshotUnavailableError):
+                    eng.request([x])
+                w = np.zeros(ds.n_features)
+                w[0] = 4.0
+                pub.publish(w, epoch=1, loss=0.5)
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    try:
+                        resp = eng.request([x])
+                        break
+                    except SnapshotUnavailableError:
+                        time.sleep(0.01)
+                assert resp.model_source == "shm"
+                assert resp.results[0].margin == pytest.approx(4.0)
+        finally:
+            pub.close()
+
+    def test_from_snapshot_requires_task_metadata(self):
+        pub = SnapshotPublisher.create(8, meta={})
+        try:
+            with pytest.raises(ConfigurationError, match="task"):
+                ScoringEngine.from_snapshot(ShmTrainHandle.attach(pub))
+        finally:
+            pub.close()
+
+    def test_dead_trainer_keeps_last_model_and_counts_source_errors(self):
+        """Graceful degradation: the segment vanishing mid-serve is a
+        counted source error, not an outage."""
+        tel = Telemetry()
+        pub = SnapshotPublisher.create(8, meta={"task": "lr", "n_features": 8})
+        handle = ShmTrainHandle.attach(pub, telemetry=tel)
+        eng = ScoringEngine.from_snapshot(handle, telemetry=tel, refresh_interval=0.01)
+        pub.publish(np.ones(8), epoch=1)
+        assert eng.refresher.poll_once()  # installs version 1
+        pub.close()  # trainer dies, segment unlinked
+        # the handle's mapping survives; polling sees no new version
+        assert not eng.refresher.poll_once()
+        resp = eng.score([{"indices": [0], "values": [2.0]}])
+        assert resp.results[0].margin == pytest.approx(2.0)
+        # a poll that *fails hard* is counted, and serving continues
+        eng.refresher.source = _ExplodingSource()
+        assert not eng.refresher.poll_once()
+        assert eng.stats().source_errors == 1
+        assert tel.counters()[keys.SERVE_SOURCE_ERRORS] == 1
+        assert eng.score([{"indices": [0], "values": [2.0]}]).results[0].margin == 2.0
+        handle.close()
+
+
+class _ExplodingSource:
+    def poll(self):
+        raise OSError("segment ripped out from under us")
+
+    def close(self):
+        pass
+
+
+class TestLoadGenerator:
+    def test_seeded_runs_and_reports(self):
+        eng = _engine()
+        pool = [
+            {"indices": [0], "values": [1.0]},
+            {"indices": [1, 4], "values": [0.5, 0.5]},
+            [0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        ]
+        with eng:
+            gen = LoadGenerator(eng, pool, seed=11, concurrency=3)
+            rep = gen.run(60, mode="batched")
+        assert rep.mode == "batched"
+        assert rep.requests > 0
+        assert rep.errors == 0
+        assert rep.requests_per_second > 0
+        assert rep.latency_p99_ms >= rep.latency_p50_ms >= 0
+        assert rep.model_versions_seen == (1,)
+        assert rep.to_dict()["concurrency"] == 3
+
+    def test_direct_mode_and_validation(self):
+        eng = _engine()
+        gen = LoadGenerator(eng, [[0.0] * N], seed=1, concurrency=2)
+        rep = gen.run(10, mode="direct")
+        assert rep.requests > 0
+        with pytest.raises(ConfigurationError):
+            gen.run(10, mode="weird")
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(eng, [], seed=1)
+
+
+class TestRefresherValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotRefresher(_ExplodingSource(), interval=0.0)

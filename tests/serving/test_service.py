@@ -1,0 +1,116 @@
+"""Tests for the JSON-lines socket front end."""
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ScoringEngine,
+    ScoringServer,
+    ServedModel,
+    ServerConfig,
+    request_once,
+)
+
+N = 4
+W = np.array([1.0, -2.0, 0.5, 4.0])
+
+
+@pytest.fixture()
+def server():
+    engine = ScoringEngine("lr", N, max_delay=0.001)
+    engine.install(ServedModel(params=W, version=1, source="artifact"))
+    with engine, ScoringServer(engine, ServerConfig()) as srv:
+        yield srv
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        assert request_once(server.host, server.port, {"op": "ping"}) == {
+            "ok": True,
+            "op": "ping",
+        }
+
+    def test_score_dense_and_sparse(self, server):
+        reply = request_once(
+            server.host,
+            server.port,
+            {
+                "op": "score",
+                "examples": [
+                    [1.0, 0.0, 0.0, 1.0],
+                    {"indices": [0, 3], "values": [1.0, 1.0]},
+                ],
+            },
+        )
+        assert reply["ok"]
+        assert reply["model_version"] == 1
+        m0, m1 = (r["margin"] for r in reply["results"])
+        assert m0 == pytest.approx(5.0) and m1 == pytest.approx(5.0)
+        assert reply["results"][0]["label"] == 1
+        assert 0.0 < reply["results"][0]["prob"] < 1.0
+        assert reply["latency_ms"] >= 0.0
+
+    def test_stats_op(self, server):
+        request_once(
+            server.host, server.port, {"op": "score", "examples": [[0.0] * N]}
+        )
+        reply = request_once(server.host, server.port, {"op": "stats"})
+        assert reply["ok"]
+        assert reply["stats"]["requests"] >= 1
+        assert reply["stats"]["model_version"] == 1
+
+    def test_multiple_requests_per_connection(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            f = sock.makefile("rw", encoding="utf-8")
+            for _ in range(3):
+                f.write(json.dumps({"op": "ping"}) + "\n")
+                f.flush()
+                assert json.loads(f.readline())["ok"]
+
+    def test_shutdown_op(self, server):
+        reply = request_once(server.host, server.port, {"op": "shutdown"})
+        assert reply["ok"]
+        assert server.wait(5.0)
+
+
+class TestProtocolErrors:
+    @pytest.mark.parametrize(
+        "raw,retriable",
+        [
+            (b"this is not json", False),
+            (b"[1, 2, 3]", False),
+            (b'{"no_op": true}', False),
+            (b'{"op": "frobnicate"}', False),
+            (b'{"op": "score", "examples": [[1.0]]}', False),
+            (b'{"op": "score", "examples": []}', False),
+        ],
+    )
+    def test_bad_requests_are_structured(self, server, raw, retriable):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(raw + b"\n")
+            reply = json.loads(sock.makefile().readline())
+        assert reply["ok"] is False
+        assert reply["error"]["retriable"] is retriable
+        assert reply["error"]["type"]
+        assert reply["error"]["message"]
+
+    def test_client_errors_are_counted(self, server):
+        before = server.engine.stats().errors
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"garbage\n")
+            json.loads(sock.makefile().readline())
+        assert server.engine.stats().errors == before + 1
+
+    def test_cold_start_over_the_wire(self):
+        engine = ScoringEngine("lr", N, max_delay=0.001)  # no model installed
+        with engine, ScoringServer(engine) as srv:
+            reply = request_once(
+                srv.host, srv.port, {"op": "score", "examples": [[0.0] * N]}
+            )
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "snapshot-unavailable"
+            assert reply["error"]["reason"] == "cold-start"
+            assert reply["error"]["retriable"] is True

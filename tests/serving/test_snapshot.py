@@ -1,0 +1,330 @@
+"""Tests for the seqlock snapshot protocol.
+
+The torn-read regression test is the load-bearing one: a reader
+hammering ``snapshot()`` while a writer publishes as fast as it can must
+never observe a mixed-version vector.  The writer publishes
+*constant-fill* vectors (every coordinate equals the version number), so
+any torn copy — coordinates from two different publishes — is instantly
+detectable as a non-constant vector.
+"""
+
+import json
+import multiprocessing as mp
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.models import make_model
+from repro.parallel import ShmSchedule, train_shm
+from repro.serving.snapshot import (
+    DESCRIPTOR_SCHEMA,
+    ModelSnapshot,
+    ShmTrainHandle,
+    SnapshotPublisher,
+)
+from repro.sgd import SGDConfig
+from repro.telemetry import Telemetry, keys
+from repro.utils.errors import ConfigurationError, SnapshotUnavailableError
+from repro.utils.rng import derive_rng
+
+N_PARAMS = 64
+
+
+@pytest.fixture()
+def publisher():
+    pub = SnapshotPublisher.create(N_PARAMS, meta={"task": "lr"})
+    yield pub
+    pub.close()
+
+
+class TestPublisher:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotPublisher.create(0)
+
+    def test_publish_bumps_version_and_keeps_seq_even(self, publisher):
+        assert publisher.version == 0
+        v1 = publisher.publish(np.ones(N_PARAMS), epoch=1, loss=0.5)
+        v2 = publisher.publish(np.full(N_PARAMS, 2.0), epoch=2, loss=0.25)
+        assert (v1, v2) == (1, 2)
+        assert publisher.version == 2
+        assert publisher._ints[0] % 2 == 0  # seq even: no publish in flight
+
+    def test_publish_rejects_wrong_shape(self, publisher):
+        with pytest.raises(ConfigurationError):
+            publisher.publish(np.ones(N_PARAMS + 1))
+
+    def test_publish_after_close_fails(self):
+        pub = SnapshotPublisher.create(N_PARAMS)
+        pub.close()
+        with pytest.raises(ConfigurationError):
+            pub.publish(np.ones(N_PARAMS))
+
+    def test_descriptor_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        with SnapshotPublisher.create(
+            N_PARAMS, descriptor=path, meta={"task": "svm"}
+        ) as pub:
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == DESCRIPTOR_SCHEMA
+            assert doc["segment"] == pub.segment_name
+            assert doc["n_params"] == N_PARAMS
+            assert doc["meta"] == {"task": "svm"}
+
+
+class TestHandle:
+    def test_cold_start_is_structured_and_retriable(self, publisher):
+        with ShmTrainHandle.attach(publisher) as handle:
+            with pytest.raises(SnapshotUnavailableError) as exc:
+                handle.snapshot()
+            desc = exc.value.describe()
+            assert desc["reason"] == "cold-start"
+            assert desc["retriable"] is True
+            assert desc["type"] == "snapshot-unavailable"
+
+    def test_roundtrip_values_and_metadata(self, publisher):
+        params = np.linspace(-1.0, 1.0, N_PARAMS)
+        publisher.publish(params, epoch=7, loss=0.125)
+        with ShmTrainHandle.attach(publisher) as handle:
+            snap = handle.snapshot()
+            np.testing.assert_array_equal(snap.params, params)
+            assert snap.version == 1
+            assert snap.epoch == 7
+            assert snap.loss == 0.125
+            assert snap.meta["task"] == "lr"
+            assert snap.retries == 0
+            assert 0.0 <= snap.age_seconds < 60.0
+
+    def test_snapshot_is_a_private_copy(self, publisher):
+        publisher.publish(np.ones(N_PARAMS))
+        with ShmTrainHandle.attach(publisher) as handle:
+            snap = handle.snapshot()
+            publisher.publish(np.full(N_PARAMS, 9.0))
+            np.testing.assert_array_equal(snap.params, np.ones(N_PARAMS))
+
+    def test_attach_by_descriptor_and_segment_name(self, tmp_path):
+        path = tmp_path / "snap.json"
+        with SnapshotPublisher.create(N_PARAMS, descriptor=path) as pub:
+            pub.publish(np.full(N_PARAMS, 3.0))
+            for source in (path, pub.segment_name):
+                with ShmTrainHandle.attach(source) as handle:
+                    assert handle.snapshot().params[0] == 3.0
+
+    def test_attach_missing_descriptor(self, tmp_path):
+        with pytest.raises(SnapshotUnavailableError) as exc:
+            ShmTrainHandle.attach(tmp_path / "gone.json")
+        assert exc.value.reason == "no-descriptor"
+        assert exc.value.retriable
+
+    def test_attach_missing_segment(self):
+        with pytest.raises(SnapshotUnavailableError) as exc:
+            ShmTrainHandle.attach("psm_repro_no_such_segment")
+        assert exc.value.reason == "no-segment"
+
+    def test_attach_rejects_non_descriptor_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ConfigurationError):
+            ShmTrainHandle.attach(path)
+
+    def test_attach_rejects_param_count_mismatch(self, tmp_path, publisher):
+        path = tmp_path / "snap.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": DESCRIPTOR_SCHEMA,
+                    "segment": publisher.segment_name,
+                    "n_params": N_PARAMS + 1,
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            ShmTrainHandle.attach(path)
+
+    def test_reader_survives_publisher_unlink(self):
+        pub = SnapshotPublisher.create(N_PARAMS)
+        pub.publish(np.full(N_PARAMS, 5.0), epoch=3)
+        handle = ShmTrainHandle.attach(pub)
+        pub.close()  # unlinks the segment
+        snap = handle.snapshot()  # mapping survives: last model servable
+        assert snap.params[0] == 5.0
+        assert handle.trainer_finished
+        with pytest.raises(SnapshotUnavailableError):
+            ShmTrainHandle.attach(handle._shm.name)  # new attaches do fail
+        handle.close()
+
+
+class _RetryForcingHandle(ShmTrainHandle):
+    """Publishes mid-copy, forcing the seqlock retry path deterministically."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.intrusions = 0
+        self._intrude = None
+
+    def arm(self, publisher, payloads):
+        self._intrude = (publisher, list(payloads))
+
+    def _copy_body(self):
+        copied = super()._copy_body()
+        if self._intrude is not None and self._intrude[1]:
+            pub, payloads = self._intrude
+            pub.publish(payloads.pop(0))  # overlaps this read: must retry
+            self.intrusions += 1
+        return copied
+
+
+class TestSeqlockRetry:
+    def test_overlapping_publish_forces_retry(self, publisher):
+        tel = Telemetry()
+        publisher.publish(np.full(N_PARAMS, 1.0))
+        handle = _RetryForcingHandle(
+            ShmTrainHandle.attach(publisher)._shm, N_PARAMS, telemetry=tel
+        )
+        handle.arm(publisher, [np.full(N_PARAMS, 2.0), np.full(N_PARAMS, 3.0)])
+        snap = handle.snapshot()
+        # Two intruding publishes -> two retries; the returned snapshot
+        # is the final consistent state, not any torn intermediate.
+        assert handle.intrusions == 2
+        assert snap.retries == 2
+        assert snap.version == 3
+        np.testing.assert_array_equal(snap.params, np.full(N_PARAMS, 3.0))
+        counters = tel.counters()
+        assert counters[keys.SERVE_SNAPSHOT_RETRIES] == 2
+        assert counters[keys.SERVE_SNAPSHOT_READS] == 1
+        handle.close()
+
+    def test_wedged_publisher_exhausts_retries(self, publisher):
+        publisher.publish(np.ones(N_PARAMS))
+        with ShmTrainHandle.attach(publisher) as handle:
+            handle.MAX_RETRIES = 3
+            publisher._ints[0] += 1  # simulate a writer dead at odd seq
+            try:
+                with pytest.raises(SnapshotUnavailableError) as exc:
+                    handle.snapshot()
+                assert exc.value.reason == "retry-exhausted"
+            finally:
+                publisher._ints[0] -= 1  # restore for clean close
+
+
+def _hammer_writer(segment: str, n_params: int, rounds: int) -> None:
+    """Child process: publish constant-fill vectors as fast as possible."""
+    from multiprocessing import shared_memory
+
+    from repro.serving.snapshot import SnapshotPublisher
+
+    shm = shared_memory.SharedMemory(name=segment)
+    pub = SnapshotPublisher(shm, n_params, {}, None, owns_segment=False)
+    vec = np.empty(n_params, dtype=np.float64)
+    for i in range(1, rounds + 1):
+        vec.fill(float(i))
+        pub.publish(vec, epoch=i)
+    pub._ints = pub._floats = pub._body = None
+    shm.close()
+
+
+class TestTornReadRegression:
+    def test_concurrent_reader_never_sees_mixed_versions(self):
+        """The satellite regression test: constant-fill publishes under a
+        hammering reader.  Every snapshot must be internally constant
+        (all coordinates equal) and match its version number — a torn
+        read would mix two fill values."""
+        n_params = 4096  # large body: the copy window is wide enough to tear
+        rounds = 400
+        tel = Telemetry()
+        pub = SnapshotPublisher.create(n_params)
+        handle = ShmTrainHandle.attach(pub, telemetry=tel)
+        ctx = mp.get_context("spawn")
+        writer = ctx.Process(
+            target=_hammer_writer, args=(pub.segment_name, n_params, rounds)
+        )
+        writer.start()
+        seen_versions = []
+        try:
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                try:
+                    snap = handle.snapshot()
+                except SnapshotUnavailableError as err:
+                    assert err.reason == "cold-start"
+                    continue
+                unique = np.unique(snap.params)
+                assert unique.size == 1, (
+                    f"torn read at version {snap.version}: "
+                    f"{unique.size} distinct fill values {unique[:4]}"
+                )
+                assert unique[0] == float(snap.version)
+                assert snap.epoch == snap.version
+                seen_versions.append(snap.version)
+                if snap.version >= rounds:
+                    break
+        finally:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        assert seen_versions, "reader never observed a snapshot"
+        assert seen_versions == sorted(seen_versions), "versions went backwards"
+        assert seen_versions[-1] == rounds
+        # The retry counter is asserted *present* in telemetry (the
+        # protocol records it); whether it fired depends on timing luck,
+        # which TestSeqlockRetry pins down deterministically.
+        counters = tel.counters()
+        assert counters[keys.SERVE_SNAPSHOT_READS] == len(seen_versions)
+        assert counters.get(keys.SERVE_SNAPSHOT_RETRIES, 0) == handle.retries
+        handle.close()
+        pub.close()
+
+
+class TestLiveTraining:
+    def test_snapshot_during_train_shm(self):
+        """End-to-end: hammer snapshot() while train_shm workers run.
+
+        The publisher is wired into the epoch loop, so versions climb
+        with epochs and the final snapshot equals the returned model.
+        """
+        ds = load("w8a", "tiny")
+        model = make_model("lr", ds)
+        init = model.init_params(derive_rng(7, "servetest"))
+        tel = Telemetry()
+        pub = SnapshotPublisher.create(
+            model.n_params, meta={"task": "lr", "n_features": ds.n_features}
+        )
+        handle = ShmTrainHandle.attach(pub, telemetry=tel)
+        observed: list[ModelSnapshot] = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    observed.append(handle.snapshot())
+                except SnapshotUnavailableError:
+                    pass
+                time.sleep(0.001)
+
+        reader = threading.Thread(target=hammer, daemon=True)
+        reader.start()
+        try:
+            res = train_shm(
+                model,
+                ds.X,
+                ds.y,
+                init,
+                SGDConfig(step_size=0.05, max_epochs=8, seed=99),
+                ShmSchedule(workers=2),
+                snapshot=pub,
+            )
+        finally:
+            stop.set()
+            reader.join(timeout=10)
+        final = handle.snapshot()
+        np.testing.assert_array_equal(final.params, res.params)
+        assert final.version == pub.version
+        # publish(init) at version 1, then one publish per finite epoch
+        assert final.version >= 1 + res.epochs_run
+        versions = [s.version for s in observed]
+        assert versions == sorted(versions)
+        assert tel.counters()[keys.SERVE_SNAPSHOT_READS] == handle.reads
+        handle.close()
+        pub.close()

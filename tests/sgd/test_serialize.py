@@ -56,6 +56,57 @@ class TestRoundTrip:
         assert back.curve.diverged
 
 
+class TestParamsRoundTrip:
+    """The model-artifact satellite: a run's final parameters export
+    by default and reload bit-exactly, making the document loadable by
+    ``repro serve --model``."""
+
+    def test_params_serialised_by_default(self, result):
+        import numpy as np
+
+        assert result.params is not None  # train() surfaces the model
+        d = result_to_dict(result)
+        assert len(d["params"]) == result.params.shape[0]
+        back = result_from_dict(d)
+        assert back.params.dtype == np.float64
+        np.testing.assert_array_equal(back.params, result.params)
+
+    def test_params_excludable(self, result):
+        d = result_to_dict(result, include_params=False)
+        assert "params" not in d
+        assert result_from_dict(d).params is None
+
+    def test_file_roundtrip_keeps_params(self, result, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "model.json"
+        save_results(result, path)
+        (loaded,) = load_results(path)
+        np.testing.assert_array_equal(loaded.params, result.params)
+
+    def test_non_finite_params_encode(self, result):
+        import numpy as np
+
+        d = result_to_dict(result)
+        d["params"][0] = "inf"
+        d["params"][1] = "nan"
+        back = result_from_dict(d)
+        assert math.isinf(back.params[0])
+        assert math.isnan(back.params[1])
+        assert np.isfinite(back.params[2:]).all()
+
+    def test_artifact_drives_scoring_engine(self, result, tmp_path):
+        from repro.serving import ScoringEngine
+
+        path = tmp_path / "model.json"
+        save_results(result, path)
+        eng = ScoringEngine.from_artifact(path, watch=False)
+        resp = eng.score([{"indices": [0], "values": [1.0]}])
+        assert resp.results[0].margin == pytest.approx(
+            float(result.params[0]), abs=1e-12
+        )
+
+
 class TestValidation:
     def test_rejects_non_result(self):
         with pytest.raises(ConfigurationError):
