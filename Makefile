@@ -1,12 +1,12 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare serve-smoke shapes experiments grid examples probe lint all
+.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare grid-speedup serve-smoke shapes experiments grid examples probe lint all
 
 # Worker processes for the parallel experiment grid (make grid JOBS=8).
 JOBS ?= 4
 
-test:
-	pytest tests/
+test:            ## tier-1 suite, exactly as CI runs it
+	PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning
 
 chaos:           ## fault-injection + recovery suite against the shm backend
 	pytest tests/faults tests/parallel/test_chaos.py
@@ -36,6 +36,9 @@ bench-snapshot:  ## telemetry-backed grid snapshot -> BENCH_<n>.json
 
 bench-compare:   ## fail if any cell regressed >10% vs the latest BENCH_<n>.json
 	REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
+
+grid-speedup:    ## parallel grid must beat serial >1.3x at JOBS (skips on <JOBS cpus)
+	REPRO_CACHE_DIR=.repro_cache python scripts/grid_speedup.py --jobs $(JOBS) --floor 1.3
 
 serve-smoke:     ## train -> serve -> score through hot-swaps -> manifest check
 	REPRO_CACHE_DIR=.repro_cache python scripts/serve_smoke.py

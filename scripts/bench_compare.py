@@ -140,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the serving throughput gate (escape hatch for 1-cpu "
         "hosts, where concurrent load measures scheduler noise)",
     )
+    parser.add_argument(
+        "--report-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write debug artifacts there (grid timing JSON + the grid "
+        "manifests of both timed passes) — CI uploads the directory so "
+        "gate failures are diagnosable from the workflow artifacts",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_bench_path()
@@ -201,7 +210,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{committed_grid['speedup']:.2f}x at jobs={committed_grid['jobs']}"
             )
         print(f"\ngrid wall-clock gate (jobs={args.grid_jobs}):")
-        grid = run_grid_timing(args.grid_jobs)
+        grid = run_grid_timing(args.grid_jobs, manifest_dir=args.report_dir)
+        if args.report_dir is not None:
+            args.report_dir.mkdir(parents=True, exist_ok=True)
+            (args.report_dir / "grid_timing.json").write_text(
+                json.dumps(grid, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
         ratio = grid["parallel_seconds"] / grid["serial_seconds"]
         print(
             f"  serial {grid['serial_seconds']:.2f}s, parallel "
@@ -262,6 +277,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
 
+    from repro.experiments import shutdown_grid_pool
+
+    shutdown_grid_pool()
     print("benchmark gate passed")
     return 0
 

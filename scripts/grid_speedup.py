@@ -1,0 +1,105 @@
+"""CI gate: the parallel experiment grid must actually beat serial.
+
+Times the :mod:`bench_snapshot` grid end-to-end through the
+:class:`~repro.experiments.executor.GridExecutor`, serial vs ``--jobs``
+workers (warm pool + shared-memory datasets, the steady-state path),
+and fails unless ``serial / parallel > --floor``.  This is the
+enforcement half of ROADMAP open item 3: with warm pools and shared
+datasets the fan-out must *pay*, not just not lose.
+
+On hosts with fewer CPUs than ``--jobs`` the ratio would measure
+scheduler contention, not the executor — the gate hard-skips (exit 0)
+with a loud notice instead of producing a meaningless number.
+
+Usage::
+
+    REPRO_CACHE_DIR=.repro_cache python scripts/grid_speedup.py \
+        [--jobs 4] [--floor 1.3] [--report-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+_SCRIPTS = Path(__file__).resolve().parent
+if str(_SCRIPTS) not in sys.path:
+    sys.path.insert(0, str(_SCRIPTS))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel pass (default 4)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.3,
+        help="minimum required serial/parallel speedup (default 1.3)",
+    )
+    parser.add_argument(
+        "--report-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write the timing JSON and both passes' grid manifests there",
+    )
+    args = parser.parse_args(argv)
+
+    host_cpus = os.cpu_count() or 1
+    if host_cpus < args.jobs:
+        print("=" * 72)
+        print(
+            f"GRID SPEEDUP GATE SKIPPED: host has {host_cpus} cpu(s), "
+            f"gate needs >= {args.jobs}"
+        )
+        print(
+            "The parallel/serial ratio on an undersized host measures "
+            "scheduler contention, not the executor. Run on a host with "
+            f">= {args.jobs} CPUs to enforce the {args.floor:.2f}x floor."
+        )
+        print("=" * 72)
+        return 0
+
+    from bench_snapshot import run_grid_timing
+    from repro.experiments import shutdown_grid_pool
+
+    print(f"grid speedup gate: jobs={args.jobs}, floor {args.floor:.2f}x")
+    grid = run_grid_timing(args.jobs, manifest_dir=args.report_dir)
+    shutdown_grid_pool()
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+        (args.report_dir / "grid_timing.json").write_text(
+            json.dumps(grid, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    speedup = grid["speedup"] or 0.0
+    print(
+        f"  serial {grid['serial_seconds']:.2f}s, parallel "
+        f"{grid['parallel_seconds']:.2f}s -> {speedup:.2f}x "
+        f"(shared data: {grid['shared_data']}, "
+        f"shm {grid['shm']['datasets']} datasets / "
+        f"{grid['shm']['bytes']} bytes)"
+    )
+    if speedup <= args.floor:
+        print(
+            f"grid speedup gate FAILED: {speedup:.2f}x <= {args.floor:.2f}x "
+            f"floor at jobs={args.jobs} on a {host_cpus}-cpu host"
+        )
+        return 1
+    print(f"grid speedup gate passed: {speedup:.2f}x > {args.floor:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

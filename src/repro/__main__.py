@@ -89,6 +89,23 @@ def _add_grid_args(p: argparse.ArgumentParser) -> None:
         "(the default)",
     )
     p.set_defaults(keep_going=False)
+    shared = p.add_mutually_exclusive_group()
+    shared.add_argument(
+        "--shared-data",
+        dest="shared_data",
+        action="store_true",
+        help="publish loaded datasets into read-only shared-memory "
+        "segments mapped by every grid worker (the default; results "
+        "are bit-identical either way)",
+    )
+    shared.add_argument(
+        "--no-shared-data",
+        dest="shared_data",
+        action="store_false",
+        help="let each worker materialise its own datasets "
+        "(copy-on-write under fork)",
+    )
+    p.set_defaults(shared_data=True)
     p.add_argument(
         "--cell-attempts",
         type=int,
@@ -200,6 +217,7 @@ def _make_context(args: argparse.Namespace):
         async_max_epochs=950,
         telemetry=_make_telemetry(args),
         jobs=getattr(args, "jobs", 1),
+        shared_data=getattr(args, "shared_data", True),
         store=_make_store(args),
         resume=getattr(args, "resume", False),
         keep_going=getattr(args, "keep_going", False),
@@ -284,6 +302,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 "artifacts": list(args.artifacts),
                 "resume": bool(args.resume),
                 "keep_going": bool(args.keep_going),
+                "shared_data": bool(args.shared_data),
                 "injected_faults": list(args.inject_grid_fault or []),
             },
         )

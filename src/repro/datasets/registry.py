@@ -25,7 +25,17 @@ from .profiles import DATASET_NAMES, DatasetProfile, get_profile
 from .synthetic import Dataset, generate
 from .transform import mlp_dataset
 
-__all__ = ["ScaleSpec", "SCALES", "load", "load_mlp", "clear_cache", "table1"]
+__all__ = [
+    "ScaleSpec",
+    "SCALES",
+    "load",
+    "load_mlp",
+    "clear_cache",
+    "cache_put",
+    "cache_contains",
+    "cache_evict",
+    "table1",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +86,35 @@ def clear_cache() -> None:
     """Drop all cached datasets (tests use this to bound memory)."""
     _CACHE.clear()
     _MLP_CACHE.clear()
+
+
+def cache_put(
+    name: str, scale: str, seed: int | None, dataset: Dataset, *, mlp: bool = False
+) -> None:
+    """Install *dataset* under the cache key that :func:`load` would use.
+
+    The grid executor's shared-data layer uses this to substitute
+    shared-memory-backed views for locally generated arrays; every later
+    :func:`load`/:func:`load_mlp` in the process then returns the view.
+    """
+    (_MLP_CACHE if mlp else _CACHE)[(name, scale, seed)] = dataset
+
+
+def cache_contains(
+    name: str, scale: str, seed: int | None, *, mlp: bool = False
+) -> bool:
+    """Whether a dataset is already cached under this key."""
+    return (name, scale, seed) in (_MLP_CACHE if mlp else _CACHE)
+
+
+def cache_evict(name: str, scale: str, seed: int | None, *, mlp: bool = False) -> None:
+    """Drop one cache entry (no-op when absent).
+
+    Shared-data teardown must evict its views *before* unlinking the
+    backing segments, otherwise a later cache hit would hand out arrays
+    over freed memory.
+    """
+    (_MLP_CACHE if mlp else _CACHE).pop((name, scale, seed), None)
 
 
 def table1(scale: str = "small", seed: int | None = None) -> str:

@@ -3,6 +3,8 @@
 from .common import ExperimentContext, infinity_or
 from .executor import ARCHITECTURES, STRATEGIES, GridCell, GridExecutor
 from .fig1_space import Fig1Cell, Fig1Result, run_fig1_space
+from .pool import shutdown_grid_pool, warm_pool_info
+from .shared_data import SharedDatasetRegistry, active_registry, shutdown_shared_data
 from .fig6 import DEFAULT_ARCHITECTURES, Fig6Point, Fig6Result, run_fig6
 from .fig7 import Fig7Panel, Fig7Result, run_fig7
 from .fig89 import Fig89Result, SpeedupEntry, run_fig8, run_fig9
@@ -27,6 +29,11 @@ __all__ = [
     "render_failure_section",
     "ARCHITECTURES",
     "STRATEGIES",
+    "shutdown_grid_pool",
+    "warm_pool_info",
+    "SharedDatasetRegistry",
+    "active_registry",
+    "shutdown_shared_data",
     "TUNED_STEPS",
     "lookup_step",
     "run_table1",

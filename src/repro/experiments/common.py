@@ -73,6 +73,12 @@ class ExperimentContext:
     #: Worker processes for :meth:`prefetch`; 1 = everything runs
     #: serially in-process (the historical behaviour).
     jobs: int = 1
+    #: Publish loaded datasets into read-only shared-memory segments
+    #: that all grid workers map instead of re-materialising them
+    #: (``repro.experiments.shared_data``).  A pure placement
+    #: optimisation — results are bit-identical either way; ``False``
+    #: falls back to per-worker generation (copy-on-write under fork).
+    shared_data: bool = True
     #: Optional on-disk store of completed cells
     #: (:class:`~repro.experiments.store.ResultStore`); completed grid
     #: cells are persisted into it, and with :attr:`resume` they are

@@ -40,6 +40,8 @@ __all__ = ["ResultStore", "config_key"]
 
 _STORE_SCHEMA = "repro.experiments/result-store/v1"
 _FAILURE_SCHEMA = "repro.experiments/cell-failure/v1"
+_REFERENCE_SCHEMA = "repro.experiments/reference-losses/v1"
+_REFERENCE_FILE = "references.json"
 
 
 def config_key(config: dict[str, Any]) -> str:
@@ -150,6 +152,47 @@ class ResultStore:
         except (KeyError, TypeError, ValueError):
             return None
 
+    # -- shared reference optima ------------------------------------------
+
+    @property
+    def _reference_path(self) -> Path:
+        return self.root / _REFERENCE_FILE
+
+    def references(self) -> dict[str, float]:
+        """Every persisted reference optimum, keyed by reference key."""
+        try:
+            doc = json.loads(self._reference_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(doc, dict) or doc.get("schema") != _REFERENCE_SCHEMA:
+            return {}
+        refs = doc.get("references")
+        if not isinstance(refs, dict):
+            return {}
+        return {
+            str(k): float(v)
+            for k, v in refs.items()
+            if isinstance(v, (int, float))
+        }
+
+    def load_reference(self, key: str) -> float | None:
+        """The persisted reference optimum for *key*, or ``None``."""
+        return self.references().get(key)
+
+    def save_reference(self, key: str, value: float) -> None:
+        """Merge one reference optimum into ``references.json``, atomically.
+
+        The grid dedupes per-cell reference solves through this file:
+        step-size family members of one (task, dataset) share a single
+        solve, and a resumed grid never re-solves at all.
+        """
+        merged = self.references()
+        if merged.get(key) == value:
+            return
+        merged[key] = float(value)
+        doc = {"schema": _REFERENCE_SCHEMA, "references": merged}
+        self._write_atomic("references", self._reference_path, doc)
+
     def _write_atomic(self, key: str, path: Path, doc: dict[str, Any]) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key[:16] + ".", suffix=".tmp")
         try:
@@ -164,11 +207,12 @@ class ResultStore:
             raise
 
     def __len__(self) -> int:
-        """Completed results on disk (failure post-mortems excluded)."""
+        """Completed results on disk (post-mortems and references excluded)."""
         return sum(
             1
             for path in self.root.glob("*.json")
             if not path.name.endswith(".failure.json")
+            and path.name != _REFERENCE_FILE
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -48,7 +48,12 @@ from ..models.mlp import MLP
 from ..utils.errors import DivergenceError
 from ..utils.rng import derive_rng
 
-__all__ = ["reference_loss", "clear_reference_cache"]
+__all__ = [
+    "reference_loss",
+    "clear_reference_cache",
+    "cached_reference",
+    "seed_reference_cache",
+]
 
 _CACHE: dict[str, float] = {}
 
@@ -120,6 +125,27 @@ def _store_disk_cache(entries: dict[str, float]) -> None:
 def clear_reference_cache() -> None:
     """Drop the in-process reference-loss cache (tests)."""
     _CACHE.clear()
+
+
+def cached_reference(key: str) -> float | None:
+    """The cached optimum for *key*, or None if never solved.
+
+    Checks the in-process cache, then the on-disk cache; never runs the
+    solver.  The grid executor uses this to dedupe reference solves
+    across cells before fanning work out to workers.
+    """
+    if key in _CACHE:
+        return _CACHE[key]
+    disk = _load_disk_cache()
+    if key in disk:
+        _CACHE[key] = disk[key]
+        return disk[key]
+    return None
+
+
+def seed_reference_cache(entries: dict[str, float]) -> None:
+    """Pre-populate the in-process cache (grid workers, resumed runs)."""
+    _CACHE.update(entries)
 
 
 def _default_jobs() -> int:

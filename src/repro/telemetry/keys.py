@@ -63,6 +63,16 @@ __all__ = [
     "GRID_RETRY_DIVERGENCES",
     "GRID_QUARANTINE_CELLS",
     "GRID_QUARANTINE_BUDGET_EXHAUSTED",
+    "GRID_POOL_CREATED",
+    "GRID_POOL_REUSED",
+    "GRID_POOL_RETIRED",
+    "GRID_POOL_WORKERS",
+    "GRID_SHM_PUBLISHED",
+    "GRID_SHM_DATASETS",
+    "GRID_SHM_SEGMENTS",
+    "GRID_SHM_BYTES",
+    "GRID_REFERENCE_COMPUTED",
+    "GRID_REFERENCE_REUSED",
     "SERVE_REQUESTS",
     "SERVE_EXAMPLES",
     "SERVE_BATCHES",
@@ -218,6 +228,43 @@ GRID_QUARANTINE_CELLS = "grid.quarantine.cells"
 #: Quarantines forced early because the grid-wide shared retry budget
 #: (``CellRetryPolicy.max_restarts``) was already spent.
 GRID_QUARANTINE_BUDGET_EXHAUSTED = "grid.quarantine.budget_exhausted"
+
+#: Warm worker pools built for a grid fan-out (first run, or a
+#: requirements change: different job count / shared-data setting /
+#: datasets published after the previous pool forked).
+GRID_POOL_CREATED = "grid.pool.created"
+
+#: Grid fan-outs served by an already-warm worker pool (no spawn cost).
+GRID_POOL_REUSED = "grid.pool.reused"
+
+#: Warm pools torn down on a failure path (broken pool, worker
+#: exception, interrupt) — the next fan-out rebuilds from cold.
+GRID_POOL_RETIRED = "grid.pool.retired"
+
+#: Gauge: worker capacity of the warm pool serving the last fan-out.
+GRID_POOL_WORKERS = "grid.pool.workers"
+
+#: Datasets newly copied into shared-memory segments by this fan-out
+#: (publication is incremental; already-shared datasets don't recount).
+GRID_SHM_PUBLISHED = "grid.shm.datasets_published"
+
+#: Gauge: datasets currently published in shared memory.
+GRID_SHM_DATASETS = "grid.shm.datasets"
+
+#: Gauge: shared-memory segments currently backing those datasets
+#: (dense: X + y; CSR: indptr + indices + data + y).
+GRID_SHM_SEGMENTS = "grid.shm.segments"
+
+#: Gauge: total bytes of dataset arrays living in shared memory.
+GRID_SHM_BYTES = "grid.shm.bytes"
+
+#: Reference optima solved in the parent before fan-out (once per
+#: (task, dataset) — workers inherit the value instead of re-solving).
+GRID_REFERENCE_COMPUTED = "grid.reference.computed"
+
+#: Reference optima served from a cache (in-process, on-disk, or the
+#: grid result store) instead of being re-solved.
+GRID_REFERENCE_REUSED = "grid.reference.reused"
 
 #: Score requests answered by the scoring service (success or
 #: structured error; one request may carry several examples).
