@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos chaos-grid bench bench-snapshot bench-compare grid-speedup serve-smoke shapes experiments grid examples probe lint all
+.PHONY: test chaos chaos-grid chaos-ps bench bench-snapshot bench-compare grid-speedup serve-smoke shapes experiments grid examples probe lint all
 
 # Worker processes for the parallel experiment grid (make grid JOBS=8).
 JOBS ?= 4
@@ -8,8 +8,8 @@ JOBS ?= 4
 test:            ## tier-1 suite, exactly as CI runs it
 	PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning
 
-chaos:           ## fault-injection + recovery suite against the shm backend
-	pytest tests/faults tests/parallel/test_chaos.py
+chaos:           ## fault-injection + recovery suite (shm + ps backends)
+	pytest tests/faults tests/parallel/test_chaos.py tests/distributed/test_ps.py
 
 chaos-grid:      ## degraded-mode grid run under injected cell faults
 	rm -rf /tmp/chaos_grid && REPRO_CACHE_DIR=/tmp/chaos_grid/cache \
@@ -27,6 +27,30 @@ chaos-grid:      ## degraded-mode grid run under injected cell faults
 		kinds = sorted(f['failure']['kind'] for f in m['failures']); \
 		assert kinds == ['crash', 'divergence', 'stall'], kinds; \
 		print('chaos-grid: quarantined kinds', kinds)"
+
+chaos-ps:        ## node-kill/node-stall drill against the parameter-server backend
+	rm -rf /tmp/chaos_ps && mkdir -p /tmp/chaos_ps
+	REPRO_CACHE_DIR=/tmp/chaos_ps/cache PYTHONPATH=src python -m repro train \
+		--task lr --dataset w8a --scale tiny --epochs 4 \
+		--backend ps --nodes 3 --max-staleness 16 --epoch-timeout 5 \
+		--inject-fault node-kill@2 --inject-fault node-stall@3 \
+		--max-restarts 3 \
+		--manifest-out /tmp/chaos_ps/manifest.json
+	PYTHONPATH=src python -c "import json; \
+		m = json.load(open('/tmp/chaos_ps/manifest.json')); \
+		c = m['counters']; \
+		assert c.get('fault.injected', 0) >= 2, c; \
+		assert c.get('fault.worker_restarts', 0) >= 1, c; \
+		assert c.get('ps.reconnects', 0) >= 1, c; \
+		assert c.get('ps.dead_workers_reaped', 0) >= 1, c; \
+		assert c.get('ps.pushes', 0) > 0 and c.get('ps.pulls', 0) > 0, c; \
+		rec = m['results']['measured']['recovery']; \
+		assert len(rec) >= 2, rec; \
+		print('chaos-ps: recovered', [r['action'] for r in rec])"
+	@# A leaked server socket needs a live owner, so orphaned drill
+	@# processes (forked workers keep the parent cmdline) cover both.
+	@pgrep -f 'repro train.*backend p[s]' >/dev/null 2>&1 && \
+		{ echo 'chaos-ps: leaked worker processes'; pgrep -af 'repro train.*backend p[s]'; exit 1; } || true
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -32,6 +32,16 @@ Like the grid gate it is a same-host ratio, so machine speed cancels;
 automatically, and when the committed baseline predates the serving
 section).
 
+A fourth gate guards the distributed parameter-server backend: the
+bench's ps scaling curve runs fresh (1 node, then the host's default
+node count, back-to-back) and fails if the multi-node aggregate
+updates/sec falls below ``--ps-threshold`` times the single-node rate —
+catching a server that serialises its workers (a staleness gate that
+over-blocks, a shard lock held across the wire).  Same-host ratio, so
+machine speed cancels; skipped automatically on 1-cpu hosts and when
+the committed baseline predates the ``ps`` section, ``--skip-ps``
+is the explicit escape hatch.
+
 Usage::
 
     REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
@@ -139,6 +149,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the serving throughput gate (escape hatch for 1-cpu "
         "hosts, where concurrent load measures scheduler noise)",
+    )
+    parser.add_argument(
+        "--ps-threshold",
+        type=float,
+        default=0.5,
+        help="minimum tolerated multi-node/single-node ps updates-per-second "
+        "ratio (default 0.5: running at the default node count must sustain "
+        "at least half the single-node update rate; it normally exceeds it)",
+    )
+    parser.add_argument(
+        "--skip-ps",
+        action="store_true",
+        help="skip the parameter-server throughput gate (escape hatch for "
+        "1-cpu hosts, where node processes only time-share)",
     )
     parser.add_argument(
         "--report-dir",
@@ -274,6 +298,55 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"serving gate FAILED: {len(serve_failures)} task(s) below "
                 f"the {args.serve_threshold:.2f}x batched/direct floor"
+            )
+            return 1
+
+    if args.skip_ps or args.inflate != 1.0:
+        pass  # self-test runs exercise the modelled-cell comparison only
+    elif host_cpus < 2:
+        print(f"\nps throughput gate skipped: host has {host_cpus} cpu")
+    elif "ps" not in baseline:
+        print(
+            f"\nps throughput gate skipped: {baseline_path.name} has "
+            "no ps section (commit a fresh bench snapshot first)"
+        )
+    else:
+        from bench_snapshot import GRID, run_ps
+
+        committed_ps = {(s["task"], s["dataset"]): s for s in baseline["ps"]}
+        print("\nps (parameter-server) throughput gate:")
+        ps_failures = []
+        for task, dataset in GRID:
+            fresh_ps = run_ps(task, dataset)
+            points = fresh_ps["points"]
+            single = points[0]["updates_per_second"]
+            multi = points[-1]["updates_per_second"]
+            nodes = points[-1]["nodes"]
+            ratio = (
+                multi / single if single and multi is not None else None
+            )
+            context = ""
+            old = committed_ps.get((task, dataset))
+            if old and old.get("points"):
+                old_single = old["points"][0].get("updates_per_second")
+                old_multi = old["points"][-1].get("updates_per_second")
+                if old_single and old_multi:
+                    context = f" (committed ratio {old_multi / old_single:.2f})"
+            status = "OK"
+            if ratio is None or ratio < args.ps_threshold:
+                status = "FAIL"
+                ps_failures.append((task, dataset, ratio))
+            shown = "n/a" if ratio is None else f"{ratio:.2f}x"
+            rate = lambda v: "n/a" if v is None else f"{v:.0f}"  # noqa: E731
+            print(
+                f"  {status:<5} {task}/{dataset}: 1 node "
+                f"{rate(single)} upd/s, {nodes} nodes "
+                f"{rate(multi)} upd/s, ratio {shown}{context}"
+            )
+        if ps_failures:
+            print(
+                f"ps gate FAILED: {len(ps_failures)} task(s) below the "
+                f"{args.ps_threshold:.2f}x multi/single-node floor"
             )
             return 1
 

@@ -14,6 +14,12 @@ single-worker run — the host-hardware counterpart of the paper's Fig. 8
 scaling measurements (worker counts are capped by the host's cores, so
 the curve flattens on small runners; the point is the paper-trail).
 
+A ``ps`` section mirrors ``measured`` over the distributed
+parameter-server backend (:func:`repro.distributed.train_ps`) at 1..N
+node processes: the same tasks, but every pull/push crosses a real
+socket, so the points price the wire protocol against shm's in-place
+scatter and record updates/sec as a cross-backend throughput axis.
+
 A ``grid`` section times the same grid end-to-end through the
 process-pool :class:`~repro.experiments.executor.GridExecutor` —
 serial (jobs=1) and parallel (``--jobs``, default 4) wall-clock on the
@@ -144,6 +150,61 @@ def run_measured(task: str, dataset: str) -> dict:
         "task": task,
         "dataset": dataset,
         "backend": "shm",
+        "host_cpus": os.cpu_count(),
+        "epochs": MEASURED_EPOCHS,
+        "points": points,
+    }
+
+
+def run_ps(task: str, dataset: str) -> dict:
+    """Distributed-backend scaling curve: wall seconds/epoch at 1..N nodes.
+
+    Same shape as :func:`run_measured`, but every pull/push crosses a
+    real socket — the points price the wire against shm's scatter, and
+    ``updates_per_second`` is the cross-backend throughput axis.
+    """
+    from repro.distributed import default_ps_nodes
+    from repro.telemetry import keys
+
+    max_nodes = default_ps_nodes()
+    points = []
+    base = None
+    for nodes in range(1, max_nodes + 1):
+        result = repro.train(
+            task,
+            dataset,
+            architecture="cpu-par",
+            strategy="asynchronous",
+            scale=SCALE,
+            max_epochs=MEASURED_EPOCHS,
+            early_stop_tolerance=None,
+            backend="ps",
+            nodes=nodes,
+        )
+        wall = result.measured["wall_seconds_per_epoch"]
+        total = result.measured["wall_seconds_total"]
+        counters = result.measured["counters"]
+        if base is None:
+            base = wall
+        points.append(
+            {
+                "nodes": nodes,
+                "shards": result.measured["shards"],
+                "wall_seconds_per_epoch": wall,
+                "speedup_vs_1": base / wall if wall > 0 else None,
+                "updates_per_second": (
+                    counters.get(keys.UPDATES_APPLIED, 0) / total
+                    if total > 0
+                    else None
+                ),
+                "final_loss": result.curve.final_loss,
+                "counters": counters,
+            }
+        )
+    return {
+        "task": task,
+        "dataset": dataset,
+        "backend": "ps",
         "host_cpus": os.cpu_count(),
         "epochs": MEASURED_EPOCHS,
         "points": points,
@@ -348,6 +409,11 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  {task}/{dataset} shm measured scaling ...", flush=True)
         measured.append(run_measured(task, dataset))
 
+    ps = []
+    for task, dataset in GRID:
+        print(f"  {task}/{dataset} ps measured scaling ...", flush=True)
+        ps.append(run_ps(task, dataset))
+
     serving = []
     for task, dataset in GRID:
         print(f"  {task}/{dataset} serving load ...", flush=True)
@@ -378,6 +444,7 @@ def main(argv: list[str] | None = None) -> None:
         },
         "cells": cells,
         "measured": measured,
+        "ps": ps,
         "serving": serving,
         "grid": grid,
     }

@@ -335,6 +335,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         early_stop_tolerance=args.tolerance,
         backend=args.backend,
         threads=args.threads,
+        nodes=args.nodes,
+        shards=args.shards,
+        max_staleness=args.max_staleness,
         epoch_timeout=args.epoch_timeout,
         fault_plan=fault_plan,
         max_restarts=args.max_restarts,
@@ -559,8 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default="simulated",
         help="execution backend: 'simulated' (asynchrony simulator + "
-        "analytical hardware time) or 'shm' (real shared-memory worker "
-        "processes, measured wall-clock time; asynchronous lr/svm only)",
+        "analytical hardware time), 'shm' (real shared-memory worker "
+        "processes, measured wall-clock time) or 'ps' (worker processes "
+        "against a sharded parameter server over local TCP); the "
+        "measured backends run asynchronous lr/svm only",
     )
     p.add_argument(
         "--threads",
@@ -569,6 +574,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --backend shm (default: up to 4, "
         "bounded by the host's cores)",
+    )
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend ps (default: up to 4, "
+        "bounded by the host's cores)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="--backend ps: parameter shards on the server (default: "
+        "derived from the model size, at most 8)",
+    )
+    p.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        metavar="K",
+        help="--backend ps: bounded-staleness window in work items — a "
+        "worker more than K items ahead of the slowest live worker "
+        "blocks on pull (default: unbounded fast-async; 0 = lock-step)",
     )
     p.add_argument(
         "--batch-size",
@@ -584,7 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SEC",
-        help="--backend shm: seconds the parent waits at an epoch "
+        help="measured backends: seconds the parent waits at an epoch "
         "barrier before declaring the run dead (default 120)",
     )
     p.add_argument(
@@ -592,16 +622,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="SPEC",
-        help="--backend shm: inject a seeded fault, format "
+        help="measured backends: inject a seeded fault, format "
         "kind@epoch[:wK][:seconds] with kind in kill|stall|delay|nan "
-        "(e.g. kill@3, stall@2:w1, delay@1:w0:0.25); repeatable",
+        "for --backend shm or node-kill|node-stall for --backend ps "
+        "(e.g. kill@3, stall@2:w1, node-kill@2); repeatable",
     )
     p.add_argument(
         "--max-restarts",
         type=int,
         default=0,
         metavar="N",
-        help="--backend shm: recover from up to N worker failures "
+        help="measured backends: recover from up to N worker failures "
         "(repartition onto survivors / respawn with timeout backoff) "
         "before giving up; 0 fails fast",
     )
@@ -609,9 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-out",
         default=None,
         metavar="PATH",
-        help="--backend shm: publish live parameter snapshots (seqlock-"
-        "consistent, readable mid-training by 'repro serve --snapshot "
-        "PATH') and write the snapshot descriptor to PATH",
+        help="measured backends: publish live parameter snapshots "
+        "(seqlock-consistent, readable mid-training by 'repro serve "
+        "--snapshot PATH') and write the snapshot descriptor to PATH",
     )
     p.add_argument(
         "--model-out",

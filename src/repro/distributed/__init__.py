@@ -1,0 +1,32 @@
+"""Distributed parameter-server backend: sharded, asynchronous, measured.
+
+Where :mod:`repro.parallel` shares the model through one memory buffer,
+this package splits it into shards owned by a server process and moves
+every read and write over a length-prefixed binary TCP protocol — the
+multi-node half of the paper's synchronous-vs-asynchronous question,
+in the lineage of Keuper & Pfreundt's distributed ASGD and Zhao & Li's
+fast-async parameter server.  A bounded-staleness gate spans the space
+between the two regimes: ``max_staleness=0`` is lock-step (and, with
+one worker, bit-identical to serial SGD), ``None`` is unbounded
+fast-async.
+
+Entry points: :func:`train_ps` (surfaced as
+``repro.train(..., backend="ps")``), :class:`PsSchedule`,
+:class:`ShardServer` for tests and tools, and the wire protocol in
+:mod:`repro.distributed.protocol`.  See ``docs/DISTRIBUTED.md``.
+"""
+
+from .protocol import WireProtocolError
+from .server import ShardServer, default_ps_shards, shard_bounds
+from .train import PsSchedule, PsTrainResult, default_ps_nodes, train_ps
+
+__all__ = [
+    "PsSchedule",
+    "PsTrainResult",
+    "ShardServer",
+    "WireProtocolError",
+    "default_ps_nodes",
+    "default_ps_shards",
+    "shard_bounds",
+    "train_ps",
+]

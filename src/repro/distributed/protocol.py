@@ -1,0 +1,229 @@
+"""Length-prefixed binary wire protocol of the parameter-server tier.
+
+Unlike the serving path's newline-delimited JSON (one human-readable
+line per request, see :mod:`repro.serving.service`), the training tier
+moves raw float64 shard payloads — text framing would double the bytes
+and dominate the hot loop with parsing.  Every message is one frame::
+
+    +-------+------+--------+-------------+--------+===========+
+    | magic | type | ident  | payload_len | clock  |  payload  |
+    |  u8   |  u8  |  u16   |     u32     |  u64   |   bytes   |
+    +-------+------+--------+-------------+--------+===========+
+
+(big-endian, 16-byte header).  ``ident`` is a small type-specific slot
+— the shard id for PULL/SHARD, the worker id for HELLO, the row count
+for PUSH — and ``clock`` carries the message's logical time: the
+worker's completed-work-item counter on PULL/PUSH, the shard's version
+on SHARD, the epoch on EPOCH_DONE/EPOCH_ACK.  Framing is explicit and
+checked: a bad magic byte, an oversized payload or an EOF inside a
+frame raises :class:`WireProtocolError` — the failure mode the serving
+protocol's ``readline`` cap handled implicitly (and, before this PR,
+incorrectly).
+
+Message types
+-------------
+``HELLO`` (worker -> server)
+    Register ``ident`` as this connection's worker id.  Answered by
+    ``HELLO_ACK`` whose payload is ``(n_params u64, n_shards u16,
+    max_staleness i32)`` (-1 = unbounded).
+``PULL`` (worker -> server)
+    Request shard ``ident``; ``clock`` is the worker's completed-item
+    count, which the bounded-staleness gate compares against the
+    slowest live worker before answering.  Answered by ``SHARD``
+    carrying the shard's float64 parameters and its version.
+``PUSH`` (worker -> server, no ack)
+    Apply one work item's delta; ``ident`` is the item's row count,
+    ``clock`` the worker's item counter *after* the item.  The payload
+    is either sparse (``0x00 | n u32 | indices i64[n] | values
+    f64[n]``, global coordinates) or dense (``0x01 | values f64[d]``).
+``EPOCH_DONE`` (worker -> server)
+    The worker finished epoch ``clock``; the reply (``EPOCH_ACK``,
+    sent only once the parent releases the next epoch) doubles as the
+    epoch barrier.  ``ident`` of the ack is 1 when the run is over.
+``FAULT`` (worker -> server, no ack)
+    A planned fault is about to fire (``ident``: 1 kill, 2 stall) —
+    counted server-side before the worker dies or wedges.
+``BYE`` (worker -> server, no ack)
+    Clean disconnect; suppresses the dead-worker reap accounting.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+
+from ..utils.errors import DataFormatError
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "MSG_HELLO",
+    "MSG_HELLO_ACK",
+    "MSG_PULL",
+    "MSG_SHARD",
+    "MSG_PUSH",
+    "MSG_EPOCH_DONE",
+    "MSG_EPOCH_ACK",
+    "MSG_FAULT",
+    "MSG_BYE",
+    "WireProtocolError",
+    "Frame",
+    "send_frame",
+    "recv_frame",
+    "pack_hello_ack",
+    "unpack_hello_ack",
+    "pack_push",
+    "unpack_push",
+]
+
+#: First byte of every frame; a connection speaking anything else
+#: (an HTTP probe, a JSON client on the wrong port) fails fast.
+MAGIC = 0xB5
+
+#: Guard on one frame's payload — far above any real shard (a 2M-param
+#: model is 16 MB), small enough to reject unframed garbage promptly.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct("!BBHIQ")  # magic, type, ident, payload_len, clock
+_HELLO_ACK = struct.Struct("!QHi")  # n_params, n_shards, max_staleness
+
+MSG_HELLO = 1
+MSG_HELLO_ACK = 2
+MSG_PULL = 3
+MSG_SHARD = 4
+MSG_PUSH = 5
+MSG_EPOCH_DONE = 6
+MSG_EPOCH_ACK = 7
+MSG_FAULT = 8
+MSG_BYE = 9
+
+_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_BYE + 1))
+
+
+class WireProtocolError(DataFormatError):
+    """A malformed frame on the parameter-server wire."""
+
+
+class Frame:
+    """One decoded message (header fields + raw payload)."""
+
+    __slots__ = ("msg_type", "ident", "clock", "payload", "nbytes")
+
+    def __init__(
+        self, msg_type: int, ident: int, clock: int, payload: bytes, nbytes: int
+    ) -> None:
+        self.msg_type = msg_type
+        self.ident = ident
+        self.clock = clock
+        self.payload = payload
+        #: Total wire bytes of the frame (header + payload), for the
+        #: ``ps.bytes_*`` accounting.
+        self.nbytes = nbytes
+
+
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    *,
+    ident: int = 0,
+    clock: int = 0,
+    payload: bytes = b"",
+) -> int:
+    """Write one frame; returns the bytes put on the wire."""
+    buf = _HEADER.pack(MAGIC, msg_type, ident, len(payload), clock) + payload
+    sock.sendall(buf)
+    return len(buf)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireProtocolError(
+                f"connection closed mid-frame ({got} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Frame | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    head = _recv_exact(sock, _HEADER.size)
+    if head is None:
+        return None
+    magic, msg_type, ident, length, clock = _HEADER.unpack(head)
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"bad magic byte 0x{magic:02x} (expected 0x{MAGIC:02x}); "
+            "peer is not speaking the parameter-server protocol"
+        )
+    if msg_type not in _KNOWN_TYPES:
+        raise WireProtocolError(f"unknown message type {msg_type}")
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    if length and payload is None:
+        raise WireProtocolError("connection closed before the frame payload")
+    return Frame(msg_type, ident, clock, payload or b"", _HEADER.size + length)
+
+
+# -- typed payload helpers --------------------------------------------------
+
+
+def pack_hello_ack(n_params: int, n_shards: int, max_staleness: int | None) -> bytes:
+    return _HELLO_ACK.pack(
+        n_params, n_shards, -1 if max_staleness is None else max_staleness
+    )
+
+
+def unpack_hello_ack(payload: bytes) -> tuple[int, int, int | None]:
+    n_params, n_shards, staleness = _HELLO_ACK.unpack(payload)
+    return n_params, n_shards, None if staleness < 0 else staleness
+
+
+def pack_push(
+    indices: np.ndarray | None, values: np.ndarray
+) -> bytes:
+    """Encode one delta: sparse ``(indices, values)`` or dense ``values``."""
+    if indices is None:
+        return b"\x01" + np.ascontiguousarray(values, dtype=np.float64).tobytes()
+    idx = np.ascontiguousarray(indices, dtype=np.int64)
+    val = np.ascontiguousarray(values, dtype=np.float64)
+    return b"\x00" + struct.pack("!I", idx.shape[0]) + idx.tobytes() + val.tobytes()
+
+
+def unpack_push(payload: bytes) -> tuple[np.ndarray | None, np.ndarray]:
+    """Decode a PUSH payload back into ``(indices | None, values)``."""
+    if not payload:
+        raise WireProtocolError("empty PUSH payload")
+    flag = payload[0]
+    body = payload[1:]
+    if flag == 0x01:
+        if len(body) % 8:
+            raise WireProtocolError("dense PUSH payload is not float64-aligned")
+        return None, np.frombuffer(body, dtype=np.float64)
+    if flag != 0x00:
+        raise WireProtocolError(f"unknown PUSH flag 0x{flag:02x}")
+    if len(body) < 4:
+        raise WireProtocolError("truncated sparse PUSH payload")
+    (n,) = struct.unpack("!I", body[:4])
+    need = 4 + n * 8 + n * 8
+    if len(body) != need:
+        raise WireProtocolError(
+            f"sparse PUSH payload of {len(body)} bytes does not match "
+            f"its {n}-entry header (expected {need})"
+        )
+    idx = np.frombuffer(body[4 : 4 + n * 8], dtype=np.int64)
+    val = np.frombuffer(body[4 + n * 8 :], dtype=np.float64)
+    return idx, val

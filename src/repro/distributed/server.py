@@ -1,0 +1,469 @@
+"""The sharded parameter server: one accept loop, shard locks, a gate.
+
+The server owns the model as one float64 vector split into ``S``
+contiguous shards, each guarded by its own lock, and serves worker
+connections over local TCP (one handler thread per connection, spawned
+by a single accept loop).  Three mechanisms make it the paper-shaped
+parameter server rather than a plain key-value store:
+
+* **Shard locks** — a PULL copies one shard under that shard's lock; a
+  PUSH applies its delta shard-by-shard, taking each lock in shard
+  order.  Pulls of different shards interleave freely with pushes, so
+  a worker's assembled model can mix shard versions — the asynchrony
+  the simulator models, now measured on a real wire.
+* **The bounded-staleness gate** — every worker carries a clock (work
+  items completed); a PULL from a worker more than ``max_staleness``
+  items ahead of the slowest *live, still-running* worker blocks until
+  the stragglers catch up.  ``max_staleness=None`` is Zhao & Li's
+  fast-async regime (never block); ``0`` is lock-step.  Workers
+  waiting at the epoch barrier (or dead, or cleanly done) leave the
+  gate's minimum, so the gate can never deadlock: the slowest running
+  worker is, by construction, never blocked.
+* **Dead-worker reaping** — a connection that drops without a clean
+  ``BYE`` is reaped: its clock leaves the staleness gate (waking any
+  pull blocked on the corpse), its registry slot is freed, and the
+  reap is counted (``ps.dead_workers_reaped``).  The *parent* watches
+  the worker processes themselves and drives recovery; the server's
+  reaping only guarantees the gate and the epoch barrier never wait on
+  a ghost.
+
+Epoch alignment mirrors the shm backend's barriers: a worker that
+finishes its pass sends ``EPOCH_DONE`` and blocks on the reply; the
+parent waits until every live worker has arrived
+(:meth:`ShardServer.epoch_reached`), evaluates the loss on a quiescent
+snapshot, then :meth:`releases <ShardServer.release_epoch>` the next
+epoch — at which point every handler sends its ``EPOCH_ACK``.  All
+pushes of a worker precede its ``EPOCH_DONE`` on the same ordered TCP
+stream, so "every live worker arrived" implies "every delta applied":
+the parent's snapshot is consistent without stopping the world.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any
+
+import numpy as np
+
+from ..telemetry import keys
+from ..utils.errors import ConfigurationError
+from . import protocol as wire
+
+__all__ = ["ShardServer", "shard_bounds", "default_ps_shards"]
+
+#: Handler threads block at most this long per gate/barrier wait slice,
+#: re-checking for shutdown — keeps teardown prompt even with a wedged
+#: peer on the other end of the condition.
+_WAIT_SLICE = 0.2
+
+
+def default_ps_shards(n_params: int) -> int:
+    """Shard count used when the caller does not pick one: enough to
+    make pulls genuinely sharded, never more than the model can fill."""
+    return max(1, min(8, n_params // 16)) if n_params >= 32 else 1
+
+
+def shard_bounds(n_params: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges of each shard (sizes differ <= 1)."""
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if shards > n_params:
+        raise ConfigurationError(
+            f"cannot split {n_params} parameter(s) into {shards} shard(s)"
+        )
+    edges = np.linspace(0, n_params, shards + 1).astype(np.int64)
+    return [(int(edges[s]), int(edges[s + 1])) for s in range(shards)]
+
+
+class _WorkerRecord:
+    """Mutable per-connection registry entry (one per live worker)."""
+
+    __slots__ = ("worker_id", "clock", "epoch_done", "state")
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.clock = 0
+        self.epoch_done = -1
+        #: ``running`` (mid-pass, participates in the staleness min),
+        #: ``barrier`` (at the epoch barrier, exempt), ``dead``.
+        self.state = "running"
+
+
+class ShardServer:
+    """Own the shards, accept workers, answer pulls/pushes, keep clocks."""
+
+    def __init__(
+        self,
+        init_params: np.ndarray,
+        shards: int,
+        *,
+        max_staleness: int | None = None,
+        expected_workers: int = 1,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if max_staleness is not None and max_staleness < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0 or None, got {max_staleness}"
+            )
+        self._params = np.array(init_params, dtype=np.float64, copy=True)
+        self._bounds = shard_bounds(self._params.shape[0], shards)
+        self._locks = [threading.Lock() for _ in self._bounds]
+        self._versions = [0] * len(self._bounds)
+        self.max_staleness = max_staleness
+
+        self._mu = threading.Lock()
+        self._cv = threading.Condition(self._mu)
+        self._workers: dict[int, _WorkerRecord] = {}
+        self._ever_seen: set[int] = set()
+        self._expected = expected_workers
+        self._released_epoch = 0
+        self._stop_flag = False
+        self._closing = False
+        #: Flushed into telemetry by the trainer at the end of the run.
+        self.counters: dict[str, float] = {
+            keys.PS_PULLS: 0.0,
+            keys.PS_PUSHES: 0.0,
+            keys.PS_BYTES_SENT: 0.0,
+            keys.PS_BYTES_RECEIVED: 0.0,
+            keys.PS_PULL_WAITS: 0.0,
+            keys.PS_RECONNECTS: 0.0,
+            keys.PS_DEAD_WORKERS_REAPED: 0.0,
+        }
+        self.faults_reported = 0
+
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.2)
+        self._conns: set[socket.socket] = set()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ps-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- addressing --------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._listener.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def n_params(self) -> int:
+        return int(self._params.shape[0])
+
+    # -- accept loop + per-connection handlers -----------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(None)
+            with self._mu:
+                if self._closing:
+                    conn.close()
+                    return
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._handle, args=(conn,), name="ps-handler", daemon=True
+            )
+            self._threads.append(t)
+            t.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        record: _WorkerRecord | None = None
+        clean = False
+        try:
+            while True:
+                frame = wire.recv_frame(conn)
+                if frame is None:
+                    return
+                with self._cv:
+                    self.counters[keys.PS_BYTES_RECEIVED] += frame.nbytes
+                if frame.msg_type == wire.MSG_HELLO:
+                    record = self._register(conn, frame.ident)
+                elif record is None:
+                    raise wire.WireProtocolError(
+                        f"message type {frame.msg_type} before HELLO"
+                    )
+                elif frame.msg_type == wire.MSG_PULL:
+                    self._pull(conn, record, frame)
+                elif frame.msg_type == wire.MSG_PUSH:
+                    self._push(record, frame)
+                elif frame.msg_type == wire.MSG_EPOCH_DONE:
+                    stop = self._epoch_barrier(conn, record, frame.clock)
+                    if stop:
+                        clean = True  # the ack told the worker to exit
+                elif frame.msg_type == wire.MSG_FAULT:
+                    with self._cv:
+                        self.faults_reported += 1
+                elif frame.msg_type == wire.MSG_BYE:
+                    clean = True
+                    return
+                else:  # pragma: no cover - recv_frame validates types
+                    raise wire.WireProtocolError(
+                        f"unexpected message type {frame.msg_type}"
+                    )
+        except (wire.WireProtocolError, ConnectionError, OSError, struct.error):
+            return
+        finally:
+            self._disconnect(conn, record, clean)
+
+    def _register(self, conn: socket.socket, worker_id: int) -> _WorkerRecord:
+        record = _WorkerRecord(worker_id)
+        with self._cv:
+            if worker_id in self._ever_seen:
+                self.counters[keys.PS_RECONNECTS] += 1
+            self._ever_seen.add(worker_id)
+            self._workers[worker_id] = record
+            self._cv.notify_all()
+            sent = wire.send_frame(
+                conn,
+                wire.MSG_HELLO_ACK,
+                ident=self.n_shards,
+                payload=wire.pack_hello_ack(
+                    self.n_params, self.n_shards, self.max_staleness
+                ),
+            )
+            self.counters[keys.PS_BYTES_SENT] += sent
+        return record
+
+    def _gate_lag(self, record: _WorkerRecord) -> int:
+        """Work items *record* is ahead of the slowest running worker."""
+        floor = None
+        for other in self._workers.values():
+            if other.state != "running" or other is record:
+                continue
+            if floor is None or other.clock < floor:
+                floor = other.clock
+        if floor is None:
+            return 0
+        return max(0, record.clock - floor)
+
+    def _pull(
+        self, conn: socket.socket, record: _WorkerRecord, frame: wire.Frame
+    ) -> None:
+        shard = frame.ident
+        if not 0 <= shard < self.n_shards:
+            raise wire.WireProtocolError(f"PULL for unknown shard {shard}")
+        with self._cv:
+            record.clock = frame.clock
+            record.state = "running"
+            lag = self._gate_lag(record)
+            self.counters[keys.ps_staleness_bucket(lag)] = (
+                self.counters.get(keys.ps_staleness_bucket(lag), 0.0) + 1
+            )
+            if (
+                self.max_staleness is not None
+                and lag > self.max_staleness
+            ):
+                self.counters[keys.PS_PULL_WAITS] += 1
+                while (
+                    not self._closing
+                    and record.state != "dead"
+                    and self._gate_lag(record) > self.max_staleness
+                ):
+                    self._cv.wait(_WAIT_SLICE)
+            self.counters[keys.PS_PULLS] += 1
+        lo, hi = self._bounds[shard]
+        with self._locks[shard]:
+            payload = self._params[lo:hi].tobytes()
+            version = self._versions[shard]
+        sent = wire.send_frame(
+            conn, wire.MSG_SHARD, ident=shard, clock=version, payload=payload
+        )
+        with self._cv:
+            self.counters[keys.PS_BYTES_SENT] += sent
+
+    def _push(self, record: _WorkerRecord, frame: wire.Frame) -> None:
+        indices, values = wire.unpack_push(frame.payload)
+        if indices is None:
+            if values.shape[0] != self.n_params:
+                raise wire.WireProtocolError(
+                    f"dense PUSH of {values.shape[0]} values against a "
+                    f"{self.n_params}-parameter model"
+                )
+            for shard, (lo, hi) in enumerate(self._bounds):
+                with self._locks[shard]:
+                    self._params[lo:hi] += values[lo:hi]
+                    self._versions[shard] += 1
+        elif indices.size:
+            if int(indices.min()) < 0 or int(indices.max()) >= self.n_params:
+                raise wire.WireProtocolError("sparse PUSH index out of range")
+            for shard, (lo, hi) in enumerate(self._bounds):
+                sel = (indices >= lo) & (indices < hi)
+                if not sel.any():
+                    continue
+                with self._locks[shard]:
+                    np.add.at(self._params, indices[sel], values[sel])
+                    self._versions[shard] += 1
+        with self._cv:
+            record.clock = frame.clock
+            record.state = "running"
+            self.counters[keys.PS_PUSHES] += 1
+            self.counters[keys.UPDATES_APPLIED] = (
+                self.counters.get(keys.UPDATES_APPLIED, 0.0) + frame.ident
+            )
+            self._cv.notify_all()
+
+    def _epoch_barrier(
+        self, conn: socket.socket, record: _WorkerRecord, epoch: int
+    ) -> bool:
+        """Record arrival, block until the parent releases, ack. Returns
+        whether the ack carried the stop flag."""
+        with self._cv:
+            record.epoch_done = epoch
+            record.state = "barrier"
+            self._cv.notify_all()
+            while (
+                not self._closing
+                and record.state != "dead"
+                and not self._stop_flag
+                and self._released_epoch < epoch + 1
+            ):
+                self._cv.wait(_WAIT_SLICE)
+            stop = self._stop_flag or self._closing
+            record.state = "running" if not stop else record.state
+            sent = wire.send_frame(
+                conn,
+                wire.MSG_EPOCH_ACK,
+                ident=1 if stop else 0,
+                clock=epoch + 1,
+            )
+            self.counters[keys.PS_BYTES_SENT] += sent
+        return stop
+
+    def _disconnect(
+        self, conn: socket.socket, record: _WorkerRecord | None, clean: bool
+    ) -> None:
+        with self._cv:
+            self._conns.discard(conn)
+            if record is not None and record.state != "dead":
+                record.state = "dead"
+                # Only the registry's *current* record for the id is
+                # removed — a respawned worker may already own the slot.
+                if self._workers.get(record.worker_id) is record:
+                    del self._workers[record.worker_id]
+                if not clean and not self._closing:
+                    self.counters[keys.PS_DEAD_WORKERS_REAPED] += 1
+            self._cv.notify_all()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    # -- parent-side control -----------------------------------------------
+
+    def epoch_reached(self, epoch: int) -> bool:
+        """All ``expected`` workers are registered and have finished
+        *epoch* (dead workers disqualify the predicate — the parent's
+        watchdog turns that into a recovery action)."""
+        with self._mu:
+            if len(self._workers) < self._expected:
+                return False
+            return all(r.epoch_done >= epoch for r in self._workers.values())
+
+    def wait_epoch_tick(self, timeout: float) -> None:
+        """Block up to *timeout* for barrier progress (watchdog slice)."""
+        with self._cv:
+            self._cv.wait(timeout)
+
+    def release_epoch(self, epoch: int, *, stop: bool = False) -> None:
+        """Let every worker waiting on the barrier start *epoch* (or,
+        with *stop*, exit cleanly)."""
+        with self._cv:
+            self._released_epoch = max(self._released_epoch, epoch)
+            if stop:
+                self._stop_flag = True
+            self._cv.notify_all()
+
+    def reset_pool(self, expected_workers: int) -> None:
+        """Forget the current worker generation (recovery respawn): the
+        registry and clocks restart empty; shard state and the released
+        epoch survive, so respawned workers resume where the pool died."""
+        with self._cv:
+            self._workers = {}
+            self._expected = expected_workers
+            self._cv.notify_all()
+
+    def snapshot(self) -> np.ndarray:
+        """A consistent copy of the model (all shard locks, in order)."""
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            return self._params.copy()
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
+
+    def write_params(self, params: np.ndarray) -> None:
+        """Overwrite the model under all shard locks (NaN scrubbing)."""
+        if params.shape != self._params.shape:
+            raise ConfigurationError(
+                f"write_params shape {params.shape} != {self._params.shape}"
+            )
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            self._params[:] = params
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
+
+    def describe(self) -> dict[str, Any]:
+        """Manifest-friendly shard layout."""
+        return {
+            "shards": self.n_shards,
+            "bounds": [[lo, hi] for lo, hi in self._bounds],
+            "max_staleness": self.max_staleness,
+            "address": f"{self.host}:{self.port}",
+        }
+
+    def close(self) -> None:
+        """Stop accepting, wake every blocked handler, close all sockets.
+
+        Idempotent; after it returns no server-owned socket is open and
+        every handler thread is on its way out (they are daemons, but
+        the joins below mean a clean run leaks nothing measurable).
+        """
+        with self._cv:
+            if self._closing:
+                return
+            self._closing = True
+            self._cv.notify_all()
+            conns = list(self._conns)
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._accept_thread.join(timeout=2.0)
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,499 @@
+"""Drive a multi-node parameter-server run end to end.
+
+:func:`train_ps` is the distributed sibling of
+:func:`repro.parallel.train_shm`: same epoch-aligned measurement loop
+(wall clock between barriers, loss on a quiescent snapshot, loss evals
+excluded from iteration time), same fault/recovery contract
+(:class:`repro.faults.FaultPlan` node kinds +
+:class:`repro.faults.RecoveryPolicy`), same telemetry vocabulary — but
+the model lives in a :class:`~repro.distributed.server.ShardServer`
+and the workers reach it over TCP, so what the run measures is the
+paper's *distributed* asynchronous regime: staleness from wire latency
+and sharded pulls rather than from cache-coherent racing.
+
+The epoch barrier is the ordered TCP stream itself: a worker's pushes
+all precede its ``EPOCH_DONE`` on its own connection, so once every
+live worker has arrived the server's shards are quiescent and the
+parent snapshots, evaluates, scrubs or publishes without stopping any
+clock.  Recovery replaces the *pool*, never the server: worker
+processes are torn down and respawned against the same shard state
+(``node-kill`` mid-epoch costs the partial epoch, not the model), and
+the server's reconnect/reap counters record the churn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..faults import FaultPlan, RecoveryPolicy
+from ..models.base import Matrix, Model
+from ..sgd.config import SGDConfig
+from ..sgd.convergence import LossCurve
+from ..telemetry import keys
+from ..telemetry.session import AnyTelemetry, ensure_telemetry
+from ..utils.errors import ConfigurationError, WorkerError
+from ..utils.rng import DEFAULT_SEED
+from .server import ShardServer, default_ps_shards
+from .worker import worker_main
+
+__all__ = ["PsSchedule", "PsTrainResult", "train_ps", "default_ps_nodes"]
+
+
+def default_ps_nodes() -> int:
+    """Node count used when the caller does not pick one."""
+    return min(4, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class PsSchedule:
+    """Execution shape of one parameter-server run.
+
+    Attributes
+    ----------
+    nodes:
+        Worker processes pulling from / pushing to the shard server
+        (clamped to the example count).
+    shards:
+        Parameter shards on the server; ``None`` picks
+        :func:`~repro.distributed.server.default_ps_shards`.
+    max_staleness:
+        Bounded-staleness window in work items: a worker more than
+        this far ahead of the slowest live worker blocks on pull.
+        ``None`` (the default) is the unbounded fast-async regime;
+        ``0`` is lock-step.
+    batch_size:
+        Rows per work item (1 = per-example push/pull, the regime the
+        serial-equivalence guarantee covers).
+    epoch_timeout:
+        Seconds the parent waits for an epoch barrier before declaring
+        the pool dead.  Workers wait untimed — liveness is the
+        parent's job.
+    """
+
+    nodes: int
+    shards: int | None = None
+    max_staleness: int | None = None
+    batch_size: int = 1
+    epoch_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {self.nodes}")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.max_staleness is not None and self.max_staleness < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0 or None, got {self.max_staleness}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.epoch_timeout <= 0:
+            raise ConfigurationError(
+                f"epoch_timeout must be positive, got {self.epoch_timeout}"
+            )
+
+
+@dataclass
+class PsTrainResult:
+    """Outcome of a measured parameter-server run."""
+
+    curve: LossCurve
+    params: np.ndarray
+    nodes: int
+    shards: int
+    batch_size: int
+    max_staleness: int | None
+    epochs_run: int
+    diverged: bool
+    #: Measured seconds per optimisation epoch (loss evals excluded).
+    wall_seconds_per_epoch: float
+    #: Measured optimisation seconds across all epochs.
+    wall_seconds_total: float
+    #: Aggregated event totals, keyed by the telemetry vocabulary
+    #: (``ps.*`` wire counters included).
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Nodes still in the pool at the end (== ``nodes`` unless a
+    #: repartition recovery shrank it).
+    nodes_final: int = 0
+    #: Full-pool respawn recoveries performed.
+    restarts: int = 0
+    #: Repartition recoveries performed (pool shrank by one each time).
+    repartitions: int = 0
+    #: Epochs executed degraded: fewer nodes than requested, or on a
+    #: NaN-scrubbed snapshot.
+    degraded_epochs: int = 0
+    #: Chronological recovery trajectory, recorded into run manifests.
+    recovery: list[dict] = field(default_factory=list)
+
+    @property
+    def updates_applied(self) -> float:
+        """Examples pushed into the shard server across all nodes."""
+        return self.counters.get(keys.UPDATES_APPLIED, 0.0)
+
+    @property
+    def faults_injected(self) -> float:
+        """Planned faults the workers actually injected."""
+        return self.counters.get(keys.FAULT_INJECTED, 0.0)
+
+
+def _wait_epoch(
+    server: ShardServer, procs: list, timeout: float, epoch: int
+) -> None:
+    """Block until every live node finished *epoch*, with a watchdog.
+
+    Mirrors the shm backend's barrier blame semantics: a node process
+    that exits before arriving raises a structured
+    :class:`WorkerError` within ~100 ms (worker id + exit code); a pure
+    timeout — a stalled node leaves no corpse — raises with
+    ``worker_id=None``.
+    """
+    deadline = time.perf_counter() + timeout
+    while True:
+        if server.epoch_reached(epoch):
+            return
+        dead = [
+            (k, p.exitcode) for k, p in enumerate(procs) if p.exitcode is not None
+        ]
+        if dead:
+            detail = ", ".join(f"node {k} exitcode {c}" for k, c in dead)
+            raise WorkerError(
+                f"parameter-server node(s) died during epoch {epoch}: {detail}",
+                worker_id=dead[0][0],
+                epoch=epoch,
+                phase="epoch",
+                exitcode=dead[0][1],
+            )
+        if time.perf_counter() >= deadline:
+            raise WorkerError(
+                f"parameter-server run timed out after {timeout:.1f}s "
+                f"waiting for epoch {epoch}",
+                epoch=epoch,
+                phase="epoch",
+            )
+        server.wait_epoch_tick(0.1)
+
+
+def _teardown_nodes(procs: list, grace: float = 2.0) -> None:
+    """Terminate and reap every node process.  On return all joined."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    deadline = time.perf_counter() + grace
+    for p in procs:
+        p.join(max(0.05, deadline - time.perf_counter()))
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - defensive
+            p.kill()
+            p.join()
+
+
+def train_ps(
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    init_params: np.ndarray,
+    config: SGDConfig,
+    schedule: PsSchedule,
+    telemetry: AnyTelemetry | None = None,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
+    snapshot: Any | None = None,
+) -> PsTrainResult:
+    """Train against a local multi-process parameter server.
+
+    Parameters mirror :func:`repro.parallel.train_shm`; *fault_plan*
+    contributes its node-level kinds (``node-kill`` / ``node-stall``)
+    resolved through :meth:`~repro.faults.FaultPlan.resolve_nodes`.
+
+    Raises
+    ------
+    ConfigurationError
+        For models without the scalar link-derivative machinery (the
+        backend drives the margin-based linear models, lr/svm), or
+        with L2 regularisation (the paper's objectives here are
+        unregularised).
+    WorkerError
+        When a node dies or stops responding and no recovery policy is
+        set — or the policy's retry budget is exhausted; the node pool
+        and the server's sockets are torn down before raising.
+    """
+    if not hasattr(model, "_dmargin_scalar"):
+        raise ConfigurationError(
+            f"{type(model).__name__} is not supported by the parameter-server "
+            "backend; it drives the margin-based linear models (lr/svm)"
+        )
+    if getattr(model, "l2", 0.0):
+        raise ConfigurationError(
+            "the parameter-server backend implements the paper's "
+            "unregularised objectives (l2=0)"
+        )
+    tel = ensure_telemetry(telemetry)
+    n = X.shape[0]
+    requested_nodes = min(schedule.nodes, n)
+    seed = config.seed if config.seed is not None else DEFAULT_SEED
+    budget = recovery.max_restarts if recovery is not None else 0
+    assignments: dict[int, list[dict[str, Any]]] = (
+        fault_plan.resolve_nodes(
+            requested_nodes, run_seed=seed, epoch_timeout=schedule.epoch_timeout
+        )
+        if fault_plan
+        else {}
+    )
+
+    init_params = np.asarray(init_params, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        initial = float(model.loss(X, y, init_params))
+    tel.count(keys.LOSS_EVALS)
+    curve = LossCurve()
+    curve.record(0, initial)
+    limit = config.divergence_factor * max(initial, 1e-12)
+
+    shards = (
+        schedule.shards
+        if schedule.shards is not None
+        else default_ps_shards(init_params.shape[0])
+    )
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    server = ShardServer(
+        init_params,
+        shards,
+        max_staleness=schedule.max_staleness,
+        expected_workers=requested_nodes,
+    )
+    procs: list = []
+    diverged = False
+    epochs_run = 0
+    epoch_walls: list[float] = []
+    active_nodes = requested_nodes
+    timeout = schedule.epoch_timeout
+    recoveries_used = 0
+    restarts = 0
+    repartitions = 0
+    degraded_epochs = 0
+    recovery_log: list[dict] = []
+
+    def _spawn(next_epoch: int) -> None:
+        """(Re)build the node pool to run epochs ``next_epoch..max``."""
+        nonlocal procs
+        partitions = [
+            np.arange(k, n, active_nodes, dtype=np.int64)
+            for k in range(active_nodes)
+        ]
+        procs = [
+            ctx.Process(
+                target=worker_main,
+                name=f"ps-node-{k}",
+                args=(
+                    server.host,
+                    server.port,
+                    model,
+                    X,
+                    y,
+                    partitions[k],
+                    active_nodes,
+                    k,
+                    config.step_size,
+                    config.max_epochs - (next_epoch - 1),
+                    schedule.batch_size,
+                    seed,
+                    tuple(assignments.get(k, ())),
+                    next_epoch - 1,
+                ),
+            )
+            for k in range(active_nodes)
+        ]
+        for p in procs:
+            p.start()
+
+    try:
+        last_good = init_params.copy()
+        if snapshot is not None:
+            # Version 1: the initial model, published before any node
+            # connects — an attached scoring service never cold-starts.
+            snapshot.publish(init_params, epoch=0, loss=initial)
+        _spawn(1)
+
+        with tel.span(
+            "ps.optimize",
+            nodes=requested_nodes,
+            shards=shards,
+            batch_size=schedule.batch_size,
+            max_staleness=(
+                -1 if schedule.max_staleness is None else schedule.max_staleness
+            ),
+            step_size=config.step_size,
+        ) as opt_span:
+            epoch = 1
+            while epoch <= config.max_epochs:
+                t0 = time.perf_counter()
+                server.release_epoch(epoch)
+                try:
+                    _wait_epoch(server, procs, timeout, epoch)
+                except WorkerError as err:
+                    _teardown_nodes(procs)
+                    if recovery is None or recoveries_used >= budget:
+                        raise
+                    recoveries_used += 1
+                    timeout *= recovery.backoff
+                    if (
+                        err.worker_id is not None
+                        and recovery.mode == "repartition"
+                        and active_nodes > 1
+                    ):
+                        # The dead node's examples round-robin onto the
+                        # survivors; capacity degrades, coverage does
+                        # not.  The shard state stays put on the server.
+                        active_nodes -= 1
+                        repartitions += 1
+                        action = "repartition"
+                    else:
+                        restarts += 1
+                        action = "respawn"
+                    # Faults at or before the interrupted epoch had
+                    # their chance; they must not re-fire on the
+                    # rebuilt pool re-running this epoch.
+                    assignments = {
+                        k: [s for s in v if s["epoch"] > epoch]
+                        for k, v in assignments.items()
+                    }
+                    recovery_log.append(
+                        {
+                            "action": action,
+                            "epoch": epoch,
+                            "nodes": active_nodes,
+                            "epoch_timeout": timeout,
+                            "cause": err.describe(),
+                        }
+                    )
+                    server.reset_pool(active_nodes)
+                    _spawn(epoch)
+                    continue
+                epoch_walls.append(time.perf_counter() - t0)
+                epochs_run = epoch
+                tel.count(keys.EPOCHS)
+                # Every live node is blocked at the epoch barrier and
+                # all its pushes preceded its EPOCH_DONE on the same
+                # ordered stream: the shards are quiescent while the
+                # loss is evaluated — excluded from epoch time.
+                degraded = active_nodes < requested_nodes
+                params_now = server.snapshot()
+                stop = epoch == config.max_epochs
+                finite = bool(np.all(np.isfinite(params_now)))
+                if (
+                    not finite
+                    and recovery is not None
+                    and recovery.scrub_nans
+                    and recoveries_used < budget
+                ):
+                    recoveries_used += 1
+                    bad = ~np.isfinite(params_now)
+                    params_now[bad] = last_good[bad]
+                    server.write_params(params_now)
+                    degraded = True
+                    finite = True
+                    recovery_log.append(
+                        {
+                            "action": "nan_scrub",
+                            "epoch": epoch,
+                            "coordinates": int(bad.sum()),
+                        }
+                    )
+                if not finite:
+                    curve.record(epoch, float("inf"))
+                    diverged = True
+                    stop = True
+                else:
+                    with np.errstate(over="ignore"):
+                        loss = float(model.loss(X, y, params_now))
+                    tel.count(keys.LOSS_EVALS)
+                    if not np.isfinite(loss) or loss > limit:
+                        curve.record(epoch, float("inf"))
+                        diverged = True
+                        stop = True
+                    else:
+                        curve.record(epoch, loss)
+                        last_good = params_now
+                        if snapshot is not None:
+                            snapshot.publish(params_now, epoch=epoch, loss=loss)
+                        if (
+                            config.target_loss is not None
+                            and loss <= config.target_loss
+                        ):
+                            stop = True
+                if degraded:
+                    degraded_epochs += 1
+                if stop:
+                    break
+                epoch += 1
+            opt_span.set_attribute("diverged", diverged)
+            opt_span.set_attribute("recoveries", recoveries_used)
+
+        # Release the pool into a clean exit: every node's barrier ack
+        # carries the stop flag, each answers with BYE and exits 0.
+        server.release_epoch(epochs_run, stop=True)
+        deadline = time.perf_counter() + timeout
+        for p in procs:
+            p.join(max(0.1, deadline - time.perf_counter()))
+        hung = [(k, p) for k, p in enumerate(procs) if p.is_alive()]
+        if hung:
+            if recovery is None:  # pragma: no cover - defensive
+                raise WorkerError(
+                    f"{len(hung)} parameter-server node(s) failed to exit",
+                    phase="join",
+                )
+            for _, p in hung:
+                p.terminate()
+                p.join()
+            recovery_log.append(
+                {
+                    "action": "stragglers_terminated",
+                    "epoch": epochs_run,
+                    "nodes": [k for k, _ in hung],
+                }
+            )
+        params = server.snapshot()
+    finally:
+        _teardown_nodes(procs)
+        server.close()
+
+    wall_total = float(sum(epoch_walls))
+    wall_per_epoch = wall_total / max(1, len(epoch_walls))
+    counter_totals = dict(server.counters)
+    counter_totals.setdefault(keys.UPDATES_APPLIED, 0.0)
+    counter_totals[keys.GRAD_EVALS] = counter_totals[keys.UPDATES_APPLIED]
+    counter_totals[keys.ASYNC_ROUNDS] = counter_totals.get(keys.PS_PUSHES, 0.0)
+    counter_totals[keys.FAULT_INJECTED] = float(server.faults_reported)
+    counter_totals[keys.FAULT_WORKER_RESTARTS] = float(restarts)
+    counter_totals[keys.FAULT_REPARTITIONS] = float(repartitions)
+    counter_totals[keys.FAULT_DEGRADED_EPOCHS] = float(degraded_epochs)
+    for key, value in counter_totals.items():
+        tel.count(key, value)
+    tel.set_gauge(keys.WALL_SECONDS_PER_EPOCH, wall_per_epoch)
+    tel.set_gauge(keys.WALL_SECONDS_TOTAL, wall_total)
+
+    return PsTrainResult(
+        curve=curve,
+        params=params,
+        nodes=requested_nodes,
+        shards=shards,
+        batch_size=schedule.batch_size,
+        max_staleness=schedule.max_staleness,
+        epochs_run=epochs_run,
+        diverged=diverged,
+        wall_seconds_per_epoch=wall_per_epoch,
+        wall_seconds_total=wall_total,
+        counters=counter_totals,
+        nodes_final=active_nodes,
+        restarts=restarts,
+        repartitions=repartitions,
+        degraded_epochs=degraded_epochs,
+        recovery=recovery_log,
+    )

@@ -1,0 +1,222 @@
+"""The parameter-server worker: async push/pull SGD over the wire.
+
+Each worker process owns a round-robin partition of the examples and
+runs barrier-aligned epochs, exactly like a shared-memory worker — but
+where the shm worker reads and scatters against a shared buffer, this
+one **pulls** every shard over TCP, computes its work item against the
+assembled (possibly mixed-version) model, and **pushes** the item's
+delta back.  The per-row math is the scalar path of
+:meth:`~repro.models.linear.LinearModel.serial_sgd_epoch`, and the
+pushed delta is the *negated* update (``(-step*coef)*val``), which the
+server applies by addition — IEEE negation and multiplication are
+sign-exact, so one worker with ``batch_size=1`` reproduces the serial
+trajectory bit for bit (the ordered TCP stream guarantees each push is
+applied before the next pull is answered).
+
+Liveness is the parent's job: every blocking receive here is untimed,
+and a dropped connection (the parent tearing the run down, or the
+server gone) makes the worker exit quietly — mirroring how shm workers
+treat a broken barrier.  Node-level faults fire inside the pass:
+``node-kill`` announces itself with a ``FAULT`` frame and hard-exits
+mid-pass, ``node-stall`` sleeps past the parent's epoch watchdog.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+import numpy as np
+
+from ..models.base import Matrix, Model
+from ..utils.rng import derive_rng
+from . import protocol as wire
+from .server import shard_bounds
+
+__all__ = ["worker_main"]
+
+#: Exit code of a worker killed by an injected ``node-kill`` fault
+#: (same code the shm backend's ``kill`` fault uses).
+FAULT_EXITCODE = 23
+
+_CONNECT_ATTEMPTS = 50
+_CONNECT_RETRY_SLEEP = 0.1
+
+
+def _connect(host: str, port: int) -> socket.socket | None:
+    for _ in range(_CONNECT_ATTEMPTS):
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            time.sleep(_CONNECT_RETRY_SLEEP)
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        return sock
+    return None
+
+
+def _pull_model(
+    sock: socket.socket,
+    w: np.ndarray,
+    bounds: list[tuple[int, int]],
+    clock: int,
+) -> None:
+    """Assemble the full model from one PULL per shard, in shard order.
+
+    The assembly is *not* a consistent snapshot — pushes land between
+    the pulls — which is precisely the asynchrony being measured.
+    """
+    for shard, (lo, hi) in enumerate(bounds):
+        wire.send_frame(sock, wire.MSG_PULL, ident=shard, clock=clock)
+        frame = wire.recv_frame(sock)
+        if frame is None or frame.msg_type != wire.MSG_SHARD:
+            raise wire.WireProtocolError("PULL was not answered with a SHARD")
+        w[lo:hi] = np.frombuffer(frame.payload, dtype=np.float64)
+
+
+def _epoch_barrier(sock: socket.socket, epoch: int) -> bool:
+    """Announce the finished epoch; block for the ack.  True = stop."""
+    wire.send_frame(sock, wire.MSG_EPOCH_DONE, clock=epoch)
+    while True:
+        frame = wire.recv_frame(sock)
+        if frame is None:
+            return True  # server gone: the run is over either way
+        if frame.msg_type == wire.MSG_EPOCH_ACK:
+            return bool(frame.ident)
+
+
+def worker_main(
+    host: str,
+    port: int,
+    model: Model,
+    X: Matrix,
+    y: np.ndarray,
+    part: np.ndarray,
+    n_workers: int,
+    worker_id: int,
+    step: float,
+    max_epochs: int,
+    batch_size: int,
+    seed: int,
+    faults: tuple = (),
+    epoch_offset: int = 0,
+) -> None:
+    """One worker process: epochs of pull/compute/push over *part*.
+
+    *faults* is this worker's resolved slice of the run's node-fault
+    plan (``node-kill`` / ``node-stall`` specs from
+    :meth:`repro.faults.FaultPlan.resolve_nodes`).
+    """
+    sock = _connect(host, port)
+    if sock is None:
+        return
+    try:
+        wire.send_frame(sock, wire.MSG_HELLO, ident=worker_id)
+        ack = wire.recv_frame(sock)
+        if ack is None or ack.msg_type != wire.MSG_HELLO_ACK:
+            return
+        n_params, n_shards, _ = wire.unpack_hello_ack(ack.payload)
+        bounds = shard_bounds(n_params, n_shards)
+        w = np.empty(n_params, dtype=np.float64)
+
+        rng = derive_rng(seed, f"ps/{n_workers}/{worker_id}")
+        dmargin = model._dmargin_scalar
+        sparse = hasattr(X, "indptr")
+        if sparse:
+            indptr, indices, data = X.indptr, X.indices, X.data
+            Xd = None
+        else:
+            Xd = np.asarray(X, dtype=np.float64)
+        empty_idx = np.empty(0, dtype=np.int64)
+        empty_val = np.empty(0, dtype=np.float64)
+        items_done = 0
+
+        # Registration doubles as the first barrier: the parent's
+        # release of epoch ``epoch_offset + 1`` starts the pass.
+        if _epoch_barrier(sock, epoch_offset):
+            wire.send_frame(sock, wire.MSG_BYE)
+            return
+
+        for local_epoch in range(max_epochs):
+            epoch = epoch_offset + local_epoch + 1
+            kill_item = None
+            sleep_seconds = 0.0
+            for spec in faults:
+                if spec["epoch"] != epoch:
+                    continue
+                if spec["kind"] == "node-kill":
+                    # Die halfway through the pass: the pushes already
+                    # applied stay applied, like a real node crash.
+                    kill_item = -(-part.shape[0] // batch_size) // 2
+                elif spec["kind"] == "node-stall":
+                    sleep_seconds += spec["seconds"]
+            order = part[rng.permutation(part.shape[0])]
+            for item, lo in enumerate(range(0, order.shape[0], batch_size)):
+                if item == kill_item:
+                    wire.send_frame(sock, wire.MSG_FAULT, ident=1, clock=epoch)
+                    os._exit(FAULT_EXITCODE)
+                rows = order[lo : lo + batch_size]
+                _pull_model(sock, w, bounds, items_done)
+                if sparse:
+                    idx_parts: list[np.ndarray] = []
+                    val_parts: list[np.ndarray] = []
+                    for i in rows:
+                        a, b = indptr[i], indptr[i + 1]
+                        if a == b:
+                            continue
+                        idx = indices[a:b]
+                        val = data[a:b]
+                        yi = y[i]
+                        margin = val @ w[idx]
+                        coef = yi * dmargin(yi * margin)
+                        if coef == 0.0:
+                            continue
+                        delta = (-step * coef) * val
+                        w[idx] += delta  # later rows in the item see it
+                        idx_parts.append(idx)
+                        val_parts.append(delta)
+                    payload = wire.pack_push(
+                        np.concatenate(idx_parts) if idx_parts else empty_idx,
+                        np.concatenate(val_parts) if val_parts else empty_val,
+                    )
+                else:
+                    acc = None
+                    for i in rows:
+                        xi = Xd[i]
+                        yi = y[i]
+                        margin = xi @ w
+                        coef = yi * dmargin(yi * margin)
+                        if coef == 0.0:
+                            continue
+                        delta = (-step * coef) * xi
+                        w += delta
+                        acc = delta.copy() if acc is None else acc + delta
+                    payload = wire.pack_push(
+                        None, acc if acc is not None else np.zeros(n_params)
+                    )
+                items_done += 1
+                # The empty-delta push still travels: it advances the
+                # worker's clock and keeps the row accounting exact.
+                wire.send_frame(
+                    sock,
+                    wire.MSG_PUSH,
+                    ident=int(rows.shape[0]),
+                    clock=items_done,
+                    payload=payload,
+                )
+            if sleep_seconds:
+                wire.send_frame(sock, wire.MSG_FAULT, ident=2, clock=epoch)
+                time.sleep(sleep_seconds)
+            if _epoch_barrier(sock, epoch):
+                break
+        wire.send_frame(sock, wire.MSG_BYE)
+    except (wire.WireProtocolError, ConnectionError, OSError):
+        # The parent owns liveness: a dropped wire means teardown.
+        return
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass

@@ -14,15 +14,25 @@ The same machinery extends one layer up: grid-level fault kinds
 (``cell-kill`` / ``cell-stall`` / ``cell-nan``) chaos-test the
 experiment-grid executor, and :class:`CellRetryPolicy` bounds how hard
 the grid retries a failing cell before quarantining it
-(see ``docs/RESILIENCE.md``).
+(see ``docs/RESILIENCE.md``) — and one layer out: node-level kinds
+(``node-kill`` / ``node-stall``) target whole worker processes of the
+distributed parameter-server backend (see ``docs/DISTRIBUTED.md``).
 """
 
-from .plan import ALL_FAULT_KINDS, FAULT_KINDS, GRID_FAULT_KINDS, FaultPlan, FaultSpec
+from .plan import (
+    ALL_FAULT_KINDS,
+    FAULT_KINDS,
+    GRID_FAULT_KINDS,
+    NODE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from .recovery import RECOVERY_MODES, CellRetryPolicy, RecoveryPolicy
 
 __all__ = [
     "FAULT_KINDS",
     "GRID_FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",

@@ -46,6 +46,20 @@ attempt and the cell ends up quarantined):
 ``cell-nan``
     The cell's result comes back with non-finite losses, exercising
     the executor's divergence sentinel and step-size backoff.
+
+A third family targets the distributed parameter-server backend
+(:mod:`repro.distributed`), where workers are separate processes
+speaking the binary wire protocol instead of sharing a segment:
+
+``node-kill``
+    The worker process exits abruptly (``os._exit``) halfway through
+    its epoch pass — committed pushes stay applied on the server,
+    exactly like a real node crash; the server reaps the dead
+    connection and the parent's recovery policy rebuilds the pool.
+``node-stall``
+    The worker wedges mid-epoch for longer than the parent's epoch
+    timeout (default ``3 x epoch_timeout``), so the parent watchdog
+    must declare the epoch dead and respawn.
 """
 
 from __future__ import annotations
@@ -59,6 +73,7 @@ from ..utils.rng import derive_rng
 __all__ = [
     "FAULT_KINDS",
     "GRID_FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
@@ -72,8 +87,13 @@ FAULT_KINDS: tuple[str, ...] = ("kill", "stall", "delay", "nan")
 #: attempts the fault fires on, ``None`` = every attempt).
 GRID_FAULT_KINDS: tuple[str, ...] = ("cell-kill", "cell-stall", "cell-nan")
 
+#: Failure modes of the distributed parameter-server backend, targeting
+#: whole worker nodes (``epoch``/``worker`` semantics match the shm
+#: kinds; resolved by :meth:`FaultPlan.resolve_nodes`).
+NODE_FAULT_KINDS: tuple[str, ...] = ("node-kill", "node-stall")
+
 #: Every kind a :class:`FaultSpec` accepts.
-ALL_FAULT_KINDS: tuple[str, ...] = FAULT_KINDS + GRID_FAULT_KINDS
+ALL_FAULT_KINDS: tuple[str, ...] = FAULT_KINDS + GRID_FAULT_KINDS + NODE_FAULT_KINDS
 
 #: Barrier-arrival delay (seconds) when a ``delay`` spec omits its own.
 DEFAULT_DELAY_SECONDS = 0.05
@@ -227,15 +247,16 @@ class FaultPlan:
         ``worker=None`` specs draw from ``derive_rng(seed, ...)`` in
         spec order, so resolution is a pure function of
         ``(plan, run_seed, workers)``.  Grid-level specs
-        (:data:`GRID_FAULT_KINDS`) are ignored here — they belong to
-        :meth:`resolve_grid`.
+        (:data:`GRID_FAULT_KINDS`) and node-level specs
+        (:data:`NODE_FAULT_KINDS`) are ignored here — they belong to
+        :meth:`resolve_grid` and :meth:`resolve_nodes`.
         """
         rng = derive_rng(
             self.seed if self.seed is not None else run_seed, f"faults/{workers}"
         )
         assigned: dict[int, list[dict[str, Any]]] = {}
         for spec in self.specs:
-            if spec.kind in GRID_FAULT_KINDS:
+            if spec.kind not in FAULT_KINDS:
                 continue
             worker = spec.worker if spec.worker is not None else int(
                 rng.integers(workers)
@@ -251,6 +272,48 @@ class FaultPlan:
                     epoch_timeout * STALL_TIMEOUT_FACTOR
                     if spec.kind == "stall"
                     else DEFAULT_DELAY_SECONDS
+                )
+            assigned.setdefault(worker, []).append(
+                {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
+            )
+        return assigned
+
+    def resolve_nodes(
+        self, nodes: int, *, run_seed: int, epoch_timeout: float
+    ) -> dict[int, list[dict[str, Any]]]:
+        """Pin node-level specs to concrete parameter-server workers.
+
+        The mirror of :meth:`resolve` for the distributed backend:
+        returns ``worker_id -> [{kind, epoch, seconds}, ...]`` with
+        kinds drawn from :data:`NODE_FAULT_KINDS`.  Worker choices for
+        ``worker=None`` specs use their own derivation stream
+        (``faults/ps/<nodes>``), so a plan mixing shm and node kinds
+        resolves each family independently and deterministically.
+        A ``node-stall`` with no explicit duration sleeps
+        :data:`STALL_TIMEOUT_FACTOR` x *epoch_timeout* — guaranteed to
+        outlive the parent's epoch wait.
+        """
+        rng = derive_rng(
+            self.seed if self.seed is not None else run_seed, f"faults/ps/{nodes}"
+        )
+        assigned: dict[int, list[dict[str, Any]]] = {}
+        for spec in self.specs:
+            if spec.kind not in NODE_FAULT_KINDS:
+                continue
+            worker = spec.worker if spec.worker is not None else int(
+                rng.integers(nodes)
+            )
+            if worker >= nodes:
+                raise ConfigurationError(
+                    f"fault targets node {worker} but the run has only "
+                    f"{nodes} node(s)"
+                )
+            seconds = spec.seconds
+            if seconds is None:
+                seconds = (
+                    epoch_timeout * STALL_TIMEOUT_FACTOR
+                    if spec.kind == "node-stall"
+                    else 0.0
                 )
             assigned.setdefault(worker, []).append(
                 {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}

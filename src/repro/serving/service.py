@@ -22,11 +22,17 @@ Response (one line)::
 
 Every error is structured via the :class:`~repro.utils.errors.ReproError`
 ``describe()`` idiom; ``retriable: true`` marks conditions a client
-should back off and retry (cold start, trainer not yet published),
-``false`` marks client bugs (malformed examples).  Connections are
-handled by a thread per client; scoring itself funnels through the
-engine's micro-batcher, so concurrent clients coalesce into shared
-kernel calls.
+may retry — after a backoff (cold start, trainer not yet published) or
+against a healthy connection (internal server faults) — while
+``false`` marks client bugs (malformed examples), where retrying the
+same bytes cannot succeed.  A request line longer than the server's
+``max_line_bytes`` cap is answered with a ``line-too-long`` error
+(``retriable: false``) and the connection is closed: the overflow
+bytes still in the socket cannot be re-framed, so parsing them as
+further requests — the pre-fix behaviour — would corrupt the stream.
+Connections are handled by a thread per client; scoring itself funnels
+through the engine's micro-batcher, so concurrent clients coalesce
+into shared kernel calls.
 """
 
 from __future__ import annotations
@@ -60,29 +66,64 @@ class ServerConfig:
     port: int = 0
     #: Per-request timeout handed to the engine's batched path.
     request_timeout: float = 30.0
+    #: Cap on one request line.  A longer request is answered with a
+    #: ``line-too-long`` error and the connection is closed (the
+    #: overflow bytes cannot be re-framed).
+    max_line_bytes: int = MAX_LINE_BYTES
 
 
 def _error_payload(err: Exception) -> dict[str, Any]:
-    if isinstance(err, ReproError) and hasattr(err, "describe"):
-        desc = err.describe()
+    if isinstance(err, ReproError):
+        desc = (
+            err.describe()
+            if hasattr(err, "describe")
+            else {"type": "internal", "message": str(err)}
+        )
+        if "retriable" not in desc:
+            # Validation errors are client bugs; retrying the same
+            # bytes cannot succeed.
+            desc["retriable"] = isinstance(err, SnapshotUnavailableError)
     else:
-        desc = {"type": "internal", "message": str(err), "retriable": False}
-    if "retriable" not in desc:
-        # Validation errors are client bugs; retrying the same bytes
-        # cannot succeed.
-        desc["retriable"] = isinstance(err, SnapshotUnavailableError)
+        # An internal server fault, not a property of the request: the
+        # same bytes may well succeed against a healthy server, so the
+        # client is invited to retry.
+        desc = {"type": "internal", "message": str(err), "retriable": True}
     return {"ok": False, "error": desc}
 
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # one client connection, many lines
         front: "ScoringServer" = self.server.front  # type: ignore[attr-defined]
+        cap = front.config.max_line_bytes
         while True:
             try:
-                line = self.rfile.readline(MAX_LINE_BYTES)
+                line = self.rfile.readline(cap)
             except (ConnectionError, OSError):
                 return
             if not line:
+                return
+            if len(line) >= cap and not line.endswith(b"\n"):
+                # The request overflowed the cap: readline returned a
+                # *partial* line.  Treating it as complete — and the
+                # remainder as subsequent requests — corrupts the
+                # framing, so reply with a structured error and close.
+                reply = {
+                    "ok": False,
+                    "error": {
+                        "type": "line-too-long",
+                        "message": (
+                            f"request line exceeds the server's "
+                            f"{cap}-byte cap"
+                        ),
+                        "limit_bytes": cap,
+                        "retriable": False,
+                    },
+                }
+                try:
+                    self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                except (ConnectionError, OSError):
+                    pass
                 return
             line = line.strip()
             if not line:
@@ -191,6 +232,10 @@ class ScoringServer:
     def stop(self) -> None:
         if self._thread is None:
             return
+        # A caller-initiated stop must also release anyone blocked in
+        # wait(): before this, only the shutdown *op* set the event and
+        # a stop() from another thread left waiters hanging forever.
+        self._shutdown.set()
         self._tcp.shutdown()
         self._thread.join(timeout=5.0)
         self._thread = None
@@ -206,7 +251,16 @@ class ScoringServer:
 def request_once(
     host: str, port: int, message: dict[str, Any], timeout: float = 30.0
 ) -> dict[str, Any]:
-    """One request/response round-trip — the canonical tiny client."""
+    """One request/response round-trip — the canonical tiny client.
+
+    Raises
+    ------
+    ConnectionError
+        When the server closes the connection before a complete reply
+        arrives — either without sending anything, or mid-reply (bytes
+        but no trailing newline).  Structured, instead of the opaque
+        ``JSONDecodeError`` a partial reply used to surface as.
+    """
     with socket.create_connection((host, port), timeout=timeout) as sock:
         sock.sendall(json.dumps(message).encode("utf-8") + b"\n")
         buf = b""
@@ -217,4 +271,9 @@ def request_once(
             buf += chunk
     if not buf:
         raise ConnectionError("server closed the connection without replying")
+    if not buf.endswith(b"\n"):
+        raise ConnectionError(
+            f"server closed the connection mid-reply "
+            f"({len(buf)} bytes received, no trailing newline)"
+        )
     return json.loads(buf)

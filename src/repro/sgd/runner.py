@@ -55,8 +55,10 @@ STRATEGIES: tuple[str, ...] = ("synchronous", "asynchronous")
 #: ``"simulated"`` runs the deterministic asynchrony simulator and prices
 #: hardware time with the analytical machine models; ``"shm"`` runs real
 #: lock-free worker processes over a shared-memory model and *measures*
-#: wall-clock time on the host.
-BACKENDS: tuple[str, ...] = ("simulated", "shm")
+#: wall-clock time on the host; ``"ps"`` runs worker processes against a
+#: sharded parameter server over local TCP (:mod:`repro.distributed`)
+#: and measures the distributed asynchronous regime.
+BACKENDS: tuple[str, ...] = ("simulated", "shm", "ps")
 
 #: Step sizes selected by the grid-search protocol (Section IV-A) at the
 #: default benchmark scale; :func:`repro.sgd.gridsearch.grid_search`
@@ -101,13 +103,14 @@ class TrainResult:
     #: Realised dataset statistics (rows/features/nnz of the data the
     #: optimisation actually ran on) — recorded into run manifests.
     dataset_stats: dict | None = field(default=None, repr=False)
-    #: Execution backend that produced the curve ("simulated" or "shm").
+    #: Execution backend that produced the curve ("simulated", "shm"
+    #: or "ps").
     backend: str = "simulated"
     #: Final parameter vector of the run — the loadable model artifact
     #: the serving layer scores with (:mod:`repro.serving`); round-trips
     #: through :mod:`repro.sgd.serialize`.
     params: np.ndarray | None = field(default=None, repr=False)
-    #: Measured execution record (shm backend only): worker count,
+    #: Measured execution record (shm/ps backends only): worker count,
     #: wall-clock seconds and event counters.  For the simulated
     #: backend this is ``None`` and ``time_per_iter`` is modelled.
     measured: dict | None = field(default=None, repr=False)
@@ -314,6 +317,9 @@ def train(
     backend: str = "simulated",
     threads: int | None = None,
     track_conflicts: bool = True,
+    nodes: int | None = None,
+    shards: int | None = None,
+    max_staleness: int | None = None,
     epoch_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     max_restarts: int = 0,
@@ -365,8 +371,11 @@ def train(
         ``"shm"`` runs real lock-free worker processes over a
         shared-memory model (:func:`repro.parallel.train_shm`) and
         reports *measured* wall-clock time per epoch in
-        ``time_per_iter`` plus a ``measured`` record.  shm applies to
-        asynchronous lr/svm configurations.
+        ``time_per_iter`` plus a ``measured`` record; ``"ps"`` runs
+        worker processes against a sharded parameter server over local
+        TCP (:func:`repro.distributed.train_ps`) — the multi-node
+        asynchronous regime, likewise measured.  Both measured
+        backends apply to asynchronous lr/svm configurations.
     threads:
         Worker processes for the shm backend (default: up to 4,
         bounded by the host's cores).  Only meaningful with
@@ -375,27 +384,40 @@ def train(
         shm backend: measure racy coordinate overwrites
         (``async.update_conflicts``); ``False`` gives the leanest
         possible hot loop.  shm only.
+    nodes:
+        Worker processes for the ps backend (default: up to 4, bounded
+        by the host's cores).  ps only.
+    shards:
+        Parameter shards on the ps backend's server (default: derived
+        from the model size, at most 8).  ps only.
+    max_staleness:
+        ps backend: bounded-staleness window in work items — a worker
+        more than this far ahead of the slowest live worker blocks on
+        pull.  ``None`` (the default) is the unbounded fast-async
+        regime; ``0`` is lock-step.  ps only.
     epoch_timeout:
-        shm backend: seconds the parent waits for an epoch barrier
-        before declaring the run dead (default 120).  shm only.
+        Measured backends: seconds the parent waits for an epoch
+        barrier before declaring the run dead (default 120).
     fault_plan:
-        Seeded faults to inject into shm workers (chaos testing); see
-        :class:`repro.faults.FaultPlan`.  shm only.
+        Seeded faults to inject into the measured backends' workers
+        (chaos testing); see :class:`repro.faults.FaultPlan` — the
+        shm backend takes the worker-level kinds, the ps backend the
+        node-level kinds (``node-kill`` / ``node-stall``).
     max_restarts:
-        Recovery budget for shm worker failures: dead workers are
-        recovered by re-partitioning their examples over the
-        survivors (stalls by a full respawn, NaN-poisoned snapshots
-        by scrubbing), up to this many times, with exponential
-        backoff on the epoch timeout.  ``0`` (the default) fails
-        fast.  shm only.
+        Recovery budget for measured-backend worker failures: dead
+        workers are recovered by re-partitioning their examples over
+        the survivors (stalls by a full respawn, NaN-poisoned
+        snapshots by scrubbing), up to this many times, with
+        exponential backoff on the epoch timeout.  ``0`` (the
+        default) fails fast.
     snapshot_out:
-        shm backend: publish a consistent model snapshot at every
-        epoch boundary into a shared-memory segment and write its JSON
-        descriptor to this path, so a live scoring service
+        Measured backends: publish a consistent model snapshot at
+        every epoch boundary into a shared-memory segment and write
+        its JSON descriptor to this path, so a live scoring service
         (``python -m repro serve --snapshot PATH``) can attach and
         hot-swap while training runs (see :mod:`repro.serving` and
         docs/SERVING.md).  The segment is unlinked when training ends;
-        attached readers keep the final model.  shm only.
+        attached readers keep the final model.
     telemetry:
         A :class:`repro.telemetry.Telemetry` to receive spans (dataset
         load, reference solve, optimisation, hardware costing),
@@ -430,33 +452,56 @@ def train(
         )
     if max_restarts < 0:
         raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
-    if backend == "shm":
+    if backend in ("shm", "ps"):
         if strategy != "asynchronous" or task == "mlp":
             raise ConfigurationError(
-                "the shm backend runs asynchronous lr/svm configurations; "
-                "use backend='simulated' for synchronous or MLP runs"
+                f"the {backend} backend runs asynchronous lr/svm "
+                "configurations; use backend='simulated' for synchronous "
+                "or MLP runs"
             )
     else:
-        shm_only = {
-            "threads": threads is not None,
+        measured_only = {
             "epoch_timeout": epoch_timeout is not None,
             "fault_plan": fault_plan is not None,
             "max_restarts": max_restarts != 0,
-            "track_conflicts": track_conflicts is not True,
             "snapshot_out": snapshot_out is not None,
+        }
+        offending = [name for name, set_ in measured_only.items() if set_]
+        if offending:
+            raise ConfigurationError(
+                f"{', '.join(offending)} configure the measured backends; "
+                "pass backend='shm' or backend='ps' (the simulated "
+                "backend's concurrency and failure model come from the "
+                "architecture's machine model)"
+            )
+    if backend != "shm":
+        shm_only = {
+            "threads": threads is not None,
+            "track_conflicts": track_conflicts is not True,
         }
         offending = [name for name, set_ in shm_only.items() if set_]
         if offending:
             raise ConfigurationError(
-                f"{', '.join(offending)} configure the shm backend; pass "
-                "backend='shm' (the simulated backend's concurrency and "
-                "failure model come from the architecture's machine model)"
+                f"{', '.join(offending)} configure the shm backend; "
+                "pass backend='shm'"
+            )
+    if backend != "ps":
+        ps_only = {
+            "nodes": nodes is not None,
+            "shards": shards is not None,
+            "max_staleness": max_staleness is not None,
+        }
+        offending = [name for name, set_ in ps_only.items() if set_]
+        if offending:
+            raise ConfigurationError(
+                f"{', '.join(offending)} configure the ps backend; "
+                "pass backend='ps'"
             )
     if batch_size is None:
         # Per-backend default: the simulated MLP Hogbatch uses the
-        # paper's B = 512; the measured backend defaults to pure
-        # Hogwild (one row per lock-free work item).
-        batch_size = 1 if backend == "shm" else 512
+        # paper's B = 512; the measured backends default to pure
+        # Hogwild / per-example push-pull (one row per work item).
+        batch_size = 1 if backend in ("shm", "ps") else 512
     tel = ensure_telemetry(telemetry)
     cpu = cpu_model or CpuModel()
     gpu = gpu_model or GpuModel()
@@ -624,6 +669,93 @@ def train(
                 backend="shm",
                 measured=measured,
                 params=shm_res.params,
+            )
+
+        if backend == "ps":
+            from ..distributed import PsSchedule, default_ps_nodes, train_ps
+
+            n_nodes = nodes if nodes is not None else default_ps_nodes()
+            schedule_kwargs = {
+                "nodes": n_nodes,
+                "shards": shards,
+                "max_staleness": max_staleness,
+                "batch_size": batch_size,
+            }
+            if epoch_timeout is not None:
+                schedule_kwargs["epoch_timeout"] = epoch_timeout
+            ps_schedule = PsSchedule(**schedule_kwargs)
+            recovery = (
+                RecoveryPolicy(max_restarts=max_restarts) if max_restarts else None
+            )
+            publisher = None
+            if snapshot_out is not None:
+                from ..serving import SnapshotPublisher
+
+                publisher = SnapshotPublisher.create(
+                    model.n_params,
+                    descriptor=snapshot_out,
+                    meta={
+                        "task": task,
+                        "dataset": ds_name,
+                        "n_features": int(ds.n_features),
+                        "step_size": float(step_size),
+                        "scale": scale,
+                    },
+                )
+            try:
+                ps_res = train_ps(
+                    model,
+                    ds.X,
+                    ds.y,
+                    init,
+                    config,
+                    ps_schedule,
+                    tel,
+                    fault_plan=fault_plan,
+                    recovery=recovery,
+                    snapshot=publisher,
+                )
+            finally:
+                if publisher is not None:
+                    publisher.close()
+            measured = {
+                "workers": ps_res.nodes,
+                "workers_final": ps_res.nodes_final,
+                "nodes": ps_res.nodes,
+                "nodes_final": ps_res.nodes_final,
+                "shards": ps_res.shards,
+                "max_staleness": ps_res.max_staleness,
+                "batch_size": ps_res.batch_size,
+                "epoch_timeout": ps_schedule.epoch_timeout,
+                "epochs_run": ps_res.epochs_run,
+                "wall_seconds_per_epoch": ps_res.wall_seconds_per_epoch,
+                "wall_seconds_total": ps_res.wall_seconds_total,
+                "counters": dict(ps_res.counters),
+                "restarts": ps_res.restarts,
+                "repartitions": ps_res.repartitions,
+                "degraded_epochs": ps_res.degraded_epochs,
+                "recovery": list(ps_res.recovery),
+                "fault_plan": fault_plan.describe() if fault_plan else None,
+                "max_restarts": max_restarts,
+            }
+            root.set_attribute("backend", "ps")
+            root.set_attribute("nodes", ps_res.nodes)
+            return TrainResult(
+                task=task,
+                dataset=ds_name,
+                architecture=architecture,
+                strategy=strategy,
+                step_size=step_size,
+                curve=ps_res.curve,
+                # Measured, not modelled: real seconds per epoch on the
+                # host, with loss evaluation excluded.
+                time_per_iter=ps_res.wall_seconds_per_epoch,
+                optimal_loss=optimal,
+                diverged=ps_res.diverged,
+                dataset_stats=stats,
+                backend="ps",
+                measured=measured,
+                params=ps_res.params,
             )
 
         full = _effective_full_profile(ds, representation)

@@ -22,7 +22,11 @@ spelling.  The prefixes partition the namespace:
   — see :mod:`repro.experiments.executor`;
 * ``serve.`` — the scoring service (requests scored, micro-batches
   formed, snapshot reads/retries/hot-swaps, latency percentiles) — see
-  :mod:`repro.serving`.
+  :mod:`repro.serving`;
+* ``ps.`` — the distributed parameter-server backend (shard pulls and
+  delta pushes, bytes on the wire, observed staleness, blocked pulls,
+  worker reconnects and dead-worker reaps) — see
+  :mod:`repro.distributed`.
 """
 
 from __future__ import annotations
@@ -91,6 +95,15 @@ __all__ = [
     "SERVE_SNAPSHOT_AGE_SECONDS",
     "SERVE_BATCH_BUCKET_PREFIX",
     "serve_batch_bucket",
+    "PS_PULLS",
+    "PS_PUSHES",
+    "PS_BYTES_SENT",
+    "PS_BYTES_RECEIVED",
+    "PS_PULL_WAITS",
+    "PS_RECONNECTS",
+    "PS_DEAD_WORKERS_REAPED",
+    "PS_STALENESS_BUCKET_PREFIX",
+    "ps_staleness_bucket",
 ]
 
 #: Per-example gradient evaluations (a full-batch gradient over N rows
@@ -341,3 +354,54 @@ def serve_batch_bucket(size: int) -> str:
     while edge < size:
         edge *= 2
     return f"{SERVE_BATCH_BUCKET_PREFIX}le_{edge}"
+
+
+#: Shard pulls answered by the parameter server (one per shard per work
+#: item a worker fetches; the pull-side half of the wire traffic).
+PS_PULLS = "ps.pulls"
+
+#: Delta pushes applied by the parameter server (one per work item; a
+#: push may touch several shards, each under its own lock).
+PS_PUSHES = "ps.pushes"
+
+#: Bytes the server wrote to worker sockets (shard payloads + acks).
+PS_BYTES_SENT = "ps.bytes_sent"
+
+#: Bytes the server read from worker sockets (pushes, pulls, control).
+PS_BYTES_RECEIVED = "ps.bytes_received"
+
+#: Pulls that blocked on the bounded-staleness gate before being
+#: answered (the worker was more than ``max_staleness`` work items
+#: ahead of the slowest live worker).
+PS_PULL_WAITS = "ps.pull_waits"
+
+#: Worker registrations for an id the server had already seen — a
+#: respawned worker re-joining after a recovery action.
+PS_RECONNECTS = "ps.reconnects"
+
+#: Connections the server reaped without a clean BYE (worker died or
+#: was torn down mid-run); reaped workers leave the staleness gate so
+#: survivors never block on a corpse.
+PS_DEAD_WORKERS_REAPED = "ps.dead_workers_reaped"
+
+#: Prefix of the observed-staleness histogram; bucket keys come from
+#: :func:`ps_staleness_bucket` (powers of two of the work-item lag a
+#: pull observed against the slowest live worker, e.g.
+#: ``ps.staleness_bucket.le_4`` counts pulls observing lag 3..4).
+PS_STALENESS_BUCKET_PREFIX = "ps.staleness_bucket."
+
+#: Largest staleness bucket; lags above the previous power of two land
+#: in ``ps.staleness_bucket.gt_64``.
+_PS_STALENESS_CAP = 64
+
+
+def ps_staleness_bucket(lag: int) -> str:
+    """Histogram counter key for a pull that observed *lag* items."""
+    if lag <= 0:
+        return f"{PS_STALENESS_BUCKET_PREFIX}le_0"
+    if lag > _PS_STALENESS_CAP:
+        return f"{PS_STALENESS_BUCKET_PREFIX}gt_{_PS_STALENESS_CAP}"
+    edge = 1
+    while edge < lag:
+        edge *= 2
+    return f"{PS_STALENESS_BUCKET_PREFIX}le_{edge}"

@@ -1,0 +1,127 @@
+"""Tests for the parameter-server wire protocol (framing layer)."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.distributed import protocol as wire
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFrameRoundTrip:
+    def test_header_and_payload_survive(self, pair):
+        a, b = pair
+        payload = b"\x00\x01\x02" * 100
+        sent = wire.send_frame(
+            a, wire.MSG_PUSH, ident=42, clock=12345678901234, payload=payload
+        )
+        frame = wire.recv_frame(b)
+        assert frame.msg_type == wire.MSG_PUSH
+        assert frame.ident == 42
+        assert frame.clock == 12345678901234
+        assert frame.payload == payload
+        assert frame.nbytes == sent
+
+    def test_empty_payload(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.MSG_BYE)
+        frame = wire.recv_frame(b)
+        assert frame.msg_type == wire.MSG_BYE
+        assert frame.payload == b""
+
+    def test_back_to_back_frames_keep_boundaries(self, pair):
+        a, b = pair
+        wire.send_frame(a, wire.MSG_PULL, ident=1, clock=10)
+        wire.send_frame(a, wire.MSG_PULL, ident=2, clock=11)
+        first = wire.recv_frame(b)
+        second = wire.recv_frame(b)
+        assert (first.ident, first.clock) == (1, 10)
+        assert (second.ident, second.clock) == (2, 11)
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert wire.recv_frame(b) is None
+
+
+class TestFrameValidation:
+    def test_bad_magic_rejected(self, pair):
+        a, b = pair
+        a.sendall(b"\x00" * 16)
+        with pytest.raises(wire.WireProtocolError, match="magic"):
+            wire.recv_frame(b)
+
+    def test_unknown_type_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("!BBHIQ", wire.MAGIC, 99, 0, 0, 0))
+        with pytest.raises(wire.WireProtocolError, match="unknown message type"):
+            wire.recv_frame(b)
+
+    def test_oversized_payload_rejected(self, pair):
+        a, b = pair
+        a.sendall(
+            struct.pack(
+                "!BBHIQ", wire.MAGIC, wire.MSG_PUSH, 0, wire.MAX_FRAME_BYTES + 1, 0
+            )
+        )
+        with pytest.raises(wire.WireProtocolError, match="cap"):
+            wire.recv_frame(b)
+
+    def test_eof_mid_frame_is_an_error_not_a_partial_parse(self, pair):
+        """The failure mode the serving path's readline cap mishandled:
+        a truncated message must raise, never decode partially."""
+        a, b = pair
+        a.sendall(struct.pack("!BBHIQ", wire.MAGIC, wire.MSG_PUSH, 0, 100, 0))
+        a.sendall(b"x" * 10)
+        a.close()
+        with pytest.raises(wire.WireProtocolError, match="closed"):
+            wire.recv_frame(b)
+
+
+class TestTypedPayloads:
+    def test_hello_ack_round_trip(self):
+        raw = wire.pack_hello_ack(12345, 8, 16)
+        assert wire.unpack_hello_ack(raw) == (12345, 8, 16)
+
+    def test_hello_ack_unbounded_staleness(self):
+        raw = wire.pack_hello_ack(10, 1, None)
+        assert wire.unpack_hello_ack(raw) == (10, 1, None)
+
+    def test_sparse_push_round_trip(self):
+        idx = np.array([3, 7, 11], dtype=np.int64)
+        val = np.array([0.5, -1.25, 3.0])
+        out_idx, out_val = wire.unpack_push(wire.pack_push(idx, val))
+        assert np.array_equal(out_idx, idx)
+        assert np.array_equal(out_val, val)
+
+    def test_dense_push_round_trip(self):
+        val = np.linspace(-1, 1, 17)
+        out_idx, out_val = wire.unpack_push(wire.pack_push(None, val))
+        assert out_idx is None
+        assert np.array_equal(out_val, val)
+
+    def test_empty_sparse_push(self):
+        out_idx, out_val = wire.unpack_push(
+            wire.pack_push(np.empty(0, np.int64), np.empty(0))
+        )
+        assert out_idx.size == 0
+        assert out_val.size == 0
+
+    def test_malformed_push_rejected(self):
+        with pytest.raises(wire.WireProtocolError):
+            wire.unpack_push(b"")
+        with pytest.raises(wire.WireProtocolError):
+            wire.unpack_push(b"\x02junk")
+        with pytest.raises(wire.WireProtocolError):
+            wire.unpack_push(b"\x00" + struct.pack("!I", 3) + b"short")
+        with pytest.raises(wire.WireProtocolError):
+            wire.unpack_push(b"\x01" + b"x" * 9)  # not float64-aligned

@@ -11,6 +11,7 @@ from repro.faults import (
     ALL_FAULT_KINDS,
     FAULT_KINDS,
     GRID_FAULT_KINDS,
+    NODE_FAULT_KINDS,
     RECOVERY_MODES,
     CellRetryPolicy,
     FaultPlan,
@@ -133,7 +134,8 @@ class TestGridFaultKinds:
 
     def test_kind_registries(self):
         assert GRID_FAULT_KINDS == ("cell-kill", "cell-stall", "cell-nan")
-        assert ALL_FAULT_KINDS == FAULT_KINDS + GRID_FAULT_KINDS
+        assert NODE_FAULT_KINDS == ("node-kill", "node-stall")
+        assert ALL_FAULT_KINDS == FAULT_KINDS + GRID_FAULT_KINDS + NODE_FAULT_KINDS
 
     def test_grid_kinds_parse_with_the_shared_grammar(self):
         assert FaultSpec.parse("cell-kill@3:w1") == FaultSpec(
@@ -165,6 +167,55 @@ class TestGridFaultKinds:
         # Index 5 is beyond the grid; the first spec targeting 1 wins.
         assert resolved == {
             1: {"kind": "cell-kill", "seconds": None, "attempts": None}
+        }
+
+
+class TestNodeFaultKinds:
+    """Node-level specs target parameter-server worker processes."""
+
+    def test_node_kinds_parse_with_the_shared_grammar(self):
+        assert FaultSpec.parse("node-kill@2") == FaultSpec(
+            kind="node-kill", epoch=2
+        )
+        assert FaultSpec.parse("node-stall@3:w1:2.5") == FaultSpec(
+            kind="node-stall", epoch=3, worker=1, seconds=2.5
+        )
+
+    def test_resolve_nodes_pins_workers(self):
+        plan = FaultPlan.parse(["node-kill@2:w1", "node-stall@3:w0:1.5"])
+        assert plan.resolve_nodes(2, run_seed=0, epoch_timeout=10.0) == {
+            1: [{"kind": "node-kill", "epoch": 2, "seconds": 0.0}],
+            0: [{"kind": "node-stall", "epoch": 3, "seconds": 1.5}],
+        }
+
+    def test_resolve_nodes_is_deterministic(self):
+        plan = FaultPlan.parse(["node-kill@1"])
+        a = plan.resolve_nodes(4, run_seed=7, epoch_timeout=5.0)
+        b = plan.resolve_nodes(4, run_seed=7, epoch_timeout=5.0)
+        assert a == b
+
+    def test_node_stall_default_outlives_timeout(self):
+        plan = FaultPlan.parse(["node-stall@1:w0"])
+        resolved = plan.resolve_nodes(1, run_seed=0, epoch_timeout=2.0)
+        assert resolved[0][0]["seconds"] == 2.0 * STALL_TIMEOUT_FACTOR
+
+    def test_resolve_nodes_rejects_out_of_range_worker(self):
+        plan = FaultPlan.parse(["node-kill@1:w3"])
+        with pytest.raises(ConfigurationError):
+            plan.resolve_nodes(2, run_seed=0, epoch_timeout=5.0)
+
+    def test_families_resolve_independently(self):
+        """A plan mixing shm, grid and node kinds routes each family to
+        its own resolver and nothing leaks across."""
+        plan = FaultPlan.parse(["kill@1:w0", "cell-kill@1", "node-kill@2:w1"])
+        assert plan.resolve(workers=2, run_seed=0, epoch_timeout=5.0) == {
+            0: [{"kind": "kill", "epoch": 1, "seconds": 0.05}]
+        }
+        assert plan.resolve_grid(jobs=1) == {
+            1: {"kind": "cell-kill", "seconds": None, "attempts": None}
+        }
+        assert plan.resolve_nodes(2, run_seed=0, epoch_timeout=5.0) == {
+            1: [{"kind": "node-kill", "epoch": 2, "seconds": 0.0}]
         }
 
 

@@ -114,3 +114,130 @@ class TestProtocolErrors:
             assert reply["error"]["type"] == "snapshot-unavailable"
             assert reply["error"]["reason"] == "cold-start"
             assert reply["error"]["retriable"] is True
+
+
+class TestFramingRegression:
+    """Bugfix coverage: oversized lines, stop(), internal errors and
+    partial replies each used to fail in a corrupting or opaque way."""
+
+    @pytest.fixture()
+    def small_cap_server(self):
+        engine = ScoringEngine("lr", N, max_delay=0.001)
+        engine.install(ServedModel(params=W, version=1, source="artifact"))
+        config = ServerConfig(max_line_bytes=1024)
+        with engine, ScoringServer(engine, config) as srv:
+            yield srv
+
+    def test_oversized_request_gets_line_too_long_and_close(self, small_cap_server):
+        """A request past the cap must be answered with a structured
+        non-retriable error and the connection closed — before the fix
+        the partial line parsed as one request and the overflow bytes
+        as phantom follow-ups."""
+        srv = small_cap_server
+        huge = json.dumps(
+            {"op": "score", "examples": [[1.0] * 4000]}
+        ).encode("utf-8")
+        assert len(huge) > 1024
+        with socket.create_connection((srv.host, srv.port), timeout=10) as sock:
+            sock.sendall(huge + b"\n")
+            f = sock.makefile("rb")
+            reply = json.loads(f.readline())
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "line-too-long"
+            assert reply["error"]["retriable"] is False
+            assert reply["error"]["limit_bytes"] == 1024
+            # The server closed the connection: no phantom replies to
+            # the overflow bytes, just EOF.
+            assert f.readline() == b""
+
+    def test_valid_request_after_oversized_on_fresh_connection(self, small_cap_server):
+        """The framing bug's second half: after an oversized request
+        the *server* must still serve correctly framed clients."""
+        srv = small_cap_server
+        huge = json.dumps(
+            {"op": "score", "examples": [[1.0] * 4000]}
+        ).encode("utf-8")
+        with socket.create_connection((srv.host, srv.port), timeout=10) as sock:
+            sock.sendall(huge + b"\n")
+            json.loads(sock.makefile("rb").readline())
+        reply = request_once(srv.host, srv.port, {"op": "ping"})
+        assert reply == {"ok": True, "op": "ping"}
+
+    def test_request_at_exactly_the_cap_boundary_is_served(self, small_cap_server):
+        srv = small_cap_server
+        pad = 1024 - len(json.dumps({"op": "ping", "pad": ""})) - 1
+        msg = {"op": "ping", "pad": "x" * pad}
+        line = json.dumps(msg).encode("utf-8") + b"\n"
+        assert len(line) == 1024
+        reply = request_once(srv.host, srv.port, msg)
+        assert reply["ok"] is True
+
+    def test_stop_unblocks_wait(self, server):
+        """Regression: stop() never set the shutdown event, so a
+        wait()er outlived the server forever."""
+        import threading
+
+        released = threading.Event()
+
+        def waiter():
+            if server.wait(timeout=30.0):
+                released.set()
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        server.stop()
+        assert released.wait(5.0), "stop() must release wait()ers"
+        t.join(5.0)
+
+    def test_internal_errors_are_retriable(self, server, monkeypatch):
+        """Regression: a server-side fault is not a client bug — the
+        dispatch's last-resort branch must mark it retriable."""
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic internal fault")
+
+        monkeypatch.setattr(server.engine, "request", boom)
+        reply = request_once(
+            server.host, server.port, {"op": "score", "examples": [[0.0] * N]}
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "internal"
+        assert reply["error"]["retriable"] is True
+
+
+class TestRequestOnceRegression:
+    """request_once against byzantine servers: structured
+    ConnectionError instead of an opaque JSONDecodeError."""
+
+    @pytest.fixture()
+    def byzantine(self):
+        """A one-shot server sending whatever bytes the test sets."""
+        import threading
+
+        lst = socket.create_server(("127.0.0.1", 0))
+        state = {"reply": b""}
+
+        def serve():
+            conn, _ = lst.accept()
+            conn.makefile("rb").readline()  # consume the request
+            if state["reply"]:
+                conn.sendall(state["reply"])
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        try:
+            yield state, lst.getsockname()
+        finally:
+            lst.close()
+            t.join(5.0)
+
+    def test_close_without_reply(self, byzantine):
+        state, (host, port) = byzantine
+        with pytest.raises(ConnectionError, match="without replying"):
+            request_once(host, port, {"op": "ping"}, timeout=10.0)
+
+    def test_close_mid_reply(self, byzantine):
+        state, (host, port) = byzantine
+        state["reply"] = b'{"ok": true, "op": "pi'  # no trailing newline
+        with pytest.raises(ConnectionError, match="mid-reply"):
+            request_once(host, port, {"op": "ping"}, timeout=10.0)
