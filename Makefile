@@ -44,9 +44,15 @@ chaos-ps:        ## node-kill/node-stall drill against the parameter-server back
 		assert c.get('ps.reconnects', 0) >= 1, c; \
 		assert c.get('ps.dead_workers_reaped', 0) >= 1, c; \
 		assert c.get('ps.pushes', 0) > 0 and c.get('ps.pulls', 0) > 0, c; \
+		assert c.get('ps.pull_rounds', 0) > 0, c; \
+		assert c.get('ps.shard_cache_hits', 0) > 0, c; \
+		assert c['ps.pull_rounds'] <= 1.1 * c['sgd.updates_applied'], c; \
 		rec = m['results']['measured']['recovery']; \
 		assert len(rec) >= 2, rec; \
-		print('chaos-ps: recovered', [r['action'] for r in rec])"
+		print('chaos-ps: recovered', [r['action'] for r in rec], \
+			'| rounds/update %.3f, cache hits %d' \
+			% (c['ps.pull_rounds'] / c['sgd.updates_applied'], \
+			   c['ps.shard_cache_hits']))"
 	@# A leaked server socket needs a live owner, so orphaned drill
 	@# processes (forked workers keep the parent cmdline) cover both.
 	@pgrep -f 'repro train.*backend p[s]' >/dev/null 2>&1 && \

@@ -42,6 +42,16 @@ machine speed cancels; skipped automatically on 1-cpu hosts and when
 the committed baseline predates the ``ps`` section, ``--skip-ps``
 is the explicit escape hatch.
 
+A fifth gate rides the same fresh ps runs and guards the *wire
+economics* of the batched protocol: pull round-trips per applied
+update must be at least ``--ps-roundtrip-threshold`` times lower than
+the committed baseline (default 3.0 — the legacy per-shard protocol
+paid one round-trip per shard per item, 3-8x), and server->worker
+bytes per update must not be above the baseline's.  Counter ratios,
+not timings, so they are deterministic per dataset shape; baselines
+that predate ``ps.pull_rounds`` fall back to ``ps.pulls`` (under the
+per-shard protocol every answered shard was one round-trip).
+
 Usage::
 
     REPRO_CACHE_DIR=.repro_cache python scripts/bench_compare.py
@@ -163,6 +173,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the parameter-server throughput gate (escape hatch for "
         "1-cpu hosts, where node processes only time-share)",
+    )
+    parser.add_argument(
+        "--ps-roundtrip-threshold",
+        type=float,
+        default=3.0,
+        help="minimum required improvement factor in ps pull round-trips "
+        "per applied update over the committed baseline (default 3.0: the "
+        "batched protocol must cost at least 3x fewer round-trips per "
+        "update than the snapshot's)",
     )
     parser.add_argument(
         "--report-dir",
@@ -316,8 +335,10 @@ def main(argv: list[str] | None = None) -> int:
         committed_ps = {(s["task"], s["dataset"]): s for s in baseline["ps"]}
         print("\nps (parameter-server) throughput gate:")
         ps_failures = []
+        fresh_ps_runs = {}
         for task, dataset in GRID:
             fresh_ps = run_ps(task, dataset)
+            fresh_ps_runs[(task, dataset)] = fresh_ps
             points = fresh_ps["points"]
             single = points[0]["updates_per_second"]
             multi = points[-1]["updates_per_second"]
@@ -347,6 +368,59 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"ps gate FAILED: {len(ps_failures)} task(s) below the "
                 f"{args.ps_threshold:.2f}x multi/single-node floor"
+            )
+            return 1
+
+        def _wire_cost(point: dict) -> tuple[float, float] | None:
+            """(round-trips, server bytes) per update from one ps point.
+
+            Pre-batching baselines have no ``ps.pull_rounds``; their
+            ``ps.pulls`` was one blocking round-trip per answered shard,
+            so it is the correct fallback.
+            """
+            counters = point.get("counters") or {}
+            updates = counters.get("sgd.updates_applied")
+            rounds = counters.get("ps.pull_rounds", counters.get("ps.pulls"))
+            sent = counters.get("ps.bytes_sent")
+            if not updates or rounds is None or sent is None:
+                return None
+            return rounds / updates, sent / updates
+
+        print(
+            "\nps wire-economics gate "
+            f"(>= {args.ps_roundtrip_threshold:.1f}x fewer round-trips/update, "
+            "bytes/update not above baseline):"
+        )
+        wire_failures = []
+        for task, dataset in GRID:
+            old = committed_ps.get((task, dataset))
+            old_cost = (
+                _wire_cost(old["points"][-1]) if old and old.get("points") else None
+            )
+            if old_cost is None:
+                print(f"  SKIP  {task}/{dataset}: baseline lacks wire counters")
+                continue
+            new_cost = _wire_cost(fresh_ps_runs[(task, dataset)]["points"][-1])
+            if new_cost is None:  # pragma: no cover - fresh runs always count
+                print(f"  SKIP  {task}/{dataset}: fresh run lacks wire counters")
+                continue
+            old_rpu, old_bpu = old_cost
+            new_rpu, new_bpu = new_cost
+            improvement = old_rpu / new_rpu if new_rpu > 0 else float("inf")
+            status = "OK"
+            if improvement < args.ps_roundtrip_threshold or new_bpu > old_bpu:
+                status = "FAIL"
+                wire_failures.append((task, dataset, improvement, new_bpu, old_bpu))
+            print(
+                f"  {status:<5} {task}/{dataset}: round-trips/update "
+                f"{old_rpu:.2f} -> {new_rpu:.2f} ({improvement:.1f}x fewer), "
+                f"bytes/update {old_bpu:.0f} -> {new_bpu:.0f}"
+            )
+        if wire_failures:
+            print(
+                f"ps wire gate FAILED: {len(wire_failures)} task(s) short of "
+                f"the {args.ps_roundtrip_threshold:.1f}x round-trip reduction "
+                "or above baseline bytes/update"
             )
             return 1
 

@@ -186,6 +186,7 @@ def run_ps(task: str, dataset: str) -> dict:
         counters = result.measured["counters"]
         if base is None:
             base = wall
+        updates = counters.get(keys.UPDATES_APPLIED, 0)
         points.append(
             {
                 "nodes": nodes,
@@ -193,10 +194,23 @@ def run_ps(task: str, dataset: str) -> dict:
                 "wall_seconds_per_epoch": wall,
                 "speedup_vs_1": base / wall if wall > 0 else None,
                 "updates_per_second": (
-                    counters.get(keys.UPDATES_APPLIED, 0) / total
-                    if total > 0
+                    updates / total if total > 0 else None
+                ),
+                # Wire economics (the bench_compare round-trip gate):
+                # pull round-trips and server->worker bytes one applied
+                # update cost, plus the shard-cache hit share.
+                "pulls_per_update": (
+                    counters.get(keys.PS_PULL_ROUNDS, 0) / updates
+                    if updates > 0
                     else None
                 ),
+                "bytes_per_update": (
+                    counters.get(keys.PS_BYTES_SENT, 0) / updates
+                    if updates > 0
+                    else None
+                ),
+                "shard_cache_hits": counters.get(keys.PS_SHARD_CACHE_HITS, 0),
+                "bytes_saved": counters.get(keys.PS_BYTES_SAVED, 0),
                 "final_loss": result.curve.final_loss,
                 "counters": counters,
             }

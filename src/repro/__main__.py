@@ -49,6 +49,18 @@ def _add_context_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ps_manifest_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--ps-manifest",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="run manifest(s) from --backend ps runs whose measured "
+        "ps.staleness_bucket.* histograms are rendered as an extra "
+        "section under Table III",
+    )
+
+
 def _add_grid_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -240,9 +252,29 @@ def _cmd_table(args: argparse.Namespace) -> int:
         "fig8": experiments.run_fig8,
         "fig9": experiments.run_fig9,
     }[args.command]
-    print(runner(ctx).render())
+    result = runner(ctx)
+    _attach_ps_manifests(result, args)
+    print(result.render())
     _export_telemetry(args, ctx.telemetry)
     return 0
+
+
+def _attach_ps_manifests(result, args: argparse.Namespace) -> None:
+    """Fold ``--ps-manifest`` files into a Table III result, if any."""
+    paths = getattr(args, "ps_manifest", None)
+    if not paths or not hasattr(result, "attach_staleness"):
+        return
+    import json
+
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            attached = result.attach_staleness(json.load(fh))
+        if not attached:
+            print(
+                f"warning: {path} carries no ps.staleness_bucket counters "
+                "(not a parameter-server run?)",
+                file=sys.stderr,
+            )
 
 
 _ARTIFACTS = ("table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9")
@@ -262,7 +294,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         "fig9": experiments.run_fig9,
     }
     for name in args.artifacts:
-        print(runners[name](ctx).render())
+        result = runners[name](ctx)
+        if name == "table3":
+            _attach_ps_manifests(result, args)
+        print(result.render())
         print()
     executed = sum(1 for r in ctx.grid_records if r["source"] == "executed")
     resumed = sum(1 for r in ctx.grid_records if r["source"] == "resumed")
@@ -502,6 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a Chrome-trace JSON of all runs to PATH",
         )
+        if name == "table3":
+            _add_ps_manifest_arg(p)
         p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser(
@@ -548,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the aggregate grid manifest (per-cell provenance + "
         "merged counters) to PATH",
     )
+    _add_ps_manifest_arg(p)
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("train", help="run one configuration")

@@ -30,12 +30,35 @@ Message types
     Request shard ``ident``; ``clock`` is the worker's completed-item
     count, which the bounded-staleness gate compares against the
     slowest live worker before answering.  Answered by ``SHARD``
-    carrying the shard's float64 parameters and its version.
+    carrying the shard's float64 parameters and its version.  Legacy
+    single-shard path — the training loop uses ``PULL_ALL`` /
+    ``PUSH_PULL`` so one work item costs one round-trip, not one per
+    shard.
+``PULL_ALL`` (worker -> server)
+    Request *every* shard in a single round-trip.  The payload is the
+    worker's last-seen version vector (:func:`pack_versions`); the
+    server answers with one ``SHARDS`` frame in which any shard whose
+    version still matches is a tiny cached header instead of its
+    payload.  ``clock`` feeds the staleness gate exactly like PULL.
+``SHARDS`` (server -> worker)
+    The scatter-gathered multi-shard reply to ``PULL_ALL`` or
+    ``PUSH_PULL``: per shard a ``(cached?, version)`` header, followed
+    by the float64 payload only when the worker's cached copy is out
+    of date (:func:`pack_shard_entries` / :func:`unpack_shards`).
 ``PUSH`` (worker -> server, no ack)
     Apply one work item's delta; ``ident`` is the item's row count,
     ``clock`` the worker's item counter *after* the item.  The payload
-    is either sparse (``0x00 | n u32 | indices i64[n] | values
-    f64[n]``, global coordinates) or dense (``0x01 | values f64[d]``).
+    is sparse (``0x00 | n u32 | indices i64[n] | values f64[n]``,
+    global coordinates), dense (``0x01 | values f64[d]``), or the
+    1-byte empty marker ``0x02`` (no row produced a delta — the clock
+    still advances, no shard version moves).
+``PUSH_PULL`` (worker -> server)
+    The fused steady-state frame: the push of work item *k* and the
+    pull for item *k+1* share one round-trip.  Payload is
+    ``push_len u32 | push payload | version vector``; the server
+    applies the push first (preserving the ordered-stream guarantee
+    that keeps one node at ``max_staleness=0`` bit-exact against
+    serial SGD), then answers with ``SHARDS``.
 ``EPOCH_DONE`` (worker -> server)
     The worker finished epoch ``clock``; the reply (``EPOCH_ACK``,
     sent only once the parent releases the next epoch) doubles as the
@@ -59,6 +82,7 @@ from ..utils.errors import DataFormatError
 __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
+    "VERSION_NEVER",
     "MSG_HELLO",
     "MSG_HELLO_ACK",
     "MSG_PULL",
@@ -68,14 +92,25 @@ __all__ = [
     "MSG_EPOCH_ACK",
     "MSG_FAULT",
     "MSG_BYE",
+    "MSG_PULL_ALL",
+    "MSG_SHARDS",
+    "MSG_PUSH_PULL",
     "WireProtocolError",
     "Frame",
     "send_frame",
+    "send_frame_parts",
     "recv_frame",
     "pack_hello_ack",
     "unpack_hello_ack",
     "pack_push",
+    "pack_push_empty",
     "unpack_push",
+    "pack_versions",
+    "unpack_versions",
+    "pack_shard_entries",
+    "unpack_shards",
+    "pack_push_pull",
+    "unpack_push_pull",
 ]
 
 #: First byte of every frame; a connection speaking anything else
@@ -86,8 +121,17 @@ MAGIC = 0xB5
 #: model is 16 MB), small enough to reject unframed garbage promptly.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+#: A worker that has never seen a shard sends this version; no server
+#: version can ever equal it (counters start at 0 and only increment),
+#: so the first pull after HELLO — or after a recovery respawn — is
+#: always answered with the full payload.
+VERSION_NEVER = 0xFFFFFFFFFFFFFFFF
+
 _HEADER = struct.Struct("!BBHIQ")  # magic, type, ident, payload_len, clock
 _HELLO_ACK = struct.Struct("!QHi")  # n_params, n_shards, max_staleness
+_VERSIONS_HEAD = struct.Struct("!H")  # shard count, then u64 versions
+_SHARD_ENTRY = struct.Struct("!BQ")  # cached flag, version
+_PUSH_LEN = struct.Struct("!I")  # push-payload bytes inside PUSH_PULL
 
 MSG_HELLO = 1
 MSG_HELLO_ACK = 2
@@ -98,8 +142,11 @@ MSG_EPOCH_DONE = 6
 MSG_EPOCH_ACK = 7
 MSG_FAULT = 8
 MSG_BYE = 9
+MSG_PULL_ALL = 10
+MSG_SHARDS = 11
+MSG_PUSH_PULL = 12
 
-_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_BYE + 1))
+_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_PUSH_PULL + 1))
 
 
 class WireProtocolError(DataFormatError):
@@ -135,6 +182,44 @@ def send_frame(
     buf = _HEADER.pack(MAGIC, msg_type, ident, len(payload), clock) + payload
     sock.sendall(buf)
     return len(buf)
+
+
+def send_frame_parts(
+    sock: socket.socket,
+    msg_type: int,
+    parts: list[bytes],
+    *,
+    ident: int = 0,
+    clock: int = 0,
+) -> int:
+    """Write one frame whose payload is scattered over *parts*.
+
+    The multi-shard reply is assembled as a list of small headers and
+    (borrowed, zero-copy) shard buffers; ``sendmsg`` gathers them in
+    one syscall instead of concatenating megabytes first.  Returns the
+    bytes put on the wire.
+    """
+    total = sum(len(p) for p in parts)
+    header = _HEADER.pack(MAGIC, msg_type, ident, total, clock)
+    nbytes = _HEADER.size + total
+    buffers: list[memoryview] = [memoryview(header)]
+    buffers.extend(memoryview(p) for p in parts)
+    sent = 0
+    while sent < nbytes:
+        n = sock.sendmsg(buffers)
+        sent += n
+        if sent >= nbytes:
+            break
+        # A partial gather write: drop the fully-written buffers and
+        # trim the one the kernel stopped inside.
+        while n:
+            if n >= len(buffers[0]):
+                n -= len(buffers[0])
+                buffers.pop(0)
+            else:
+                buffers[0] = buffers[0][n:]
+                n = 0
+    return nbytes
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -203,12 +288,33 @@ def pack_push(
     return b"\x00" + struct.pack("!I", idx.shape[0]) + idx.tobytes() + val.tobytes()
 
 
+def pack_push_empty() -> bytes:
+    """Encode a delta-free work item (every row's ``coef`` was 0).
+
+    One marker byte instead of a full ``n_params`` zero vector: the
+    push still travels — the worker's clock must advance and the row
+    accounting stay exact — but no shard version moves and no payload
+    bytes are wasted.
+    """
+    return b"\x02"
+
+
 def unpack_push(payload: bytes) -> tuple[np.ndarray | None, np.ndarray]:
-    """Decode a PUSH payload back into ``(indices | None, values)``."""
+    """Decode a PUSH payload back into ``(indices | None, values)``.
+
+    An empty-delta marker decodes as a zero-length sparse pair, which
+    the server's apply loop treats as a no-op.
+    """
     if not payload:
         raise WireProtocolError("empty PUSH payload")
     flag = payload[0]
     body = payload[1:]
+    if flag == 0x02:
+        if body:
+            raise WireProtocolError(
+                f"empty-delta PUSH carries {len(body)} payload byte(s)"
+            )
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     if flag == 0x01:
         if len(body) % 8:
             raise WireProtocolError("dense PUSH payload is not float64-aligned")
@@ -227,3 +333,111 @@ def unpack_push(payload: bytes) -> tuple[np.ndarray | None, np.ndarray]:
     idx = np.frombuffer(body[4 : 4 + n * 8], dtype=np.int64)
     val = np.frombuffer(body[4 + n * 8 :], dtype=np.float64)
     return idx, val
+
+
+# -- versioned multi-shard payloads -----------------------------------------
+
+
+def pack_versions(versions) -> bytes:
+    """Encode a per-shard version vector (u16 count + u64 versions)."""
+    versions = list(versions)
+    return _VERSIONS_HEAD.pack(len(versions)) + struct.pack(
+        f"!{len(versions)}Q", *versions
+    )
+
+
+def unpack_versions(payload: bytes) -> list[int]:
+    """Decode a version vector; validates the count against the bytes."""
+    if len(payload) < _VERSIONS_HEAD.size:
+        raise WireProtocolError("truncated version vector")
+    (n,) = _VERSIONS_HEAD.unpack_from(payload)
+    need = _VERSIONS_HEAD.size + 8 * n
+    if len(payload) != need:
+        raise WireProtocolError(
+            f"version vector of {len(payload)} bytes does not match its "
+            f"{n}-entry header (expected {need})"
+        )
+    return list(struct.unpack_from(f"!{n}Q", payload, _VERSIONS_HEAD.size))
+
+
+def pack_shard_entries(
+    entries: list[tuple[int, bytes | None]],
+) -> list[bytes]:
+    """Encode a SHARDS reply as scatter-gather *parts*.
+
+    *entries* holds one ``(version, payload | None)`` per shard, in
+    shard order; ``None`` means the worker's cached copy at that
+    version is still current and only the 9-byte header ships.  Fresh
+    payloads carry no length field — both ends know every shard's byte
+    size from the HELLO_ACK shard layout.  The shard payloads are
+    borrowed, not copied — hand the list to :func:`send_frame_parts`.
+    """
+    parts: list[bytes] = [_VERSIONS_HEAD.pack(len(entries))]
+    for version, payload in entries:
+        if payload is None:
+            parts.append(_SHARD_ENTRY.pack(1, version))
+        else:
+            parts.append(_SHARD_ENTRY.pack(0, version))
+            parts.append(payload)
+    return parts
+
+
+def unpack_shards(
+    payload: bytes, sizes: list[int]
+) -> list[tuple[int, bytes | None]]:
+    """Decode a SHARDS payload into ``(version, payload | None)`` entries.
+
+    *sizes* is the expected byte length of each shard's fresh payload
+    (``(hi - lo) * 8`` from the shard layout); the wire carries no
+    per-shard length, so the caller's layout is the decode schema —
+    a count or size mismatch raises :class:`WireProtocolError`.
+    """
+    if len(payload) < _VERSIONS_HEAD.size:
+        raise WireProtocolError("truncated SHARDS payload")
+    (n,) = _VERSIONS_HEAD.unpack_from(payload)
+    if n != len(sizes):
+        raise WireProtocolError(
+            f"SHARDS reply with {n} entries against {len(sizes)} shard(s)"
+        )
+    entries: list[tuple[int, bytes | None]] = []
+    off = _VERSIONS_HEAD.size
+    for size in sizes:
+        if len(payload) < off + _SHARD_ENTRY.size:
+            raise WireProtocolError("SHARDS payload ends inside a shard header")
+        cached, version = _SHARD_ENTRY.unpack_from(payload, off)
+        off += _SHARD_ENTRY.size
+        if cached == 1:
+            entries.append((version, None))
+            continue
+        if cached != 0:
+            raise WireProtocolError(f"unknown SHARDS cache flag 0x{cached:02x}")
+        if len(payload) < off + size:
+            raise WireProtocolError(
+                f"SHARDS shard payload truncated ({len(payload) - off} of "
+                f"{size} bytes)"
+            )
+        entries.append((version, payload[off : off + size]))
+        off += size
+    if off != len(payload):
+        raise WireProtocolError(
+            f"{len(payload) - off} trailing byte(s) after the last shard"
+        )
+    return entries
+
+
+def pack_push_pull(push_payload: bytes, versions) -> bytes:
+    """Encode the fused frame: item *k*'s push + item *k+1*'s pull."""
+    return _PUSH_LEN.pack(len(push_payload)) + push_payload + pack_versions(versions)
+
+
+def unpack_push_pull(payload: bytes) -> tuple[bytes, list[int]]:
+    """Decode a PUSH_PULL payload into ``(push payload, version vector)``."""
+    if len(payload) < _PUSH_LEN.size:
+        raise WireProtocolError("truncated PUSH_PULL payload")
+    (push_len,) = _PUSH_LEN.unpack_from(payload)
+    body = payload[_PUSH_LEN.size :]
+    if len(body) < push_len:
+        raise WireProtocolError(
+            f"PUSH_PULL push payload truncated ({len(body)} of {push_len} bytes)"
+        )
+    return body[:push_len], unpack_versions(body[push_len:])

@@ -6,11 +6,19 @@ connections over local TCP (one handler thread per connection, spawned
 by a single accept loop).  Three mechanisms make it the paper-shaped
 parameter server rather than a plain key-value store:
 
-* **Shard locks** — a PULL copies one shard under that shard's lock; a
+* **Shard locks + version counters** — every shard carries a
+  monotonic version, bumped on each push that touches it.  A pull
+  copies one shard (and reads its version) under that shard's lock; a
   PUSH applies its delta shard-by-shard, taking each lock in shard
   order.  Pulls of different shards interleave freely with pushes, so
   a worker's assembled model can mix shard versions — the asynchrony
-  the simulator models, now measured on a real wire.
+  the simulator models, now measured on a real wire.  A ``PULL_ALL``
+  (or the pull half of a fused ``PUSH_PULL``) carries the worker's
+  last-seen version vector, and any shard whose version still matches
+  is answered with a 9-byte cached header instead of its float64
+  payload (``ps.shard_cache_hits`` / ``ps.bytes_saved``) — in steady
+  state one work item costs one round-trip and only the bytes that
+  changed.
 * **The bounded-staleness gate** — every worker carries a clock (work
   items completed); a PULL from a worker more than ``max_staleness``
   items ahead of the slowest *live, still-running* worker blocks until
@@ -124,11 +132,15 @@ class ShardServer:
         #: Flushed into telemetry by the trainer at the end of the run.
         self.counters: dict[str, float] = {
             keys.PS_PULLS: 0.0,
+            keys.PS_PULL_ROUNDS: 0.0,
             keys.PS_PUSHES: 0.0,
+            keys.PS_SHARD_CACHE_HITS: 0.0,
             keys.PS_BYTES_SENT: 0.0,
             keys.PS_BYTES_RECEIVED: 0.0,
+            keys.PS_BYTES_SAVED: 0.0,
             keys.PS_PULL_WAITS: 0.0,
             keys.PS_RECONNECTS: 0.0,
+            keys.PS_CONNECT_RETRIES: 0.0,
             keys.PS_DEAD_WORKERS_REAPED: 0.0,
         }
         self.faults_reported = 0
@@ -194,13 +206,17 @@ class ShardServer:
                 with self._cv:
                     self.counters[keys.PS_BYTES_RECEIVED] += frame.nbytes
                 if frame.msg_type == wire.MSG_HELLO:
-                    record = self._register(conn, frame.ident)
+                    record = self._register(conn, frame.ident, frame.clock)
                 elif record is None:
                     raise wire.WireProtocolError(
                         f"message type {frame.msg_type} before HELLO"
                     )
                 elif frame.msg_type == wire.MSG_PULL:
                     self._pull(conn, record, frame)
+                elif frame.msg_type == wire.MSG_PULL_ALL:
+                    self._pull_all(conn, record, frame)
+                elif frame.msg_type == wire.MSG_PUSH_PULL:
+                    self._push_pull(conn, record, frame)
                 elif frame.msg_type == wire.MSG_PUSH:
                     self._push(record, frame)
                 elif frame.msg_type == wire.MSG_EPOCH_DONE:
@@ -222,11 +238,17 @@ class ShardServer:
         finally:
             self._disconnect(conn, record, clean)
 
-    def _register(self, conn: socket.socket, worker_id: int) -> _WorkerRecord:
+    def _register(
+        self, conn: socket.socket, worker_id: int, connect_retries: int = 0
+    ) -> _WorkerRecord:
         record = _WorkerRecord(worker_id)
         with self._cv:
             if worker_id in self._ever_seen:
                 self.counters[keys.PS_RECONNECTS] += 1
+            # HELLO's clock slot carries how many connect attempts the
+            # worker burned before this socket opened — a reconnect
+            # storm shows up in the manifest, not just in the logs.
+            self.counters[keys.PS_CONNECT_RETRIES] += connect_retries
             self._ever_seen.add(worker_id)
             self._workers[worker_id] = record
             self._cv.notify_all()
@@ -253,14 +275,16 @@ class ShardServer:
             return 0
         return max(0, record.clock - floor)
 
-    def _pull(
-        self, conn: socket.socket, record: _WorkerRecord, frame: wire.Frame
-    ) -> None:
-        shard = frame.ident
-        if not 0 <= shard < self.n_shards:
-            raise wire.WireProtocolError(f"PULL for unknown shard {shard}")
+    def _gate(self, record: _WorkerRecord, clock: int) -> None:
+        """Run the bounded-staleness gate for a pull at *clock*.
+
+        Records the observed lag in the staleness histogram and blocks
+        while the worker runs more than ``max_staleness`` items ahead
+        of the slowest live worker.  One gate pass per pull
+        *round-trip* — a multi-shard reply is still one observation.
+        """
         with self._cv:
-            record.clock = frame.clock
+            record.clock = clock
             record.state = "running"
             lag = self._gate_lag(record)
             self.counters[keys.ps_staleness_bucket(lag)] = (
@@ -277,7 +301,16 @@ class ShardServer:
                     and self._gate_lag(record) > self.max_staleness
                 ):
                     self._cv.wait(_WAIT_SLICE)
-            self.counters[keys.PS_PULLS] += 1
+            self.counters[keys.PS_PULL_ROUNDS] += 1
+
+    def _pull(
+        self, conn: socket.socket, record: _WorkerRecord, frame: wire.Frame
+    ) -> None:
+        """Legacy single-shard pull (one round-trip per shard)."""
+        shard = frame.ident
+        if not 0 <= shard < self.n_shards:
+            raise wire.WireProtocolError(f"PULL for unknown shard {shard}")
+        self._gate(record, frame.clock)
         lo, hi = self._bounds[shard]
         with self._locks[shard]:
             payload = self._params[lo:hi].tobytes()
@@ -286,10 +319,61 @@ class ShardServer:
             conn, wire.MSG_SHARD, ident=shard, clock=version, payload=payload
         )
         with self._cv:
+            self.counters[keys.PS_PULLS] += 1
             self.counters[keys.PS_BYTES_SENT] += sent
 
-    def _push(self, record: _WorkerRecord, frame: wire.Frame) -> None:
-        indices, values = wire.unpack_push(frame.payload)
+    def _answer_shards(
+        self, conn: socket.socket, seen: list[int], clock: int
+    ) -> None:
+        """Send the scatter-gathered SHARDS reply for one pull round.
+
+        *seen* is the worker's last-seen version vector; any shard
+        whose version still matches ships as a cached header only.
+        Each (payload, version) pair is captured under that shard's
+        lock, so every entry is internally consistent — the asynchrony
+        is *between* shards, exactly as before.
+        """
+        if len(seen) != self.n_shards:
+            raise wire.WireProtocolError(
+                f"version vector of {len(seen)} entries against "
+                f"{self.n_shards} shard(s)"
+            )
+        entries: list[tuple[int, bytes | None]] = []
+        fresh = 0
+        hits = 0
+        saved = 0
+        for shard, (lo, hi) in enumerate(self._bounds):
+            with self._locks[shard]:
+                version = self._versions[shard]
+                if version == seen[shard]:
+                    entries.append((version, None))
+                    hits += 1
+                    saved += (hi - lo) * 8
+                else:
+                    entries.append((version, self._params[lo:hi].tobytes()))
+                    fresh += 1
+        sent = wire.send_frame_parts(
+            conn, wire.MSG_SHARDS, wire.pack_shard_entries(entries), clock=clock
+        )
+        with self._cv:
+            self.counters[keys.PS_PULLS] += fresh
+            self.counters[keys.PS_SHARD_CACHE_HITS] += hits
+            self.counters[keys.PS_BYTES_SAVED] += saved
+            self.counters[keys.PS_BYTES_SENT] += sent
+
+    def _pull_all(
+        self, conn: socket.socket, record: _WorkerRecord, frame: wire.Frame
+    ) -> None:
+        """Answer every shard in one round-trip (versioned)."""
+        seen = wire.unpack_versions(frame.payload)
+        self._gate(record, frame.clock)
+        self._answer_shards(conn, seen, frame.clock)
+
+    def _apply_push(
+        self, record: _WorkerRecord, rows: int, payload: bytes, clock: int
+    ) -> None:
+        """Apply one delta payload and advance the worker's clock."""
+        indices, values = wire.unpack_push(payload)
         if indices is None:
             if values.shape[0] != self.n_params:
                 raise wire.WireProtocolError(
@@ -311,13 +395,33 @@ class ShardServer:
                     np.add.at(self._params, indices[sel], values[sel])
                     self._versions[shard] += 1
         with self._cv:
-            record.clock = frame.clock
+            record.clock = clock
             record.state = "running"
             self.counters[keys.PS_PUSHES] += 1
             self.counters[keys.UPDATES_APPLIED] = (
-                self.counters.get(keys.UPDATES_APPLIED, 0.0) + frame.ident
+                self.counters.get(keys.UPDATES_APPLIED, 0.0) + rows
             )
             self._cv.notify_all()
+
+    def _push(self, record: _WorkerRecord, frame: wire.Frame) -> None:
+        self._apply_push(record, frame.ident, frame.payload, frame.clock)
+
+    def _push_pull(
+        self, conn: socket.socket, record: _WorkerRecord, frame: wire.Frame
+    ) -> None:
+        """The fused frame: apply item *k*'s push, answer item *k+1*'s
+        pull — one round-trip for both.
+
+        The push is applied *before* the gate and the reply, on the
+        same handler thread, so the ordered-stream guarantee survives
+        fusion: a single node at ``max_staleness=0`` still sees its own
+        push before the next pull is answered, keeping it bit-exact
+        against serial SGD.
+        """
+        push_payload, seen = wire.unpack_push_pull(frame.payload)
+        self._apply_push(record, frame.ident, push_payload, frame.clock)
+        self._gate(record, frame.clock)
+        self._answer_shards(conn, seen, frame.clock)
 
     def _epoch_barrier(
         self, conn: socket.socket, record: _WorkerRecord, epoch: int
@@ -410,7 +514,12 @@ class ShardServer:
                 lock.release()
 
     def write_params(self, params: np.ndarray) -> None:
-        """Overwrite the model under all shard locks (NaN scrubbing)."""
+        """Overwrite the model under all shard locks (NaN scrubbing).
+
+        Bumps every shard version: an out-of-band rewrite invalidates
+        the workers' shard caches, so no node can keep serving itself
+        the pre-scrub bytes from a matching stale version.
+        """
         if params.shape != self._params.shape:
             raise ConfigurationError(
                 f"write_params shape {params.shape} != {self._params.shape}"
@@ -419,6 +528,8 @@ class ShardServer:
             lock.acquire()
         try:
             self._params[:] = params
+            for shard in range(len(self._bounds)):
+                self._versions[shard] += 1
         finally:
             for lock in reversed(self._locks):
                 lock.release()

@@ -143,6 +143,14 @@ class PsTrainResult:
         """Planned faults the workers actually injected."""
         return self.counters.get(keys.FAULT_INJECTED, 0.0)
 
+    @property
+    def pull_rounds_per_update(self) -> float:
+        """Pull round-trips one applied update cost on the wire."""
+        updates = self.counters.get(keys.UPDATES_APPLIED, 0.0)
+        if not updates:
+            return 0.0
+        return self.counters.get(keys.PS_PULL_ROUNDS, 0.0) / updates
+
 
 def _wait_epoch(
     server: ShardServer, procs: list, timeout: float, epoch: int
@@ -478,6 +486,12 @@ def train_ps(
         tel.count(key, value)
     tel.set_gauge(keys.WALL_SECONDS_PER_EPOCH, wall_per_epoch)
     tel.set_gauge(keys.WALL_SECONDS_TOTAL, wall_total)
+    if counter_totals[keys.UPDATES_APPLIED]:
+        tel.set_gauge(
+            keys.PS_PULL_ROUNDS_PER_UPDATE,
+            counter_totals.get(keys.PS_PULL_ROUNDS, 0.0)
+            / counter_totals[keys.UPDATES_APPLIED],
+        )
 
     return PsTrainResult(
         curve=curve,

@@ -3,7 +3,7 @@
 Each worker process owns a round-robin partition of the examples and
 runs barrier-aligned epochs, exactly like a shared-memory worker — but
 where the shm worker reads and scatters against a shared buffer, this
-one **pulls** every shard over TCP, computes its work item against the
+one **pulls** the model over TCP, computes its work item against the
 assembled (possibly mixed-version) model, and **pushes** the item's
 delta back.  The per-row math is the scalar path of
 :meth:`~repro.models.linear.LinearModel.serial_sgd_epoch`, and the
@@ -11,7 +11,21 @@ pushed delta is the *negated* update (``(-step*coef)*val``), which the
 server applies by addition — IEEE negation and multiplication are
 sign-exact, so one worker with ``batch_size=1`` reproduces the serial
 trajectory bit for bit (the ordered TCP stream guarantees each push is
-applied before the next pull is answered).
+applied before the next pull is answered, fused or not).
+
+The wire economics are amortised two ways.  First, the worker keeps a
+**shard cache**: the assembled model ``w`` plus the last-seen version
+of every shard.  A pull carries that version vector, and the server
+re-ships only the shards that moved — the rest come back as 9-byte
+cached headers.  The cache invariant is simple: the worker's local
+bytes for a shard at version *v* equal the server's bytes at version
+*v* (local self-application of a delta always travels with a push that
+bumps those very shards past the cached version, so a matching version
+implies matching bytes).  Second, the steady-state loop **fuses**
+frames: the push of item *k* and the pull for item *k+1* share one
+``PUSH_PULL`` round-trip, so one SGD item costs exactly one round-trip
+— the first item of an epoch opens with a ``PULL_ALL``, the last one
+closes with a fire-and-forget ``PUSH``.
 
 Liveness is the parent's job: every blocking receive here is untimed,
 and a dropped connection (the parent tearing the run down, or the
@@ -41,39 +55,84 @@ __all__ = ["worker_main"]
 FAULT_EXITCODE = 23
 
 _CONNECT_ATTEMPTS = 50
-_CONNECT_RETRY_SLEEP = 0.1
+#: First retry delay; doubles per failed attempt (plus jitter) up to
+#: the cap, so a reconnect storm after a recovery respawn spreads out
+#: instead of hammering the accept queue in lock-step.
+_CONNECT_BACKOFF_BASE = 0.05
+_CONNECT_BACKOFF_CAP = 1.0
 
 
-def _connect(host: str, port: int) -> socket.socket | None:
+def _connect(host: str, port: int, rng) -> tuple[socket.socket | None, int]:
+    """Dial the server with exponential backoff + jitter.
+
+    Returns ``(socket, retries)`` — the retry count rides to the server
+    in HELLO's clock slot and lands in ``ps.connect_retries``, so
+    reconnect churn is visible in run manifests.
+    """
+    delay = _CONNECT_BACKOFF_BASE
+    retries = 0
     for _ in range(_CONNECT_ATTEMPTS):
         try:
             sock = socket.create_connection((host, port), timeout=5.0)
         except OSError:
-            time.sleep(_CONNECT_RETRY_SLEEP)
+            retries += 1
+            time.sleep(delay + float(rng.uniform(0.0, delay)))
+            delay = min(delay * 2.0, _CONNECT_BACKOFF_CAP)
             continue
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(None)
-        return sock
-    return None
+        return sock, retries
+    return None, retries
 
 
-def _pull_model(
+def _apply_shards(
+    frame: wire.Frame,
+    w: np.ndarray,
+    seen: list[int],
+    bounds: list[tuple[int, int]],
+) -> None:
+    """Fold one SHARDS reply into the local model + version cache.
+
+    Cached entries leave ``w``'s bytes alone (the invariant guarantees
+    they already match the server at that version); fresh entries
+    overwrite the shard slice and advance the cached version.  The
+    wire carries no per-shard lengths — the shard layout from
+    HELLO_ACK is the decode schema.
+    """
+    entries = wire.unpack_shards(
+        frame.payload, [(hi - lo) * 8 for lo, hi in bounds]
+    )
+    for shard, (version, payload) in enumerate(entries):
+        if payload is not None:
+            lo, hi = bounds[shard]
+            w[lo:hi] = np.frombuffer(payload, dtype=np.float64)
+        seen[shard] = version
+
+
+def _recv_shards(
     sock: socket.socket,
     w: np.ndarray,
+    seen: list[int],
+    bounds: list[tuple[int, int]],
+) -> None:
+    frame = wire.recv_frame(sock)
+    if frame is None or frame.msg_type != wire.MSG_SHARDS:
+        raise wire.WireProtocolError("pull was not answered with a SHARDS reply")
+    _apply_shards(frame, w, seen, bounds)
+
+
+def _pull_all(
+    sock: socket.socket,
+    w: np.ndarray,
+    seen: list[int],
     bounds: list[tuple[int, int]],
     clock: int,
 ) -> None:
-    """Assemble the full model from one PULL per shard, in shard order.
-
-    The assembly is *not* a consistent snapshot — pushes land between
-    the pulls — which is precisely the asynchrony being measured.
-    """
-    for shard, (lo, hi) in enumerate(bounds):
-        wire.send_frame(sock, wire.MSG_PULL, ident=shard, clock=clock)
-        frame = wire.recv_frame(sock)
-        if frame is None or frame.msg_type != wire.MSG_SHARD:
-            raise wire.WireProtocolError("PULL was not answered with a SHARD")
-        w[lo:hi] = np.frombuffer(frame.payload, dtype=np.float64)
+    """One full-model pull in a single round-trip (versioned)."""
+    wire.send_frame(
+        sock, wire.MSG_PULL_ALL, clock=clock, payload=wire.pack_versions(seen)
+    )
+    _recv_shards(sock, w, seen, bounds)
 
 
 def _epoch_barrier(sock: socket.socket, epoch: int) -> bool:
@@ -109,17 +168,27 @@ def worker_main(
     plan (``node-kill`` / ``node-stall`` specs from
     :meth:`repro.faults.FaultPlan.resolve_nodes`).
     """
-    sock = _connect(host, port)
+    sock, connect_retries = _connect(
+        host, port, derive_rng(seed, f"ps-connect/{n_workers}/{worker_id}")
+    )
     if sock is None:
         return
     try:
-        wire.send_frame(sock, wire.MSG_HELLO, ident=worker_id)
+        wire.send_frame(
+            sock, wire.MSG_HELLO, ident=worker_id, clock=connect_retries
+        )
         ack = wire.recv_frame(sock)
         if ack is None or ack.msg_type != wire.MSG_HELLO_ACK:
             return
         n_params, n_shards, _ = wire.unpack_hello_ack(ack.payload)
         bounds = shard_bounds(n_params, n_shards)
         w = np.empty(n_params, dtype=np.float64)
+        # The shard cache: last server version this worker holds for
+        # each shard.  The NEVER sentinel forces full payloads on the
+        # first pull (and after a recovery respawn rebuilds the pool —
+        # a fresh process starts with an empty cache, so repartition
+        # can never resurrect pre-recovery bytes).
+        seen = [wire.VERSION_NEVER] * n_shards
 
         rng = derive_rng(seed, f"ps/{n_workers}/{worker_id}")
         dmargin = model._dmargin_scalar
@@ -129,8 +198,6 @@ def worker_main(
             Xd = None
         else:
             Xd = np.asarray(X, dtype=np.float64)
-        empty_idx = np.empty(0, dtype=np.int64)
-        empty_val = np.empty(0, dtype=np.float64)
         items_done = 0
 
         # Registration doubles as the first barrier: the parent's
@@ -153,12 +220,22 @@ def worker_main(
                 elif spec["kind"] == "node-stall":
                     sleep_seconds += spec["seconds"]
             order = part[rng.permutation(part.shape[0])]
+            n_items = -(-order.shape[0] // batch_size)
+            # The version cache survives the epoch barrier: versions
+            # are monotonic and an out-of-band rewrite (NaN scrub)
+            # bumps every shard, so a matching version is still a
+            # matching model.  Only the *first* item of the run pays a
+            # full pull; every later epoch opens on warm cache.
+            pulled = False
             for item, lo in enumerate(range(0, order.shape[0], batch_size)):
                 if item == kill_item:
                     wire.send_frame(sock, wire.MSG_FAULT, ident=1, clock=epoch)
                     os._exit(FAULT_EXITCODE)
                 rows = order[lo : lo + batch_size]
-                _pull_model(sock, w, bounds, items_done)
+                if not pulled:
+                    # Epoch-opening pull: one round-trip for all shards.
+                    _pull_all(sock, w, seen, bounds, items_done)
+                    pulled = True
                 if sparse:
                     idx_parts: list[np.ndarray] = []
                     val_parts: list[np.ndarray] = []
@@ -177,10 +254,12 @@ def worker_main(
                         w[idx] += delta  # later rows in the item see it
                         idx_parts.append(idx)
                         val_parts.append(delta)
-                    payload = wire.pack_push(
-                        np.concatenate(idx_parts) if idx_parts else empty_idx,
-                        np.concatenate(val_parts) if val_parts else empty_val,
-                    )
+                    if idx_parts:
+                        payload = wire.pack_push(
+                            np.concatenate(idx_parts), np.concatenate(val_parts)
+                        )
+                    else:
+                        payload = wire.pack_push_empty()
                 else:
                     acc = None
                     for i in rows:
@@ -193,19 +272,37 @@ def worker_main(
                         delta = (-step * coef) * xi
                         w += delta
                         acc = delta.copy() if acc is None else acc + delta
-                    payload = wire.pack_push(
-                        None, acc if acc is not None else np.zeros(n_params)
+                    # A delta-free item ships the 1-byte empty marker,
+                    # never an n_params zero vector: the clock still
+                    # advances, no shard version moves.
+                    payload = (
+                        wire.pack_push(None, acc)
+                        if acc is not None
+                        else wire.pack_push_empty()
                     )
                 items_done += 1
-                # The empty-delta push still travels: it advances the
-                # worker's clock and keeps the row accounting exact.
-                wire.send_frame(
-                    sock,
-                    wire.MSG_PUSH,
-                    ident=int(rows.shape[0]),
-                    clock=items_done,
-                    payload=payload,
-                )
+                if item + 1 < n_items:
+                    # Steady state: fuse this item's push with the next
+                    # item's pull — one round-trip covers both.
+                    wire.send_frame(
+                        sock,
+                        wire.MSG_PUSH_PULL,
+                        ident=int(rows.shape[0]),
+                        clock=items_done,
+                        payload=wire.pack_push_pull(payload, seen),
+                    )
+                    _recv_shards(sock, w, seen, bounds)
+                else:
+                    # Last item of the pass: nothing left to pull, so
+                    # the push travels alone (fire-and-forget; the
+                    # ordered stream applies it before EPOCH_DONE).
+                    wire.send_frame(
+                        sock,
+                        wire.MSG_PUSH,
+                        ident=int(rows.shape[0]),
+                        clock=items_done,
+                        payload=payload,
+                    )
             if sleep_seconds:
                 wire.send_frame(sock, wire.MSG_FAULT, ident=2, clock=epoch)
                 time.sleep(sleep_seconds)

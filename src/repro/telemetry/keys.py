@@ -96,12 +96,17 @@ __all__ = [
     "SERVE_BATCH_BUCKET_PREFIX",
     "serve_batch_bucket",
     "PS_PULLS",
+    "PS_PULL_ROUNDS",
     "PS_PUSHES",
     "PS_BYTES_SENT",
     "PS_BYTES_RECEIVED",
+    "PS_BYTES_SAVED",
+    "PS_SHARD_CACHE_HITS",
     "PS_PULL_WAITS",
     "PS_RECONNECTS",
+    "PS_CONNECT_RETRIES",
     "PS_DEAD_WORKERS_REAPED",
+    "PS_PULL_ROUNDS_PER_UPDATE",
     "PS_STALENESS_BUCKET_PREFIX",
     "ps_staleness_bucket",
 ]
@@ -356,9 +361,17 @@ def serve_batch_bucket(size: int) -> str:
     return f"{SERVE_BATCH_BUCKET_PREFIX}le_{edge}"
 
 
-#: Shard pulls answered by the parameter server (one per shard per work
-#: item a worker fetches; the pull-side half of the wire traffic).
+#: Shard *payloads* the parameter server actually shipped — fresh
+#: (version-changed) shards only; cached shards count under
+#: :data:`PS_SHARD_CACHE_HITS` instead.  Under the legacy per-shard
+#: PULL frame every answered shard counts here.
 PS_PULLS = "ps.pulls"
+
+#: Pull round-trips the server answered (one per PULL_ALL, fused
+#: PUSH_PULL, or legacy per-shard PULL).  The wire-economics headline:
+#: ``ps.pull_rounds / sgd.updates_applied`` is the round-trips one SGD
+#: item costs (≤ 1.0 with the batched protocol).
+PS_PULL_ROUNDS = "ps.pull_rounds"
 
 #: Delta pushes applied by the parameter server (one per work item; a
 #: push may touch several shards, each under its own lock).
@@ -370,6 +383,14 @@ PS_BYTES_SENT = "ps.bytes_sent"
 #: Bytes the server read from worker sockets (pushes, pulls, control).
 PS_BYTES_RECEIVED = "ps.bytes_received"
 
+#: Shard payload bytes the version cache kept *off* the wire (a cached
+#: shard answers with a 9-byte header instead of its float64 payload).
+PS_BYTES_SAVED = "ps.bytes_saved"
+
+#: Shards answered with a cached header because the worker's last-seen
+#: version still matched the server's (no payload shipped).
+PS_SHARD_CACHE_HITS = "ps.shard_cache_hits"
+
 #: Pulls that blocked on the bounded-staleness gate before being
 #: answered (the worker was more than ``max_staleness`` work items
 #: ahead of the slowest live worker).
@@ -379,6 +400,14 @@ PS_PULL_WAITS = "ps.pull_waits"
 #: respawned worker re-joining after a recovery action.
 PS_RECONNECTS = "ps.reconnects"
 
+#: Failed dial attempts workers sat out (with exponential backoff)
+#: before their connection succeeded — reconnect storms made visible.
+PS_CONNECT_RETRIES = "ps.connect_retries"
+
+#: Gauge: measured pull round-trips per applied update for the run
+#: (``ps.pull_rounds / sgd.updates_applied``).
+PS_PULL_ROUNDS_PER_UPDATE = "ps.pull_rounds_per_update"
+
 #: Connections the server reaped without a clean BYE (worker died or
 #: was torn down mid-run); reaped workers leave the staleness gate so
 #: survivors never block on a corpse.
@@ -386,8 +415,11 @@ PS_DEAD_WORKERS_REAPED = "ps.dead_workers_reaped"
 
 #: Prefix of the observed-staleness histogram; bucket keys come from
 #: :func:`ps_staleness_bucket` (powers of two of the work-item lag a
-#: pull observed against the slowest live worker, e.g.
-#: ``ps.staleness_bucket.le_4`` counts pulls observing lag 3..4).
+#: pull *round* observed against the slowest live worker, e.g.
+#: ``ps.staleness_bucket.le_4`` counts rounds observing lag 3..4).
+#: One observation per round-trip: bucket sums equal
+#: :data:`PS_PULL_ROUNDS`.  The measured counterpart of the asynchrony
+#: simulator's staleness parameter.
 PS_STALENESS_BUCKET_PREFIX = "ps.staleness_bucket."
 
 #: Largest staleness bucket; lags above the previous power of two land
@@ -396,7 +428,7 @@ _PS_STALENESS_CAP = 64
 
 
 def ps_staleness_bucket(lag: int) -> str:
-    """Histogram counter key for a pull that observed *lag* items."""
+    """Histogram counter key for a pull round that observed *lag* items."""
     if lag <= 0:
         return f"{PS_STALENESS_BUCKET_PREFIX}le_0"
     if lag > _PS_STALENESS_CAP:

@@ -125,3 +125,113 @@ class TestTypedPayloads:
             wire.unpack_push(b"\x00" + struct.pack("!I", 3) + b"short")
         with pytest.raises(wire.WireProtocolError):
             wire.unpack_push(b"\x01" + b"x" * 9)  # not float64-aligned
+
+    def test_empty_push_is_one_byte(self):
+        """The dense empty-delta fix: a coef-free item ships a marker,
+        not an n_params zero vector."""
+        raw = wire.pack_push_empty()
+        assert raw == b"\x02"
+        idx, val = wire.unpack_push(raw)
+        assert idx.size == 0 and val.size == 0
+
+
+class TestVersionedPayloads:
+    def test_version_vector_round_trip(self):
+        versions = [0, 7, wire.VERSION_NEVER, 123456789]
+        assert wire.unpack_versions(wire.pack_versions(versions)) == versions
+
+    def test_version_vector_validates_length(self):
+        raw = wire.pack_versions([1, 2, 3])
+        with pytest.raises(wire.WireProtocolError, match="does not match"):
+            wire.unpack_versions(raw + b"x")
+        with pytest.raises(wire.WireProtocolError, match="truncated"):
+            wire.unpack_versions(b"\x00")
+
+    def test_never_sentinel_cannot_collide(self):
+        """Server versions start at 0 and only increment, so the fresh
+        worker sentinel never matches and first pulls ship payloads."""
+        assert wire.VERSION_NEVER == 2**64 - 1
+
+    def test_shards_round_trip_mixed_cached_and_fresh(self):
+        fresh_a = np.linspace(0, 1, 6).tobytes()
+        fresh_b = np.linspace(-2, 2, 5).tobytes()
+        entries = [(4, fresh_a), (9, None), (2, fresh_b)]
+        payload = b"".join(wire.pack_shard_entries(entries))
+        sizes = [len(fresh_a), 8 * 7, len(fresh_b)]  # cached size unused
+        out = wire.unpack_shards(payload, sizes)
+        assert out == entries
+
+    def test_cached_shard_costs_nine_bytes(self):
+        only_header = b"".join(wire.pack_shard_entries([(5, None)]))
+        full = b"".join(wire.pack_shard_entries([(5, b"\x00" * 800)]))
+        assert len(only_header) == 2 + 9  # count head + cached entry
+        assert len(full) == 2 + 9 + 800
+
+    def test_shards_validation(self):
+        fresh = np.zeros(4).tobytes()
+        payload = b"".join(wire.pack_shard_entries([(1, fresh)]))
+        with pytest.raises(wire.WireProtocolError, match="against"):
+            wire.unpack_shards(payload, [len(fresh), len(fresh)])
+        with pytest.raises(wire.WireProtocolError, match="truncated"):
+            wire.unpack_shards(payload, [len(fresh) + 8])
+        with pytest.raises(wire.WireProtocolError, match="trailing"):
+            wire.unpack_shards(payload + b"x", [len(fresh)])
+        bad_flag = payload[:2] + b"\x07" + payload[3:]
+        with pytest.raises(wire.WireProtocolError, match="cache flag"):
+            wire.unpack_shards(bad_flag, [len(fresh)])
+        with pytest.raises(wire.WireProtocolError, match="inside a shard header"):
+            wire.unpack_shards(payload[:4], [len(fresh)])
+
+    def test_push_pull_round_trip(self):
+        idx = np.array([1, 5], dtype=np.int64)
+        val = np.array([0.25, -0.5])
+        push = wire.pack_push(idx, val)
+        seen = [3, wire.VERSION_NEVER, 0]
+        out_push, out_seen = wire.unpack_push_pull(
+            wire.pack_push_pull(push, seen)
+        )
+        assert out_push == push
+        assert out_seen == seen
+        out_idx, out_val = wire.unpack_push(out_push)
+        assert np.array_equal(out_idx, idx)
+        assert np.array_equal(out_val, val)
+
+    def test_push_pull_with_empty_push(self):
+        raw = wire.pack_push_pull(wire.pack_push_empty(), [1, 2])
+        push, seen = wire.unpack_push_pull(raw)
+        assert push == b"\x02"
+        assert seen == [1, 2]
+
+    def test_push_pull_validation(self):
+        with pytest.raises(wire.WireProtocolError, match="truncated"):
+            wire.unpack_push_pull(b"\x00")
+        raw = wire.pack_push_pull(b"\x02", [1])
+        with pytest.raises(wire.WireProtocolError, match="truncated"):
+            wire.unpack_push_pull(raw[:5])  # push length says 1, body empty
+
+
+class TestScatterGatherSend:
+    def test_parts_arrive_as_one_frame(self, pair):
+        a, b = pair
+        entries = [(1, np.arange(4.0).tobytes()), (2, None), (3, b"\x11" * 16)]
+        parts = wire.pack_shard_entries(entries)
+        sent = wire.send_frame_parts(a, wire.MSG_SHARDS, parts, clock=77)
+        frame = wire.recv_frame(b)
+        assert frame.msg_type == wire.MSG_SHARDS
+        assert frame.clock == 77
+        assert frame.nbytes == sent
+        assert wire.unpack_shards(frame.payload, [32, 0, 16]) == entries
+
+    def test_matches_contiguous_send(self, pair):
+        """sendmsg gather framing is byte-identical to a single send."""
+        a, b = pair
+        parts = [b"abc", b"", b"defg", b"\x00" * 9]
+        wire.send_frame_parts(a, wire.MSG_SHARDS, parts, ident=3, clock=1)
+        wire.send_frame(
+            a, wire.MSG_SHARDS, ident=3, clock=1, payload=b"".join(parts)
+        )
+        first = wire.recv_frame(b)
+        second = wire.recv_frame(b)
+        assert first.payload == second.payload
+        assert first.nbytes == second.nbytes
+        assert (first.ident, first.clock) == (second.ident, second.clock)

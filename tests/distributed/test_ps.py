@@ -149,8 +149,9 @@ class TestConcurrentIntegrity:
         assert res.curve.final_loss < res.curve.initial_loss
 
     def test_counter_accounting(self, setup):
-        """Every example is pushed exactly once per epoch, one pull per
-        shard per work item, and the totals land in the registry."""
+        """Every example is pushed exactly once per epoch, every work
+        item costs at most one pull round-trip (the fused protocol),
+        and the totals land in the registry."""
         model, ds, init = setup
         tel = Telemetry()
         epochs = 3
@@ -166,9 +167,17 @@ class TestConcurrentIntegrity:
         n = ds.X.shape[0]
         assert res.counters[keys.UPDATES_APPLIED] == n * epochs
         assert res.counters[keys.PS_PUSHES] == n * epochs  # batch_size=1
+        # Amortised wire: PULL_ALL opens the epoch, fused PUSH_PULL
+        # covers the middle, the last item pushes without pulling —
+        # exactly one round-trip per work item, never more.
+        assert res.counters[keys.PS_PULL_ROUNDS] == n * epochs
+        assert res.pull_rounds_per_update == 1.0
+        # Fresh payloads + cached headers account for every shard of
+        # every answered round.
         assert (
             res.counters[keys.PS_PULLS]
-            == res.counters[keys.PS_PUSHES] * res.shards
+            + res.counters[keys.PS_SHARD_CACHE_HITS]
+            == res.counters[keys.PS_PULL_ROUNDS] * res.shards
         )
         assert res.counters[keys.PS_BYTES_SENT] > 0
         assert res.counters[keys.PS_BYTES_RECEIVED] > 0
@@ -178,6 +187,8 @@ class TestConcurrentIntegrity:
         assert counters[keys.EPOCHS] == epochs
         assert counters[keys.LOSS_EVALS] == epochs + 1
         assert counters[keys.PS_PULLS] == res.counters[keys.PS_PULLS]
+        gauges = tel.gauges()
+        assert gauges[keys.PS_PULL_ROUNDS_PER_UPDATE] == 1.0
 
     def test_staleness_histogram_populated(self, setup):
         model, ds, init = setup
@@ -195,7 +206,8 @@ class TestConcurrentIntegrity:
             if k.startswith(keys.PS_STALENESS_BUCKET_PREFIX)
         }
         assert buckets
-        assert sum(buckets.values()) == res.counters[keys.PS_PULLS]
+        # One observation per answered round-trip.
+        assert sum(buckets.values()) == res.counters[keys.PS_PULL_ROUNDS]
 
     def test_unbounded_staleness_never_waits(self, setup):
         model, ds, init = setup

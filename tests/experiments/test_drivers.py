@@ -18,6 +18,7 @@ from repro.experiments import (
     run_table2,
     run_table3,
 )
+from repro.experiments.table3 import staleness_rows
 
 
 @pytest.fixture(scope="module")
@@ -105,6 +106,62 @@ class TestTable3:
 
     def test_render(self, result):
         assert "gpu/par" in result.render()
+
+
+def _ps_manifest(task="lr", dataset="w8a", nodes=3):
+    """A minimal run manifest with the counters a PS run records."""
+    return {
+        "config": {"task": task, "dataset": dataset},
+        "results": {"measured": {"nodes": nodes, "max_staleness": 16}},
+        "counters": {
+            "ps.pull_rounds": 200.0,
+            "sgd.updates_applied": 200.0,
+            "ps.shard_cache_hits": 600.0,
+            "ps.pulls": 1000.0,
+            "ps.staleness_bucket.le_0": 120.0,
+            "ps.staleness_bucket.le_4": 60.0,
+            "ps.staleness_bucket.gt_64": 20.0,
+        },
+    }
+
+
+class TestTable3Staleness:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table3(ctx)
+
+    def test_rows_from_run_manifest(self):
+        (row,) = staleness_rows(_ps_manifest())
+        assert (row.task, row.dataset, row.nodes) == ("lr", "w8a", 3)
+        assert row.max_staleness == 16
+        assert row.rounds_per_update == 1.0
+        assert row.cache_hit_rate == pytest.approx(600 / 1600)
+        assert [s for s, _ in row.buckets] == ["le_0", "le_4", "gt_64"]
+
+    def test_grid_manifest_recurses_into_cells(self):
+        grid = {
+            "cells": [
+                {"manifest": _ps_manifest(dataset="covtype", nodes=2)},
+                {"manifest": {"counters": {}}},  # non-PS cell: no row
+                {"manifest": _ps_manifest()},
+            ]
+        }
+        rows = staleness_rows(grid)
+        assert [r.dataset for r in rows] == ["covtype", "w8a"]
+
+    def test_non_ps_manifest_yields_no_rows(self):
+        assert staleness_rows({"counters": {"sgd.epochs": 3.0}}) == []
+
+    def test_attach_and_render_section(self, result):
+        before = result.render()
+        assert "staleness" not in before.lower()
+        try:
+            assert result.attach_staleness(_ps_manifest()) == 1
+            out = result.render()
+            assert "rounds/upd" in out
+            assert "le 0" in out and "gt 64" in out  # suffixes as headers
+        finally:
+            result.staleness.clear()  # class-scoped fixture: leave it clean
 
 
 class TestFig6:
