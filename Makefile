@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: test chaos chaos-grid chaos-ps bench bench-snapshot bench-compare grid-speedup serve-smoke shapes experiments grid examples probe lint all
+.PHONY: test chaos chaos-grid chaos-ps chaos-ps-server bench bench-snapshot bench-compare grid-speedup serve-smoke shapes experiments grid examples probe lint all
 
 # Worker processes for the parallel experiment grid (make grid JOBS=8).
 JOBS ?= 4
@@ -57,6 +57,40 @@ chaos-ps:        ## node-kill/node-stall drill against the parameter-server back
 	@# processes (forked workers keep the parent cmdline) cover both.
 	@pgrep -f 'repro train.*backend p[s]' >/dev/null 2>&1 && \
 		{ echo 'chaos-ps: leaked worker processes'; pgrep -af 'repro train.*backend p[s]'; exit 1; } || true
+
+chaos-ps-server: ## SIGKILL the shard server mid-epoch; checkpoint-restore failover drill
+	rm -rf /tmp/chaos_ps_server && mkdir -p /tmp/chaos_ps_server
+	REPRO_CACHE_DIR=/tmp/chaos_ps_server/cache PYTHONPATH=src python -m repro train \
+		--task lr --dataset w8a --scale tiny --epochs 4 \
+		--backend ps --nodes 2 --max-staleness 16 --epoch-timeout 30 \
+		--ps-checkpoint-dir /tmp/chaos_ps_server/ckpt --ps-checkpoint-every 50 \
+		--inject-fault server-kill@2 \
+		--max-restarts 2 \
+		--manifest-out /tmp/chaos_ps_server/manifest.json
+	PYTHONPATH=src python -c "import json, os; \
+		m = json.load(open('/tmp/chaos_ps_server/manifest.json')); \
+		c = m['counters']; \
+		assert c.get('fault.injected', 0) >= 1, c; \
+		assert c.get('ps.server_failovers', 0) >= 1, c; \
+		assert c.get('ps.checkpoints_restored', 0) >= 1, c; \
+		assert c.get('ps.checkpoints_written', 0) >= 1, c; \
+		assert c.get('ps.reconnects_midrun', 0) >= 1, c; \
+		assert c.get('fault.worker_restarts', 0) == 0, c; \
+		rec = m['results']['measured']['recovery']; \
+		fo = [r for r in rec if r['action'] == 'server_failover']; \
+		assert len(fo) == 1, rec; \
+		names = os.listdir('/tmp/chaos_ps_server/ckpt'); \
+		assert any(n.endswith('.ckpt') for n in names), names; \
+		assert not [n for n in names if not n.endswith('.ckpt')], names; \
+		print('chaos-ps-server: failover healed in %.3fs |' \
+			% fo[0]['time_to_repair_seconds'], \
+			'restored %d, reconnects %d, checkpoints %d' \
+			% (c['ps.checkpoints_restored'], c['ps.reconnects_midrun'], \
+			   c['ps.checkpoints_written']))"
+	@# Both the respawned server generation and the healed workers must
+	@# be gone: a leaked process here is a failover that never tore down.
+	@pgrep -f 'repro train.*backend p[s]' >/dev/null 2>&1 && \
+		{ echo 'chaos-ps-server: leaked drill processes'; pgrep -af 'repro train.*backend p[s]'; exit 1; } || true
 
 bench:
 	pytest benchmarks/ --benchmark-only

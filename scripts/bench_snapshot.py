@@ -19,6 +19,10 @@ parameter-server backend (:func:`repro.distributed.train_ps`) at 1..N
 node processes: the same tasks, but every pull/push crosses a real
 socket, so the points price the wire protocol against shm's in-place
 scatter and record updates/sec as a cross-backend throughput axis.
+Each ps entry ends with a ``failover`` drill: the shard server is
+SIGKILLed mid-epoch under a live checkpoint policy and the measured
+time-to-repair (death detected -> respawned server applying pushes)
+is recorded next to the throughput numbers.
 
 A ``grid`` section times the same grid end-to-end through the
 process-pool :class:`~repro.experiments.executor.GridExecutor` —
@@ -48,6 +52,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -215,6 +220,38 @@ def run_ps(task: str, dataset: str) -> dict:
                 "counters": counters,
             }
         )
+    # Failover drill: SIGKILL the (standalone) server mid-epoch under a
+    # live checkpoint policy and price the crash-restart — time-to-repair
+    # is the robustness axis next to the wire-economics ones above.
+    from repro.faults import FaultPlan
+
+    drill_nodes = min(2, max_nodes)
+    with tempfile.TemporaryDirectory(prefix="bench-ps-ckpt-") as ckpt_dir:
+        result = repro.train(
+            task,
+            dataset,
+            architecture="cpu-par",
+            strategy="asynchronous",
+            scale=SCALE,
+            max_epochs=MEASURED_EPOCHS,
+            early_stop_tolerance=None,
+            backend="ps",
+            nodes=drill_nodes,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=50,
+            fault_plan=FaultPlan.parse(["server-kill@2"]),
+            max_restarts=2,
+        )
+    counters = result.measured["counters"]
+    failover = {
+        "nodes": drill_nodes,
+        "server_failovers": result.measured["server_failovers"],
+        "time_to_repair_seconds": result.measured["time_to_repair_seconds"],
+        "checkpoints_restored": counters.get(keys.PS_CHECKPOINTS_RESTORED, 0),
+        "reconnects_midrun": counters.get(keys.PS_RECONNECTS_MIDRUN, 0),
+        "final_loss": result.curve.final_loss,
+    }
+
     return {
         "task": task,
         "dataset": dataset,
@@ -222,6 +259,7 @@ def run_ps(task: str, dataset: str) -> dict:
         "host_cpus": os.cpu_count(),
         "epochs": MEASURED_EPOCHS,
         "points": points,
+        "failover": failover,
     }
 
 

@@ -373,6 +373,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         nodes=args.nodes,
         shards=args.shards,
         max_staleness=args.max_staleness,
+        checkpoint_dir=args.ps_checkpoint_dir,
+        checkpoint_every=args.ps_checkpoint_every,
+        checkpoint_seconds=args.ps_checkpoint_seconds,
+        server_process=args.ps_server_process,
         epoch_timeout=args.epoch_timeout,
         fault_plan=fault_plan,
         max_restarts=args.max_restarts,
@@ -654,6 +658,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="measured backends: seconds the parent waits at an epoch "
         "barrier before declaring the run dead (default 120)",
+    )
+    p.add_argument(
+        "--ps-checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="--backend ps: directory for the server's versioned shard "
+        "checkpoints; enables epoch-boundary checkpointing and (with "
+        "server faults or --ps-server-process) crash-restart failover",
+    )
+    p.add_argument(
+        "--ps-checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--backend ps: background checkpoint every N pushes since "
+        "the last write (requires --ps-checkpoint-dir)",
+    )
+    p.add_argument(
+        "--ps-checkpoint-seconds",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="--backend ps: background checkpoint every SEC seconds "
+        "since the last write (requires --ps-checkpoint-dir)",
+    )
+    p.add_argument(
+        "--ps-server-process",
+        action="store_true",
+        help="--backend ps: run the shard server in its own supervised "
+        "process (the failover-capable topology; forced on when the "
+        "fault plan carries server-kill/server-stall)",
     )
     p.add_argument(
         "--inject-fault",

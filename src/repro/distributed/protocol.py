@@ -5,27 +5,39 @@ line per request, see :mod:`repro.serving.service`), the training tier
 moves raw float64 shard payloads — text framing would double the bytes
 and dominate the hot loop with parsing.  Every message is one frame::
 
-    +-------+------+--------+-------------+--------+===========+
-    | magic | type | ident  | payload_len | clock  |  payload  |
-    |  u8   |  u8  |  u16   |     u32     |  u64   |   bytes   |
-    +-------+------+--------+-------------+--------+===========+
+    +-------+------+--------+-------------+--------+-------+===========+
+    | magic | type | ident  | payload_len | clock  |  crc  |  payload  |
+    |  u8   |  u8  |  u16   |     u32     |  u64   |  u32  |   bytes   |
+    +-------+------+--------+-------------+--------+-------+===========+
 
-(big-endian, 16-byte header).  ``ident`` is a small type-specific slot
+(big-endian, 20-byte header).  ``ident`` is a small type-specific slot
 — the shard id for PULL/SHARD, the worker id for HELLO, the row count
 for PUSH — and ``clock`` carries the message's logical time: the
 worker's completed-work-item counter on PULL/PUSH, the shard's version
-on SHARD, the epoch on EPOCH_DONE/EPOCH_ACK.  Framing is explicit and
-checked: a bad magic byte, an oversized payload or an EOF inside a
-frame raises :class:`WireProtocolError` — the failure mode the serving
-protocol's ``readline`` cap handled implicitly (and, before this PR,
-incorrectly).
+on SHARD, the epoch on EPOCH_DONE/EPOCH_ACK.  ``crc`` is the CRC32 of
+the 16 header bytes before it plus the entire payload: a flipped bit
+anywhere in the frame is *detected and rejected* as a structured
+:class:`WireProtocolError`, never decoded as garbage floats — a
+corrupted push can therefore never be silently applied; the receiver
+drops the connection and the sender heals by reconnect-and-replay.
+Framing is explicit and checked: a bad magic byte, an oversized
+payload, a checksum mismatch or an EOF inside a frame raises
+:class:`WireProtocolError` — the failure mode the serving protocol's
+``readline`` cap handled implicitly (and, before this PR, incorrectly).
 
 Message types
 -------------
 ``HELLO`` (worker -> server)
-    Register ``ident`` as this connection's worker id.  Answered by
-    ``HELLO_ACK`` whose payload is ``(n_params u64, n_shards u16,
-    max_staleness i32)`` (-1 = unbounded).
+    Register ``ident`` as this connection's worker id.  An optional
+    1-byte payload carries flags — bit 0 set means this is a *mid-run
+    reconnect* (a live worker healing a dropped wire, counted under
+    ``ps.reconnects_midrun``), empty means a fresh registration.
+    Answered by ``HELLO_ACK`` whose payload is ``(n_params u64,
+    n_shards u16, max_staleness i32, resume_clock u64)`` (-1 =
+    unbounded); ``resume_clock`` is the last work-item clock the server
+    holds for this worker id (0 for a fresh registration) — a
+    reconnecting worker rewinds to it and replays from there, so the
+    in-flight item whose push never landed is recomputed, never lost.
 ``PULL`` (worker -> server)
     Request shard ``ident``; ``clock`` is the worker's completed-item
     count, which the bounded-staleness gate compares against the
@@ -68,12 +80,42 @@ Message types
     counted server-side before the worker dies or wedges.
 ``BYE`` (worker -> server, no ack)
     Clean disconnect; suppresses the dead-worker reap accounting.
+
+Control plane (parent -> server)
+--------------------------------
+When the shard server runs in its own *process* (crash-restart
+failover mode), the training parent speaks to it over the same framed
+wire on a dedicated connection — no HELLO, no registration, and none
+of these frames participate in the ``ps.bytes_*`` accounting (they are
+supervision, not training traffic):
+
+``CTRL_STATUS``
+    Liveness probe + state poll; answered with a JSON payload carrying
+    the worker registry (clocks, epochs done), counters, and the
+    released epoch.  A probe that times out is the parent's signal to
+    declare the server dead and fail over.
+``CTRL_RELEASE``
+    ``release_epoch(clock, stop=bool(ident))``; acked.
+``CTRL_SNAPSHOT``
+    Answered with the raw float64 model (a consistent copy under all
+    shard locks).
+``CTRL_WRITE``
+    Overwrite the model with the raw float64 payload (NaN scrub);
+    acked.
+``CTRL_RESET``
+    ``reset_pool(expected_workers=ident)``; acked.
+``CTRL_CHECKPOINT``
+    Force an epoch-boundary checkpoint now; the ack's ``ident`` is 1
+    if a file was written (0 when checkpointing is not configured).
+``CTRL_SHUTDOWN``
+    Ack, then close the server and exit the process cleanly.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+import zlib
 
 import numpy as np
 
@@ -83,6 +125,8 @@ __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
     "VERSION_NEVER",
+    "HEADER_BYTES",
+    "HELLO_MIDRUN",
     "MSG_HELLO",
     "MSG_HELLO_ACK",
     "MSG_PULL",
@@ -95,8 +139,17 @@ __all__ = [
     "MSG_PULL_ALL",
     "MSG_SHARDS",
     "MSG_PUSH_PULL",
+    "MSG_CTRL_STATUS",
+    "MSG_CTRL_RELEASE",
+    "MSG_CTRL_SNAPSHOT",
+    "MSG_CTRL_WRITE",
+    "MSG_CTRL_RESET",
+    "MSG_CTRL_CHECKPOINT",
+    "MSG_CTRL_SHUTDOWN",
+    "CTRL_TYPES",
     "WireProtocolError",
     "Frame",
+    "pack_frame",
     "send_frame",
     "send_frame_parts",
     "recv_frame",
@@ -127,11 +180,20 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 #: always answered with the full payload.
 VERSION_NEVER = 0xFFFFFFFFFFFFFFFF
 
-_HEADER = struct.Struct("!BBHIQ")  # magic, type, ident, payload_len, clock
-_HELLO_ACK = struct.Struct("!QHi")  # n_params, n_shards, max_staleness
+_HEAD_FIELDS = struct.Struct("!BBHIQ")  # magic, type, ident, payload_len, clock
+_HEAD_CRC = struct.Struct("!I")  # CRC32 over the fields above + payload
+_HELLO_ACK = struct.Struct("!QHiQ")  # n_params, n_shards, max_staleness, resume
 _VERSIONS_HEAD = struct.Struct("!H")  # shard count, then u64 versions
 _SHARD_ENTRY = struct.Struct("!BQ")  # cached flag, version
 _PUSH_LEN = struct.Struct("!I")  # push-payload bytes inside PUSH_PULL
+
+#: Total frame-header bytes on the wire (field prefix + CRC32).
+HEADER_BYTES = _HEAD_FIELDS.size + _HEAD_CRC.size
+
+#: HELLO payload flag bit: this registration is a live worker healing
+#: its own dropped connection mid-run (counted as a mid-run reconnect;
+#: the HELLO_ACK answers with the worker's resume clock).
+HELLO_MIDRUN = 0x01
 
 MSG_HELLO = 1
 MSG_HELLO_ACK = 2
@@ -145,8 +207,19 @@ MSG_BYE = 9
 MSG_PULL_ALL = 10
 MSG_SHARDS = 11
 MSG_PUSH_PULL = 12
+MSG_CTRL_STATUS = 13
+MSG_CTRL_RELEASE = 14
+MSG_CTRL_SNAPSHOT = 15
+MSG_CTRL_WRITE = 16
+MSG_CTRL_RESET = 17
+MSG_CTRL_CHECKPOINT = 18
+MSG_CTRL_SHUTDOWN = 19
 
-_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_PUSH_PULL + 1))
+#: The parent-supervisor control plane (needs no HELLO registration and
+#: stays out of the ``ps.bytes_*`` training-traffic accounting).
+CTRL_TYPES = frozenset(range(MSG_CTRL_STATUS, MSG_CTRL_SHUTDOWN + 1))
+
+_KNOWN_TYPES = frozenset(range(MSG_HELLO, MSG_CTRL_SHUTDOWN + 1))
 
 
 class WireProtocolError(DataFormatError):
@@ -170,6 +243,15 @@ class Frame:
         self.nbytes = nbytes
 
 
+def pack_frame(
+    msg_type: int, *, ident: int = 0, clock: int = 0, payload: bytes = b""
+) -> bytes:
+    """Encode one complete frame (checksummed header + payload)."""
+    fields = _HEAD_FIELDS.pack(MAGIC, msg_type, ident, len(payload), clock)
+    crc = zlib.crc32(payload, zlib.crc32(fields))
+    return fields + _HEAD_CRC.pack(crc) + payload
+
+
 def send_frame(
     sock: socket.socket,
     msg_type: int,
@@ -179,7 +261,7 @@ def send_frame(
     payload: bytes = b"",
 ) -> int:
     """Write one frame; returns the bytes put on the wire."""
-    buf = _HEADER.pack(MAGIC, msg_type, ident, len(payload), clock) + payload
+    buf = pack_frame(msg_type, ident=ident, clock=clock, payload=payload)
     sock.sendall(buf)
     return len(buf)
 
@@ -196,12 +278,18 @@ def send_frame_parts(
 
     The multi-shard reply is assembled as a list of small headers and
     (borrowed, zero-copy) shard buffers; ``sendmsg`` gathers them in
-    one syscall instead of concatenating megabytes first.  Returns the
-    bytes put on the wire.
+    one syscall instead of concatenating megabytes first.  The CRC is
+    accumulated incrementally over the parts, so the gather path pays
+    one extra pass over the bytes but still never copies them.
+    Returns the bytes put on the wire.
     """
     total = sum(len(p) for p in parts)
-    header = _HEADER.pack(MAGIC, msg_type, ident, total, clock)
-    nbytes = _HEADER.size + total
+    fields = _HEAD_FIELDS.pack(MAGIC, msg_type, ident, total, clock)
+    crc = zlib.crc32(fields)
+    for p in parts:
+        crc = zlib.crc32(p, crc)
+    header = fields + _HEAD_CRC.pack(crc)
+    nbytes = HEADER_BYTES + total
     buffers: list[memoryview] = [memoryview(header)]
     buffers.extend(memoryview(p) for p in parts)
     sent = 0
@@ -240,11 +328,19 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def recv_frame(sock: socket.socket) -> Frame | None:
-    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
-    head = _recv_exact(sock, _HEADER.size)
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Validation order: magic, type, size cap (all from the plain header
+    fields — cheap rejects for peers not speaking the protocol at
+    all), then the payload read, then the CRC over header fields +
+    payload.  Only a checksum-clean frame is ever handed to a decoder,
+    so a corrupted push is *rejected*, never applied as garbage floats.
+    """
+    head = _recv_exact(sock, HEADER_BYTES)
     if head is None:
         return None
-    magic, msg_type, ident, length, clock = _HEADER.unpack(head)
+    magic, msg_type, ident, length, clock = _HEAD_FIELDS.unpack_from(head)
+    (crc,) = _HEAD_CRC.unpack_from(head, _HEAD_FIELDS.size)
     if magic != MAGIC:
         raise WireProtocolError(
             f"bad magic byte 0x{magic:02x} (expected 0x{MAGIC:02x}); "
@@ -260,21 +356,49 @@ def recv_frame(sock: socket.socket) -> Frame | None:
     payload = _recv_exact(sock, length) if length else b""
     if length and payload is None:
         raise WireProtocolError("connection closed before the frame payload")
-    return Frame(msg_type, ident, clock, payload or b"", _HEADER.size + length)
+    payload = payload or b""
+    want = zlib.crc32(payload, zlib.crc32(head[: _HEAD_FIELDS.size]))
+    if crc != want:
+        raise WireProtocolError(
+            f"frame checksum mismatch (type {msg_type}, {length}-byte "
+            f"payload): got 0x{crc:08x}, computed 0x{want:08x} — frame "
+            "rejected, not applied"
+        )
+    return Frame(msg_type, ident, clock, payload, HEADER_BYTES + length)
 
 
 # -- typed payload helpers --------------------------------------------------
 
 
-def pack_hello_ack(n_params: int, n_shards: int, max_staleness: int | None) -> bytes:
+def pack_hello_ack(
+    n_params: int,
+    n_shards: int,
+    max_staleness: int | None,
+    resume_clock: int = 0,
+) -> bytes:
+    """Encode the registration ack.
+
+    *resume_clock* is the last work-item clock the server holds for
+    the registering worker id — 0 for a fresh registration, the
+    worker's rolled-back position after a mid-run reconnect (the
+    worker rewinds its epoch pass to it and replays forward).
+    """
     return _HELLO_ACK.pack(
-        n_params, n_shards, -1 if max_staleness is None else max_staleness
+        n_params,
+        n_shards,
+        -1 if max_staleness is None else max_staleness,
+        resume_clock,
     )
 
 
-def unpack_hello_ack(payload: bytes) -> tuple[int, int, int | None]:
-    n_params, n_shards, staleness = _HELLO_ACK.unpack(payload)
-    return n_params, n_shards, None if staleness < 0 else staleness
+def unpack_hello_ack(payload: bytes) -> tuple[int, int, int | None, int]:
+    if len(payload) != _HELLO_ACK.size:
+        raise WireProtocolError(
+            f"HELLO_ACK payload of {len(payload)} bytes "
+            f"(expected {_HELLO_ACK.size})"
+        )
+    n_params, n_shards, staleness, resume = _HELLO_ACK.unpack(payload)
+    return n_params, n_shards, None if staleness < 0 else staleness, resume
 
 
 def pack_push(

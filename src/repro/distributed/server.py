@@ -44,22 +44,58 @@ epoch — at which point every handler sends its ``EPOCH_ACK``.  All
 pushes of a worker precede its ``EPOCH_DONE`` on the same ordered TCP
 stream, so "every live worker arrived" implies "every delta applied":
 the parent's snapshot is consistent without stopping the world.
+
+Surviving its own death
+-----------------------
+Three additions make the server itself a survivable component rather
+than the tier's single point of failure:
+
+* **Checkpointing** — with a :class:`~repro.distributed.checkpoint.
+  CheckpointPolicy`, a background writer persists a *consistent cut*
+  (model + shard versions + released epoch + per-worker clocks, all
+  captured under the shard locks and the registry mutex) every N
+  pushes or T seconds; the parent forces an additional flush at each
+  epoch boundary.  Writes are atomic (``mkstemp`` + ``os.replace``),
+  counted under ``ps.checkpoints_written``.
+* **Restore + resume clocks** — a fresh server seeded with a decoded
+  :class:`~repro.distributed.checkpoint.CheckpointState` starts from
+  the checkpointed model, versions and released epoch, and remembers
+  each worker's work-item clock.  A worker reconnecting mid-run (the
+  ``HELLO`` mid-run flag) is answered with its resume clock and counted
+  under ``ps.reconnects_midrun``; it rewinds to that clock and replays
+  forward, so the item whose push never landed is recomputed, never
+  lost and never double-applied.
+* **Planned server faults** — a standalone server (its own process,
+  see :mod:`repro.distributed.supervisor`) accepts resolved
+  ``server-kill`` / ``server-stall`` specs and fires them halfway
+  through the spec's epoch (by push count): a kill is a real
+  ``SIGKILL`` to its own process, a stall wedges every handler —
+  including the control plane, so the parent's liveness probe times
+  out and both kinds exercise the same failover path.
 """
 
 from __future__ import annotations
 
+import json
+import logging
+import os
+import signal
 import socket
 import struct
 import threading
-from typing import Any
+import time
+from typing import Any, Sequence
 
 import numpy as np
 
 from ..telemetry import keys
 from ..utils.errors import ConfigurationError
 from . import protocol as wire
+from .checkpoint import CheckpointPolicy, CheckpointState, write_checkpoint
 
 __all__ = ["ShardServer", "shard_bounds", "default_ps_shards"]
+
+_log = logging.getLogger(__name__)
 
 #: Handler threads block at most this long per gate/barrier wait slice,
 #: re-checking for shutdown — keeps teardown prompt even with a wedged
@@ -110,6 +146,11 @@ class ShardServer:
         max_staleness: int | None = None,
         expected_workers: int = 1,
         host: str = "127.0.0.1",
+        checkpoint: CheckpointPolicy | None = None,
+        restore: CheckpointState | None = None,
+        server_faults: Sequence[dict] | None = None,
+        pushes_per_epoch: int | None = None,
+        standalone: bool = False,
     ) -> None:
         if max_staleness is not None and max_staleness < 0:
             raise ConfigurationError(
@@ -129,6 +170,10 @@ class ShardServer:
         self._released_epoch = 0
         self._stop_flag = False
         self._closing = False
+        #: Last known work-item clock of each worker id that is not
+        #: currently connected — fed by disconnects and checkpoint
+        #: restores, consumed by mid-run reconnect HELLOs.
+        self._resume_clocks: dict[int, int] = {}
         #: Flushed into telemetry by the trainer at the end of the run.
         self.counters: dict[str, float] = {
             keys.PS_PULLS: 0.0,
@@ -140,10 +185,60 @@ class ShardServer:
             keys.PS_BYTES_SAVED: 0.0,
             keys.PS_PULL_WAITS: 0.0,
             keys.PS_RECONNECTS: 0.0,
+            keys.PS_RECONNECTS_MIDRUN: 0.0,
             keys.PS_CONNECT_RETRIES: 0.0,
             keys.PS_DEAD_WORKERS_REAPED: 0.0,
+            keys.PS_FRAMES_REJECTED: 0.0,
+            keys.PS_CHECKPOINTS_WRITTEN: 0.0,
+            keys.PS_CHECKPOINTS_RESTORED: 0.0,
+            keys.PS_HANDLER_THREADS_LEAKED: 0.0,
         }
         self.faults_reported = 0
+
+        if restore is not None:
+            if restore.params.shape[0] != self._params.shape[0]:
+                raise ConfigurationError(
+                    f"checkpoint restores {restore.params.shape[0]} "
+                    f"parameter(s) into a {self._params.shape[0]}-parameter "
+                    "model"
+                )
+            if len(restore.versions) != len(self._bounds):
+                raise ConfigurationError(
+                    f"checkpoint restores {len(restore.versions)} shard "
+                    f"version(s) into {len(self._bounds)} shard(s)"
+                )
+            self._params[:] = restore.params
+            self._versions = list(restore.versions)
+            self._released_epoch = restore.released_epoch
+            self._resume_clocks = dict(restore.clocks)
+            self.counters[keys.PS_CHECKPOINTS_RESTORED] = 1.0
+
+        self._server_faults = [dict(s) for s in (server_faults or ())]
+        for spec in self._server_faults:
+            spec["fired"] = False
+        if self._server_faults and not standalone:
+            # SIGKILL-to-self must never take down an in-process parent;
+            # server faults require the standalone (own-process) server.
+            raise ConfigurationError(
+                "server faults require a standalone server process"
+            )
+        if self._server_faults and not pushes_per_epoch:
+            raise ConfigurationError(
+                "server faults need pushes_per_epoch to pick a firing point"
+            )
+        self._standalone = standalone
+        self._pushes_per_epoch = pushes_per_epoch
+        self._pushes_this_epoch = 0
+        self._stall_until = 0.0
+        #: Set by a ``CTRL_SHUTDOWN`` frame; a standalone server's main
+        #: loop waits on it (the handler thread cannot close() itself).
+        self.shutdown_event = threading.Event()
+
+        self._ckpt_policy = checkpoint
+        self._ckpt_seq = restore.seq + 1 if restore is not None else 1
+        self._ckpt_pushes_since = 0
+        self._ckpt_event = threading.Event()
+        self._ckpt_thread: threading.Thread | None = None
 
         self._listener = socket.create_server((host, 0))
         self._listener.settimeout(0.2)
@@ -153,6 +248,12 @@ class ShardServer:
             target=self._accept_loop, name="ps-accept", daemon=True
         )
         self._accept_thread.start()
+        if checkpoint is not None:
+            os.makedirs(checkpoint.dir, exist_ok=True)
+            self._ckpt_thread = threading.Thread(
+                target=self._checkpoint_loop, name="ps-ckpt", daemon=True
+            )
+            self._ckpt_thread.start()
 
     # -- addressing --------------------------------------------------------
 
@@ -203,10 +304,24 @@ class ShardServer:
                 frame = wire.recv_frame(conn)
                 if frame is None:
                     return
+                self._stall_gate()
+                if frame.msg_type in wire.CTRL_TYPES:
+                    # Supervision, not training traffic: no HELLO, no
+                    # ``ps.bytes_*`` accounting.
+                    if self._control(conn, frame):
+                        clean = True
+                        return
+                    continue
                 with self._cv:
                     self.counters[keys.PS_BYTES_RECEIVED] += frame.nbytes
                 if frame.msg_type == wire.MSG_HELLO:
-                    record = self._register(conn, frame.ident, frame.clock)
+                    flags = frame.payload[0] if frame.payload else 0
+                    record = self._register(
+                        conn,
+                        frame.ident,
+                        frame.clock,
+                        midrun=bool(flags & wire.HELLO_MIDRUN),
+                    )
                 elif record is None:
                     raise wire.WireProtocolError(
                         f"message type {frame.msg_type} before HELLO"
@@ -233,16 +348,52 @@ class ShardServer:
                     raise wire.WireProtocolError(
                         f"unexpected message type {frame.msg_type}"
                     )
-        except (wire.WireProtocolError, ConnectionError, OSError, struct.error):
+        except wire.WireProtocolError:
+            # Malformed or corrupted frame: rejected, counted, never
+            # applied — the peer heals by reconnect-and-replay.
+            with self._cv:
+                self.counters[keys.PS_FRAMES_REJECTED] += 1
+            return
+        except (ConnectionError, OSError, struct.error):
             return
         finally:
             self._disconnect(conn, record, clean)
 
+    def _stall_gate(self) -> None:
+        """Wedge this handler while an injected server-stall is live."""
+        while not self._closing:
+            remaining = self._stall_until - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(_WAIT_SLICE, remaining))
+
     def _register(
-        self, conn: socket.socket, worker_id: int, connect_retries: int = 0
+        self,
+        conn: socket.socket,
+        worker_id: int,
+        connect_retries: int = 0,
+        *,
+        midrun: bool = False,
     ) -> _WorkerRecord:
         record = _WorkerRecord(worker_id)
         with self._cv:
+            resume_clock = 0
+            if midrun:
+                # A live worker healing its own dropped wire: hand back
+                # the clock we hold for it so it rewinds and replays the
+                # in-flight item instead of losing it.  Seeding the
+                # record's clock keeps the staleness gate honest — the
+                # reconnector is *at* resume_clock, not at zero.
+                self.counters[keys.PS_RECONNECTS_MIDRUN] += 1
+                # The redial can beat the old handler's EOF: if the
+                # worker's previous record is still registered, its
+                # clock is the freshest truth, not ``_resume_clocks``.
+                prior = self._workers.get(worker_id)
+                if prior is not None:
+                    resume_clock = prior.clock
+                else:
+                    resume_clock = self._resume_clocks.get(worker_id, 0)
+                record.clock = resume_clock
             if worker_id in self._ever_seen:
                 self.counters[keys.PS_RECONNECTS] += 1
             # HELLO's clock slot carries how many connect attempts the
@@ -257,7 +408,7 @@ class ShardServer:
                 wire.MSG_HELLO_ACK,
                 ident=self.n_shards,
                 payload=wire.pack_hello_ack(
-                    self.n_params, self.n_shards, self.max_staleness
+                    self.n_params, self.n_shards, self.max_staleness, resume_clock
                 ),
             )
             self.counters[keys.PS_BYTES_SENT] += sent
@@ -394,6 +545,7 @@ class ShardServer:
                 with self._locks[shard]:
                     np.add.at(self._params, indices[sel], values[sel])
                     self._versions[shard] += 1
+        fire = None
         with self._cv:
             record.clock = clock
             record.state = "running"
@@ -401,7 +553,49 @@ class ShardServer:
             self.counters[keys.UPDATES_APPLIED] = (
                 self.counters.get(keys.UPDATES_APPLIED, 0.0) + rows
             )
+            if self._ckpt_policy is not None:
+                self._ckpt_pushes_since += 1
+                if (
+                    self._ckpt_policy.every_items is not None
+                    and self._ckpt_pushes_since >= self._ckpt_policy.every_items
+                ):
+                    self._ckpt_event.set()
+            if self._server_faults:
+                self._pushes_this_epoch += 1
+                fire = self._due_server_fault()
             self._cv.notify_all()
+        if fire is not None:
+            self._fire_server_fault(fire)
+
+    def _due_server_fault(self) -> dict | None:
+        """The next unfired server fault due at this push, if any.
+
+        Fires halfway through the spec's epoch by push count — deep
+        enough into the epoch that real training state is at stake,
+        deterministic because the trigger is a *count*, not a timer.
+        Caller holds ``_cv``.
+        """
+        # During epoch N's pass the barrier has been released *to* N:
+        # ``release_epoch(N)`` precedes the first push of epoch N.
+        epoch = self._released_epoch
+        midpoint = -(-self._pushes_per_epoch // 2)
+        for spec in self._server_faults:
+            if (
+                not spec["fired"]
+                and spec["epoch"] == epoch
+                and self._pushes_this_epoch >= midpoint
+            ):
+                spec["fired"] = True
+                return spec
+        return None
+
+    def _fire_server_fault(self, spec: dict) -> None:
+        if spec["kind"] == "server-kill":
+            # A real crash, not an exception: no flush, no farewell —
+            # exactly what the checkpoint/restore path must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+        else:  # server-stall
+            self._stall_until = time.monotonic() + float(spec["seconds"])
 
     def _push(self, record: _WorkerRecord, frame: wire.Frame) -> None:
         self._apply_push(record, frame.ident, frame.payload, frame.clock)
@@ -460,6 +654,9 @@ class ShardServer:
                 # Only the registry's *current* record for the id is
                 # removed — a respawned worker may already own the slot.
                 if self._workers.get(record.worker_id) is record:
+                    # Remember where the worker was: a mid-run
+                    # reconnect HELLO is answered with this clock.
+                    self._resume_clocks[record.worker_id] = record.clock
                     del self._workers[record.worker_id]
                 if not clean and not self._closing:
                     self.counters[keys.PS_DEAD_WORKERS_REAPED] += 1
@@ -468,6 +665,136 @@ class ShardServer:
             conn.close()
         except OSError:  # pragma: no cover - defensive
             pass
+
+    # -- control plane (framed, for the standalone server process) ----------
+
+    def _control(self, conn: socket.socket, frame: wire.Frame) -> bool:
+        """Serve one supervision frame; returns True on CTRL_SHUTDOWN."""
+        t = frame.msg_type
+        if t == wire.MSG_CTRL_STATUS:
+            wire.send_frame(
+                conn, wire.MSG_CTRL_STATUS, payload=self._status_payload()
+            )
+        elif t == wire.MSG_CTRL_RELEASE:
+            self.release_epoch(frame.clock, stop=bool(frame.ident))
+            wire.send_frame(conn, wire.MSG_CTRL_RELEASE)
+        elif t == wire.MSG_CTRL_SNAPSHOT:
+            wire.send_frame(
+                conn, wire.MSG_CTRL_SNAPSHOT, payload=self.snapshot().tobytes()
+            )
+        elif t == wire.MSG_CTRL_WRITE:
+            if len(frame.payload) % 8:
+                raise wire.WireProtocolError(
+                    "CTRL_WRITE payload is not float64-aligned"
+                )
+            self.write_params(np.frombuffer(frame.payload, dtype=np.float64))
+            wire.send_frame(conn, wire.MSG_CTRL_WRITE)
+        elif t == wire.MSG_CTRL_RESET:
+            self.reset_pool(frame.ident)
+            wire.send_frame(conn, wire.MSG_CTRL_RESET)
+        elif t == wire.MSG_CTRL_CHECKPOINT:
+            path = self.checkpoint_now(boundary=True)
+            wire.send_frame(
+                conn, wire.MSG_CTRL_CHECKPOINT, ident=0 if path is None else 1
+            )
+        elif t == wire.MSG_CTRL_SHUTDOWN:
+            wire.send_frame(conn, wire.MSG_CTRL_SHUTDOWN)
+            # The standalone main loop does the close(); a handler
+            # thread cannot join itself out of existence.
+            self.shutdown_event.set()
+            return True
+        return False
+
+    def _status_payload(self) -> bytes:
+        """JSON state for the parent's liveness probe + counter polls."""
+        with self._cv:
+            state = {
+                "released_epoch": self._released_epoch,
+                "expected": self._expected,
+                "faults_reported": self.faults_reported,
+                "counters": dict(self.counters),
+                "workers": {
+                    str(wid): {
+                        "clock": r.clock,
+                        "epoch_done": r.epoch_done,
+                        "state": r.state,
+                    }
+                    for wid, r in self._workers.items()
+                },
+            }
+        return json.dumps(state).encode("utf-8")
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint_now(self, *, boundary: bool = False) -> str | None:
+        """Write one checkpoint immediately; returns its path.
+
+        No-op (returns ``None``) without a checkpoint policy.  The cut
+        is captured under every shard lock *and* the registry mutex, so
+        params, versions, released epoch and worker clocks are one
+        consistent instant; the file write itself happens outside the
+        locks on the captured copies.
+        """
+        if self._ckpt_policy is None:
+            return None
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            with self._cv:
+                params = self._params.copy()
+                versions = list(self._versions)
+                released = self._released_epoch
+                clocks = dict(self._resume_clocks)
+                clocks.update(
+                    {wid: r.clock for wid, r in self._workers.items()}
+                )
+                seq = self._ckpt_seq
+                self._ckpt_seq += 1
+                self._ckpt_pushes_since = 0
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
+        path = write_checkpoint(
+            self._ckpt_policy.dir,
+            seq,
+            params=params,
+            versions=versions,
+            released_epoch=released,
+            clocks=clocks,
+            boundary=boundary,
+        )
+        with self._cv:
+            self.counters[keys.PS_CHECKPOINTS_WRITTEN] += 1
+        return path
+
+    def _checkpoint_loop(self) -> None:
+        """Background writer: flush every N pushes and/or T seconds."""
+        policy = self._ckpt_policy
+        slice_ = _WAIT_SLICE
+        if policy.every_seconds is not None:
+            slice_ = min(_WAIT_SLICE, policy.every_seconds / 2)
+        last = time.monotonic()
+        while not self._closing:
+            self._ckpt_event.wait(slice_)
+            self._ckpt_event.clear()
+            if self._closing:
+                return
+            due_items = (
+                policy.every_items is not None
+                and self._ckpt_pushes_since >= policy.every_items
+            )
+            due_time = (
+                policy.every_seconds is not None
+                and time.monotonic() - last >= policy.every_seconds
+            )
+            if due_items or due_time:
+                try:
+                    self.checkpoint_now()
+                except OSError:
+                    _log.warning(
+                        "background checkpoint write failed", exc_info=True
+                    )
+                last = time.monotonic()
 
     # -- parent-side control -----------------------------------------------
 
@@ -490,6 +817,7 @@ class ShardServer:
         with *stop*, exit cleanly)."""
         with self._cv:
             self._released_epoch = max(self._released_epoch, epoch)
+            self._pushes_this_epoch = 0
             if stop:
                 self._stop_flag = True
             self._cv.notify_all()
@@ -500,6 +828,7 @@ class ShardServer:
         epoch survive, so respawned workers resume where the pool died."""
         with self._cv:
             self._workers = {}
+            self._resume_clocks = {}
             self._expected = expected_workers
             self._cv.notify_all()
 
@@ -541,6 +870,9 @@ class ShardServer:
             "bounds": [[lo, hi] for lo, hi in self._bounds],
             "max_staleness": self.max_staleness,
             "address": f"{self.host}:{self.port}",
+            "checkpoint_dir": (
+                self._ckpt_policy.dir if self._ckpt_policy is not None else None
+            ),
         }
 
     def close(self) -> None:
@@ -570,8 +902,25 @@ class ShardServer:
             except OSError:  # pragma: no cover - defensive
                 pass
         self._accept_thread.join(timeout=2.0)
+        if self._ckpt_thread is not None:
+            self._ckpt_event.set()
+            self._ckpt_thread.join(timeout=2.0)
+        leaked = 0
         for t in self._threads:
             t.join(timeout=2.0)
+            if t.is_alive():
+                leaked += 1
+        if leaked:
+            # A handler that outlives its 2s join grace is a wedged
+            # daemon we are abandoning — make the leak measurable (the
+            # trainer flushes this counter into the manifest) and loud.
+            with self._cv:
+                self.counters[keys.PS_HANDLER_THREADS_LEAKED] += leaked
+            _log.warning(
+                "parameter server abandoned %d handler thread(s) that did "
+                "not join within 2.0s",
+                leaked,
+            )
 
     def __enter__(self) -> "ShardServer":
         return self

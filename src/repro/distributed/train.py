@@ -15,10 +15,19 @@ The epoch barrier is the ordered TCP stream itself: a worker's pushes
 all precede its ``EPOCH_DONE`` on its own connection, so once every
 live worker has arrived the server's shards are quiescent and the
 parent snapshots, evaluates, scrubs or publishes without stopping any
-clock.  Recovery replaces the *pool*, never the server: worker
-processes are torn down and respawned against the same shard state
-(``node-kill`` mid-epoch costs the partial epoch, not the model), and
-the server's reconnect/reap counters record the churn.
+clock.  Recovery covers both tiers.  Worker recovery replaces the
+*pool*: worker processes are torn down and respawned against the same
+shard state (``node-kill`` mid-epoch costs the partial epoch, not the
+model), and the server's reconnect/reap counters record the churn.
+Server recovery is **crash-restart failover**: with checkpointing
+configured (and the server in its own process — automatic whenever
+server faults are planned), a dead or wedged server is respawned from
+the newest valid checkpoint, its new port is broadcast to the workers
+through a shared cell, and the epoch is replayed; the failover draws
+from the same ``max_restarts`` budget as a pool rebuild.  Wire faults
+(``conn-drop`` / ``frame-delay`` / ``frame-corrupt``) are cheaper
+still: the workers heal them in place by reconnect-and-resume, no
+recovery action and no budget at all.
 """
 
 from __future__ import annotations
@@ -37,9 +46,11 @@ from ..sgd.config import SGDConfig
 from ..sgd.convergence import LossCurve
 from ..telemetry import keys
 from ..telemetry.session import AnyTelemetry, ensure_telemetry
-from ..utils.errors import ConfigurationError, WorkerError
+from ..utils.errors import ConfigurationError, ServerDiedError, WorkerError
 from ..utils.rng import DEFAULT_SEED
+from .checkpoint import CheckpointPolicy
 from .server import ShardServer, default_ps_shards
+from .supervisor import LocalServerHandle, RemoteServerHandle
 from .worker import worker_main
 
 __all__ = ["PsSchedule", "PsTrainResult", "train_ps", "default_ps_nodes"]
@@ -74,6 +85,22 @@ class PsSchedule:
         Seconds the parent waits for an epoch barrier before declaring
         the pool dead.  Workers wait untimed — liveness is the
         parent's job.
+    checkpoint_dir:
+        Directory for the server's versioned shard checkpoints.
+        ``None`` (the default) disables checkpointing — and with it,
+        server failover.
+    checkpoint_every:
+        Background-checkpoint trigger in pushes since the last write
+        (``None`` = no item trigger; the parent's epoch-boundary
+        flushes still run whenever ``checkpoint_dir`` is set).
+    checkpoint_seconds:
+        Background-checkpoint trigger in seconds since the last write
+        (``None`` = no time trigger).
+    server_process:
+        Run the shard server in its own supervised process (the
+        failover-capable topology).  Forced on when the fault plan
+        carries server-level kinds; off by default — the in-process
+        server has no extra hop and no new failure modes.
     """
 
     nodes: int
@@ -81,6 +108,10 @@ class PsSchedule:
     max_staleness: int | None = None
     batch_size: int = 1
     epoch_timeout: float = 120.0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int | None = None
+    checkpoint_seconds: float | None = None
+    server_process: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -99,6 +130,30 @@ class PsSchedule:
             raise ConfigurationError(
                 f"epoch_timeout must be positive, got {self.epoch_timeout}"
             )
+        if self.checkpoint_dir is None and (
+            self.checkpoint_every is not None
+            or self.checkpoint_seconds is not None
+        ):
+            raise ConfigurationError(
+                "checkpoint triggers need a checkpoint_dir to write into"
+            )
+        if self.checkpoint_dir is not None:
+            # Delegate trigger validation; raises ConfigurationError.
+            CheckpointPolicy(
+                self.checkpoint_dir,
+                every_items=self.checkpoint_every,
+                every_seconds=self.checkpoint_seconds,
+            )
+
+    def checkpoint_policy(self) -> CheckpointPolicy | None:
+        """The schedule's checkpoint fields as a server policy."""
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointPolicy(
+            self.checkpoint_dir,
+            every_items=self.checkpoint_every,
+            every_seconds=self.checkpoint_seconds,
+        )
 
 
 @dataclass
@@ -130,6 +185,11 @@ class PsTrainResult:
     #: Epochs executed degraded: fewer nodes than requested, or on a
     #: NaN-scrubbed snapshot.
     degraded_epochs: int = 0
+    #: Crash-restart failovers of the shard server performed.
+    server_failovers: int = 0
+    #: Wall seconds from the last failover's detection to the first
+    #: post-recovery push (``None`` when no failover completed).
+    time_to_repair_seconds: float | None = None
     #: Chronological recovery trajectory, recorded into run manifests.
     recovery: list[dict] = field(default_factory=list)
 
@@ -152,16 +212,16 @@ class PsTrainResult:
         return self.counters.get(keys.PS_PULL_ROUNDS, 0.0) / updates
 
 
-def _wait_epoch(
-    server: ShardServer, procs: list, timeout: float, epoch: int
-) -> None:
+def _wait_epoch(server, procs: list, timeout: float, epoch: int) -> None:
     """Block until every live node finished *epoch*, with a watchdog.
 
-    Mirrors the shm backend's barrier blame semantics: a node process
-    that exits before arriving raises a structured
-    :class:`WorkerError` within ~100 ms (worker id + exit code); a pure
-    timeout — a stalled node leaves no corpse — raises with
-    ``worker_id=None``.
+    *server* is either server handle (the remote one turns each
+    ``epoch_reached`` poll into a liveness probe, so a crashed or
+    wedged server surfaces here as :class:`ServerDiedError`).  Mirrors
+    the shm backend's barrier blame semantics: a node process that
+    exits before arriving raises a structured :class:`WorkerError`
+    within ~100 ms (worker id + exit code); a pure timeout — a stalled
+    node leaves no corpse — raises with ``worker_id=None``.
     """
     deadline = time.perf_counter() + timeout
     while True:
@@ -255,6 +315,26 @@ def train_ps(
         if fault_plan
         else {}
     )
+    wire_assignments: dict[int, list[dict[str, Any]]] = (
+        fault_plan.resolve_wire(
+            requested_nodes, run_seed=seed, epoch_timeout=schedule.epoch_timeout
+        )
+        if fault_plan
+        else {}
+    )
+    server_specs: list[dict[str, Any]] = (
+        fault_plan.resolve_server(epoch_timeout=schedule.epoch_timeout)
+        if fault_plan
+        else []
+    )
+    ckpt_policy = schedule.checkpoint_policy()
+    if server_specs and ckpt_policy is None:
+        raise ConfigurationError(
+            "server faults need checkpointing (set checkpoint_dir): killing "
+            "an uncheckpointed server would silently restart training from "
+            "scratch instead of exercising failover"
+        )
+    use_server_process = schedule.server_process or bool(server_specs)
 
     init_params = np.asarray(init_params, dtype=np.float64)
     with np.errstate(over="ignore"):
@@ -270,12 +350,38 @@ def train_ps(
         else default_ps_shards(init_params.shape[0])
     )
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    server = ShardServer(
-        init_params,
-        shards,
-        max_staleness=schedule.max_staleness,
-        expected_workers=requested_nodes,
+    # Every worker must finish its pass before a server fault fires:
+    # the trigger is the run's per-epoch push count, halved server-side.
+    pushes_per_epoch = sum(
+        -(-np.arange(k, n, requested_nodes).shape[0] // schedule.batch_size)
+        for k in range(requested_nodes)
     )
+    if use_server_process:
+        handle = RemoteServerHandle(
+            ctx,
+            init_params=init_params,
+            shards=shards,
+            max_staleness=schedule.max_staleness,
+            expected_workers=requested_nodes,
+            checkpoint=ckpt_policy,
+            server_faults=server_specs,
+            pushes_per_epoch=pushes_per_epoch if server_specs else None,
+            probe_timeout=min(5.0, max(0.5, schedule.epoch_timeout / 4.0)),
+        )
+    else:
+        handle = LocalServerHandle(
+            ShardServer(
+                init_params,
+                shards,
+                max_staleness=schedule.max_staleness,
+                expected_workers=requested_nodes,
+                checkpoint=ckpt_policy,
+            )
+        )
+    # The workers' view of the server address: a failover respawns the
+    # server on a fresh port and rewrites this cell, and every redial
+    # re-reads it — the broadcast that makes mid-run healing possible.
+    port_cell = ctx.Value("i", handle.port)
     procs: list = []
     diverged = False
     epochs_run = 0
@@ -286,6 +392,8 @@ def train_ps(
     restarts = 0
     repartitions = 0
     degraded_epochs = 0
+    server_failovers = 0
+    server_faults_fired = 0
     recovery_log: list[dict] = []
 
     def _spawn(next_epoch: int) -> None:
@@ -300,8 +408,8 @@ def train_ps(
                 target=worker_main,
                 name=f"ps-node-{k}",
                 args=(
-                    server.host,
-                    server.port,
+                    handle.host,
+                    port_cell,
                     model,
                     X,
                     y,
@@ -314,6 +422,7 @@ def train_ps(
                     seed,
                     tuple(assignments.get(k, ())),
                     next_epoch - 1,
+                    tuple(wire_assignments.get(k, ())),
                 ),
             )
             for k in range(active_nodes)
@@ -342,76 +451,123 @@ def train_ps(
             epoch = 1
             while epoch <= config.max_epochs:
                 t0 = time.perf_counter()
-                server.release_epoch(epoch)
+                scrubbed = 0
                 try:
-                    _wait_epoch(server, procs, timeout, epoch)
-                except WorkerError as err:
-                    _teardown_nodes(procs)
+                    handle.release_epoch(epoch)
+                    try:
+                        _wait_epoch(handle, procs, timeout, epoch)
+                    except WorkerError as err:
+                        _teardown_nodes(procs)
+                        if recovery is None or recoveries_used >= budget:
+                            raise
+                        recoveries_used += 1
+                        timeout *= recovery.backoff
+                        if (
+                            err.worker_id is not None
+                            and recovery.mode == "repartition"
+                            and active_nodes > 1
+                        ):
+                            # The dead node's examples round-robin onto
+                            # the survivors; capacity degrades, coverage
+                            # does not.  The shard state stays put on
+                            # the server.
+                            active_nodes -= 1
+                            repartitions += 1
+                            action = "repartition"
+                        else:
+                            restarts += 1
+                            action = "respawn"
+                        # Faults at or before the interrupted epoch had
+                        # their chance; they must not re-fire on the
+                        # rebuilt pool re-running this epoch.
+                        assignments = {
+                            k: [s for s in v if s["epoch"] > epoch]
+                            for k, v in assignments.items()
+                        }
+                        recovery_log.append(
+                            {
+                                "action": action,
+                                "epoch": epoch,
+                                "nodes": active_nodes,
+                                "epoch_timeout": timeout,
+                                "cause": err.describe(),
+                            }
+                        )
+                        handle.reset_pool(active_nodes)
+                        _spawn(epoch)
+                        continue
+                    if ckpt_policy is not None:
+                        # Boundary checkpoint: makes "replay the
+                        # interrupted epoch" the worst case after any
+                        # later server death.
+                        handle.checkpoint_boundary()
+                    # Every live node is blocked at the epoch barrier
+                    # and all its pushes preceded its EPOCH_DONE on the
+                    # same ordered stream: the shards are quiescent
+                    # while the loss is evaluated — excluded from epoch
+                    # time.
+                    params_now = handle.snapshot()
+                    finite = bool(np.all(np.isfinite(params_now)))
+                    if (
+                        not finite
+                        and recovery is not None
+                        and recovery.scrub_nans
+                        and recoveries_used < budget
+                    ):
+                        bad = ~np.isfinite(params_now)
+                        params_now[bad] = last_good[bad]
+                        handle.write_params(params_now)
+                        scrubbed = int(bad.sum())
+                        finite = True
+                except ServerDiedError as err:
+                    # Crash-restart failover.  The workers are NOT torn
+                    # down: each one's next frame fails, it redials the
+                    # port cell, resumes from its server-side clock and
+                    # replays only the unacknowledged tail.
                     if recovery is None or recoveries_used >= budget:
                         raise
                     recoveries_used += 1
                     timeout *= recovery.backoff
-                    if (
-                        err.worker_id is not None
-                        and recovery.mode == "repartition"
-                        and active_nodes > 1
-                    ):
-                        # The dead node's examples round-robin onto the
-                        # survivors; capacity degrades, coverage does
-                        # not.  The shard state stays put on the server.
-                        active_nodes -= 1
-                        repartitions += 1
-                        action = "repartition"
-                    else:
-                        restarts += 1
-                        action = "respawn"
-                    # Faults at or before the interrupted epoch had
-                    # their chance; they must not re-fire on the
-                    # rebuilt pool re-running this epoch.
-                    assignments = {
-                        k: [s for s in v if s["epoch"] > epoch]
-                        for k, v in assignments.items()
-                    }
+                    server_failovers += 1
+                    # The fault that killed this generation must not
+                    # re-arm on the respawned server: drop the first
+                    # spec that was due.  SIGKILL loses the server-side
+                    # FAULT_INJECTED bump, so the parent counts it.
+                    due = next(
+                        (
+                            i
+                            for i, s in enumerate(server_specs)
+                            if s["epoch"] <= epoch
+                        ),
+                        None,
+                    )
+                    if due is not None:
+                        del server_specs[due]
+                        server_faults_fired += 1
                     recovery_log.append(
                         {
-                            "action": action,
+                            "action": "server_failover",
                             "epoch": epoch,
                             "nodes": active_nodes,
                             "epoch_timeout": timeout,
                             "cause": err.describe(),
                         }
                     )
-                    server.reset_pool(active_nodes)
-                    _spawn(epoch)
+                    port_cell.value = handle.respawn(server_faults=server_specs)
                     continue
                 epoch_walls.append(time.perf_counter() - t0)
                 epochs_run = epoch
                 tel.count(keys.EPOCHS)
-                # Every live node is blocked at the epoch barrier and
-                # all its pushes preceded its EPOCH_DONE on the same
-                # ordered stream: the shards are quiescent while the
-                # loss is evaluated — excluded from epoch time.
                 degraded = active_nodes < requested_nodes
-                params_now = server.snapshot()
                 stop = epoch == config.max_epochs
-                finite = bool(np.all(np.isfinite(params_now)))
-                if (
-                    not finite
-                    and recovery is not None
-                    and recovery.scrub_nans
-                    and recoveries_used < budget
-                ):
+                if scrubbed:
                     recoveries_used += 1
-                    bad = ~np.isfinite(params_now)
-                    params_now[bad] = last_good[bad]
-                    server.write_params(params_now)
                     degraded = True
-                    finite = True
                     recovery_log.append(
                         {
                             "action": "nan_scrub",
                             "epoch": epoch,
-                            "coordinates": int(bad.sum()),
+                            "coordinates": scrubbed,
                         }
                     )
                 if not finite:
@@ -446,46 +602,70 @@ def train_ps(
 
         # Release the pool into a clean exit: every node's barrier ack
         # carries the stop flag, each answers with BYE and exits 0.
-        server.release_epoch(epochs_run, stop=True)
-        deadline = time.perf_counter() + timeout
-        for p in procs:
-            p.join(max(0.1, deadline - time.perf_counter()))
-        hung = [(k, p) for k, p in enumerate(procs) if p.is_alive()]
-        if hung:
-            if recovery is None:  # pragma: no cover - defensive
-                raise WorkerError(
-                    f"{len(hung)} parameter-server node(s) failed to exit",
-                    phase="join",
+        try:
+            handle.release_epoch(epochs_run, stop=True)
+            deadline = time.perf_counter() + timeout
+            for p in procs:
+                p.join(max(0.1, deadline - time.perf_counter()))
+            hung = [(k, p) for k, p in enumerate(procs) if p.is_alive()]
+            if hung:
+                if recovery is None:  # pragma: no cover - defensive
+                    raise WorkerError(
+                        f"{len(hung)} parameter-server node(s) failed to exit",
+                        phase="join",
+                    )
+                for _, p in hung:
+                    p.terminate()
+                    p.join()
+                recovery_log.append(
+                    {
+                        "action": "stragglers_terminated",
+                        "epoch": epochs_run,
+                        "nodes": [k for k, _ in hung],
+                    }
                 )
-            for _, p in hung:
-                p.terminate()
-                p.join()
+            params = handle.snapshot()
+        except ServerDiedError as err:
+            # The run's result is already recorded; a server death
+            # during the exit handshake costs only the stragglers
+            # (torn down below) and the final snapshot falls back to
+            # the last finite one.
             recovery_log.append(
                 {
-                    "action": "stragglers_terminated",
+                    "action": "server_lost_at_exit",
                     "epoch": epochs_run,
-                    "nodes": [k for k, _ in hung],
+                    "cause": err.describe(),
                 }
             )
-        params = server.snapshot()
+            params = last_good.copy()
     finally:
         _teardown_nodes(procs)
-        server.close()
+        handle.close()
 
     wall_total = float(sum(epoch_walls))
     wall_per_epoch = wall_total / max(1, len(epoch_walls))
-    counter_totals = dict(server.counters)
+    counter_totals = handle.counters()
     counter_totals.setdefault(keys.UPDATES_APPLIED, 0.0)
     counter_totals[keys.GRAD_EVALS] = counter_totals[keys.UPDATES_APPLIED]
     counter_totals[keys.ASYNC_ROUNDS] = counter_totals.get(keys.PS_PUSHES, 0.0)
-    counter_totals[keys.FAULT_INJECTED] = float(server.faults_reported)
+    counter_totals[keys.FAULT_INJECTED] = float(
+        handle.faults_reported + server_faults_fired
+    )
     counter_totals[keys.FAULT_WORKER_RESTARTS] = float(restarts)
     counter_totals[keys.FAULT_REPARTITIONS] = float(repartitions)
     counter_totals[keys.FAULT_DEGRADED_EPOCHS] = float(degraded_epochs)
+    counter_totals[keys.PS_SERVER_FAILOVERS] = float(server_failovers)
+    repairs = list(getattr(handle, "repairs", ()))
+    for entry, seconds in zip(
+        (e for e in recovery_log if e["action"] == "server_failover"), repairs
+    ):
+        entry["time_to_repair_seconds"] = seconds
     for key, value in counter_totals.items():
         tel.count(key, value)
     tel.set_gauge(keys.WALL_SECONDS_PER_EPOCH, wall_per_epoch)
     tel.set_gauge(keys.WALL_SECONDS_TOTAL, wall_total)
+    if repairs:
+        tel.set_gauge(keys.PS_TIME_TO_REPAIR_SECONDS, repairs[-1])
     if counter_totals[keys.UPDATES_APPLIED]:
         tel.set_gauge(
             keys.PS_PULL_ROUNDS_PER_UPDATE,
@@ -509,5 +689,7 @@ def train_ps(
         restarts=restarts,
         repartitions=repartitions,
         degraded_epochs=degraded_epochs,
+        server_failovers=server_failovers,
+        time_to_repair_seconds=repairs[-1] if repairs else None,
         recovery=recovery_log,
     )

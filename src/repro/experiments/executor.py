@@ -623,15 +623,29 @@ class GridExecutor:
         tel.set_gauge(keys.GRID_POOL_WORKERS, ctx.jobs)
         try:
             futures = []
-            for index, job in enumerate(to_run, start=1):
-                payload = job.payload
-                if index in faults:
-                    payload = {
-                        **payload,
-                        "grid_fault": faults[index],
-                        "grid_attempt": 1,
-                    }
-                futures.append((job, pool.submit(_execute_job, payload)))
+            try:
+                for index, job in enumerate(to_run, start=1):
+                    payload = job.payload
+                    if index in faults:
+                        payload = {
+                            **payload,
+                            "grid_fault": faults[index],
+                            "grid_attempt": 1,
+                        }
+                    futures.append((job, pool.submit(_execute_job, payload)))
+            except BrokenProcessPool as exc:
+                # A warm pool's workers start immediately, so a cell
+                # that kills its worker can poison the pool while the
+                # parent is still submitting — submit() then raises
+                # instead of the future.  Same structured translation
+                # as the collect loop below.
+                tel.count(keys.GRID_WORKER_FAILURES)
+                self._flush_completed(futures)
+                raise WorkerError(
+                    "grid worker process died abruptly "
+                    f"(while submitting cell {job.cell.label()}): {exc}",
+                    phase="pool",
+                ) from exc
             # Collect in submission order: the telemetry merge and the
             # cache fill become deterministic regardless of scheduling.
             for job, future in futures:

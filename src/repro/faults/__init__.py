@@ -16,7 +16,11 @@ experiment-grid executor, and :class:`CellRetryPolicy` bounds how hard
 the grid retries a failing cell before quarantining it
 (see ``docs/RESILIENCE.md``) — and one layer out: node-level kinds
 (``node-kill`` / ``node-stall``) target whole worker processes of the
-distributed parameter-server backend (see ``docs/DISTRIBUTED.md``).
+distributed parameter-server backend (see ``docs/DISTRIBUTED.md``),
+server-level kinds (``server-kill`` / ``server-stall``) target the
+shard server itself, and wire-level kinds (``conn-drop`` /
+``frame-delay`` / ``frame-corrupt``) target one worker's connection
+through the seeded lossy-wire wrapper.
 """
 
 from .plan import (
@@ -24,6 +28,8 @@ from .plan import (
     FAULT_KINDS,
     GRID_FAULT_KINDS,
     NODE_FAULT_KINDS,
+    SERVER_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
 )
@@ -33,6 +39,8 @@ __all__ = [
     "FAULT_KINDS",
     "GRID_FAULT_KINDS",
     "NODE_FAULT_KINDS",
+    "SERVER_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
     "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",

@@ -60,6 +60,43 @@ speaking the binary wire protocol instead of sharing a segment:
     The worker wedges mid-epoch for longer than the parent's epoch
     timeout (default ``3 x epoch_timeout``), so the parent watchdog
     must declare the epoch dead and respawn.
+
+Two further families complete the parameter-server failure model.
+*Server-level* kinds target the shard server itself (no ``worker``
+token — there is exactly one server; they require the server to run
+in its own process with checkpointing configured, see
+docs/RESILIENCE.md):
+
+``server-kill``
+    The server process SIGKILLs itself halfway through epoch
+    ``epoch``'s pushes — the crash the checkpoint/failover machinery
+    exists for.  The parent detects the dead control socket, respawns
+    the server from the newest valid checkpoint on a fresh port, and
+    the workers reconnect and replay.
+``server-stall``
+    Every server handler wedges for ``seconds`` (default ``3 x
+    epoch_timeout``) starting mid-epoch, so the parent's liveness
+    probe must time out and drive the same crash-restart failover —
+    a wedged server and a dead server heal identically.
+
+*Wire-level* kinds target one worker's connection (``worker``/``epoch``
+semantics match the node kinds; resolved by
+:meth:`FaultPlan.resolve_wire` and injected through the seeded
+:class:`~repro.distributed.lossy.FaultyWire` socket wrapper):
+
+``conn-drop``
+    The worker's connection closes right before a frame leaves; the
+    worker heals it alone — reconnect, rewind to the server's resume
+    clock, replay the in-flight item (``ps.reconnects_midrun``), no
+    recovery budget consumed.
+``frame-delay``
+    One frame is sent ``seconds`` late (default 50 ms) — latency the
+    run must absorb with no recovery action.
+``frame-corrupt``
+    One seeded payload byte of a frame is flipped; the receiver's
+    CRC32 rejects the frame (``ps.frames_rejected``) and drops the
+    connection — the corrupted push is never applied, and the worker
+    heals like a drop.
 """
 
 from __future__ import annotations
@@ -74,6 +111,8 @@ __all__ = [
     "FAULT_KINDS",
     "GRID_FAULT_KINDS",
     "NODE_FAULT_KINDS",
+    "SERVER_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
     "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
@@ -92,8 +131,24 @@ GRID_FAULT_KINDS: tuple[str, ...] = ("cell-kill", "cell-stall", "cell-nan")
 #: kinds; resolved by :meth:`FaultPlan.resolve_nodes`).
 NODE_FAULT_KINDS: tuple[str, ...] = ("node-kill", "node-stall")
 
+#: Failure modes of the shard server itself (one server per run, so no
+#: ``worker`` token; resolved by :meth:`FaultPlan.resolve_server` and
+#: requiring the server-process + checkpointing failover machinery).
+SERVER_FAULT_KINDS: tuple[str, ...] = ("server-kill", "server-stall")
+
+#: Wire-level failure modes injected into one worker's connection by
+#: the seeded :class:`~repro.distributed.lossy.FaultyWire` wrapper
+#: (resolved by :meth:`FaultPlan.resolve_wire`).
+WIRE_FAULT_KINDS: tuple[str, ...] = ("conn-drop", "frame-delay", "frame-corrupt")
+
 #: Every kind a :class:`FaultSpec` accepts.
-ALL_FAULT_KINDS: tuple[str, ...] = FAULT_KINDS + GRID_FAULT_KINDS + NODE_FAULT_KINDS
+ALL_FAULT_KINDS: tuple[str, ...] = (
+    FAULT_KINDS
+    + GRID_FAULT_KINDS
+    + NODE_FAULT_KINDS
+    + SERVER_FAULT_KINDS
+    + WIRE_FAULT_KINDS
+)
 
 #: Barrier-arrival delay (seconds) when a ``delay`` spec omits its own.
 DEFAULT_DELAY_SECONDS = 0.05
@@ -319,6 +374,72 @@ class FaultPlan:
                 {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
             )
         return assigned
+
+    def resolve_wire(
+        self, nodes: int, *, run_seed: int, epoch_timeout: float
+    ) -> dict[int, list[dict[str, Any]]]:
+        """Pin wire-level specs to concrete parameter-server workers.
+
+        Same shape as :meth:`resolve_nodes` but for
+        :data:`WIRE_FAULT_KINDS`, with its own derivation stream
+        (``faults/wire/<nodes>``) so mixing node and wire kinds in one
+        plan resolves each family independently.  A ``frame-delay``
+        with no explicit duration uses :data:`DEFAULT_DELAY_SECONDS`;
+        drops and corruptions are instantaneous.
+        """
+        rng = derive_rng(
+            self.seed if self.seed is not None else run_seed,
+            f"faults/wire/{nodes}",
+        )
+        assigned: dict[int, list[dict[str, Any]]] = {}
+        for spec in self.specs:
+            if spec.kind not in WIRE_FAULT_KINDS:
+                continue
+            worker = spec.worker if spec.worker is not None else int(
+                rng.integers(nodes)
+            )
+            if worker >= nodes:
+                raise ConfigurationError(
+                    f"fault targets node {worker} but the run has only "
+                    f"{nodes} node(s)"
+                )
+            seconds = spec.seconds
+            if seconds is None:
+                seconds = (
+                    DEFAULT_DELAY_SECONDS if spec.kind == "frame-delay" else 0.0
+                )
+            assigned.setdefault(worker, []).append(
+                {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
+            )
+        return assigned
+
+    def resolve_server(
+        self, *, epoch_timeout: float
+    ) -> list[dict[str, Any]]:
+        """Pin server-level specs to concrete firing parameters.
+
+        Returns ``[{kind, epoch, seconds}, ...]`` ready to ship to the
+        shard-server process.  There is exactly one server, so no
+        worker choice (and no RNG stream) is involved; a
+        ``server-stall`` with no explicit duration wedges for
+        :data:`STALL_TIMEOUT_FACTOR` x *epoch_timeout* — guaranteed to
+        outlive the parent's liveness probe.
+        """
+        resolved: list[dict[str, Any]] = []
+        for spec in self.specs:
+            if spec.kind not in SERVER_FAULT_KINDS:
+                continue
+            seconds = spec.seconds
+            if seconds is None:
+                seconds = (
+                    epoch_timeout * STALL_TIMEOUT_FACTOR
+                    if spec.kind == "server-stall"
+                    else 0.0
+                )
+            resolved.append(
+                {"kind": spec.kind, "epoch": spec.epoch, "seconds": float(seconds)}
+            )
+        return resolved
 
     def resolve_grid(self, jobs: int) -> dict[int, dict[str, Any]]:
         """Pin grid-level specs to job indices for the grid executor.

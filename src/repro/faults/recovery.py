@@ -44,7 +44,10 @@ class RecoveryPolicy:
     Attributes
     ----------
     max_restarts:
-        Total recovery budget (respawns + repartitions + NaN scrubs).
+        Total recovery budget (respawns + repartitions + NaN scrubs;
+        in the parameter-server backend, server failovers draw from
+        this same budget — a run that restarts its server once has one
+        fewer worker rebuild left).
         ``0`` disables recovery — identical to passing no policy.
     backoff:
         Epoch-timeout multiplier applied at every pool rebuild

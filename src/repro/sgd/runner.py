@@ -320,6 +320,10 @@ def train(
     nodes: int | None = None,
     shards: int | None = None,
     max_staleness: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_seconds: float | None = None,
+    server_process: bool = False,
     epoch_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     max_restarts: int = 0,
@@ -395,6 +399,21 @@ def train(
         more than this far ahead of the slowest live worker blocks on
         pull.  ``None`` (the default) is the unbounded fast-async
         regime; ``0`` is lock-step.  ps only.
+    checkpoint_dir:
+        ps backend: directory for the server's versioned shard
+        checkpoints.  Enables epoch-boundary checkpointing and — with
+        server faults or ``server_process`` — crash-restart failover.
+        ps only.
+    checkpoint_every:
+        ps backend: background-checkpoint trigger in pushes since the
+        last write (requires ``checkpoint_dir``).  ps only.
+    checkpoint_seconds:
+        ps backend: background-checkpoint trigger in seconds since the
+        last write (requires ``checkpoint_dir``).  ps only.
+    server_process:
+        ps backend: run the shard server in its own supervised process
+        (the failover-capable topology); forced on automatically when
+        the fault plan carries server-level kinds.  ps only.
     epoch_timeout:
         Measured backends: seconds the parent waits for an epoch
         barrier before declaring the run dead (default 120).
@@ -490,6 +509,10 @@ def train(
             "nodes": nodes is not None,
             "shards": shards is not None,
             "max_staleness": max_staleness is not None,
+            "checkpoint_dir": checkpoint_dir is not None,
+            "checkpoint_every": checkpoint_every is not None,
+            "checkpoint_seconds": checkpoint_seconds is not None,
+            "server_process": server_process is not False,
         }
         offending = [name for name, set_ in ps_only.items() if set_]
         if offending:
@@ -680,6 +703,10 @@ def train(
                 "shards": shards,
                 "max_staleness": max_staleness,
                 "batch_size": batch_size,
+                "checkpoint_dir": checkpoint_dir,
+                "checkpoint_every": checkpoint_every,
+                "checkpoint_seconds": checkpoint_seconds,
+                "server_process": server_process,
             }
             if epoch_timeout is not None:
                 schedule_kwargs["epoch_timeout"] = epoch_timeout
@@ -731,9 +758,13 @@ def train(
                 "wall_seconds_per_epoch": ps_res.wall_seconds_per_epoch,
                 "wall_seconds_total": ps_res.wall_seconds_total,
                 "counters": dict(ps_res.counters),
+                "checkpoint_dir": ps_schedule.checkpoint_dir,
+                "server_process": ps_schedule.server_process,
                 "restarts": ps_res.restarts,
                 "repartitions": ps_res.repartitions,
                 "degraded_epochs": ps_res.degraded_epochs,
+                "server_failovers": ps_res.server_failovers,
+                "time_to_repair_seconds": ps_res.time_to_repair_seconds,
                 "recovery": list(ps_res.recovery),
                 "fault_plan": fault_plan.describe() if fault_plan else None,
                 "max_restarts": max_restarts,

@@ -104,8 +104,15 @@ __all__ = [
     "PS_SHARD_CACHE_HITS",
     "PS_PULL_WAITS",
     "PS_RECONNECTS",
+    "PS_RECONNECTS_MIDRUN",
     "PS_CONNECT_RETRIES",
     "PS_DEAD_WORKERS_REAPED",
+    "PS_FRAMES_REJECTED",
+    "PS_CHECKPOINTS_WRITTEN",
+    "PS_CHECKPOINTS_RESTORED",
+    "PS_SERVER_FAILOVERS",
+    "PS_HANDLER_THREADS_LEAKED",
+    "PS_TIME_TO_REPAIR_SECONDS",
     "PS_PULL_ROUNDS_PER_UPDATE",
     "PS_STALENESS_BUCKET_PREFIX",
     "ps_staleness_bucket",
@@ -399,6 +406,41 @@ PS_PULL_WAITS = "ps.pull_waits"
 #: Worker registrations for an id the server had already seen — a
 #: respawned worker re-joining after a recovery action.
 PS_RECONNECTS = "ps.reconnects"
+
+#: The subset of :data:`PS_RECONNECTS` performed by a *live* worker
+#: healing its own dropped connection mid-run (HELLO carries the
+#: reconnect flag) — a server failover or an injected ``conn-drop``
+#: absorbed without any parent recovery action.
+PS_RECONNECTS_MIDRUN = "ps.reconnects_midrun"
+
+#: Frames the server refused to act on — CRC mismatch, bad framing, or
+#: a malformed payload (:class:`~repro.distributed.protocol.WireProtocolError`).
+#: The connection is dropped, the push is never applied, and the worker
+#: heals by reconnect-and-replay.
+PS_FRAMES_REJECTED = "ps.frames_rejected"
+
+#: Checkpoints the shard server's background writer (or a
+#: parent-triggered epoch-boundary flush) persisted to disk.
+PS_CHECKPOINTS_WRITTEN = "ps.checkpoints_written"
+
+#: Server starts seeded from an on-disk checkpoint instead of the
+#: initial parameters — one per crash-restart failover (and one for an
+#: explicit warm start).
+PS_CHECKPOINTS_RESTORED = "ps.checkpoints_restored"
+
+#: Crash-restart failovers the parent supervisor performed: server
+#: declared dead (exit or liveness-probe timeout), respawned from the
+#: newest valid checkpoint on a fresh port.
+PS_SERVER_FAILOVERS = "ps.server_failovers"
+
+#: Handler threads still alive after ``ShardServer.close()`` exhausted
+#: its join timeout — a wedged handler the teardown had to abandon.
+PS_HANDLER_THREADS_LEAKED = "ps.handler_threads_leaked"
+
+#: Gauge: seconds from the parent detecting server death to the first
+#: push applied by the restored server (the failover's time-to-repair;
+#: the last failover of the run wins).
+PS_TIME_TO_REPAIR_SECONDS = "ps.time_to_repair_seconds"
 
 #: Failed dial attempts workers sat out (with exponential backoff)
 #: before their connection succeeded — reconnect storms made visible.

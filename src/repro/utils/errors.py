@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "DataFormatError",
     "DivergenceError",
+    "ServerDiedError",
     "SnapshotUnavailableError",
     "TraceError",
     "WorkerError",
@@ -120,6 +121,43 @@ class SnapshotUnavailableError(ReproError, RuntimeError):
             "message": str(self),
             "reason": self.reason,
             "retriable": self.retriable,
+        }
+
+
+class ServerDiedError(ReproError, RuntimeError):
+    """The parameter-server process died or stopped answering probes.
+
+    Raised by the parent's control-plane proxy when the shard server's
+    process exits, its control socket drops, or a liveness probe times
+    out (a wedged server counts as dead — crash-restart failover covers
+    stalls and crashes with one mechanism).  The parent supervisor
+    catches it and, budget permitting, respawns the server from the
+    newest valid checkpoint; without a recovery policy it surfaces as a
+    fatal :class:`WorkerError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str | None = None,
+        epoch: int | None = None,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Control operation that observed the death ("probe",
+        #: "release", "snapshot", "spawn", ...).
+        self.phase = phase
+        self.epoch = epoch
+        self.exitcode = exitcode
+
+    def describe(self) -> dict:
+        """Plain-dict form recorded into recovery trajectories."""
+        return {
+            "message": str(self),
+            "phase": self.phase,
+            "epoch": self.epoch,
+            "exitcode": self.exitcode,
         }
 
 

@@ -1,0 +1,157 @@
+"""Tests for the shard server's atomic, versioned checkpoint files."""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.distributed.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointState,
+    checkpoint_path,
+    load_latest,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def _write(directory, seq, *, n=16, epoch=3, boundary=False, scale=1.0):
+    params = np.linspace(-1, 1, n) * scale
+    return write_checkpoint(
+        directory,
+        seq,
+        params=params,
+        versions=[seq * 10, seq * 10 + 1],
+        released_epoch=epoch,
+        clocks={0: 100 * seq, 3: 7},
+        boundary=boundary,
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_empty_dir(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(dir="")
+
+    def test_rejects_bad_item_trigger(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(dir="/tmp/x", every_items=0)
+
+    def test_rejects_bad_time_trigger(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(dir="/tmp/x", every_seconds=0.0)
+
+    def test_triggerless_policy_is_valid(self):
+        # Only the parent's epoch-boundary flushes persist.
+        CheckpointPolicy(dir="/tmp/x")
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = _write(str(tmp_path), 4, epoch=9, boundary=True)
+        state = read_checkpoint(path)
+        assert isinstance(state, CheckpointState)
+        assert np.array_equal(state.params, np.linspace(-1, 1, 16))
+        assert state.versions == [40, 41]
+        assert state.released_epoch == 9
+        assert state.clocks == {0: 400, 3: 7}
+        assert state.boundary is True
+        assert state.seq == 4
+        assert state.path == path
+
+    def test_sequence_names_sort(self, tmp_path):
+        assert checkpoint_path(str(tmp_path), 7).endswith("ckpt-00000007.ckpt")
+        a = checkpoint_path(str(tmp_path), 9)
+        b = checkpoint_path(str(tmp_path), 10)
+        assert a < b  # zero-padding keeps lexical == numeric order
+
+    def test_no_tmp_orphans_after_clean_write(self, tmp_path):
+        _write(str(tmp_path), 1)
+        _write(str(tmp_path), 2)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_creates_directory(self, tmp_path):
+        nested = os.path.join(str(tmp_path), "a", "b")
+        path = _write(nested, 1)
+        assert os.path.exists(path)
+
+
+class TestValidation:
+    def test_truncated_rejected(self, tmp_path):
+        path = _write(str(tmp_path), 1)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-5])
+        with pytest.raises(CheckpointError, match="bytes|truncated"):
+            read_checkpoint(path)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = _write(str(tmp_path), 1)
+        blob = bytearray(open(path, "rb").read())
+        blob[-12] ^= 0xFF  # inside the params payload
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="payload checksum"):
+            read_checkpoint(path)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = _write(str(tmp_path), 1)
+        blob = bytearray(open(path, "rb").read())
+        blob[10] ^= 0x01  # inside n_params — size check or CRC catches
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = _write(str(tmp_path), 1)
+        blob = bytearray(open(path, "rb").read())
+        blob[:8] = b"NOTCKPT0"
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="magic"):
+            read_checkpoint(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(os.path.join(str(tmp_path), "nope.ckpt"))
+
+
+class TestLoadLatest:
+    def test_empty_or_missing_dir_returns_none(self, tmp_path):
+        assert load_latest(str(tmp_path)) is None
+        assert load_latest(os.path.join(str(tmp_path), "missing")) is None
+
+    def test_newest_valid_wins(self, tmp_path):
+        _write(str(tmp_path), 1, epoch=1)
+        _write(str(tmp_path), 2, epoch=2)
+        _write(str(tmp_path), 3, epoch=3)
+        state = load_latest(str(tmp_path))
+        assert state.seq == 3
+        assert state.released_epoch == 3
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        """A torn newest file degrades to its predecessor, never to
+        an error: failover prefers an older consistent cut over none."""
+        _write(str(tmp_path), 1, epoch=1)
+        path = _write(str(tmp_path), 2, epoch=2)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0x55
+        open(path, "wb").write(bytes(blob))
+        state = load_latest(str(tmp_path))
+        assert state.seq == 1
+
+    def test_tmp_orphans_ignored(self, tmp_path):
+        """A writer SIGKILLed mid-write leaves only a .tmp sibling —
+        the restore path must never consider it."""
+        _write(str(tmp_path), 1)
+        open(os.path.join(str(tmp_path), "ckpt-zzz.tmp"), "wb").write(
+            b"half-written garbage"
+        )
+        state = load_latest(str(tmp_path))
+        assert state.seq == 1
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        path = _write(str(tmp_path), 1)
+        open(path, "wb").write(struct.pack("!8s", b"PSCKPT01"))
+        assert load_latest(str(tmp_path)) is None

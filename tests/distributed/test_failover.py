@@ -1,0 +1,328 @@
+"""Tests for server checkpointing, crash-restart failover, and the
+recovery trajectory the manifest records."""
+
+import logging
+import multiprocessing as mp
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.distributed import (
+    PsSchedule,
+    RemoteServerHandle,
+    ShardServer,
+    train_ps,
+)
+from repro.distributed.checkpoint import CheckpointPolicy, load_latest
+from repro.faults import FaultPlan, RecoveryPolicy
+from repro.models import make_model
+from repro.sgd import SGDConfig
+from repro.telemetry import keys
+from repro.utils.errors import ConfigurationError, ServerDiedError
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load("covtype", "tiny")
+    model = make_model("lr", ds)
+    init = model.init_params(derive_rng(7, "pstest"))
+    return model, ds, init
+
+
+def _config(**kw):
+    defaults = dict(step_size=0.05, max_epochs=3, seed=99)
+    defaults.update(kw)
+    return SGDConfig(**defaults)
+
+
+def _ctx():
+    return mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+
+
+class TestScheduleValidation:
+    def test_checkpoint_triggers_need_dir(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            PsSchedule(nodes=1, checkpoint_every=10)
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            PsSchedule(nodes=1, checkpoint_seconds=1.0)
+
+    def test_server_faults_need_checkpointing(self, setup):
+        model, ds, init = setup
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            train_ps(
+                model, ds.X, ds.y, init, _config(),
+                PsSchedule(nodes=1, epoch_timeout=30.0),
+                fault_plan=FaultPlan.parse(["server-kill@2"]),
+                recovery=RecoveryPolicy(max_restarts=2),
+            )
+
+    def test_server_faults_need_standalone_server(self):
+        with pytest.raises(ConfigurationError, match="standalone"):
+            ShardServer(
+                np.zeros(8), 2,
+                server_faults=[{"kind": "server-kill", "epoch": 1,
+                               "seconds": 0.0}],
+                pushes_per_epoch=4,
+            )
+
+
+class TestServerCheckpointing:
+    def test_boundary_checkpoint_and_restore(self, tmp_path):
+        init = np.linspace(-2, 2, 32)
+        policy = CheckpointPolicy(dir=str(tmp_path))
+        with ShardServer(init, 4, checkpoint=policy) as server:
+            server.release_epoch(5)
+            server.write_params(init * 3)
+            path = server.checkpoint_now(boundary=True)
+            assert path is not None and os.path.exists(path)
+            assert server.counters[keys.PS_CHECKPOINTS_WRITTEN] == 1.0
+        state = load_latest(str(tmp_path))
+        assert state.boundary is True
+        assert state.released_epoch == 5
+        assert np.array_equal(state.params, init * 3)
+
+        with ShardServer(init, 4, checkpoint=policy, restore=state) as fresh:
+            assert np.array_equal(fresh.snapshot(), init * 3)
+            assert fresh.counters[keys.PS_CHECKPOINTS_RESTORED] == 1.0
+
+    def test_restore_rejects_wrong_shape(self, tmp_path):
+        init = np.zeros(16)
+        policy = CheckpointPolicy(dir=str(tmp_path))
+        with ShardServer(init, 2, checkpoint=policy) as server:
+            server.checkpoint_now(boundary=True)
+        state = load_latest(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            ShardServer(np.zeros(8), 2, restore=state)
+
+    def test_checkpoint_without_policy_is_a_noop(self):
+        with ShardServer(np.zeros(8), 2) as server:
+            assert server.checkpoint_now(boundary=True) is None
+
+
+class TestRemoteServerHandle:
+    def test_lifecycle_and_control_plane(self, tmp_path):
+        init = np.linspace(0, 1, 24)
+        handle = RemoteServerHandle(
+            _ctx(),
+            init_params=init,
+            shards=3,
+            max_staleness=None,
+            expected_workers=1,
+            checkpoint=CheckpointPolicy(dir=str(tmp_path)),
+            probe_timeout=5.0,
+        )
+        try:
+            assert handle.port > 0
+            assert np.array_equal(handle.snapshot(), init)
+            handle.write_params(init * 2)
+            assert np.array_equal(handle.snapshot(), init * 2)
+            handle.release_epoch(1)
+            assert handle.checkpoint_boundary() is True
+            assert handle.counters().get(keys.PS_CHECKPOINTS_WRITTEN) == 1.0
+            assert handle.describe()["server_process"] is True
+        finally:
+            handle.close()
+        # Clean shutdown: the child exited on its own terms, counters
+        # survived the close, no temp orphans.
+        assert handle.counters().get(keys.PS_CHECKPOINTS_WRITTEN) == 1.0
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_respawn_restores_from_checkpoint(self, tmp_path):
+        init = np.linspace(0, 1, 24)
+        handle = RemoteServerHandle(
+            _ctx(),
+            init_params=init,
+            shards=3,
+            max_staleness=None,
+            expected_workers=1,
+            checkpoint=CheckpointPolicy(dir=str(tmp_path)),
+            probe_timeout=2.0,
+        )
+        try:
+            handle.write_params(init + 7.0)
+            handle.release_epoch(2)
+            assert handle.checkpoint_boundary() is True
+            old_port = handle.port
+            handle._proc.kill()
+            with pytest.raises(ServerDiedError):
+                for _ in range(100):
+                    handle.snapshot()
+                    time.sleep(0.05)
+            new_port = handle.respawn()
+            assert new_port != 0
+            assert new_port == handle.port or old_port != new_port
+            # The restored generation holds the checkpointed cut.
+            assert np.array_equal(handle.snapshot(), init + 7.0)
+            assert (
+                handle.counters().get(keys.PS_CHECKPOINTS_RESTORED, 0.0) >= 1.0
+            )
+        finally:
+            handle.close()
+
+
+class TestServerFailover:
+    def test_server_kill_fails_over_and_finishes(self, setup, tmp_path):
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(max_epochs=4),
+            PsSchedule(nodes=2, epoch_timeout=30.0,
+                       checkpoint_dir=str(tmp_path), checkpoint_every=50),
+            fault_plan=FaultPlan.parse(["server-kill@2"]),
+            recovery=RecoveryPolicy(max_restarts=2),
+        )
+        assert res.epochs_run == 4
+        assert not res.diverged
+        assert res.server_failovers == 1
+        assert res.time_to_repair_seconds is not None
+        assert res.time_to_repair_seconds > 0
+        assert res.counters[keys.PS_SERVER_FAILOVERS] == 1.0
+        assert res.counters[keys.PS_CHECKPOINTS_RESTORED] >= 1.0
+        assert res.counters[keys.PS_RECONNECTS_MIDRUN] >= 1.0
+        assert res.faults_injected >= 1
+        failovers = [
+            e for e in res.recovery if e["action"] == "server_failover"
+        ]
+        assert len(failovers) == 1
+        assert failovers[0]["epoch"] == 2
+        assert failovers[0]["time_to_repair_seconds"] > 0
+        # Atomic writes: a SIGKILLed writer leaves no half-written
+        # final file, at most ignorable .tmp orphans — and a clean
+        # parent run unlinks even those on the next write.
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".ckpt")]
+
+    def test_server_kill_without_recovery_raises(self, setup, tmp_path):
+        model, ds, init = setup
+        with pytest.raises(ServerDiedError):
+            train_ps(
+                model, ds.X, ds.y, init, _config(),
+                PsSchedule(nodes=2, epoch_timeout=30.0,
+                           checkpoint_dir=str(tmp_path)),
+                fault_plan=FaultPlan.parse(["server-kill@2"]),
+            )
+
+    def test_server_stall_detected_by_probe_timeout(self, setup, tmp_path):
+        """A wedged server answers nothing: the probe times out, the
+        parent declares it dead, and failover proceeds exactly as for
+        a crash."""
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(),
+            PsSchedule(nodes=2, epoch_timeout=6.0,
+                       checkpoint_dir=str(tmp_path)),
+            fault_plan=FaultPlan.parse(["server-stall@2"]),
+            recovery=RecoveryPolicy(max_restarts=2),
+        )
+        assert res.epochs_run == 3
+        assert res.server_failovers == 1
+        assert not res.diverged
+
+    def test_failover_replay_is_serial_exact(self, setup, tmp_path):
+        """The tentpole guarantee: one lock-step node, killed server,
+        checkpoint restore, replayed epoch — still bit-identical to
+        the serial trajectory."""
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(),
+            PsSchedule(nodes=1, max_staleness=0, batch_size=1,
+                       epoch_timeout=60.0, checkpoint_dir=str(tmp_path)),
+            fault_plan=FaultPlan.parse(["server-kill@2"]),
+            recovery=RecoveryPolicy(max_restarts=2),
+        )
+        assert res.server_failovers == 1
+        expected = init.copy()
+        rng = derive_rng(99, "ps/1/0")
+        part = np.arange(ds.X.shape[0], dtype=np.int64)
+        for _ in range(res.epochs_run):
+            order = part[rng.permutation(part.shape[0])]
+            model.serial_sgd_epoch(ds.X, ds.y, order, expected, 0.05)
+        assert np.array_equal(res.params, expected)
+
+    def test_server_process_without_faults(self, setup, tmp_path):
+        """The supervised topology on a healthy run: same result
+        surface, failover machinery armed but idle."""
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(),
+            PsSchedule(nodes=2, epoch_timeout=30.0, server_process=True,
+                       checkpoint_dir=str(tmp_path)),
+        )
+        assert res.epochs_run == 3
+        assert res.server_failovers == 0
+        assert res.time_to_repair_seconds is None
+        assert not res.diverged
+
+
+class TestHandlerLeakAccounting:
+    def test_wedged_handler_counted_and_logged(self, caplog):
+        """close() joins every handler with a grace period; one that
+        does not make it is abandoned loudly, not silently."""
+        server = ShardServer(np.zeros(8), 2)
+        wedged = threading.Thread(target=time.sleep, args=(8.0,), daemon=True)
+        wedged.start()
+        server._threads.append(wedged)
+        with caplog.at_level(logging.WARNING, "repro.distributed.server"):
+            server.close()
+        assert server.counters[keys.PS_HANDLER_THREADS_LEAKED] == 1.0
+        assert any(
+            "abandoned 1 handler" in r.getMessage() for r in caplog.records
+        )
+
+    def test_clean_close_leaks_nothing(self):
+        with ShardServer(np.zeros(8), 2) as server:
+            pass
+        assert server.counters[keys.PS_HANDLER_THREADS_LEAKED] == 0.0
+
+
+class TestRecoveryTrajectory:
+    def test_combined_kill_and_stall_drill(self, setup):
+        """The manifest's ``recovery`` list is a trajectory, in order:
+        a node-kill at epoch 1 then a node-stall at epoch 2 must
+        produce exactly two entries, in epoch order, with the counters
+        agreeing with the log."""
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(),
+            PsSchedule(nodes=2, epoch_timeout=2.0),
+            fault_plan=FaultPlan.parse(["node-kill@1:w0", "node-stall@2:w1"]),
+            recovery=RecoveryPolicy(max_restarts=3, mode="respawn"),
+        )
+        assert res.epochs_run == 3
+        assert not res.diverged
+        actions = [(e["action"], e["epoch"]) for e in res.recovery]
+        assert actions == [("respawn", 1), ("respawn", 2)]
+        assert res.restarts == 2
+        assert res.repartitions == 0
+        assert res.nodes_final == 2
+        # The kill leaves a corpse with the fault exit code; the stall
+        # leaves none (barrier timeout, worker_id unknown).
+        assert res.recovery[0]["cause"]["exitcode"] == 23
+        assert res.recovery[1]["cause"]["worker_id"] is None
+        assert res.counters[keys.FAULT_WORKER_RESTARTS] == 2.0
+        assert res.counters[keys.FAULT_REPARTITIONS] == 0.0
+        assert res.faults_injected >= 2
+
+    def test_kill_then_repartition_then_stall_respawn(self, setup):
+        """Mixed modes: a repartition (kill) followed by a stall
+        respawn rebuilds at the *degraded* width and the trajectory
+        records both widths."""
+        model, ds, init = setup
+        res = train_ps(
+            model, ds.X, ds.y, init, _config(),
+            PsSchedule(nodes=3, epoch_timeout=2.0),
+            fault_plan=FaultPlan.parse(["node-kill@1:w2", "node-stall@2:w0"]),
+            recovery=RecoveryPolicy(max_restarts=3, mode="repartition"),
+        )
+        assert res.epochs_run == 3
+        actions = [(e["action"], e["epoch"], e["nodes"]) for e in res.recovery]
+        assert actions == [("repartition", 1, 2), ("respawn", 2, 2)]
+        assert res.restarts == 1
+        assert res.repartitions == 1
+        assert res.nodes_final == 2
+        assert res.degraded_epochs >= 1

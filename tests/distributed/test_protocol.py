@@ -2,11 +2,18 @@
 
 import socket
 import struct
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.distributed import protocol as wire
+
+
+def _raw_header(msg_type: int, payload_len: int = 0) -> bytes:
+    """Hand-craft a checksummed 20-byte header (payload sent apart)."""
+    fields = struct.pack("!BBHIQ", wire.MAGIC, msg_type, 0, payload_len, 0)
+    return fields + struct.pack("!I", zlib.crc32(fields))
 
 
 @pytest.fixture()
@@ -54,25 +61,25 @@ class TestFrameRoundTrip:
 
 
 class TestFrameValidation:
+    def test_header_is_twenty_bytes(self):
+        assert wire.HEADER_BYTES == 20
+        assert len(wire.pack_frame(wire.MSG_BYE)) == wire.HEADER_BYTES
+
     def test_bad_magic_rejected(self, pair):
         a, b = pair
-        a.sendall(b"\x00" * 16)
+        a.sendall(b"\x00" * wire.HEADER_BYTES)
         with pytest.raises(wire.WireProtocolError, match="magic"):
             wire.recv_frame(b)
 
     def test_unknown_type_rejected(self, pair):
         a, b = pair
-        a.sendall(struct.pack("!BBHIQ", wire.MAGIC, 99, 0, 0, 0))
+        a.sendall(_raw_header(99))
         with pytest.raises(wire.WireProtocolError, match="unknown message type"):
             wire.recv_frame(b)
 
     def test_oversized_payload_rejected(self, pair):
         a, b = pair
-        a.sendall(
-            struct.pack(
-                "!BBHIQ", wire.MAGIC, wire.MSG_PUSH, 0, wire.MAX_FRAME_BYTES + 1, 0
-            )
-        )
+        a.sendall(_raw_header(wire.MSG_PUSH, wire.MAX_FRAME_BYTES + 1))
         with pytest.raises(wire.WireProtocolError, match="cap"):
             wire.recv_frame(b)
 
@@ -80,21 +87,60 @@ class TestFrameValidation:
         """The failure mode the serving path's readline cap mishandled:
         a truncated message must raise, never decode partially."""
         a, b = pair
-        a.sendall(struct.pack("!BBHIQ", wire.MAGIC, wire.MSG_PUSH, 0, 100, 0))
+        a.sendall(_raw_header(wire.MSG_PUSH, 100))
         a.sendall(b"x" * 10)
         a.close()
         with pytest.raises(wire.WireProtocolError, match="closed"):
+            wire.recv_frame(b)
+
+    def test_corrupt_payload_byte_rejected(self, pair):
+        """The lossy-wire guarantee: a flipped payload bit fails the
+        CRC and raises, so a corrupted push can never be applied."""
+        a, b = pair
+        raw = bytearray(
+            wire.pack_frame(wire.MSG_PUSH, ident=3, clock=9, payload=b"\x01" * 40)
+        )
+        raw[wire.HEADER_BYTES + 17] ^= 0xFF
+        a.sendall(bytes(raw))
+        with pytest.raises(wire.WireProtocolError, match="checksum"):
+            wire.recv_frame(b)
+
+    def test_corrupt_header_clock_rejected(self, pair):
+        a, b = pair
+        raw = bytearray(wire.pack_frame(wire.MSG_EPOCH_DONE, clock=7))
+        raw[9] ^= 0x40  # inside the clock field
+        a.sendall(bytes(raw))
+        with pytest.raises(wire.WireProtocolError, match="checksum"):
+            wire.recv_frame(b)
+
+    def test_corrupt_gathered_frame_rejected(self, pair):
+        """The incremental CRC of the sendmsg path guards the payload
+        exactly like the contiguous one."""
+        a, b = pair
+        parts = [np.linspace(0, 1, 8).tobytes(), b"\x05" * 12]
+        raw = bytearray(
+            wire.pack_frame(wire.MSG_SHARDS, payload=b"".join(parts))
+        )
+        raw[-1] ^= 0x01
+        a.sendall(bytes(raw))
+        with pytest.raises(wire.WireProtocolError, match="checksum"):
             wire.recv_frame(b)
 
 
 class TestTypedPayloads:
     def test_hello_ack_round_trip(self):
         raw = wire.pack_hello_ack(12345, 8, 16)
-        assert wire.unpack_hello_ack(raw) == (12345, 8, 16)
+        assert wire.unpack_hello_ack(raw) == (12345, 8, 16, 0)
 
     def test_hello_ack_unbounded_staleness(self):
         raw = wire.pack_hello_ack(10, 1, None)
-        assert wire.unpack_hello_ack(raw) == (10, 1, None)
+        assert wire.unpack_hello_ack(raw) == (10, 1, None, 0)
+
+    def test_hello_ack_carries_resume_clock(self):
+        """A mid-run re-registration resumes from the last work-item
+        clock whose push the server actually applied."""
+        raw = wire.pack_hello_ack(10, 2, 4, resume_clock=987654321)
+        assert wire.unpack_hello_ack(raw) == (10, 2, 4, 987654321)
 
     def test_sparse_push_round_trip(self):
         idx = np.array([3, 7, 11], dtype=np.int64)

@@ -24,10 +24,12 @@ from repro.sgd import SGDConfig
 from repro.telemetry import keys
 from repro.utils.rng import derive_rng
 
-#: Frame-arithmetic constants (see protocol.py): 16-byte header, 14-byte
-#: HELLO_ACK payload, 2-byte SHARDS count head, 9-byte per-shard entry.
-_HEADER = 16
-_HELLO_ACK = _HEADER + 14
+#: Frame-arithmetic constants (see protocol.py): 20-byte checksummed
+#: header, 22-byte HELLO_ACK payload (n_params u64, n_shards u16,
+#: max_staleness i32, resume_clock u64), 2-byte SHARDS count head,
+#: 9-byte per-shard entry.
+_HEADER = wire.HEADER_BYTES
+_HELLO_ACK = _HEADER + 22
 _EPOCH_ACK = _HEADER
 _SHARDS_HEAD = 2
 _SHARD_ENTRY = 9
@@ -138,7 +140,7 @@ def _dial(server: ShardServer) -> tuple[socket.socket, int, int]:
     sock = socket.create_connection((server.host, server.port))
     wire.send_frame(sock, wire.MSG_HELLO, ident=0)
     ack = wire.recv_frame(sock)
-    n_params, n_shards, _ = wire.unpack_hello_ack(ack.payload)
+    n_params, n_shards, _, _ = wire.unpack_hello_ack(ack.payload)
     return sock, n_params, n_shards
 
 

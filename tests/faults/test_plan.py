@@ -13,6 +13,8 @@ from repro.faults import (
     GRID_FAULT_KINDS,
     NODE_FAULT_KINDS,
     RECOVERY_MODES,
+    SERVER_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
     CellRetryPolicy,
     FaultPlan,
     FaultSpec,
@@ -135,7 +137,19 @@ class TestGridFaultKinds:
     def test_kind_registries(self):
         assert GRID_FAULT_KINDS == ("cell-kill", "cell-stall", "cell-nan")
         assert NODE_FAULT_KINDS == ("node-kill", "node-stall")
-        assert ALL_FAULT_KINDS == FAULT_KINDS + GRID_FAULT_KINDS + NODE_FAULT_KINDS
+        assert SERVER_FAULT_KINDS == ("server-kill", "server-stall")
+        assert WIRE_FAULT_KINDS == (
+            "conn-drop",
+            "frame-delay",
+            "frame-corrupt",
+        )
+        assert ALL_FAULT_KINDS == (
+            FAULT_KINDS
+            + GRID_FAULT_KINDS
+            + NODE_FAULT_KINDS
+            + SERVER_FAULT_KINDS
+            + WIRE_FAULT_KINDS
+        )
 
     def test_grid_kinds_parse_with_the_shared_grammar(self):
         assert FaultSpec.parse("cell-kill@3:w1") == FaultSpec(
